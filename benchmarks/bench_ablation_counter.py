@@ -1,0 +1,31 @@
+"""Ablation A1 (Section 4.2): scalar counter register vs counter array.
+
+CSR iterates rows in order, so the generated CSR→ELL routine may keep the
+remapping counter ``#i`` in a scalar register; this bench forces the
+general counter-array lowering to measure what the optimization saves.
+"""
+
+import pytest
+
+from repro.bench import table3
+from repro.convert import PlanOptions, make_converter
+from repro.formats.library import CSR, ELL
+from repro.matrices.suite import PAPER_NAMES
+
+VARIANTS = {
+    "scalar-counter": PlanOptions(),
+    "counter-array": PlanOptions(force_counter_arrays=True),
+}
+
+
+@pytest.mark.parametrize("matrix_name", PAPER_NAMES)
+@pytest.mark.parametrize("variant", list(VARIANTS))
+def test_counter_ablation(benchmark, suite_map, bench_rounds, matrix_name, variant):
+    entry = suite_map[matrix_name]
+    if not table3.applicable("csr_ell", entry):
+        pytest.skip("ELL omitted for this matrix (padding rule)")
+    converter = make_converter(CSR, ELL, VARIANTS[variant])
+    args = converter.arguments(entry.tensor(CSR))
+    benchmark.group = f"A1-counter:{matrix_name}"
+    benchmark.pedantic(lambda: converter.func(*args),
+                       rounds=bench_rounds, iterations=1, warmup_rounds=0)

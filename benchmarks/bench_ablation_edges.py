@@ -1,0 +1,29 @@
+"""Ablation A3 (Section 6.1): sequenced vs unsequenced edge insertion.
+
+COO→CSR's result rows are iterated in order, so sequenced insertion
+(``pos[i+1] = pos[i] + count``) applies; the unsequenced variant writes
+raw counts and finalizes with a ``prefix_sum``, which is what a parallel
+or out-of-order assembly would use.
+"""
+
+import pytest
+
+from repro.convert import PlanOptions, make_converter
+from repro.formats.library import COO, CSR
+from repro.matrices.suite import PAPER_NAMES
+
+VARIANTS = {
+    "sequenced": PlanOptions(),
+    "unsequenced": PlanOptions(force_unsequenced_edges=True),
+}
+
+
+@pytest.mark.parametrize("matrix_name", PAPER_NAMES)
+@pytest.mark.parametrize("variant", list(VARIANTS))
+def test_edge_ablation(benchmark, suite_map, bench_rounds, matrix_name, variant):
+    entry = suite_map[matrix_name]
+    converter = make_converter(COO, CSR, VARIANTS[variant])
+    args = converter.arguments(entry.tensor(COO))
+    benchmark.group = f"A3-edges:{matrix_name}"
+    benchmark.pedantic(lambda: converter.func(*args),
+                       rounds=bench_rounds, iterations=1, warmup_rounds=0)

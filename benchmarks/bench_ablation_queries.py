@@ -1,0 +1,31 @@
+"""Ablation A2 (Section 5.2 / Table 1): simplify-width-count on vs off.
+
+With the rule on, CSR→ELL's analysis computes K from ``pos`` differences
+without touching the nonzeros (Figure 6b); with it off, the analysis
+falls back to the histogram pass a COO input would need.
+"""
+
+import pytest
+
+from repro.bench import table3
+from repro.convert import PlanOptions, make_converter
+from repro.formats.library import CSR, ELL
+from repro.matrices.suite import PAPER_NAMES
+
+VARIANTS = {
+    "width-count": PlanOptions(),
+    "histogram": PlanOptions(disable_width_count=True),
+}
+
+
+@pytest.mark.parametrize("matrix_name", PAPER_NAMES)
+@pytest.mark.parametrize("variant", list(VARIANTS))
+def test_query_ablation(benchmark, suite_map, bench_rounds, matrix_name, variant):
+    entry = suite_map[matrix_name]
+    if not table3.applicable("csr_ell", entry):
+        pytest.skip("ELL omitted for this matrix (padding rule)")
+    converter = make_converter(CSR, ELL, VARIANTS[variant])
+    args = converter.arguments(entry.tensor(CSR))
+    benchmark.group = f"A2-queries:{matrix_name}"
+    benchmark.pedantic(lambda: converter.func(*args),
+                       rounds=bench_rounds, iterations=1, warmup_rounds=0)

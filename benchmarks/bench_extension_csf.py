@@ -1,0 +1,51 @@
+"""Extension benchmark: staged CSF assembly vs sort-based construction.
+
+Not in the paper's evaluation — this exercises the staged (multi-group)
+assembly extension (DESIGN.md §6): building a compressed fiber tree (CSF)
+from unsorted third-order COO.  The generated routine runs two linear
+passes with a fiber-dedup map and a position memo; the baseline sorts the
+nonzeros lexicographically first (what taco without the paper's
+extensions, or a typical hand-written loader, must do).
+"""
+
+import random
+
+import pytest
+
+from repro.baselines.taco_legacy import coo3csf_sorting
+from repro.convert import make_converter
+from repro.formats.library import COO3, CSF
+from repro.storage.build import reference_build
+
+SIZES = [(30, 30, 30, 4_000), (50, 40, 30, 12_000), (60, 60, 60, 30_000)]
+
+
+def _tensor(n0, n1, n2, nnz, seed=0):
+    rng = random.Random(seed)
+    cells = set()
+    while len(cells) < nnz:
+        cells.add((rng.randrange(n0), rng.randrange(n1), rng.randrange(n2)))
+    cells = list(cells)
+    rng.shuffle(cells)
+    vals = [rng.uniform(1, 2) for _ in cells]
+    return reference_build(COO3, (n0, n1, n2), cells, vals)
+
+
+@pytest.mark.parametrize("shape", SIZES, ids=lambda s: f"nnz{s[3]}")
+@pytest.mark.parametrize("impl", ["taco w/ ext (staged)", "sort-based"])
+def test_coo3_to_csf(benchmark, bench_rounds, shape, impl):
+    n0, n1, n2, nnz = shape
+    tensor = _tensor(n0, n1, n2, nnz)
+    benchmark.group = f"ext-csf:nnz{nnz}"
+    if impl == "taco w/ ext (staged)":
+        converter = make_converter(COO3, CSF)
+        args = converter.arguments(tensor)
+        fn = lambda: converter.func(*args)
+    else:
+        idx0 = tensor.array(0, "crd")
+        idx1 = tensor.array(1, "crd")
+        idx2 = tensor.array(2, "crd")
+        vals = tensor.vals
+        dims = tensor.dims
+        fn = lambda: coo3csf_sorting(dims, idx0, idx1, idx2, vals)
+    benchmark.pedantic(fn, rounds=bench_rounds, iterations=1, warmup_rounds=0)

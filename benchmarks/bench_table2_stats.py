@@ -1,0 +1,34 @@
+"""Table 2: statistics of the benchmark matrices.
+
+Benchmarks the attribute-query-based statistics computation per matrix
+and, once per session, prints the synthetic-vs-paper comparison table
+that EXPERIMENTS.md records.
+"""
+
+import pytest
+
+from repro.bench.table2 import render_table2, run_table2
+from repro.matrices.suite import PAPER_NAMES
+
+_printed = False
+
+
+@pytest.mark.parametrize("matrix_name", PAPER_NAMES)
+def test_table2_stats(benchmark, run_cell, suite_map, matrix_name):
+    entry = suite_map[matrix_name]
+    entry.data()  # exclude generation from the timing
+    benchmark.group = "table2:stats"
+    stats = benchmark.pedantic(entry.stats, rounds=1, iterations=1)
+    assert stats["nnz"] > 0
+    assert stats["rows"] == entry.dims[0]
+
+
+def test_table2_report(suite_map, capsys):
+    """Print the full Table 2 comparison (shows up with pytest -s)."""
+    global _printed
+    if not _printed:
+        rows = run_table2(list(suite_map.values()))
+        with capsys.disabled():
+            print()
+            print(render_table2(rows))
+        _printed = True

@@ -1,0 +1,20 @@
+"""Table 3 column ``coo_dia``: COO to DIA (baselines go through a CSR temporary)
+
+One benchmark per (matrix, implementation); groups are per matrix so the
+pytest-benchmark report reads like a Table 3 row.  ``taco w/ ext`` is the
+generated routine; ratios of the other implementations to it reproduce
+the paper's normalized numbers.
+"""
+
+import pytest
+
+from repro.matrices.suite import PAPER_NAMES
+
+COLUMN = "coo_dia"
+IMPLS = ["taco w/ ext", "skit", "mkl"]
+
+
+@pytest.mark.parametrize("matrix_name", PAPER_NAMES)
+@pytest.mark.parametrize("impl", IMPLS)
+def test_coo_dia(benchmark, run_cell, matrix_name, impl):
+    run_cell(benchmark, COLUMN, matrix_name, impl)

@@ -1,0 +1,20 @@
+"""Table 3 column ``csr_csc``: CSR to CSC (Gustavson HALFPERM; nonsymmetric matrices only)
+
+One benchmark per (matrix, implementation); groups are per matrix so the
+pytest-benchmark report reads like a Table 3 row.  ``taco w/ ext`` is the
+generated routine; ratios of the other implementations to it reproduce
+the paper's normalized numbers.
+"""
+
+import pytest
+
+from repro.matrices.suite import PAPER_NAMES
+
+COLUMN = "csr_csc"
+IMPLS = ["taco w/ ext", "skit", "mkl"]
+
+
+@pytest.mark.parametrize("matrix_name", PAPER_NAMES)
+@pytest.mark.parametrize("impl", IMPLS)
+def test_csr_csc(benchmark, run_cell, matrix_name, impl):
+    run_cell(benchmark, COLUMN, matrix_name, impl)

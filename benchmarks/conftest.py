@@ -1,0 +1,58 @@
+"""Shared fixtures for the benchmark harness.
+
+Environment knobs:
+
+* ``REPRO_BENCH_SCALE``  — matrix size scale factor (default 0.3; use 1.0
+  to reproduce EXPERIMENTS.md's full-size numbers);
+* ``REPRO_BENCH_ROUNDS`` — timing rounds per benchmark (default 2).
+
+Every benchmark times a *prepared* call: the conversion routine has been
+generated and compiled, and the input tensor built, before the clock
+starts — matching the paper, which measures conversion time only.
+"""
+
+import os
+
+import pytest
+
+from repro.bench import table3
+from repro.matrices.suite import suite
+
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.3"))
+ROUNDS = int(os.environ.get("REPRO_BENCH_ROUNDS", "2"))
+
+
+@pytest.fixture(scope="session")
+def suite_map():
+    """All 21 suite matrices, generated once per session."""
+    return {entry.paper_name: entry for entry in suite(scale=SCALE)}
+
+
+@pytest.fixture(scope="session")
+def bench_rounds():
+    return ROUNDS
+
+
+@pytest.fixture
+def run_cell(suite_map, bench_rounds):
+    """Benchmark one Table 3 cell: (column, matrix, implementation).
+
+    Skips cells Table 3 leaves blank (padding > 75 %, symmetric csr_csc,
+    or a baseline that does not exist for the pair).
+    """
+
+    def go(benchmark, column: str, matrix_name: str, impl: str) -> None:
+        entry = suite_map[matrix_name]
+        if not table3.applicable(column, entry):
+            pytest.skip("omitted per Table 3's 75%-padding / symmetry rules")
+        if impl == "taco w/ ext":
+            fn = table3._ours(column, entry)
+        else:
+            baselines = table3._baselines(column, entry)
+            if impl not in baselines:
+                pytest.skip(f"{impl} has no implementation for {column}")
+            fn = baselines[impl]
+        benchmark.group = f"{column}:{matrix_name}"
+        benchmark.pedantic(fn, rounds=bench_rounds, iterations=1, warmup_rounds=0)
+
+    return go

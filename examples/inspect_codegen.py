@@ -1,0 +1,35 @@
+"""Print the generated routines for all seven evaluated conversions.
+
+Compare the output with the paper's Figure 6 — the three background-color
+phases appear as comments in the generated Python.
+
+    python examples/inspect_codegen.py [pair]
+"""
+
+import sys
+
+from repro import generated_source
+from repro.formats import COO, CSC, CSR, DIA, ELL
+
+PAIRS = {
+    "coo_csr": (COO, CSR),
+    "coo_dia": (COO, DIA),
+    "csr_csc": (CSR, CSC),
+    "csr_dia": (CSR, DIA),
+    "csr_ell": (CSR, ELL),
+    "csc_dia": (CSC, DIA),
+    "csc_ell": (CSC, ELL),
+}
+
+
+def main() -> None:
+    wanted = sys.argv[1:] or list(PAIRS)
+    for name in wanted:
+        src_fmt, dst_fmt = PAIRS[name]
+        print(f"{'=' * 70}\n== {name}\n{'=' * 70}")
+        print(generated_source(src_fmt, dst_fmt))
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+``pip install -e .`` needs the ``wheel`` package for PEP 660 editable
+installs; this offline environment lacks it, so ``python setup.py develop``
+provides the equivalent editable install.  All metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,141 @@
+"""Command-line interface.
+
+Usage::
+
+    python -m repro formats                     # list built-in formats
+    python -m repro codegen CSR DIA             # print the generated routine
+    python -m repro convert in.mtx --to DIA     # convert a Matrix Market file
+    python -m repro stats in.mtx                # attribute-query statistics
+    python -m repro verify COO CSR --trials 50  # differential verification
+
+(The evaluation harness lives under ``python -m repro.bench``.)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from .convert import generated_source, make_converter
+from .convert.verify import verify_conversion
+from .formats import BCSR, BUILTIN_FORMATS, HICOO
+from .io import read_tensor
+from .query import evaluate_query, parse_queries
+from .remap import apply_remap, parse_remap
+
+
+def _resolve_format(name: str):
+    token = name.upper()
+    if token in BUILTIN_FORMATS:
+        return BUILTIN_FORMATS[token]
+    if token.startswith("BCSR"):
+        dims = token[4:].split("X") if token[4:] else ["4", "4"]
+        return BCSR(int(dims[0]), int(dims[-1]))
+    if token.startswith("HICOO"):
+        return HICOO(int(token[5:]) if token[5:] else 4)
+    raise SystemExit(
+        f"unknown format {name!r}; known: {', '.join(sorted(BUILTIN_FORMATS))}, "
+        "BCSR<MxN>, HICOO<B>"
+    )
+
+
+def _cmd_formats(_args) -> None:
+    for name, fmt in sorted(BUILTIN_FORMATS.items()):
+        levels = ", ".join(level.signature() for level in fmt.levels)
+        print(f"{name:6s} remap: {fmt.remap}   levels: [{levels}]")
+    print("BCSR<MxN> and HICOO<B> are parameterized (e.g. BCSR4x4, HICOO8).")
+
+
+def _cmd_codegen(args) -> None:
+    print(generated_source(_resolve_format(args.src), _resolve_format(args.dst)))
+
+
+def _cmd_convert(args) -> None:
+    src_fmt = _resolve_format(args.source_format)
+    dst_fmt = _resolve_format(args.to)
+    tensor = read_tensor(args.input, src_fmt)
+    converter = make_converter(src_fmt, dst_fmt)
+    start = time.perf_counter()
+    out = converter(tensor)
+    elapsed = (time.perf_counter() - start) * 1e3
+    out.check()
+    print(
+        f"{args.input}: {tensor.dims[0]}x{tensor.dims[1]}, {tensor.nnz} nonzeros"
+    )
+    print(f"{src_fmt.name} -> {dst_fmt.name} in {elapsed:.2f} ms (generated routine)")
+    for (k, name), array in sorted(out.arrays.items()):
+        print(f"  B{k + 1}_{name}: {len(array)} entries")
+    for (k, name), value in sorted(out.metadata.items()):
+        print(f"  B{k + 1}_{name} = {value}")
+    print(f"  B_vals: {len(out.vals)} entries ({out.nnz} nonzero)")
+    if args.show_code:
+        print("\n" + converter.source)
+
+
+def _cmd_stats(args) -> None:
+    tensor = read_tensor(args.input)
+    dims, coords = tensor.dims, list(tensor.to_coo())
+    per_row = evaluate_query(
+        parse_queries("select [i] -> count(j) as n", dim_names=["i", "j"])[0],
+        coords,
+    )
+    remapped = apply_remap(parse_remap("(i,j) -> (j-i, i, j)"), coords)
+    diagonals = evaluate_query(
+        parse_queries("select [k] -> id() as ne", dim_names=["k", "i", "j"])[0],
+        remapped,
+    )
+    print(f"{args.input}: {dims[0]}x{dims[1]}, {len(coords)} nonzeros")
+    print(f"nonzero diagonals : {len(diagonals)}")
+    print(f"max nnz per row   : {max(per_row.values()) if per_row else 0}")
+    dia_pad = 1 - len(coords) / (len(diagonals) * dims[0]) if diagonals else 0.0
+    print(f"DIA padding       : {dia_pad:.1%}")
+
+
+def _cmd_verify(args) -> None:
+    src_fmt = _resolve_format(args.src)
+    dst_fmt = _resolve_format(args.dst)
+    checked = verify_conversion(
+        src_fmt, dst_fmt, trials=args.trials, max_dim=args.max_dim, seed=args.seed
+    )
+    print(f"{src_fmt.name} -> {dst_fmt.name}: OK on {checked} randomized inputs")
+
+
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(prog="python -m repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("formats", help="list built-in formats")
+
+    codegen = sub.add_parser("codegen", help="print a generated routine")
+    codegen.add_argument("src")
+    codegen.add_argument("dst")
+
+    convert = sub.add_parser("convert", help="convert a Matrix Market file")
+    convert.add_argument("input")
+    convert.add_argument("--from", dest="source_format", default="COO")
+    convert.add_argument("--to", required=True)
+    convert.add_argument("--show-code", action="store_true")
+
+    stats = sub.add_parser("stats", help="attribute-query statistics of a file")
+    stats.add_argument("input")
+
+    verify = sub.add_parser("verify", help="differentially verify a pair")
+    verify.add_argument("src")
+    verify.add_argument("dst")
+    verify.add_argument("--trials", type=int, default=25)
+    verify.add_argument("--max-dim", type=int, default=10)
+    verify.add_argument("--seed", type=int, default=0)
+
+    args = parser.parse_args(argv)
+    {
+        "formats": _cmd_formats,
+        "codegen": _cmd_codegen,
+        "convert": _cmd_convert,
+        "stats": _cmd_stats,
+        "verify": _cmd_verify,
+    }[args.command](args)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,141 @@
+"""taco-without-extensions baseline: sort-based COO→CSR (Section 7.2).
+
+Without this paper's extensions, taco expresses COO→CSR as the tensor
+assignment ``A(i,j) = B(i,j)`` and "cannot reason about generating code
+that inserts nonzeros into CSR data structures out of order.  Thus, it
+must sort the input before performing the actual conversion".  This
+baseline reproduces that algorithm: a comparison-based merge sort of the
+nonzeros by (row, column), followed by in-order CSR assembly.
+
+The sort is a pure-Python merge sort so its cost model matches the rest
+of the substrate (one comparison/move per loop iteration, like the
+``std::sort`` calls in taco's emitted C++); using a vectorized
+``np.lexsort`` here would invert the paper's comparison by running the
+sort outside the common substrate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _merge_sort_perm(rows, cols):
+    """Stable merge sort of indices by (row, col); O(nnz log nnz)."""
+    nnz = len(rows)
+    perm = np.arange(nnz, dtype=np.int64)
+    buffer = np.empty(nnz, dtype=np.int64)
+    width = 1
+    while width < nnz:
+        for start in range(0, nnz, 2 * width):
+            mid = min(start + width, nnz)
+            end = min(start + 2 * width, nnz)
+            left, right = start, mid
+            slot = start
+            while left < mid and right < end:
+                a, b = perm[left], perm[right]
+                if (rows[a], cols[a]) <= (rows[b], cols[b]):
+                    buffer[slot] = a
+                    left += 1
+                else:
+                    buffer[slot] = b
+                    right += 1
+                slot += 1
+            while left < mid:
+                buffer[slot] = perm[left]
+                left += 1
+                slot += 1
+            while right < end:
+                buffer[slot] = perm[right]
+                right += 1
+                slot += 1
+        perm, buffer = buffer, perm
+        width *= 2
+    return perm
+
+
+def coocsr_sorting(nrow: int, rows, cols, vals):
+    """COO→CSR via lexicographic sort then in-order assembly."""
+    nnz = len(rows)
+    perm = _merge_sort_perm(rows, cols)
+    pos = np.zeros(nrow + 1, dtype=np.int64)
+    crd = np.empty(nnz, dtype=np.int64)
+    out = np.empty(nnz, dtype=np.float64)
+    for slot in range(nnz):
+        p = perm[slot]
+        pos[rows[p] + 1] += 1
+        crd[slot] = cols[p]
+        out[slot] = vals[p]
+    for i in range(nrow):
+        pos[i + 1] += pos[i]
+    return pos, crd, out
+
+
+def _merge_sort_perm3(idx0, idx1, idx2):
+    """Stable merge sort of indices by a 3-tuple key."""
+    nnz = len(idx0)
+    perm = np.arange(nnz, dtype=np.int64)
+    buffer = np.empty(nnz, dtype=np.int64)
+    width = 1
+    while width < nnz:
+        for start in range(0, nnz, 2 * width):
+            mid = min(start + width, nnz)
+            end = min(start + 2 * width, nnz)
+            left, right = start, mid
+            slot = start
+            while left < mid and right < end:
+                a, b = perm[left], perm[right]
+                if (idx0[a], idx1[a], idx2[a]) <= (idx0[b], idx1[b], idx2[b]):
+                    buffer[slot] = a
+                    left += 1
+                else:
+                    buffer[slot] = b
+                    right += 1
+                slot += 1
+            while left < mid:
+                buffer[slot] = perm[left]
+                left += 1
+                slot += 1
+            while right < end:
+                buffer[slot] = perm[right]
+                right += 1
+                slot += 1
+        perm, buffer = buffer, perm
+        width *= 2
+    return perm
+
+
+def coo3csf_sorting(dims, idx0, idx1, idx2, vals):
+    """COO (3rd order) → CSF via lexicographic sort then in-order assembly.
+
+    The sort-based construction a pre-extension taco (or a typical
+    hand-written loader) uses for compressed fiber trees; compared in the
+    extension benchmark against the generated two-pass staged assembly,
+    which builds CSF without sorting.
+    """
+    nnz = len(idx0)
+    perm = _merge_sort_perm3(idx0, idx1, idx2)
+    n0 = dims[0]
+    pos1 = np.zeros(n0 + 1, dtype=np.int64)
+    crd1 = np.empty(nnz, dtype=np.int64)
+    pos2 = np.zeros(nnz + 1, dtype=np.int64)
+    crd2 = np.empty(nnz, dtype=np.int64)
+    out = np.empty(nnz, dtype=np.float64)
+    fibers = 0
+    last_i = -1
+    last_j = -1
+    for slot in range(nnz):
+        p = perm[slot]
+        i, j, k = idx0[p], idx1[p], idx2[p]
+        if i != last_i or j != last_j:
+            crd1[fibers] = j
+            pos1[i + 1] += 1
+            fibers += 1
+            last_i, last_j = i, j
+        pos2[fibers] += 1
+        crd2[slot] = k
+        out[slot] = vals[p]
+    for i in range(n0):
+        pos1[i + 1] += pos1[i]
+    for f in range(fibers):
+        pos2[f + 1] += pos2[f]
+    return pos1, crd1[:fibers], pos2[: fibers + 1], crd2, out

@@ -1,0 +1,90 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+* **A1 — counter lowering** (Section 4.2): scalar counter register vs a
+  forced counter array for CSR→ELL, where the rows are iterated in order
+  and the scalar register suffices.
+* **A2 — attribute query optimization** (Section 5.2 / Table 1):
+  CSR→ELL with and without simplify-width-count, i.e. computing K from
+  ``pos`` differences vs a full histogram pass over the nonzeros.
+* **A3 — edge insertion variant** (Section 6.1): sequenced vs unsequenced
+  (``prefix_sum``-finalized) edge insertion for COO→CSR.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from ..convert import PlanOptions, make_converter
+from ..formats.library import COO, CSR, ELL
+from ..matrices.suite import SuiteMatrix, suite
+from .timing import format_table, geomean, time_call
+
+
+@dataclass
+class AblationResult:
+    matrix: str
+    base_seconds: float
+    variant_ratio: float
+
+
+def _timer(converter, tensor) -> Callable[[], object]:
+    args = converter.arguments(tensor)
+    return lambda: converter.func(*args)
+
+
+def _run(
+    matrices: List[SuiteMatrix],
+    src_format,
+    dst_format,
+    variant: PlanOptions,
+    repeats: int,
+    predicate=None,
+) -> List[AblationResult]:
+    base = make_converter(src_format, dst_format)
+    alt = make_converter(src_format, dst_format, variant)
+    results = []
+    for entry in matrices:
+        if predicate and not predicate(entry):
+            continue
+        tensor = entry.tensor(src_format)
+        base_time = time_call(_timer(base, tensor), repeats)
+        alt_time = time_call(_timer(alt, tensor), repeats)
+        results.append(AblationResult(entry.name, base_time, alt_time / base_time))
+    return results
+
+
+def run_ablations(
+    matrices: Optional[List[SuiteMatrix]] = None, repeats: int = 3
+) -> Dict[str, List[AblationResult]]:
+    """Run all three ablations; ratios > 1 mean the optimization helps."""
+    matrices = matrices if matrices is not None else suite()
+    ell_ok = lambda entry: entry.ell_padding_ratio() <= 0.75
+    return {
+        "A1 scalar counter vs counter array (csr_ell)": _run(
+            matrices, CSR, ELL, PlanOptions(force_counter_arrays=True),
+            repeats, ell_ok,
+        ),
+        "A2 width-count vs histogram analysis (csr_ell)": _run(
+            matrices, CSR, ELL, PlanOptions(disable_width_count=True),
+            repeats, ell_ok,
+        ),
+        "A3 sequenced vs unsequenced edges (coo_csr)": _run(
+            matrices, COO, CSR, PlanOptions(force_unsequenced_edges=True),
+            repeats,
+        ),
+    }
+
+
+def render_ablations(results: Dict[str, List[AblationResult]]) -> str:
+    out = []
+    for title, rows in results.items():
+        headers = ["matrix", "optimized (ms)", "ablated / optimized"]
+        body = [
+            [r.matrix, f"{r.base_seconds * 1e3:.2f}", f"{r.variant_ratio:.2f}"]
+            for r in rows
+        ]
+        mean = geomean([r.variant_ratio for r in rows])
+        body.append(["Geomean", "", f"{mean:.2f}" if mean else ""])
+        out.append(f"== {title} ==\n{format_table(headers, body)}")
+    return "\n\n".join(out)

@@ -1,0 +1,53 @@
+"""Timing helpers for the benchmark harness."""
+
+from __future__ import annotations
+
+import gc
+import math
+import time
+from typing import Callable, Dict, Iterable, List, Optional
+
+
+def time_call(fn: Callable[[], object], repeats: int = 3) -> float:
+    """Median wall-clock seconds of ``repeats`` calls, GC disabled.
+
+    The paper reports medians of 50 cold-cache runs; in this substrate the
+    Python interpreter dominates and cache state is second-order, so a
+    small repeat count keeps the full sweep tractable.
+    """
+    times: List[float] = []
+    was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        for _ in range(repeats):
+            start = time.perf_counter()
+            fn()
+            times.append(time.perf_counter() - start)
+    finally:
+        if was_enabled:
+            gc.enable()
+    times.sort()
+    return times[len(times) // 2]
+
+
+def geomean(values: Iterable[float]) -> Optional[float]:
+    """Geometric mean, or None for an empty sequence."""
+    values = [v for v in values if v is not None]
+    if not values:
+        return None
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def format_table(headers: List[str], rows: List[List[str]]) -> str:
+    """Fixed-width text table (markdown-ish) used by all reports."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for idx, cell in enumerate(row):
+            widths[idx] = max(widths[idx], len(cell))
+
+    def line(cells):
+        return "  ".join(cell.ljust(width) for cell, width in zip(cells, widths))
+
+    out = [line(headers), line(["-" * w for w in widths])]
+    out.extend(line(row) for row in rows)
+    return "\n".join(out)

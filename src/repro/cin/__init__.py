@@ -1,0 +1,25 @@
+"""Concrete index notation for attribute queries (Section 5.2, Table 1)."""
+
+from .compile import QueryCompiler
+from .lower import QueryPlan, lower_query
+from .nodes import (
+    CinStatement,
+    DenseSpace,
+    KeyDim,
+    KeySrc,
+    SrcNonzeros,
+    SrcPrefix,
+    VConst,
+    VCoordMax,
+    VCoordMin,
+    VLoad,
+    VWidth,
+)
+from .transforms import ConversionInfo, QueryCompileError, optimize_plan
+
+__all__ = [
+    "CinStatement", "ConversionInfo", "DenseSpace", "KeyDim", "KeySrc",
+    "QueryCompileError", "QueryCompiler", "QueryPlan", "SrcNonzeros",
+    "SrcPrefix", "VConst", "VCoordMax", "VCoordMin", "VLoad", "VWidth",
+    "lower_query", "optimize_plan",
+]

@@ -1,0 +1,249 @@
+"""Compiling optimized CIN query plans to imperative IR.
+
+The :class:`QueryCompiler` takes the attribute queries every destination
+level requires, lowers them to canonical CIN (:mod:`repro.cin.lower`),
+optimizes them with the Table 1 rules (:mod:`repro.cin.transforms`), and
+emits the analysis phase of the conversion routine:
+
+* one fused pass over the source tensor's nonzeros for all statements
+  with a :class:`SrcNonzeros` domain (e.g. histograms, ``nz`` bit sets);
+* loops over source level *prefixes* with dynamically computed widths for
+  statements the simplify-width-count rule rewrote (e.g. CSR row lengths
+  from ``pos``);
+* dense reduction loops over materialized temporaries (e.g. the max over
+  a row-count histogram for COO→ELL).
+
+Results are registered on the conversion context as
+:class:`~repro.convert.context.QueryResultHandle` objects for the assembly
+phase to consume.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from ..convert.context import ConversionContext, PlanError, QueryResultHandle
+from ..convert.iterate import SourceLoopEmitter
+from ..ir import builder as b
+from ..ir.nodes import (
+    Alloc,
+    Assign,
+    AugAssign,
+    AugStore,
+    Comment,
+    Const,
+    Expr,
+    For,
+    If,
+    Load,
+    Stmt,
+    Store,
+    Var,
+)
+from ..ir.simplify import simplify_expr
+from ..query.spec import QuerySpec
+from ..remap.lower import lower_rexpr
+from .lower import QueryPlan, lower_query
+from .nodes import (
+    CinStatement,
+    DenseSpace,
+    Key,
+    KeyDim,
+    KeySrc,
+    SrcNonzeros,
+    SrcPrefix,
+    VConst,
+    VCoordMax,
+    VCoordMin,
+    VLoad,
+    VWidth,
+)
+from .transforms import ConversionInfo, QueryCompileError, optimize_plan
+
+
+class QueryCompiler:
+    """Generates the analysis phase for a set of per-level queries."""
+
+    def __init__(self, ctx: ConversionContext, disable_width_count: bool = False) -> None:
+        self.ctx = ctx
+        self.info = ConversionInfo(ctx.src_format, ctx.dst_format.remap)
+        self.info.disable_width_count = disable_width_count
+        self.emitter = SourceLoopEmitter(ctx)
+        #: result name -> (keys, var, is_scalar)
+        self.results: Dict[str, Tuple[Tuple[Key, ...], Var, bool]] = {}
+
+    # ------------------------------------------------------------------
+    def compile(
+        self, level_specs: Sequence[Tuple[int, QuerySpec]]
+    ) -> List[Stmt]:
+        """Lower, optimize and emit all queries; register their handles."""
+        plans: List[Tuple[int, QueryPlan]] = []
+        for level, spec in level_specs:
+            result = self.ctx.ng.fresh(f"q{level + 1}_{spec.label}")
+            temp = self.ctx.ng.fresh("W")
+            plan = optimize_plan(
+                lower_query(spec, result, temp), self.info, self.ctx.ng
+            )
+            plans.append((level, plan))
+
+        statements = [stmt for _, plan in plans for stmt in plan.statements]
+
+        out: List[Stmt] = []
+        for stmt in statements:
+            out.extend(self._declare(stmt))
+
+        src_stmts = [s for s in statements if isinstance(s.domain, SrcNonzeros)]
+        if src_stmts:
+            out.append(self._emit_src_pass(src_stmts))
+
+        prefixes = sorted({s.domain.nlevels for s in statements
+                           if isinstance(s.domain, SrcPrefix)})
+        for nlevels in prefixes:
+            group = [s for s in statements
+                     if isinstance(s.domain, SrcPrefix) and s.domain.nlevels == nlevels]
+            out.append(self._emit_prefix_pass(nlevels, group))
+
+        for stmt in statements:
+            if isinstance(stmt.domain, DenseSpace):
+                out.append(self._emit_dense_pass(stmt))
+
+        for level, plan in plans:
+            keys, var, is_scalar = self.results[plan.result_name]
+            handle = QueryResultHandle(self.ctx, keys, var, is_scalar, plan.decode)
+            self.ctx.register_query(level, plan.spec.label, handle)
+        return out
+
+    # -- storage ---------------------------------------------------------------
+    def _declare(self, stmt: CinStatement) -> List[Stmt]:
+        if stmt.result in self.results:
+            return []
+        var = Var(self.ctx.ng.reserve(stmt.result))
+        is_scalar = not stmt.keys
+        self.results[stmt.result] = (stmt.keys, var, is_scalar)
+        if is_scalar:
+            return [Assign(var, Const(0))]
+        size: Expr = Const(1)
+        for key in stmt.keys:
+            size = b.mul(size, self.ctx.key_extent(key))
+        return [Alloc(var, simplify_expr(size), "int64", "zeros")]
+
+    def _target_update(self, stmt: CinStatement, index: Expr, value: Expr) -> Stmt:
+        keys, var, is_scalar = self.results[stmt.result]
+        op = {"=": None, "+=": "+", "max=": "max"}.get(stmt.op, "unsupported")
+        if op == "unsupported":
+            raise QueryCompileError(f"operator {stmt.op!r} survived optimization")
+        if is_scalar:
+            return Assign(var, value) if op is None else AugAssign(var, op, value)
+        if op is None:
+            return Store(var, index, value)
+        return AugStore(var, index, op, value)
+
+    def _result_index(self, stmt: CinStatement, env: Dict[Key, Expr]) -> Expr:
+        index: Expr = Const(0)
+        for key in stmt.keys:
+            index = b.add(b.mul(index, self.ctx.key_extent(key)), env[key])
+        return simplify_expr(index)
+
+    # -- source-nonzeros pass ------------------------------------------------
+    def _dim_expr(self, dim: int, canonical: Sequence[Expr]) -> Expr:
+        """Destination coordinate ``dim`` as a function of canonical coords."""
+        coord = self.ctx.dst_format.remap.dst_coords[dim]
+        env = dict(zip(self.ctx.canonical_names, canonical))
+        for binding in coord.lets:
+            env[binding.name] = lower_rexpr(
+                binding.value, env, self.ctx.dst_format.param_exprs(), {}
+            )
+        return simplify_expr(
+            lower_rexpr(coord.expr, env, self.ctx.dst_format.param_exprs(), {})
+        )
+
+    def _key_value(self, key: Key, canonical: Sequence[Expr]) -> Expr:
+        """Shifted key coordinate for result indexing."""
+        if isinstance(key, KeySrc):
+            return canonical[self.ctx.canonical_names.index(key.var)]
+        raw = self._dim_expr(key.dim, canonical)
+        return simplify_expr(b.sub(raw, self.ctx.dst_dim_lo(key.dim)))
+
+    def _value_expr(self, stmt: CinStatement, canonical: Sequence[Expr]) -> Expr:
+        value = stmt.value
+        if isinstance(value, VConst):
+            return Const(value.value)
+        if isinstance(value, VCoordMax):
+            coord = self._dim_expr(value.dim, canonical)
+            return simplify_expr(
+                b.add(b.sub(coord, self.ctx.dst_dim_lo(value.dim)), 1)
+            )
+        if isinstance(value, VCoordMin):
+            coord = self._dim_expr(value.dim, canonical)
+            return simplify_expr(
+                b.add(b.sub(self.ctx.dst_dim_hi(value.dim), coord), 1)
+            )
+        raise QueryCompileError(f"value {value} not valid in a source pass")
+
+    def _emit_src_pass(self, stmts: List[CinStatement]) -> Stmt:
+        def body(canonical, leaf_pos, level_coords):
+            updates: List[Stmt] = []
+            for stmt in stmts:
+                env = {key: self._key_value(key, canonical) for key in stmt.keys}
+                index = self._result_index(stmt, env)
+                updates.append(
+                    self._target_update(stmt, index, self._value_expr(stmt, canonical))
+                )
+            return b.block(updates)
+
+        return self.emitter.emit(body)
+
+    # -- prefix (width) pass ----------------------------------------------------
+    def _emit_prefix_pass(self, nlevels: int, stmts: List[CinStatement]) -> Stmt:
+        def body(level_coords, last_pos):
+            width_stmts, width = self.emitter.emit_width(nlevels, last_pos)
+            updates: List[Stmt] = list(width_stmts)
+            if isinstance(width, Const):
+                # e.g. COO prefix passes where every stored path counts 1
+                width_var: Expr = width
+            else:
+                # Bind the width to a local so the generated code reads like
+                # Figure 6b ("ncols = A_pos[i+1] - A_pos[i]").
+                width_var = Var(self.ctx.ng.fresh("width"))
+                updates.append(Assign(width_var, width))
+            canonical_env: Dict[str, Expr] = {}
+            for lvl, coord in enumerate(level_coords):
+                var = self.ctx.src_level_var[lvl]
+                if var is not None:
+                    canonical_env[var] = coord
+            for stmt in stmts:
+                env: Dict[Key, Expr] = {}
+                for key in stmt.keys:
+                    name = self.info.key_var(key)
+                    env[key] = canonical_env[name]
+                index = self._result_index(stmt, env)
+                scale = stmt.value.scale
+                value = width_var if scale == 1 else b.mul(width_var, scale)
+                updates.append(self._target_update(stmt, index, value))
+            return b.block(updates)
+
+        return self.emitter.emit_prefix(nlevels, body)
+
+    # -- dense reduction pass -----------------------------------------------
+    def _emit_dense_pass(self, stmt: CinStatement) -> Stmt:
+        domain_keys = stmt.domain.keys
+        source_keys, source_var, source_scalar = self.results[stmt.value.temp]
+        loop_vars = {key: Var(self.ctx.ng.fresh("i")) for key in domain_keys}
+
+        env: Dict[Key, Expr] = dict(loop_vars)
+        read_index: Expr = Const(0)
+        for key in source_keys:
+            read_index = b.add(b.mul(read_index, self.ctx.key_extent(key)), env[key])
+        read = source_var if source_scalar else Load(source_var, simplify_expr(read_index))
+
+        result_index = self._result_index(stmt, env)
+        if stmt.value.bool_map:
+            update: Stmt = If(
+                b.ne(read, 0), self._target_update(stmt, result_index, Const(1))
+            )
+        else:
+            update = self._target_update(stmt, result_index, read)
+
+        for key in reversed(domain_keys):
+            update = For(loop_vars[key], Const(0), self.ctx.key_extent(key), update)
+        return update

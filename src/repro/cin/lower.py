@@ -1,0 +1,83 @@
+"""Lowering attribute queries to canonical concrete index notation.
+
+Implements the canonical forms of Section 5.2:
+
+* ``id``     → ``∀nz  Q[g] |= map(B, 1)``
+* ``count``  → ``(∀dense W-space  Q[g] += map(W, 1)) where
+  (∀nz  W[g+args] |= map(B, 1))``
+* ``max``    → ``∀nz  Q'[g] max= map(B, i - s + 1)``
+* ``min``    → ``∀nz  Q'[g] max= map(B, -i + t + 1)``
+
+``max``/``min`` results are stored shifted (``Q'``); :class:`QueryPlan`
+records how to decode them back (Section 5.2's ``Q ≡ Q' + s - 1`` and
+``Q ≡ -Q' + t + 1``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..query.spec import QuerySpec
+from .nodes import (
+    CinStatement,
+    DenseSpace,
+    KeyDim,
+    SrcNonzeros,
+    VConst,
+    VCoordMax,
+    VCoordMin,
+    VLoad,
+)
+
+
+@dataclass
+class QueryPlan:
+    """A query's CIN statements plus result decoding metadata.
+
+    ``statements`` are in dependency order; the last one defines
+    ``result_name``.  ``decode`` is ``None`` for direct results, or
+    ``("max", dim)`` / ``("min", dim)`` for shifted extremum results.
+    """
+
+    spec: QuerySpec
+    statements: List[CinStatement]
+    result_name: str
+    decode: Optional[Tuple[str, int]] = None
+
+    def describe(self) -> str:
+        """Human-readable canonical/optimized form (used in docs/tests)."""
+        return "\n".join(str(stmt) for stmt in self.statements)
+
+
+def lower_query(spec: QuerySpec, result_name: str, temp_name: str) -> QueryPlan:
+    """Lower one :class:`QuerySpec` to its canonical CIN form.
+
+    ``result_name`` names the final result tensor; ``temp_name`` is used
+    for the ``where``-bound temporary of ``count`` queries.
+    """
+    group = tuple(KeyDim(d) for d in spec.group_by)
+    if spec.aggr == "id":
+        return QueryPlan(
+            spec,
+            [CinStatement(result_name, group, "or=", SrcNonzeros(), VConst(1))],
+            result_name,
+        )
+    if spec.aggr == "count":
+        keys = group + tuple(KeyDim(d) for d in spec.args)
+        producer = CinStatement(temp_name, keys, "or=", SrcNonzeros(), VConst(1))
+        consumer = CinStatement(
+            result_name, group, "+=", DenseSpace(keys), VLoad(temp_name, bool_map=True)
+        )
+        return QueryPlan(spec, [producer, consumer], result_name)
+    if spec.aggr == "max":
+        stmt = CinStatement(
+            result_name, group, "max=", SrcNonzeros(), VCoordMax(spec.args[0])
+        )
+        return QueryPlan(spec, [stmt], result_name, decode=("max", spec.args[0]))
+    if spec.aggr == "min":
+        stmt = CinStatement(
+            result_name, group, "max=", SrcNonzeros(), VCoordMin(spec.args[0])
+        )
+        return QueryPlan(spec, [stmt], result_name, decode=("min", spec.args[0]))
+    raise ValueError(f"unknown aggregation {spec.aggr!r}")

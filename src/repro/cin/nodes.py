@@ -1,0 +1,186 @@
+"""Concrete index notation (CIN) for attribute query computations.
+
+Section 5.2 lowers attribute queries to concrete index notation statements
+of the shape ``∀j1..jn  Q[i1..im] ⊕= map(B[j1..jn], e)`` (possibly with
+``where``-bound temporaries), then optimizes them with the rewrite rules of
+Table 1.  This module defines the statement representation; it captures
+exactly the statement forms those rules produce and consume:
+
+* iteration domains: all nonzeros of the source tensor
+  (:class:`SrcNonzeros`), a prefix of the source's levels
+  (:class:`SrcPrefix`, produced by *simplify-width-count*), or the dense
+  index space of a temporary (:class:`DenseSpace`);
+* values: constants, shifted coordinates (for ``max``/``min``), dynamic
+  level widths (``pos[p+1]-pos[p]``), or reads of temporaries.
+
+Result/temporary index keys are either remapped destination dimensions
+(:class:`KeyDim`) or canonical source index variables (:class:`KeySrc`,
+used by histograms over counter keys).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple, Union
+
+
+# ---------------------------------------------------------------------------
+# keys
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class KeyDim:
+    """Index key: remapped destination dimension ``dim``."""
+
+    dim: int
+
+    def __str__(self) -> str:
+        return f"i{self.dim + 1}"
+
+
+@dataclass(frozen=True)
+class KeySrc:
+    """Index key: canonical source index variable (e.g. counter keys)."""
+
+    var: str
+
+    def __str__(self) -> str:
+        return self.var
+
+
+Key = Union[KeyDim, KeySrc]
+
+
+# ---------------------------------------------------------------------------
+# iteration domains
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SrcNonzeros:
+    """∀ j1..jn over every nonzero of the source tensor."""
+
+    def __str__(self) -> str:
+        return "∀nz(B)"
+
+
+@dataclass(frozen=True)
+class SrcPrefix:
+    """∀ over the first ``nlevels`` levels of the source only.
+
+    Produced by *simplify-width-count*: the remaining levels' contribution
+    is summarized by a :class:`VWidth` value instead of being iterated.
+    """
+
+    nlevels: int
+
+    def __str__(self) -> str:
+        return f"∀lvl<{self.nlevels}(B)"
+
+
+@dataclass(frozen=True)
+class DenseSpace:
+    """∀ over the dense index space spanned by ``keys`` (a temporary's)."""
+
+    keys: Tuple[Key, ...]
+
+    def __str__(self) -> str:
+        return "∀dense(" + ",".join(str(k) for k in self.keys) + ")"
+
+
+Domain = Union[SrcNonzeros, SrcPrefix, DenseSpace]
+
+
+# ---------------------------------------------------------------------------
+# values
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class VConst:
+    """A constant contribution (``map(B, c)``)."""
+
+    value: int
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class VCoordMax:
+    """``i_dim - s + 1`` where ``s`` is the dimension's smallest coordinate
+    — the shifted value of the canonical ``max`` lowering, guaranteeing
+    positive contributions so zero-initialization is safe (Section 5.2)."""
+
+    dim: int
+
+    def __str__(self) -> str:
+        return f"i{self.dim + 1} - lo + 1"
+
+
+@dataclass(frozen=True)
+class VCoordMin:
+    """``-i_dim + t + 1`` where ``t`` is the dimension's largest coordinate
+    — the shifted/negated value of the canonical ``min`` lowering."""
+
+    dim: int
+
+    def __str__(self) -> str:
+        return f"hi - i{self.dim + 1} + 1"
+
+
+@dataclass(frozen=True)
+class VWidth:
+    """``scale`` × (number of stored paths below the current prefix
+    position) — the dynamically computed ``B'`` of simplify-width-count."""
+
+    scale: int = 1
+
+    def __str__(self) -> str:
+        return "width" if self.scale == 1 else f"width * {self.scale}"
+
+
+@dataclass(frozen=True)
+class VLoad:
+    """Read a temporary.  With ``bool_map`` the read is ``map(W, 1)``
+    (contributes 1 where W is nonzero); otherwise the raw value."""
+
+    temp: str
+    bool_map: bool = False
+
+    def __str__(self) -> str:
+        return f"map({self.temp}, 1)" if self.bool_map else self.temp
+
+
+Value = Union[VConst, VCoordMax, VCoordMin, VWidth, VLoad]
+
+
+# ---------------------------------------------------------------------------
+# statements
+# ---------------------------------------------------------------------------
+
+#: reduction operators of the canonical forms (Section 5.2):
+#: ``=`` assignment, ``+=`` sum, ``or=`` boolean OR (the paper's ``|=``),
+#: ``max=`` max-reduction.
+OPS = ("=", "+=", "or=", "max=")
+
+
+@dataclass(frozen=True)
+class CinStatement:
+    """``∀<domain>  result[keys] op= value``."""
+
+    result: str
+    keys: Tuple[Key, ...]
+    op: str
+    domain: Domain
+    value: Value
+
+    def __post_init__(self) -> None:
+        if self.op not in OPS:
+            raise ValueError(f"unknown reduction operator {self.op!r}")
+
+    def __str__(self) -> str:
+        keys = ",".join(str(k) for k in self.keys)
+        index = f"[{keys}]" if keys else ""
+        return f"{self.domain}  {self.result}{index} {self.op} {self.value}"

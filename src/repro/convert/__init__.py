@@ -1,0 +1,22 @@
+"""Conversion engine: planner, code generation, public API (Sections 3, 6)."""
+
+from .api import CompiledConversion, convert, generated_source, make_converter
+from .context import ConversionContext, PlanError, QueryResultHandle
+from .planner import ConversionPlanner, GeneratedConversion, PlanOptions
+from .verify import VerificationError, verify_all_pairs, verify_conversion
+
+__all__ = [
+    "CompiledConversion",
+    "ConversionContext",
+    "ConversionPlanner",
+    "GeneratedConversion",
+    "PlanError",
+    "PlanOptions",
+    "QueryResultHandle",
+    "VerificationError",
+    "verify_all_pairs",
+    "verify_conversion",
+    "convert",
+    "generated_source",
+    "make_converter",
+]

@@ -1,0 +1,111 @@
+"""Public conversion API: plan, compile, cache and run conversion routines.
+
+Typical use::
+
+    from repro import convert, formats
+    csr = convert(coo_tensor, formats.CSR)
+
+``make_converter`` returns the compiled routine itself (with its generated
+Python source on ``.source``) so callers can inspect the generated code or
+amortize lookups in benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Tuple
+
+import numpy as np
+
+from ..formats.format import Format
+from ..ir.runtime import compile_source
+from ..storage.tensor import Tensor
+from .planner import ConversionPlanner, GeneratedConversion, PlanOptions
+
+
+@dataclass
+class CompiledConversion:
+    """A ready-to-run conversion routine for a (source, target) format pair."""
+
+    generated: GeneratedConversion
+    func: Callable
+
+    @property
+    def source(self) -> str:
+        """The generated Python source code of the routine."""
+        return self.generated.source
+
+    @property
+    def src_format(self) -> Format:
+        return self.generated.src_format
+
+    @property
+    def dst_format(self) -> Format:
+        return self.generated.dst_format
+
+    # ------------------------------------------------------------------
+    def arguments(self, tensor: Tensor) -> List:
+        """Marshal a source tensor into the generated function's arguments."""
+        args = []
+        for side, k, name in self.generated.params:
+            if side == "src_array":
+                args.append(tensor.vals if k == -1 else tensor.array(k, name))
+            elif side == "src_meta":
+                args.append(tensor.meta(k, name))
+            else:  # dimension size
+                args.append(tensor.dims[k])
+        return args
+
+    def __call__(self, tensor: Tensor) -> Tensor:
+        """Convert ``tensor`` (must be in the source format)."""
+        if tensor.format.signature() != self.src_format.signature():
+            raise ValueError(
+                f"converter expects {self.src_format.name}, got {tensor.format.name}"
+            )
+        results = self.func(*self.arguments(tensor))
+        if not isinstance(results, tuple):
+            results = (results,)
+        arrays: Dict[Tuple[int, str], np.ndarray] = {}
+        meta: Dict[Tuple[int, str], int] = {}
+        vals = None
+        for (side, k, name), value in zip(self.generated.outputs, results):
+            if side == "dst_array" and k == -1:
+                vals = value
+            elif side == "dst_array":
+                arrays[(k, name)] = value
+            else:
+                meta[(k, name)] = int(value)
+        if vals is None:
+            raise RuntimeError("generated routine returned no values array")
+        return Tensor(self.dst_format, tensor.dims, arrays, meta, vals)
+
+
+_CACHE: Dict[Tuple, CompiledConversion] = {}
+
+
+def make_converter(
+    src_format: Format,
+    dst_format: Format,
+    options: PlanOptions = None,
+) -> CompiledConversion:
+    """Generate (or fetch from cache) the conversion routine for a format
+    pair.  Generated code is cached per structural format signature, so
+    e.g. every 4x4-blocked BCSR conversion shares one routine."""
+    options = options or PlanOptions()
+    key = (src_format.signature(), dst_format.signature(), options.key())
+    if key not in _CACHE:
+        generated = ConversionPlanner(src_format, dst_format, options).plan()
+        func = compile_source(generated.source, generated.func_name)
+        _CACHE[key] = CompiledConversion(generated, func)
+    return _CACHE[key]
+
+
+def convert(tensor: Tensor, dst_format: Format, options: PlanOptions = None) -> Tensor:
+    """Convert ``tensor`` to ``dst_format`` with a generated routine."""
+    return make_converter(tensor.format, dst_format, options)(tensor)
+
+
+def generated_source(src_format: Format, dst_format: Format) -> str:
+    """The Python source of the generated conversion routine (for docs,
+    examples and golden tests)."""
+    return make_converter(src_format, dst_format).source

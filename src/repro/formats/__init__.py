@@ -1,0 +1,24 @@
+"""Format descriptors and the built-in format library."""
+
+from .format import Format, FormatError, dim_size_vars, make_format
+from .library import (
+    BCSR,
+    BUILTIN_FORMATS,
+    COO,
+    COO3,
+    CSC,
+    CSF,
+    CSR,
+    DCSR,
+    DIA,
+    ELL,
+    HASH,
+    HICOO,
+    SKY,
+)
+
+__all__ = [
+    "BCSR", "BUILTIN_FORMATS", "COO", "COO3", "CSC", "CSF", "CSR", "DCSR", "DIA", "HASH",
+    "ELL", "Format", "FormatError", "HICOO", "SKY", "dim_size_vars",
+    "make_format",
+]

@@ -1,0 +1,183 @@
+"""The built-in format library.
+
+Defines the formats of the paper's evaluation (COO, CSR, CSC, DIA, ELL)
+plus BCSR, skyline (SKY), CSF for third-order tensors, and a HiCOO-style
+Morton-blocked COO — each as a composition of level formats and a
+coordinate remapping, exactly as Sections 4-6 specify them:
+
+========  =====================================  ===============================
+format    remapping                              levels
+========  =====================================  ===============================
+COO       ``(i,j) -> (i,j)``                     compressed(¬unique), singleton
+CSR       ``(i,j) -> (i,j)``                     dense, compressed
+CSC       ``(i,j) -> (j,i)``                     dense, compressed
+DIA       ``(i,j) -> (j-i,i,j)``                 squeezed, dense, offset
+ELL       ``(i,j) -> (#i,i,j)``                  sliced, dense, singleton
+BCSR      ``(i,j) -> (i/M,j/N,i%M,j%N)``         dense, compressed, dense, dense
+SKY       ``(i,j) -> (i,j)``                     dense, banded
+COO3/CSF  3rd-order COO / compressed fiber tree
+HICOO     Morton-blocked COO (block size B)
+========  =====================================  ===============================
+
+Functions (not constants) are exported for parameterized formats (BCSR
+block shape, HiCOO block size).
+"""
+
+from __future__ import annotations
+
+from ..levels.banded import BandedLevel
+from ..levels.compressed import CompressedLevel
+from ..levels.dense import DenseLevel
+from ..levels.hashed import HashedLevel
+from ..levels.offset import OffsetLevel
+from ..levels.singleton import SingletonLevel
+from ..levels.sliced import SlicedLevel
+from ..levels.squeezed import SqueezedLevel
+from .format import Format, make_format
+
+#: Coordinate format: list of nonzeros with full coordinates (Figure 2a).
+#: The paper evaluates unsorted COO, hence the ¬ordered level variants.
+COO = make_format(
+    "COO",
+    "(i,j) -> (i, j)",
+    [CompressedLevel(unique=False, ordered=False), SingletonLevel(ordered=False)],
+    inverse_text="(i,j) -> (i, j)",
+)
+
+#: Compressed sparse row (Figure 2b): rows dense, columns compressed.
+#: Columns within a row are not necessarily sorted (Section 7.2).
+CSR = make_format(
+    "CSR",
+    "(i,j) -> (i, j)",
+    [DenseLevel(), CompressedLevel(ordered=False)],
+    inverse_text="(i,j) -> (i, j)",
+)
+
+#: Compressed sparse column: CSR on the transposed coordinate order.
+CSC = make_format(
+    "CSC",
+    "(i,j) -> (j, i)",
+    [DenseLevel(), CompressedLevel(ordered=False)],
+    inverse_text="(j,i) -> (i, j)",
+)
+
+#: Diagonal format (Figure 2c): nonzeros grouped by diagonal offset
+#: ``k = j - i``; each stored diagonal holds a slot for every row.
+DIA = make_format(
+    "DIA",
+    "(i,j) -> (j-i, i, j)",
+    [SqueezedLevel(), DenseLevel(), OffsetLevel(1, 0)],
+    inverse_text="(k,i,j) -> (i, k+i)",
+)
+
+#: ELLPACK (Figure 2d): up to one nonzero per row per slice; K slices where
+#: K is the maximum row degree.  The slice index is the counter ``#i``.
+ELL = make_format(
+    "ELL",
+    "(i,j) -> (k=#i in k, i, j)",
+    [SlicedLevel(), DenseLevel(), SingletonLevel()],
+    inverse_text="(k,i,j) -> (i, j)",
+)
+
+#: Skyline (Figure 11 bottom): for each row, every column from the first
+#: nonzero through the diagonal.  Intended for lower-triangular data.
+SKY = make_format(
+    "SKY",
+    "(i,j) -> (i, j)",
+    [DenseLevel(), BandedLevel()],
+    inverse_text="(i,j) -> (i, j)",
+)
+
+
+def BCSR(block_rows: int = 4, block_cols: int = 4) -> Format:
+    """Block CSR with ``block_rows`` x ``block_cols`` dense blocks.
+
+    The remapping groups nonzeros by block (Section 4.1's
+    ``(i,j) -> (i/M,j/N,i,j)``, here with block-local inner coordinates so
+    the inner levels are plain dense levels).
+    """
+    return make_format(
+        f"BCSR{block_rows}x{block_cols}",
+        "(i,j) -> (i/M, j/N, i%M, j%N)",
+        [DenseLevel(), CompressedLevel(ordered=False), DenseLevel(), DenseLevel()],
+        inverse_text="(bi,bj,ii,jj) -> (bi*M+ii, bj*N+jj)",
+        params={"M": block_rows, "N": block_cols},
+    )
+
+
+#: Doubly compressed sparse row (Buluç & Gilbert [14]): the row dimension
+#: is compressed too, storing only nonempty rows — the hypersparse regime.
+#: Assembling it requires *staged* edge insertion (the column level's
+#: edges hang below explicitly stored row coordinates).
+DCSR = make_format(
+    "DCSR",
+    "(i,j) -> (i, j)",
+    # assembled outputs keep source order: grouped by row but not sorted,
+    # exactly like the paper's unsorted-CSR convention (Section 7.2)
+    [CompressedLevel(ordered=False), CompressedLevel(ordered=False)],
+    inverse_text="(i,j) -> (i, j)",
+)
+
+#: Hash format (DOK-like): dense rows, per-row open-addressing column
+#: tables.  Supports order-free random inserts; iteration is unordered.
+#: The hashed level is Chou et al.'s map level, here with the assembly
+#: facet (tables sized by the count attribute query).
+HASH = make_format(
+    "HASH",
+    "(i,j) -> (i, j)",
+    [DenseLevel(), HashedLevel()],
+    inverse_text="(i,j) -> (i, j)",
+)
+
+#: Third-order COO (list of (i,j,k) triples).
+COO3 = make_format(
+    "COO3",
+    "(i,j,k) -> (i, j, k)",
+    [
+        CompressedLevel(unique=False, ordered=False),
+        SingletonLevel(unique=False, ordered=False),
+        SingletonLevel(ordered=False),
+    ],
+    inverse_text="(i,j,k) -> (i, j, k)",
+)
+
+#: Compressed sparse fiber (CSF) for third-order tensors: compressed at
+#: every level (Smith & Karypis [50]).
+CSF = make_format(
+    "CSF",
+    "(i,j,k) -> (i, j, k)",
+    [DenseLevel(), CompressedLevel(ordered=False), CompressedLevel(ordered=False)],
+    inverse_text="(i,j,k) -> (i, j, k)",
+)
+
+
+def HICOO(block: int = 4) -> Format:
+    """HiCOO-style format: COO over Morton-ordered fixed-size blocks.
+
+    Nonzeros are grouped by ``block`` x ``block`` tiles; tiles are ordered
+    by the Morton (bit-interleaved) code of their coordinates (Section 4.1's
+    HiCOO example, restricted to matrices and one interleaving round per
+    level, which is exact for block grids up to 2**2 per axis and a faithful
+    approximation beyond).  Block-local coordinates are stored as
+    singletons like COO.
+    """
+    return make_format(
+        f"HICOO{block}",
+        "(i,j) -> (r=i/B in s=j/B in (r&1)|((s&1)<<1), i/B, j/B, i%B, j%B)",
+        [
+            CompressedLevel(unique=False, ordered=False),
+            SingletonLevel(unique=False, ordered=False),
+            SingletonLevel(unique=False, ordered=False),
+            SingletonLevel(unique=False, ordered=False),
+            SingletonLevel(ordered=False),
+        ],
+        inverse_text="(m,bi,bj,ii,jj) -> (bi*B+ii, bj*B+jj)",
+        params={"B": block},
+    )
+
+
+#: All parameter-free built-in formats, keyed by name.
+BUILTIN_FORMATS = {
+    fmt.name: fmt
+    for fmt in (COO, CSR, CSC, DIA, ELL, SKY, DCSR, HASH, COO3, CSF)
+}

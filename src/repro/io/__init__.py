@@ -1,0 +1,15 @@
+"""Tensor file IO (Matrix Market)."""
+
+from .matrixmarket import (
+    MatrixMarketError,
+    read_matrix_market,
+    read_tensor,
+    write_matrix_market,
+)
+
+__all__ = [
+    "MatrixMarketError",
+    "read_matrix_market",
+    "read_tensor",
+    "write_matrix_market",
+]

@@ -1,0 +1,78 @@
+"""Matrix Market (.mtx) coordinate-format reader and writer.
+
+The paper's evaluation inputs come from the SuiteSparse collection, which
+distributes Matrix Market files.  This module supports the coordinate
+subset sufficient for SuiteSparse matrices: real/integer/pattern values,
+general/symmetric/skew-symmetric storage.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+
+class MatrixMarketError(ValueError):
+    """Raised for malformed Matrix Market content."""
+
+
+def read_matrix_market(path) -> Tuple[Tuple[int, int], List[Tuple[int, int]], List[float]]:
+    """Read a coordinate Matrix Market file.
+
+    Returns ``(dims, coords, vals)`` with zero-based coordinates.
+    Symmetric and skew-symmetric storage is expanded to general form.
+    """
+    with open(path, "r") as handle:
+        header = handle.readline().strip().split()
+        if len(header) < 4 or header[0] != "%%MatrixMarket" or header[1] != "matrix":
+            raise MatrixMarketError(f"{path}: not a Matrix Market matrix file")
+        layout, field = header[2].lower(), header[3].lower()
+        symmetry = header[4].lower() if len(header) > 4 else "general"
+        if layout != "coordinate":
+            raise MatrixMarketError(f"{path}: only coordinate layout is supported")
+        if field not in ("real", "integer", "pattern"):
+            raise MatrixMarketError(f"{path}: unsupported field {field!r}")
+        if symmetry not in ("general", "symmetric", "skew-symmetric"):
+            raise MatrixMarketError(f"{path}: unsupported symmetry {symmetry!r}")
+
+        line = handle.readline()
+        while line.startswith("%"):
+            line = handle.readline()
+        try:
+            nrows, ncols, nnz = (int(tok) for tok in line.split())
+        except ValueError as exc:
+            raise MatrixMarketError(f"{path}: bad size line {line!r}") from exc
+
+        coords: List[Tuple[int, int]] = []
+        vals: List[float] = []
+        for _ in range(nnz):
+            tokens = handle.readline().split()
+            if len(tokens) < 2:
+                raise MatrixMarketError(f"{path}: truncated entry list")
+            i, j = int(tokens[0]) - 1, int(tokens[1]) - 1
+            value = 1.0 if field == "pattern" else float(tokens[2])
+            coords.append((i, j))
+            vals.append(value)
+            if symmetry != "general" and i != j:
+                coords.append((j, i))
+                vals.append(-value if symmetry == "skew-symmetric" else value)
+    return (nrows, ncols), coords, vals
+
+
+def write_matrix_market(path, dims, coords: Sequence[Tuple[int, int]], vals) -> None:
+    """Write a general real coordinate Matrix Market file (1-based)."""
+    with open(path, "w") as handle:
+        handle.write("%%MatrixMarket matrix coordinate real general\n")
+        handle.write(f"{dims[0]} {dims[1]} {len(coords)}\n")
+        for (i, j), value in zip(coords, vals):
+            handle.write(f"{i + 1} {j + 1} {value!r}\n")
+
+
+def read_tensor(path, format=None):
+    """Read a Matrix Market file directly into a tensor (default COO)."""
+    from ..formats.library import COO
+    from ..storage.build import reference_build
+
+    dims, coords, vals = read_matrix_market(path)
+    return reference_build(format or COO, dims, coords, vals)

@@ -1,0 +1,50 @@
+"""Imperative IR: nodes, builders, printer, simplifier and runtime.
+
+This package is the target language of every code generator in the library
+(coordinate remapping, attribute queries, assembly).  See
+:mod:`repro.ir.nodes` for the node vocabulary.
+"""
+
+from .nodes import (
+    Alloc,
+    Assign,
+    AugAssign,
+    AugStore,
+    BinOp,
+    Block,
+    Call,
+    Comment,
+    Const,
+    Expr,
+    ExprStmt,
+    For,
+    FuncDef,
+    If,
+    Load,
+    Node,
+    Pass,
+    Return,
+    Stmt,
+    Store,
+    Ternary,
+    UnOp,
+    Var,
+    While,
+    expr_children,
+    free_vars,
+    map_expr,
+    substitute,
+)
+from .printer import print_expr, print_func, print_stmt
+from .runtime import compile_source, prefix_sum
+from .simplify import simplify_expr, simplify_stmt
+from . import builder
+
+__all__ = [
+    "Alloc", "Assign", "AugAssign", "AugStore", "BinOp", "Block", "Call",
+    "Comment", "Const", "Expr", "ExprStmt", "For", "FuncDef", "If", "Load",
+    "Node", "Pass", "Return", "Stmt", "Store", "Ternary", "UnOp", "Var",
+    "While", "expr_children", "free_vars", "map_expr", "substitute",
+    "print_expr", "print_func", "print_stmt", "compile_source", "prefix_sum",
+    "simplify_expr", "simplify_stmt", "builder",
+]

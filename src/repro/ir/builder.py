@@ -1,0 +1,180 @@
+"""Convenience constructors for building IR trees.
+
+These helpers keep code-generation sites terse and readable: ``add(x, 1)``
+instead of ``BinOp("+", x, Const(1))``.  All helpers accept plain Python
+ints/floats/bools/strings and coerce them to :class:`~repro.ir.nodes.Const`
+or :class:`~repro.ir.nodes.Var` as appropriate.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, Union
+
+from .nodes import (
+    Assign,
+    AugAssign,
+    AugStore,
+    BinOp,
+    Block,
+    Call,
+    Const,
+    Expr,
+    Load,
+    Stmt,
+    Ternary,
+    UnOp,
+    Var,
+)
+
+ExprLike = Union[Expr, int, float, bool, str]
+
+
+def to_expr(value: ExprLike) -> Expr:
+    """Coerce a Python value to an IR expression.
+
+    Strings become :class:`Var` references; numbers and bools become
+    :class:`Const`.  Existing expressions pass through unchanged.
+    """
+    if isinstance(value, Expr):
+        return value
+    if isinstance(value, str):
+        return Var(value)
+    if isinstance(value, bool) or isinstance(value, (int, float)):
+        return Const(value)
+    raise TypeError(f"cannot convert {value!r} to an IR expression")
+
+
+def var(name: str) -> Var:
+    """Create a variable reference."""
+    return Var(name)
+
+
+def const(value) -> Const:
+    """Create a literal constant."""
+    return Const(value)
+
+
+def _bin(op: str):
+    def make(lhs: ExprLike, rhs: ExprLike) -> BinOp:
+        return BinOp(op, to_expr(lhs), to_expr(rhs))
+
+    make.__name__ = f"binop_{op}"
+    return make
+
+
+add = _bin("+")
+sub = _bin("-")
+mul = _bin("*")
+floordiv = _bin("//")
+mod = _bin("%")
+shl = _bin("<<")
+shr = _bin(">>")
+bitand = _bin("&")
+bitor = _bin("|")
+bitxor = _bin("^")
+lt = _bin("<")
+le = _bin("<=")
+gt = _bin(">")
+ge = _bin(">=")
+eq = _bin("==")
+ne = _bin("!=")
+logical_and = _bin("and")
+logical_or = _bin("or")
+
+
+def neg(operand: ExprLike) -> UnOp:
+    """Arithmetic negation ``-operand``."""
+    return UnOp("-", to_expr(operand))
+
+
+def logical_not(operand: ExprLike) -> UnOp:
+    """Boolean negation ``not operand``."""
+    return UnOp("not", to_expr(operand))
+
+
+def load(array: ExprLike, index: ExprLike) -> Load:
+    """Array element read ``array[index]``."""
+    return Load(to_expr(array), to_expr(index))
+
+
+def call(func: str, *args: ExprLike) -> Call:
+    """Call a named function with the given arguments."""
+    return Call(func, tuple(to_expr(a) for a in args))
+
+
+def minimum(lhs: ExprLike, rhs: ExprLike) -> Call:
+    """``min(lhs, rhs)``."""
+    return call("min", lhs, rhs)
+
+
+def maximum(lhs: ExprLike, rhs: ExprLike) -> Call:
+    """``max(lhs, rhs)``."""
+    return call("max", lhs, rhs)
+
+
+def ternary(cond: ExprLike, if_true: ExprLike, if_false: ExprLike) -> Ternary:
+    """Conditional expression."""
+    return Ternary(to_expr(cond), to_expr(if_true), to_expr(if_false))
+
+
+def assign(target: Union[Var, str], value: ExprLike) -> Assign:
+    """Scalar assignment statement."""
+    tgt = target if isinstance(target, Var) else Var(target)
+    return Assign(tgt, to_expr(value))
+
+
+def aug_assign(target: Union[Var, str], op: str, value: ExprLike) -> AugAssign:
+    """Compound scalar assignment ``target op= value``."""
+    tgt = target if isinstance(target, Var) else Var(target)
+    return AugAssign(tgt, op, to_expr(value))
+
+
+def store(array: ExprLike, index: ExprLike, value: ExprLike):
+    """Array store statement ``array[index] = value``."""
+    from .nodes import Store
+
+    return Store(to_expr(array), to_expr(index), to_expr(value))
+
+
+def aug_store(array: ExprLike, index: ExprLike, op: str, value: ExprLike) -> AugStore:
+    """Compound array update ``array[index] op= value`` (op may be max/min/or)."""
+    return AugStore(to_expr(array), to_expr(index), op, to_expr(value))
+
+
+def block(stmts: Iterable[Stmt]) -> Block:
+    """Build a block, flattening nested blocks and dropping no-ops."""
+    from .nodes import Pass
+
+    flat = []
+    for stmt in stmts:
+        if isinstance(stmt, Block):
+            flat.extend(block(stmt.stmts).stmts)
+        elif isinstance(stmt, Pass):
+            continue
+        elif stmt is not None:
+            flat.append(stmt)
+    return Block(tuple(flat))
+
+
+class NameGenerator:
+    """Produces fresh, deterministic variable names for generated code.
+
+    Names are of the form ``prefix`` for the first request and
+    ``prefix_2``, ``prefix_3``, ... afterwards, so simple generated code
+    stays close to the paper's examples (``i``, ``pA2``, ``k``...).
+    """
+
+    def __init__(self) -> None:
+        self._counts: dict = {}
+
+    def fresh(self, prefix: str) -> str:
+        """Return a name that has not been handed out before."""
+        count = self._counts.get(prefix, 0) + 1
+        self._counts[prefix] = count
+        return prefix if count == 1 else f"{prefix}_{count}"
+
+    def reserve(self, name: str) -> str:
+        """Mark ``name`` as taken (e.g. a function parameter) and return it."""
+        self._counts[name] = max(self._counts.get(name, 0), 1)
+        return name

@@ -1,0 +1,345 @@
+"""Imperative intermediate representation (IR) for generated conversion code.
+
+The conversion code generator (``repro.convert``), the attribute query
+compiler (``repro.cin``) and the coordinate remapping lowerer
+(``repro.remap``) all produce trees of the node classes defined here.  The
+tree is then printed to Python source by :mod:`repro.ir.printer` and compiled
+to a callable by :mod:`repro.ir.runtime`.
+
+The IR deliberately mirrors the subset of C that the paper's prototype emits
+(Figure 6): scalar assignments, array loads/stores, ``for``/``while`` loops,
+conditionals, one-shot array allocations, and calls to a small runtime
+(e.g. ``prefix_sum``).  Every node is an immutable dataclass so trees can be
+shared and rewritten functionally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple, Union
+
+
+class Node:
+    """Base class of all IR nodes (expressions and statements)."""
+
+    __slots__ = ()
+
+
+class Expr(Node):
+    """Base class of IR expressions."""
+
+    __slots__ = ()
+
+
+class Stmt(Node):
+    """Base class of IR statements."""
+
+    __slots__ = ()
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Var(Expr):
+    """A scalar (or array-valued) variable reference by name."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Const(Expr):
+    """A literal constant (int, float or bool)."""
+
+    value: Union[int, float, bool]
+
+    def __str__(self) -> str:
+        return repr(self.value)
+
+
+#: Binary operators understood by the printer, in Python spelling.
+BINARY_OPS = (
+    "+", "-", "*", "//", "/", "%", "<<", ">>", "&", "|", "^",
+    "<", "<=", ">", ">=", "==", "!=", "and", "or",
+)
+
+
+@dataclass(frozen=True)
+class BinOp(Expr):
+    """A binary operation ``lhs op rhs``.
+
+    Integer division uses Python's ``//`` (the remap language's ``/`` maps to
+    it, matching C integer division on the non-negative coordinates the
+    paper manipulates).
+    """
+
+    op: str
+    lhs: Expr
+    rhs: Expr
+
+    def __post_init__(self) -> None:
+        if self.op not in BINARY_OPS:
+            raise ValueError(f"unknown binary operator {self.op!r}")
+
+
+@dataclass(frozen=True)
+class UnOp(Expr):
+    """A unary operation; ``op`` is one of ``-``, ``not``, ``~``."""
+
+    op: str
+    operand: Expr
+
+    def __post_init__(self) -> None:
+        if self.op not in ("-", "not", "~"):
+            raise ValueError(f"unknown unary operator {self.op!r}")
+
+
+@dataclass(frozen=True)
+class Load(Expr):
+    """An array element read ``array[index]``."""
+
+    array: Expr
+    index: Expr
+
+
+@dataclass(frozen=True)
+class Call(Expr):
+    """A call to a named function (``min``, ``max``, runtime helpers...)."""
+
+    func: str
+    args: Tuple[Expr, ...]
+
+
+@dataclass(frozen=True)
+class Ternary(Expr):
+    """A conditional expression ``if_true if cond else if_false``."""
+
+    cond: Expr
+    if_true: Expr
+    if_false: Expr
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Block(Stmt):
+    """A sequence of statements."""
+
+    stmts: Tuple[Stmt, ...]
+
+    def __init__(self, stmts=()):  # accept any iterable for convenience
+        object.__setattr__(self, "stmts", tuple(stmts))
+
+
+@dataclass(frozen=True)
+class Assign(Stmt):
+    """A scalar assignment ``target = value``."""
+
+    target: Var
+    value: Expr
+
+
+@dataclass(frozen=True)
+class AugAssign(Stmt):
+    """A compound scalar assignment ``target op= value``."""
+
+    target: Var
+    op: str
+    value: Expr
+
+
+@dataclass(frozen=True)
+class Store(Stmt):
+    """An array element write ``array[index] = value``."""
+
+    array: Expr
+    index: Expr
+    value: Expr
+
+
+@dataclass(frozen=True)
+class AugStore(Stmt):
+    """A compound array element update ``array[index] op= value``.
+
+    ``op`` may be any arithmetic operator, or the pseudo-operators ``max``
+    and ``min`` which the printer expands to
+    ``array[index] = max(array[index], value)`` — these implement the
+    ``max=`` / ``min=`` reductions of concrete index notation (Section 5.2),
+    and ``or`` which expands the boolean OR reduction ``|=`` of the paper.
+    """
+
+    array: Expr
+    index: Expr
+    op: str
+    value: Expr
+
+
+@dataclass(frozen=True)
+class For(Stmt):
+    """A counted loop ``for var in range(lo, hi):``."""
+
+    var: Var
+    lo: Expr
+    hi: Expr
+    body: Stmt
+
+
+@dataclass(frozen=True)
+class While(Stmt):
+    """A ``while cond:`` loop."""
+
+    cond: Expr
+    body: Stmt
+
+
+@dataclass(frozen=True)
+class If(Stmt):
+    """A conditional statement with optional else branch."""
+
+    cond: Expr
+    then: Stmt
+    orelse: Optional[Stmt] = None
+
+
+@dataclass(frozen=True)
+class Alloc(Stmt):
+    """An array allocation ``target = zeros/empty(size, dtype)``.
+
+    ``init`` is ``"zeros"`` (the paper's ``calloc``) or ``"empty"`` (the
+    paper's ``malloc``).  ``dtype`` is a numpy dtype name (``"int64"``,
+    ``"float64"``, ``"bool"``).
+    """
+
+    target: Var
+    size: Expr
+    dtype: str = "int64"
+    init: str = "zeros"
+
+    def __post_init__(self) -> None:
+        if self.init not in ("zeros", "empty"):
+            raise ValueError(f"unknown init kind {self.init!r}")
+
+
+@dataclass(frozen=True)
+class Comment(Stmt):
+    """A source comment, used to label the three conversion phases."""
+
+    text: str
+
+
+@dataclass(frozen=True)
+class Pass(Stmt):
+    """A no-op statement."""
+
+
+@dataclass(frozen=True)
+class ExprStmt(Stmt):
+    """An expression evaluated for effect (e.g. a runtime call)."""
+
+    expr: Expr
+
+
+@dataclass(frozen=True)
+class Return(Stmt):
+    """A ``return`` of one expression or a tuple of expressions."""
+
+    values: Tuple[Expr, ...]
+
+    def __init__(self, values=()):
+        object.__setattr__(self, "values", tuple(values))
+
+
+@dataclass(frozen=True)
+class FuncDef(Node):
+    """A generated function definition.
+
+    ``params`` are positional parameter names; ``docstring`` (if given) is
+    emitted verbatim as the function's docstring.
+    """
+
+    name: str
+    params: Tuple[str, ...]
+    body: Block
+    docstring: Optional[str] = None
+
+
+# ---------------------------------------------------------------------------
+# Generic traversal helpers
+# ---------------------------------------------------------------------------
+
+
+def expr_children(expr: Expr) -> Tuple[Expr, ...]:
+    """Return the direct sub-expressions of ``expr``."""
+    if isinstance(expr, (Var, Const)):
+        return ()
+    if isinstance(expr, BinOp):
+        return (expr.lhs, expr.rhs)
+    if isinstance(expr, UnOp):
+        return (expr.operand,)
+    if isinstance(expr, Load):
+        return (expr.array, expr.index)
+    if isinstance(expr, Call):
+        return expr.args
+    if isinstance(expr, Ternary):
+        return (expr.cond, expr.if_true, expr.if_false)
+    raise TypeError(f"not an expression: {expr!r}")
+
+
+def map_expr(expr: Expr, fn) -> Expr:
+    """Rebuild ``expr`` bottom-up, applying ``fn`` to every node.
+
+    ``fn`` receives a node whose children have already been rewritten and
+    returns its replacement.  This is the workhorse used by the simplifier
+    and by coordinate-variable substitution in :mod:`repro.remap`.
+    """
+    if isinstance(expr, (Var, Const)):
+        return fn(expr)
+    if isinstance(expr, BinOp):
+        return fn(BinOp(expr.op, map_expr(expr.lhs, fn), map_expr(expr.rhs, fn)))
+    if isinstance(expr, UnOp):
+        return fn(UnOp(expr.op, map_expr(expr.operand, fn)))
+    if isinstance(expr, Load):
+        return fn(Load(map_expr(expr.array, fn), map_expr(expr.index, fn)))
+    if isinstance(expr, Call):
+        return fn(Call(expr.func, tuple(map_expr(a, fn) for a in expr.args)))
+    if isinstance(expr, Ternary):
+        return fn(
+            Ternary(
+                map_expr(expr.cond, fn),
+                map_expr(expr.if_true, fn),
+                map_expr(expr.if_false, fn),
+            )
+        )
+    raise TypeError(f"not an expression: {expr!r}")
+
+
+def free_vars(expr: Expr) -> set:
+    """Return the set of variable names referenced by ``expr``."""
+    if isinstance(expr, Var):
+        return {expr.name}
+    out: set = set()
+    for child in expr_children(expr):
+        out |= free_vars(child)
+    return out
+
+
+def substitute(expr: Expr, mapping) -> Expr:
+    """Replace every ``Var`` whose name appears in ``mapping`` by its image.
+
+    ``mapping`` maps variable names to replacement expressions.
+    """
+
+    def repl(node: Expr) -> Expr:
+        if isinstance(node, Var) and node.name in mapping:
+            return mapping[node.name]
+        return node
+
+    return map_expr(expr, repl)

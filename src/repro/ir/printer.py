@@ -1,0 +1,221 @@
+"""Printing IR trees to Python source code.
+
+The printer produces readable, PEP 8-ish Python: minimal parentheses via a
+precedence table, four-space indentation and ``#`` comments that label the
+conversion phases exactly as the colored regions in Figure 6 of the paper.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .nodes import (
+    Alloc,
+    Assign,
+    AugAssign,
+    AugStore,
+    BinOp,
+    Block,
+    Call,
+    Comment,
+    Const,
+    Expr,
+    ExprStmt,
+    For,
+    FuncDef,
+    If,
+    Load,
+    Pass,
+    Return,
+    Stmt,
+    Store,
+    Ternary,
+    UnOp,
+    Var,
+    While,
+)
+
+# Python operator precedence (higher binds tighter).
+_PRECEDENCE = {
+    "or": 1,
+    "and": 2,
+    "not": 3,
+    "<": 5, "<=": 5, ">": 5, ">=": 5, "==": 5, "!=": 5,
+    "|": 6,
+    "^": 7,
+    "&": 8,
+    "<<": 9, ">>": 9,
+    "+": 10, "-": 10,
+    "*": 11, "/": 11, "//": 11, "%": 11,
+    "unary": 12,
+    "atom": 20,
+}
+
+# Operators where ``a op (b op c)`` differs from ``(a op b) op c``; the right
+# operand must be parenthesized when it has the same precedence.
+_NON_ASSOC_RIGHT = {"-", "/", "//", "%", "<<", ">>"}
+
+
+def _prec(expr: Expr) -> int:
+    if isinstance(expr, BinOp):
+        return _PRECEDENCE[expr.op]
+    if isinstance(expr, UnOp):
+        return _PRECEDENCE["not"] if expr.op == "not" else _PRECEDENCE["unary"]
+    if isinstance(expr, Ternary):
+        return 0
+    return _PRECEDENCE["atom"]
+
+
+def print_expr(expr: Expr) -> str:
+    """Render an expression to Python source."""
+    if isinstance(expr, Var):
+        return expr.name
+    if isinstance(expr, Const):
+        if isinstance(expr.value, bool):
+            return "True" if expr.value else "False"
+        return repr(expr.value)
+    if isinstance(expr, BinOp):
+        me = _PRECEDENCE[expr.op]
+        lhs = print_expr(expr.lhs)
+        if _prec(expr.lhs) < me:
+            lhs = f"({lhs})"
+        rhs = print_expr(expr.rhs)
+        rhs_prec = _prec(expr.rhs)
+        if rhs_prec < me or (rhs_prec == me and expr.op in _NON_ASSOC_RIGHT):
+            rhs = f"({rhs})"
+        # Nested comparisons would chain in Python (a < b < c); force parens.
+        if expr.op in ("<", "<=", ">", ">=", "==", "!="):
+            if isinstance(expr.lhs, BinOp) and _prec(expr.lhs) == me:
+                lhs = f"({lhs})"
+            if isinstance(expr.rhs, BinOp) and _prec(expr.rhs) == me:
+                rhs = f"({rhs})"
+        return f"{lhs} {expr.op} {rhs}"
+    if isinstance(expr, UnOp):
+        operand = print_expr(expr.operand)
+        if _prec(expr.operand) < _prec(expr):
+            operand = f"({operand})"
+        if expr.op == "not":
+            return f"not {operand}"
+        return f"{expr.op}{operand}"
+    if isinstance(expr, Load):
+        array = print_expr(expr.array)
+        if _prec(expr.array) < _PRECEDENCE["atom"]:
+            array = f"({array})"
+        return f"{array}[{print_expr(expr.index)}]"
+    if isinstance(expr, Call):
+        args = ", ".join(print_expr(a) for a in expr.args)
+        return f"{expr.func}({args})"
+    if isinstance(expr, Ternary):
+        return (
+            f"({print_expr(expr.if_true)} if {print_expr(expr.cond)}"
+            f" else {print_expr(expr.if_false)})"
+        )
+    raise TypeError(f"cannot print {expr!r}")
+
+
+_DTYPE_ALLOC = {
+    "zeros": "np.zeros",
+    "empty": "np.empty",
+}
+
+
+class _Printer:
+    def __init__(self) -> None:
+        self.lines: List[str] = []
+        self.indent = 0
+
+    def emit(self, text: str) -> None:
+        self.lines.append("    " * self.indent + text)
+
+    def stmt(self, node: Stmt) -> None:
+        if isinstance(node, Block):
+            if not node.stmts:
+                self.emit("pass")
+                return
+            for child in node.stmts:
+                self.stmt(child)
+        elif isinstance(node, Comment):
+            for line in node.text.splitlines():
+                self.emit(f"# {line}")
+        elif isinstance(node, Pass):
+            self.emit("pass")
+        elif isinstance(node, Assign):
+            self.emit(f"{node.target.name} = {print_expr(node.value)}")
+        elif isinstance(node, AugAssign):
+            if node.op in ("max", "min"):
+                self.emit(
+                    f"{node.target.name} = {node.op}"
+                    f"({node.target.name}, {print_expr(node.value)})"
+                )
+            else:
+                self.emit(f"{node.target.name} {node.op}= {print_expr(node.value)}")
+        elif isinstance(node, Store):
+            self.emit(
+                f"{print_expr(node.array)}[{print_expr(node.index)}]"
+                f" = {print_expr(node.value)}"
+            )
+        elif isinstance(node, AugStore):
+            target = f"{print_expr(node.array)}[{print_expr(node.index)}]"
+            if node.op in ("max", "min"):
+                self.emit(f"{target} = {node.op}({target}, {print_expr(node.value)})")
+            elif node.op == "or":
+                self.emit(f"{target} = {target} or {print_expr(node.value)}")
+            else:
+                self.emit(f"{target} {node.op}= {print_expr(node.value)}")
+        elif isinstance(node, For):
+            lo, hi = print_expr(node.lo), print_expr(node.hi)
+            rng = f"range({hi})" if lo == "0" else f"range({lo}, {hi})"
+            self.emit(f"for {node.var.name} in {rng}:")
+            self.indent += 1
+            self.stmt(node.body)
+            self.indent -= 1
+        elif isinstance(node, While):
+            self.emit(f"while {print_expr(node.cond)}:")
+            self.indent += 1
+            self.stmt(node.body)
+            self.indent -= 1
+        elif isinstance(node, If):
+            self.emit(f"if {print_expr(node.cond)}:")
+            self.indent += 1
+            self.stmt(node.then)
+            self.indent -= 1
+            if node.orelse is not None:
+                self.emit("else:")
+                self.indent += 1
+                self.stmt(node.orelse)
+                self.indent -= 1
+        elif isinstance(node, Alloc):
+            fn = _DTYPE_ALLOC[node.init]
+            self.emit(
+                f"{node.target.name} = {fn}({print_expr(node.size)},"
+                f" dtype=np.{node.dtype})"
+            )
+        elif isinstance(node, ExprStmt):
+            self.emit(print_expr(node.expr))
+        elif isinstance(node, Return):
+            if not node.values:
+                self.emit("return")
+            else:
+                self.emit("return " + ", ".join(print_expr(v) for v in node.values))
+        else:
+            raise TypeError(f"cannot print {node!r}")
+
+
+def print_stmt(node: Stmt) -> str:
+    """Render a statement (or block) to Python source."""
+    printer = _Printer()
+    printer.stmt(node)
+    return "\n".join(printer.lines)
+
+
+def print_func(func: FuncDef) -> str:
+    """Render a function definition to Python source."""
+    printer = _Printer()
+    printer.emit(f"def {func.name}({', '.join(func.params)}):")
+    printer.indent += 1
+    if func.docstring:
+        doc = func.docstring.replace('"""', r"\"\"\"")
+        printer.emit(f'"""{doc}"""')
+    printer.stmt(func.body)
+    printer.indent -= 1
+    return "\n".join(printer.lines)

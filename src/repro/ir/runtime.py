@@ -1,0 +1,85 @@
+"""Runtime support for generated conversion code.
+
+Generated routines are plain Python functions over numpy arrays.  They may
+call the small set of helpers defined here (the paper's generated C likewise
+calls a tiny runtime, e.g. ``prefix_sum`` in Figure 11).  ``compile_source``
+turns printed IR into a callable with the helpers in scope.
+"""
+
+from __future__ import annotations
+
+import linecache
+import itertools
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+
+def prefix_sum(array: np.ndarray, n: int) -> None:
+    """In-place exclusive-to-inclusive prefix sum over ``array[:n]``.
+
+    On entry ``array[0] == 0`` and ``array[k]`` for ``1 <= k < n`` holds the
+    number of entries allocated to position ``k - 1``; on exit ``array[k]``
+    is the offset of position ``k``'s segment.  This is the finalize step of
+    unsequenced edge insertion (Figure 11, ``unseq_finalize_edges``).
+    """
+    np.cumsum(array[:n], out=array[:n])
+
+
+def trim(array: np.ndarray, n: int) -> np.ndarray:
+    """Shrink an over-allocated array to its used prefix (e.g. DIA's perm,
+    allocated for every possible diagonal but holding only K entries)."""
+    return array[:n]
+
+
+def fill(array: np.ndarray, value) -> None:
+    """Fill an array with a constant (the -1 init of dedup lookup tables)."""
+    array.fill(value)
+
+
+def next_pow2(n: int) -> int:
+    """Smallest power of two >= max(n, 2) (hash table widths)."""
+    width = 2
+    while width < n:
+        width *= 2
+    return width
+
+
+_counter = itertools.count()
+
+
+def compile_source(
+    source: str,
+    func_name: str,
+    extra_globals: Optional[Dict[str, object]] = None,
+) -> Callable:
+    """Compile generated Python ``source`` and return the named function.
+
+    The source is registered with :mod:`linecache` under a synthetic file
+    name so tracebacks raised from generated code show the generated lines.
+    The returned callable carries the source on a ``__source__`` attribute,
+    which the examples print to show the generated routines.
+    """
+    filename = f"<repro-generated-{next(_counter)}>"
+    namespace: Dict[str, object] = {
+        "np": np,
+        "prefix_sum": prefix_sum,
+        "min": min,
+        "max": max,
+        "trim": trim,
+        "fill": fill,
+        "next_pow2": next_pow2,
+    }
+    if extra_globals:
+        namespace.update(extra_globals)
+    linecache.cache[filename] = (
+        len(source),
+        None,
+        [line + "\n" for line in source.splitlines()],
+        filename,
+    )
+    code = compile(source, filename, "exec")
+    exec(code, namespace)
+    func = namespace[func_name]
+    func.__source__ = source  # type: ignore[attr-defined]
+    return func

@@ -1,0 +1,309 @@
+"""Algebraic simplification and constant folding for the imperative IR.
+
+The code generator composes IR fragments mechanically (inlining level
+functions, remapping expressions, query aggregations), which leaves obvious
+redundancies like ``p0 * N + i`` with ``p0 == 0`` or ``k + 0``.  The passes
+here clean those up so the emitted Python matches the hand-written style of
+the paper's Figure 6.  All rewrites are semantics-preserving for the integer
+arithmetic used by conversion code (non-negative coordinates/positions).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .nodes import (
+    Alloc,
+    Assign,
+    AugAssign,
+    AugStore,
+    BinOp,
+    Block,
+    Call,
+    Comment,
+    Const,
+    Expr,
+    ExprStmt,
+    For,
+    If,
+    Load,
+    Pass,
+    Return,
+    Stmt,
+    Store,
+    Ternary,
+    UnOp,
+    Var,
+    While,
+    map_expr,
+)
+
+_FOLDABLE = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "//": lambda a, b: a // b if b != 0 else None,
+    "%": lambda a, b: a % b if b != 0 else None,
+    "<<": lambda a, b: a << b,
+    ">>": lambda a, b: a >> b,
+    "&": lambda a, b: a & b,
+    "|": lambda a, b: a | b,
+    "^": lambda a, b: a ^ b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+    "==": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+}
+
+
+def _is_const(expr: Expr, value=None) -> bool:
+    if not isinstance(expr, Const):
+        return False
+    return value is None or expr.value == value
+
+
+def _flatten_sum(expr: Expr, sign: int, terms: dict, const_acc: list) -> bool:
+    """Collect ``expr`` into a linear combination; False if not int-linear."""
+    if isinstance(expr, Const):
+        if not isinstance(expr.value, int) or isinstance(expr.value, bool):
+            return False
+        const_acc[0] += sign * expr.value
+        return True
+    if isinstance(expr, BinOp) and expr.op == "+":
+        return _flatten_sum(expr.lhs, sign, terms, const_acc) and _flatten_sum(
+            expr.rhs, sign, terms, const_acc
+        )
+    if isinstance(expr, BinOp) and expr.op == "-":
+        return _flatten_sum(expr.lhs, sign, terms, const_acc) and _flatten_sum(
+            expr.rhs, -sign, terms, const_acc
+        )
+    if isinstance(expr, UnOp) and expr.op == "-":
+        return _flatten_sum(expr.operand, -sign, terms, const_acc)
+    if isinstance(expr, BinOp) and expr.op == "*":
+        if _is_const(expr.lhs) and isinstance(expr.lhs.value, int):
+            terms[expr.rhs] = terms.get(expr.rhs, 0) + sign * expr.lhs.value
+            return True
+        if _is_const(expr.rhs) and isinstance(expr.rhs.value, int):
+            terms[expr.lhs] = terms.get(expr.lhs, 0) + sign * expr.rhs.value
+            return True
+    terms[expr] = terms.get(expr, 0) + sign
+    return True
+
+
+def _rebuild_sum(terms: dict, constant: int) -> Expr:
+    result: Optional[Expr] = None
+    for term, coeff in terms.items():
+        if coeff == 0:
+            continue
+        magnitude = term if abs(coeff) == 1 else BinOp("*", Const(abs(coeff)), term)
+        if result is None:
+            result = magnitude if coeff > 0 else UnOp("-", magnitude)
+        else:
+            result = BinOp("+" if coeff > 0 else "-", result, magnitude)
+    if result is None:
+        return Const(constant)
+    if constant > 0:
+        return BinOp("+", result, Const(constant))
+    if constant < 0:
+        return BinOp("-", result, Const(-constant))
+    return result
+
+
+def _normalize_sum(node: Expr) -> Expr:
+    """Combine like terms in +/- chains (``N - 1 + 1`` -> ``N``)."""
+    terms: dict = {}
+    const_acc = [0]
+    if not _flatten_sum(node, 1, terms, const_acc):
+        return node
+    return _rebuild_sum(terms, const_acc[0])
+
+
+def _fold(node: Expr) -> Expr:
+    """Single-node simplification; children are already simplified."""
+    if isinstance(node, BinOp):
+        lhs, rhs, op = node.lhs, node.rhs, node.op
+        if isinstance(lhs, Const) and isinstance(rhs, Const) and op in _FOLDABLE:
+            try:
+                folded = _FOLDABLE[op](lhs.value, rhs.value)
+            except TypeError:
+                folded = None
+            if folded is not None:
+                return Const(folded)
+        if op == "+":
+            if _is_const(lhs, 0):
+                return rhs
+            if _is_const(rhs, 0):
+                return lhs
+        elif op == "-":
+            if _is_const(rhs, 0):
+                return lhs
+            if _is_const(lhs, 0):
+                return UnOp("-", rhs)
+            if lhs == rhs:
+                return Const(0)
+        elif op == "*":
+            if _is_const(lhs, 0) or _is_const(rhs, 0):
+                return Const(0)
+            if _is_const(lhs, 1):
+                return rhs
+            if _is_const(rhs, 1):
+                return lhs
+        elif op == "//":
+            if _is_const(rhs, 1):
+                return lhs
+            if _is_const(lhs, 0):
+                return Const(0)
+        elif op == "%":
+            if _is_const(rhs, 1):
+                return Const(0)
+        elif op in ("<<", ">>"):
+            if _is_const(rhs, 0):
+                return lhs
+            if _is_const(lhs, 0):
+                return Const(0)
+        elif op == "&":
+            if _is_const(lhs, 0) or _is_const(rhs, 0):
+                return Const(0)
+        elif op in ("|", "^"):
+            if _is_const(lhs, 0):
+                return rhs
+            if _is_const(rhs, 0):
+                return lhs
+        elif op == "and":
+            if _is_const(lhs, True):
+                return rhs
+            if _is_const(lhs, False):
+                return Const(False)
+        elif op == "or":
+            if _is_const(lhs, False):
+                return rhs
+            if _is_const(lhs, True):
+                return Const(True)
+        return node
+    if isinstance(node, UnOp):
+        if isinstance(node.operand, Const):
+            value = node.operand.value
+            if node.op == "-":
+                return Const(-value)
+            if node.op == "not":
+                return Const(not value)
+            if node.op == "~":
+                return Const(~value)
+        if node.op == "-" and isinstance(node.operand, UnOp) and node.operand.op == "-":
+            return node.operand.operand
+        return node
+    if isinstance(node, Call):
+        if node.func in ("min", "max") and len(node.args) == 2:
+            a, b = node.args
+            if isinstance(a, Const) and isinstance(b, Const):
+                return Const(min(a.value, b.value) if node.func == "min" else max(a.value, b.value))
+            if a == b:
+                return a
+        return node
+    if isinstance(node, Ternary):
+        if isinstance(node.cond, Const):
+            return node.if_true if node.cond.value else node.if_false
+        if node.if_true == node.if_false:
+            return node.if_true
+        return node
+    return node
+
+
+def _fold_and_normalize(node: Expr) -> Expr:
+    node = _fold(node)
+    if isinstance(node, (BinOp, UnOp)) and getattr(node, "op", None) in ("+", "-"):
+        normalized = _normalize_sum(node)
+        # Only accept the normalized form if it actually shrank the tree,
+        # so printing stays close to what the author wrote.
+        if _size(normalized) < _size(node):
+            return normalized
+    return node
+
+
+def _size(expr: Expr) -> int:
+    from .nodes import expr_children
+
+    return 1 + sum(_size(c) for c in expr_children(expr))
+
+
+def simplify_expr(expr: Expr) -> Expr:
+    """Simplify an expression bottom-up until a fixed point is reached."""
+    prev = None
+    current = expr
+    for _ in range(20):  # fixed point in practice after 2-3 rounds
+        if current == prev:
+            break
+        prev = current
+        current = map_expr(current, _fold_and_normalize)
+    return current
+
+
+def simplify_stmt(stmt: Stmt) -> Stmt:
+    """Simplify all expressions inside a statement tree and prune dead code.
+
+    Conditionals with constant conditions are resolved and empty blocks are
+    removed, which happens for instance when the explicit-zero guard of a
+    dense source level is statically known to be unnecessary.
+    """
+    if isinstance(stmt, Block):
+        out = []
+        for child in stmt.stmts:
+            child = simplify_stmt(child)
+            if isinstance(child, Pass):
+                continue
+            if isinstance(child, Block):
+                out.extend(child.stmts)
+            else:
+                out.append(child)
+        return Block(tuple(out))
+    if isinstance(stmt, Assign):
+        return Assign(stmt.target, simplify_expr(stmt.value))
+    if isinstance(stmt, AugAssign):
+        return AugAssign(stmt.target, stmt.op, simplify_expr(stmt.value))
+    if isinstance(stmt, Store):
+        return Store(
+            simplify_expr(stmt.array), simplify_expr(stmt.index), simplify_expr(stmt.value)
+        )
+    if isinstance(stmt, AugStore):
+        return AugStore(
+            simplify_expr(stmt.array),
+            simplify_expr(stmt.index),
+            stmt.op,
+            simplify_expr(stmt.value),
+        )
+    if isinstance(stmt, For):
+        lo = simplify_expr(stmt.lo)
+        hi = simplify_expr(stmt.hi)
+        body = simplify_stmt(stmt.body)
+        if isinstance(lo, Const) and isinstance(hi, Const) and hi.value <= lo.value:
+            return Pass()
+        if isinstance(body, Block) and not body.stmts:
+            return Pass()
+        return For(stmt.var, lo, hi, body)
+    if isinstance(stmt, While):
+        cond = simplify_expr(stmt.cond)
+        if _is_const(cond, False):
+            return Pass()
+        return While(cond, simplify_stmt(stmt.body))
+    if isinstance(stmt, If):
+        cond = simplify_expr(stmt.cond)
+        then = simplify_stmt(stmt.then)
+        orelse = simplify_stmt(stmt.orelse) if stmt.orelse is not None else None
+        if isinstance(cond, Const):
+            if cond.value:
+                return then
+            return orelse if orelse is not None else Pass()
+        if isinstance(then, Block) and not then.stmts and orelse is None:
+            return Pass()
+        return If(cond, then, orelse)
+    if isinstance(stmt, Alloc):
+        return Alloc(stmt.target, simplify_expr(stmt.size), stmt.dtype, stmt.init)
+    if isinstance(stmt, ExprStmt):
+        return ExprStmt(simplify_expr(stmt.expr))
+    if isinstance(stmt, Return):
+        return Return(tuple(simplify_expr(v) for v in stmt.values))
+    if isinstance(stmt, (Comment, Pass)):
+        return stmt
+    raise TypeError(f"cannot simplify {stmt!r}")

@@ -1,0 +1,5 @@
+"""Compute kernels over sparse tensors (the conversions' raison d'être)."""
+
+from .spmv import spmv
+
+__all__ = ["spmv"]

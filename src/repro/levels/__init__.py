@@ -1,0 +1,29 @@
+"""Level formats: the coordinate hierarchy + assembly abstraction.
+
+Each level stores one dimension of a coordinate hierarchy and implements
+iteration level functions (Chou et al. [17]) plus the assembly level
+functions this paper introduces (Section 6.1).
+"""
+
+from .banded import BandedLevel
+from .base import Level, LevelFunctionError
+from .compressed import CompressedLevel
+from .dense import DenseLevel
+from .hashed import HashedLevel
+from .offset import OffsetLevel
+from .singleton import SingletonLevel
+from .sliced import SlicedLevel
+from .squeezed import SqueezedLevel
+
+__all__ = [
+    "BandedLevel",
+    "CompressedLevel",
+    "DenseLevel",
+    "HashedLevel",
+    "Level",
+    "LevelFunctionError",
+    "OffsetLevel",
+    "SingletonLevel",
+    "SlicedLevel",
+    "SqueezedLevel",
+]

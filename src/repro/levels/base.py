@@ -1,0 +1,173 @@
+"""Base class and context interfaces for level formats.
+
+A *level format* stores one dimension (level) of a coordinate hierarchy
+(Section 2).  Every tensor format is a composition of level formats plus a
+coordinate remapping.  Each level implements up to three facets:
+
+1. **properties** — ``full``/``ordered``/``unique``/``branchless``/
+   ``compact`` from Chou et al. [17], plus ``stores_explicit_zeros``
+   (the new property Table 1's caption introduces) and ``has_edges``
+   (whether assembling the level requires an edge-insertion phase);
+2. **iteration** — code generation (``emit_iteration``) and host-side
+   interpretation (``iterate``/``size``) of the level functions
+   ``pos_bounds``/``pos_access``, ``coord_bounds``/``coord_access`` and
+   ``locate`` of Chou et al.;
+3. **assembly** — the new level functions of Section 6.1: ``get_size``,
+   sequenced/unsequenced edge insertion, ``init_coords``,
+   ``get_pos``/``yield_pos`` (+ init/finalize) and ``insert_coord``,
+   together with the attribute queries (:class:`~repro.query.spec.QuerySpec`)
+   the level requires.
+
+Code generation methods receive a context object (implemented by the
+conversion planner, :mod:`repro.convert.context`) that resolves array names
+(``B2_pos``), remapped dimension bounds and query results, and produces
+fresh variable names.  Host-side methods receive a
+:class:`~repro.storage.tensor.StorageView`-like object with ``array``,
+``meta`` and ``dim_size`` accessors.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator, List, Sequence, Tuple
+
+from ..ir.nodes import Expr, Stmt, Var
+from ..query.spec import QuerySpec
+
+
+class LevelFunctionError(NotImplementedError):
+    """Raised when a level is asked for a facet it does not implement
+    (e.g. random ``locate`` into a compressed level)."""
+
+
+class Level:
+    """Abstract level format.
+
+    Concrete subclasses: :class:`~repro.levels.dense.DenseLevel`,
+    :class:`~repro.levels.compressed.CompressedLevel`,
+    :class:`~repro.levels.singleton.SingletonLevel`,
+    :class:`~repro.levels.sliced.SlicedLevel`,
+    :class:`~repro.levels.squeezed.SqueezedLevel`,
+    :class:`~repro.levels.offset.OffsetLevel`,
+    :class:`~repro.levels.banded.BandedLevel`,
+    :class:`~repro.levels.hashed.HashedLevel`.
+    """
+
+    #: short name used in format signatures (e.g. ``"compressed"``)
+    name: str = "abstract"
+
+    # -- properties (Chou et al. + Section 5/6 additions) -------------------
+    full: bool = False
+    ordered: bool = True
+    unique: bool = True
+    branchless: bool = False
+    compact: bool = True
+    #: the level materializes every coordinate in a range, so padding zeros
+    #: are stored explicitly (DIA, ELL, banded); disables the
+    #: simplify-width-count rewrite and adds nonzero guards when iterated.
+    stores_explicit_zeros: bool = False
+    #: True if the level needs an edge-insertion phase before coordinates
+    #: can be inserted (levels with ``pos`` arrays).
+    has_edges: bool = False
+    #: ``"get"`` (idempotent positions) or ``"yield"`` (append positions).
+    pos_kind: str = "get"
+    #: True if the level stores coordinates explicitly in a ``crd`` array.
+    explicit_coords: bool = False
+
+    # ------------------------------------------------------------------
+    # iteration facet
+    # ------------------------------------------------------------------
+    def emit_iteration(
+        self,
+        ctx,
+        k: int,
+        parent_pos: Expr,
+        ancestors: Sequence[Expr],
+        body: Callable[[Expr, Expr], Stmt],
+    ) -> Stmt:
+        """Emit a loop (or straight-line code) visiting the level's entries.
+
+        ``parent_pos`` is the IR expression of the parent position;
+        ``ancestors`` are the coordinate expressions of levels ``0..k-1``.
+        ``body(pos, coord)`` returns the statement to run for each entry.
+        """
+        raise LevelFunctionError(f"{self.name} level does not support iteration")
+
+    def iterate(
+        self, view, k: int, parent_pos: int, ancestors: Sequence[int]
+    ) -> Iterator[Tuple[int, int]]:
+        """Host-side mirror of :meth:`emit_iteration`: yields (pos, coord)."""
+        raise LevelFunctionError(f"{self.name} level does not support iteration")
+
+    def size(self, view, k: int, parent_size: int) -> int:
+        """Host-side ``get_size``: number of positions given the parent's."""
+        raise LevelFunctionError(f"{self.name} level does not define size")
+
+    # ------------------------------------------------------------------
+    # assembly facet
+    # ------------------------------------------------------------------
+    def queries(self, k: int, ndims: int) -> Tuple[QuerySpec, ...]:
+        """Attribute queries that must be computed before assembling the
+        level (the ``Qk :=`` clauses of Figures 7 and 11)."""
+        return ()
+
+    def emit_get_size(self, ctx, k: int, parent_size: Expr) -> Tuple[List[Stmt], Expr]:
+        """Emit ``get_size``: the level's position-space size.
+
+        Only valid after edge insertion for levels with edges.
+        """
+        raise LevelFunctionError(f"{self.name} level does not define get_size")
+
+    # edge insertion (only for has_edges levels) -------------------------
+    def emit_seq_init_edges(self, ctx, k: int, parent_size: Expr) -> List[Stmt]:
+        raise LevelFunctionError(f"{self.name} level does not define edges")
+
+    def emit_seq_insert_edges(
+        self, ctx, k: int, parent_pos: Expr, coords: Sequence[Expr]
+    ) -> List[Stmt]:
+        raise LevelFunctionError(f"{self.name} level does not define edges")
+
+    def emit_unseq_init_edges(self, ctx, k: int, parent_size: Expr) -> List[Stmt]:
+        raise LevelFunctionError(f"{self.name} level does not define edges")
+
+    def emit_unseq_insert_edges(
+        self, ctx, k: int, parent_pos: Expr, coords: Sequence[Expr]
+    ) -> List[Stmt]:
+        raise LevelFunctionError(f"{self.name} level does not define edges")
+
+    def emit_unseq_finalize_edges(self, ctx, k: int, parent_size: Expr) -> List[Stmt]:
+        raise LevelFunctionError(f"{self.name} level does not define edges")
+
+    # coordinate insertion ------------------------------------------------
+    def emit_init_coords(self, ctx, k: int, parent_size: Expr) -> List[Stmt]:
+        """Allocate/initialize coordinate storage (may consume queries)."""
+        return []
+
+    def emit_init_pos(self, ctx, k: int, parent_size: Expr) -> List[Stmt]:
+        """Initialize auxiliary structures used by get_pos/yield_pos."""
+        return []
+
+    def emit_pos(
+        self, ctx, k: int, parent_pos: Expr, coords: Sequence[Expr]
+    ) -> Tuple[List[Stmt], Expr]:
+        """Emit ``get_pos``/``yield_pos``: position for the nonzero with
+        destination coordinates ``coords`` (one expression per level up to
+        and including this one)."""
+        raise LevelFunctionError(f"{self.name} level does not define positions")
+
+    def emit_finalize_pos(self, ctx, k: int, parent_size: Expr) -> List[Stmt]:
+        """Clean up after insertion (e.g. shift a bumped ``pos`` array back)."""
+        return []
+
+    def emit_insert_coord(
+        self, ctx, k: int, pos: Expr, coords: Sequence[Expr]
+    ) -> List[Stmt]:
+        """Store the coordinate at position ``pos`` (no-op when implicit)."""
+        return []
+
+    # ------------------------------------------------------------------
+    def signature(self) -> str:
+        """Stable textual identity used in codegen cache keys."""
+        return self.name
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.signature()}>"

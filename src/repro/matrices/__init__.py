@@ -1,0 +1,6 @@
+"""Synthetic matrices and the Table 2 benchmark suite."""
+
+from . import synthetic
+from .suite import SuiteMatrix, get_matrix, suite
+
+__all__ = ["SuiteMatrix", "get_matrix", "suite", "synthetic"]

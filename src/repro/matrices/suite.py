@@ -1,0 +1,244 @@
+"""The benchmark suite: scaled stand-ins for the 21 matrices of Table 2.
+
+Each entry names its SuiteSparse original, the structural class it models,
+whether its pattern is symmetric (Table 2 highlights nonsymmetric rows —
+they get the ``csr_csc`` column in Table 3, and symmetric matrices cast
+CSC→DIA/ELL to CSR→DIA/ELL), and the paper's reported statistics for the
+EXPERIMENTS.md comparison.
+
+Dimensions are scaled down ~20-400× so the pure-Python substrate finishes
+the full Table 3 sweep in minutes; the *ratios* that drive algorithm
+behaviour (diagonal counts vs. size, row-degree distribution) follow the
+originals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..formats.format import Format
+from ..query.evaluate import evaluate_query
+from ..query.spec import QuerySpec
+from ..remap.evaluate import apply_remap
+from ..remap.parser import parse_remap
+from ..storage.build import reference_build
+from ..storage.tensor import Tensor
+from . import synthetic
+
+
+@dataclass
+class SuiteMatrix:
+    """One synthetic stand-in matrix plus its paper metadata."""
+
+    name: str
+    paper_name: str
+    generator: Callable[[], Tuple[Tuple[int, int], list, list]]
+    symmetric: bool
+    class_name: str
+    #: Table 2 row of the original: (rows, cols, nnz, diagonals, max/row)
+    paper_stats: Tuple[int, int, int, int, int]
+    _data: Optional[Tuple] = field(default=None, repr=False)
+    _tensors: Dict[str, Tensor] = field(default_factory=dict, repr=False)
+
+    def data(self):
+        """(dims, coords, vals), generated once and cached."""
+        if self._data is None:
+            self._data = self.generator()
+        return self._data
+
+    @property
+    def dims(self) -> Tuple[int, int]:
+        return self.data()[0]
+
+    @property
+    def nnz(self) -> int:
+        return len(self.data()[1])
+
+    def tensor(self, format: Format) -> Tensor:
+        """The matrix stored in ``format`` (reference builder, cached)."""
+        key = format.signature()
+        if key not in self._tensors:
+            dims, coords, vals = self.data()
+            self._tensors[key] = reference_build(format, dims, coords, vals)
+        return self._tensors[key]
+
+    def stats(self) -> Dict[str, int]:
+        """The Table 2 statistics of the synthetic matrix, computed with
+        the attribute query machinery of Section 5."""
+        dims, coords, _ = self.data()
+        remapped = apply_remap(parse_remap("(i,j) -> (j-i, i, j)"), coords)
+        diagonals = evaluate_query(QuerySpec((0,), "id", (), "ne"), remapped)
+        per_row = evaluate_query(QuerySpec((0,), "count", (1,), "n"), coords)
+        return {
+            "rows": dims[0],
+            "cols": dims[1],
+            "nnz": len(coords),
+            "diagonals": len(diagonals),
+            "max_per_row": max(per_row.values()) if per_row else 0,
+        }
+
+    def dia_padding_ratio(self) -> float:
+        """Fraction of stored DIA values that would be padding zeros."""
+        stats = self.stats()
+        stored = stats["diagonals"] * stats["rows"]
+        return 1.0 - stats["nnz"] / stored if stored else 0.0
+
+    def ell_padding_ratio(self) -> float:
+        """Fraction of stored ELL values that would be padding zeros."""
+        stats = self.stats()
+        stored = stats["max_per_row"] * stats["rows"]
+        return 1.0 - stats["nnz"] / stored if stored else 0.0
+
+
+def _entries(scale: float) -> List[SuiteMatrix]:
+    def s(n: int) -> int:
+        return max(64, int(n * scale))
+
+    return [
+        SuiteMatrix(
+            "pdb1HYS_s", "pdb1HYS",
+            lambda: synthetic.multi_band(s(1100), 900, 1050, fill=0.115, seed=101),
+            True, "FEM (protein)", (36417, 36417, 4344765, 25577, 204),
+        ),
+        SuiteMatrix(
+            "jnlbrng1_s", "jnlbrng1",
+            lambda: synthetic.stencil(s(2000), [0, -1, 1, -45, 45], seed=102),
+            True, "5-pt stencil", (40000, 40000, 199200, 5, 5),
+        ),
+        SuiteMatrix(
+            "obstclae_s", "obstclae",
+            lambda: synthetic.stencil(s(2000), [0, -1, 1, -44, 44], seed=103),
+            True, "5-pt stencil", (40000, 40000, 197608, 5, 5),
+        ),
+        SuiteMatrix(
+            "chem_master1_s", "chem_master1",
+            lambda: synthetic.stencil(s(2020), [0, -1, 1, -41, 41], seed=104),
+            False, "5-pt stencil (nonsym)", (40401, 40401, 201201, 5, 5),
+        ),
+        SuiteMatrix(
+            "rma10_s", "rma10",
+            lambda: synthetic.multi_band(s(1000), 500, 900, fill=0.2, seed=105),
+            True, "FEM (CFD)", (46835, 46835, 2374001, 17367, 145),
+        ),
+        SuiteMatrix(
+            "dixmaanl_s", "dixmaanl",
+            lambda: synthetic.stencil(
+                s(3000), [0, -1, 1], partial=[-1500, 1500, -750, 750], seed=106
+            ),
+            True, "7-diag optimization", (60000, 60000, 299998, 7, 5),
+        ),
+        SuiteMatrix(
+            "cant_s", "cant",
+            lambda: synthetic.multi_band(s(900), 99, 55, fill=0.78, seed=107),
+            True, "FEM (cantilever)", (62451, 62451, 4007383, 99, 78),
+        ),
+        SuiteMatrix(
+            "shyy161_s", "shyy161",
+            lambda: synthetic.stencil(
+                s(2250), [0, -1, 1, -48, 48], partial=[-49, 49], seed=108
+            ),
+            False, "CFD stencil (nonsym)", (76480, 76480, 329762, 7, 6),
+        ),
+        SuiteMatrix(
+            "consph_s", "consph",
+            lambda: synthetic.multi_band(s(1150), 550, 1100, fill=0.17, seed=109),
+            True, "FEM (sphere)", (83334, 83334, 6010480, 13497, 81),
+        ),
+        SuiteMatrix(
+            "denormal_s", "denormal",
+            lambda: synthetic.stencil(
+                s(2400),
+                [0, -1, 1, -2, 2, -55, 55, -56, 56, -57, 57, -110, 110],
+                seed=110,
+            ),
+            True, "13-diag FEM", (89400, 89400, 1156224, 13, 13),
+        ),
+        SuiteMatrix(
+            "Baumann_s", "Baumann",
+            lambda: synthetic.stencil(
+                s(3000), [0, -1, 1, -52, 52, -2704, 2704], seed=111
+            ),
+            False, "7-pt stencil (nonsym)", (112211, 112211, 748331, 7, 7),
+        ),
+        SuiteMatrix(
+            "cop20k_A_s", "cop20k_A",
+            lambda: synthetic.scattered(s(1600), 24.0, 81, heavy_rows=0, seed=112),
+            True, "accelerator (scattered)", (121192, 121192, 2624331, 221205, 81),
+        ),
+        SuiteMatrix(
+            "shipsec1_s", "shipsec1",
+            lambda: synthetic.multi_band(s(1300), 420, 1200, fill=0.2, seed=113),
+            True, "FEM (ship)", (140874, 140874, 3568176, 10001, 102),
+        ),
+        SuiteMatrix(
+            "majorbasis_s", "majorbasis",
+            lambda: synthetic.stencil(
+                s(2000),
+                [0, 1, 2, 3, 4, 5, 6, -1, -40, -41, -42],
+                partial=[-80, -81, -82, 7, 8, 9, 43, 44, 45, 46, 47],
+                seed=114,
+            ),
+            False, "22-diag (nonsym)", (160000, 160000, 1750416, 22, 11),
+        ),
+        SuiteMatrix(
+            "scircuit_s", "scircuit",
+            lambda: synthetic.scattered(s(2200), 4.0, 170, heavy_rows=4, seed=115),
+            False, "circuit (nonsym)", (170998, 170998, 958936, 158979, 353),
+        ),
+        SuiteMatrix(
+            "mac_econ_fwd500_s", "mac_econ_fwd500",
+            lambda: synthetic.scattered(s(2000), 5.5, 44, heavy_rows=2, seed=116),
+            False, "economics (nonsym)", (206500, 206500, 1273389, 511, 44),
+        ),
+        SuiteMatrix(
+            "pwtk_s", "pwtk",
+            lambda: synthetic.multi_band(s(1200), 500, 1150, fill=0.22, seed=117),
+            True, "FEM (wind tunnel)", (217918, 217918, 11524432, 19929, 180),
+        ),
+        SuiteMatrix(
+            "Lin_s", "Lin",
+            lambda: synthetic.stencil(s(2560), [0, -1, 1, -50, 50, -2500, 2500], seed=118),
+            True, "7-pt stencil", (256000, 256000, 1766400, 7, 7),
+        ),
+        SuiteMatrix(
+            "ecology1_s", "ecology1",
+            lambda: synthetic.grid5(s(60), s(60), seed=119),
+            True, "5-pt grid", (1000000, 1000000, 4996000, 5, 5),
+        ),
+        SuiteMatrix(
+            "webbase-1M_s", "webbase-1M",
+            lambda: synthetic.power_law(s(3000), alpha=2.05, max_degree=470, seed=120),
+            False, "web graph (nonsym)", (1000005, 1000005, 3105536, 564259, 4700),
+        ),
+        SuiteMatrix(
+            "atmosmodd_s", "atmosmodd",
+            lambda: synthetic.stencil(
+                s(3200), [0, -1, 1, -56, 56, -3136, 3136], seed=121
+            ),
+            False, "7-pt stencil (nonsym)", (1270432, 1270432, 8814880, 7, 7),
+        ),
+    ]
+
+
+#: Paper names of the 21 suite matrices, in Table 2 order (static so
+#: benchmark parameterization does not trigger generation at collection).
+PAPER_NAMES = (
+    "pdb1HYS", "jnlbrng1", "obstclae", "chem_master1", "rma10", "dixmaanl",
+    "cant", "shyy161", "consph", "denormal", "Baumann", "cop20k_A",
+    "shipsec1", "majorbasis", "scircuit", "mac_econ_fwd500", "pwtk", "Lin",
+    "ecology1", "webbase-1M", "atmosmodd",
+)
+
+
+def suite(scale: float = 1.0) -> List[SuiteMatrix]:
+    """The 21-matrix benchmark suite at the given size scale."""
+    return _entries(scale)
+
+
+def get_matrix(name: str, scale: float = 1.0) -> SuiteMatrix:
+    """Look up one suite matrix by (synthetic or paper) name."""
+    for entry in suite(scale):
+        if entry.name == name or entry.paper_name == name:
+            return entry
+    raise KeyError(f"unknown suite matrix {name!r}")

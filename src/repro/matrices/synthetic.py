@@ -1,0 +1,175 @@
+"""Synthetic sparse matrix generators.
+
+The paper evaluates on 21 SuiteSparse matrices (Table 2).  Those files are
+not available offline, so this module generates matrices of the same
+*structural classes* — what the conversion algorithms' behaviour actually
+depends on: the number of nonzero diagonals (DIA's cost driver), the
+maximum row degree (ELL's K), row-degree distribution, and pattern
+symmetry.  Every generator is deterministic given its seed.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+Coords = List[Tuple[int, int]]
+
+
+def _values(coords: Coords, rng: random.Random) -> List[float]:
+    return [round(rng.uniform(1.0, 2.0), 6) for _ in coords]
+
+
+def stencil(
+    n: int, offsets: Sequence[int], partial: Sequence[int] = (), seed: int = 0
+) -> Tuple[Tuple[int, int], Coords, List[float]]:
+    """Banded matrix with full diagonals at ``offsets``.
+
+    ``partial`` offsets are only filled on the first half of their rows,
+    modelling stencils whose outer bands fade out (keeps the max-row-degree
+    below the diagonal count, like dixmaanl's 7 diagonals / 5 per row).
+    This is the structure of finite-difference matrices such as jnlbrng1,
+    ecology1 or atmosmodd.
+    """
+    rng = random.Random(seed)
+    coords: Coords = []
+    for offset in sorted(set(offsets) | set(partial)):
+        limited = offset in set(partial) and offset not in set(offsets)
+        lo = max(0, -offset)
+        hi = min(n, n - offset)
+        if limited:
+            hi = lo + (hi - lo) // 2
+        coords.extend((i, i + offset) for i in range(lo, hi))
+    coords.sort()
+    return (n, n), coords, _values(coords, rng)
+
+
+def grid5(nx: int, ny: int, seed: int = 0) -> Tuple[Tuple[int, int], Coords, List[float]]:
+    """5-point Laplacian on an ``nx`` x ``ny`` grid (ecology1's structure)."""
+    rng = random.Random(seed)
+    n = nx * ny
+    coords: Coords = []
+    for y in range(ny):
+        for x in range(nx):
+            i = y * nx + x
+            coords.append((i, i))
+            if x > 0:
+                coords.append((i, i - 1))
+            if x < nx - 1:
+                coords.append((i, i + 1))
+            if y > 0:
+                coords.append((i, i - nx))
+            if y < ny - 1:
+                coords.append((i, i + nx))
+    coords.sort()
+    return (n, n), coords, _values(coords, rng)
+
+
+def multi_band(
+    n: int,
+    ndiags: int,
+    spread: int,
+    fill: float = 1.0,
+    symmetric: bool = True,
+    seed: int = 0,
+) -> Tuple[Tuple[int, int], Coords, List[float]]:
+    """FEM-like matrix: ``ndiags`` diagonals within ``±spread``, each row
+    of a diagonal present with probability ``fill``.
+
+    Models matrices like cant/consph/pwtk: many (but clustered) nonzero
+    diagonals and moderately dense rows.
+    """
+    rng = random.Random(seed)
+    offsets = {0}
+    while len(offsets) < ndiags:
+        offset = rng.randint(1, spread)
+        offsets.add(offset)
+        if symmetric:
+            offsets.add(-offset)
+        if len(offsets) > ndiags:
+            offsets.discard(max(offsets))
+    cells = set()
+    for offset in offsets:
+        lo = max(0, -offset)
+        hi = min(n, n - offset)
+        for i in range(lo, hi):
+            if fill >= 1.0 or rng.random() < fill:
+                cells.add((i, i + offset))
+                if symmetric:
+                    cells.add((i + offset, i))
+    coords = sorted(cells)
+    return (n, n), coords, _values(coords, rng)
+
+
+def scattered(
+    n: int,
+    avg_degree: float,
+    max_degree: int,
+    heavy_rows: int = 0,
+    seed: int = 0,
+) -> Tuple[Tuple[int, int], Coords, List[float]]:
+    """Circuit-like matrix: light random rows plus a few heavy ones.
+
+    Models scircuit / mac_econ_fwd500: small average degree, a long tail
+    of dense rows, nonzeros scattered so nearly every diagonal is hit.
+    """
+    rng = random.Random(seed)
+    cells = set()
+    for i in range(n):
+        degree = max(1, int(rng.expovariate(1.0 / avg_degree)) + 1)
+        degree = min(degree, max_degree)
+        for _ in range(degree):
+            cells.add((i, rng.randrange(n)))
+    for _ in range(heavy_rows):
+        i = rng.randrange(n)
+        for _ in range(max_degree):
+            cells.add((i, rng.randrange(n)))
+    coords = sorted(cells)
+    return (n, n), coords, _values(coords, rng)
+
+
+def power_law(
+    n: int, alpha: float = 2.1, max_degree: int = 500, seed: int = 0
+) -> Tuple[Tuple[int, int], Coords, List[float]]:
+    """Web-graph-like matrix (webbase-1M): Zipf row degrees, hub columns."""
+    rng = random.Random(seed)
+    cells = set()
+    # Zipf-distributed degrees via inverse transform on a truncated support.
+    weights = [1.0 / (k ** alpha) for k in range(1, max_degree + 1)]
+    total = sum(weights)
+    cumulative = []
+    acc = 0.0
+    for w in weights:
+        acc += w / total
+        cumulative.append(acc)
+    for i in range(n):
+        u = rng.random()
+        degree = 1
+        for k, c in enumerate(cumulative, start=1):
+            if u <= c:
+                degree = k
+                break
+        for _ in range(degree):
+            # mild preferential attachment: half the edges hit hub columns
+            if rng.random() < 0.5:
+                j = int(rng.random() ** 2 * n)
+            else:
+                j = rng.randrange(n)
+            cells.add((i, min(j, n - 1)))
+    coords = sorted(cells)
+    return (n, n), coords, _values(coords, rng)
+
+
+def random_matrix(
+    m: int, n: int, nnz: int, seed: int = 0
+) -> Tuple[Tuple[int, int], Coords, List[float]]:
+    """Uniformly random matrix (used by tests and examples)."""
+    rng = random.Random(seed)
+    if nnz > m * n:
+        raise ValueError("nnz exceeds matrix capacity")
+    cells = set()
+    while len(cells) < nnz:
+        cells.add((rng.randrange(m), rng.randrange(n)))
+    coords = sorted(cells)
+    return (m, n), coords, _values(coords, rng)

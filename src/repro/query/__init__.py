@@ -1,0 +1,17 @@
+"""Attribute query language (Section 5): specs, parser, reference eval.
+
+The compilation pipeline for queries lives in :mod:`repro.cin` (concrete
+index notation + the Table 1 transformations).
+"""
+
+from .evaluate import evaluate_query
+from .parser import QuerySyntaxError, parse_queries
+from .spec import AGGREGATIONS, QuerySpec
+
+__all__ = [
+    "AGGREGATIONS",
+    "QuerySpec",
+    "QuerySyntaxError",
+    "evaluate_query",
+    "parse_queries",
+]

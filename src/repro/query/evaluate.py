@@ -1,0 +1,54 @@
+"""Reference (brute-force) evaluation of attribute queries.
+
+Computes query results directly from a list of remapped nonzero
+coordinates, following the semantics of Section 5.1 literally.  Used as
+the oracle for the optimized analysis code the compiler generates.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Sequence, Tuple
+
+from .spec import QuerySpec
+
+
+def evaluate_query(
+    spec: QuerySpec, remapped_coords: Iterable[Sequence[int]]
+) -> Dict[Tuple[int, ...], int]:
+    """Evaluate ``spec`` over remapped nonzero coordinates.
+
+    Returns a map from group-by coordinates (a tuple, empty for global
+    aggregations) to the aggregated value:
+
+    * ``count`` — number of distinct nonzero subtensors identified by the
+      grouped + counted dimensions;
+    * ``max``/``min`` — extreme coordinate along the aggregated dimension;
+    * ``id`` — 1 for every group that contains a nonzero.
+
+    Groups with no nonzeros are absent from the result (callers supply the
+    defaults: count 0, ``id`` 0, ``max`` lo-1, ``min`` hi+1).
+    """
+    coords = [tuple(c) for c in remapped_coords]
+    if spec.aggr == "id":
+        return {tuple(c[d] for d in spec.group_by): 1 for c in coords}
+    if spec.aggr == "count":
+        seen = {tuple(c[d] for d in spec.group_by + spec.args) for c in coords}
+        out: Dict[Tuple[int, ...], int] = {}
+        group_len = len(spec.group_by)
+        for key in seen:
+            group = key[:group_len]
+            out[group] = out.get(group, 0) + 1
+        return out
+    # max / min
+    dim = spec.args[0]
+    out = {}
+    for c in coords:
+        group = tuple(c[d] for d in spec.group_by)
+        value = c[dim]
+        if group not in out:
+            out[group] = value
+        elif spec.aggr == "max":
+            out[group] = max(out[group], value)
+        else:
+            out[group] = min(out[group], value)
+    return out

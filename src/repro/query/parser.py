@@ -1,0 +1,105 @@
+"""Parser for the textual attribute query language (Section 5.1).
+
+Concrete syntax::
+
+    select [i1,...,im] -> <aggr1> as label1, ..., <aggrn> as labeln
+
+where each aggregation is ``count(i...)``, ``max(i)``, ``min(i)`` or
+``id()``.  Index variables refer to dimensions of the (remapped) tensor the
+query runs over; the caller supplies the dimension names in order (defaults
+to ``i1..iN``).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Sequence, Tuple
+
+from .spec import AGGREGATIONS, QuerySpec
+
+
+class QuerySyntaxError(ValueError):
+    """Raised when query text does not conform to the grammar."""
+
+
+_QUERY_RE = re.compile(
+    r"^\s*select\s*\[(?P<group>[^\]]*)\]\s*->\s*(?P<aggrs>.+?)\s*$",
+    re.DOTALL,
+)
+_AGGR_RE = re.compile(
+    r"^\s*(?P<fn>\w+)\s*\(\s*(?P<args>[^)]*)\s*\)\s+as\s+(?P<label>\w+)\s*$"
+)
+
+
+def _split_vars(text: str) -> Tuple[str, ...]:
+    text = text.strip()
+    if not text:
+        return ()
+    return tuple(part.strip() for part in text.split(","))
+
+
+def _split_aggregations(text: str) -> Tuple[str, ...]:
+    """Split the aggregation list on commas outside parentheses
+    (``count(j,k) as a, max(j) as b`` has a comma inside ``count``)."""
+    parts = []
+    depth = 0
+    current = []
+    for ch in text:
+        if ch == "(":
+            depth += 1
+        elif ch == ")":
+            depth -= 1
+        if ch == "," and depth == 0:
+            parts.append("".join(current))
+            current = []
+        else:
+            current.append(ch)
+    parts.append("".join(current))
+    return tuple(parts)
+
+
+def parse_queries(
+    text: str, dim_names: Sequence[str] = None, ndims: int = None
+) -> Tuple[QuerySpec, ...]:
+    """Parse one ``select`` statement into one :class:`QuerySpec` per
+    aggregation.
+
+    ``dim_names`` maps index-variable names to dimension indices by
+    position; if omitted, ``ndims`` must be given and names default to
+    ``i1..iN``.
+    """
+    if dim_names is None:
+        if ndims is None:
+            raise ValueError("either dim_names or ndims is required")
+        dim_names = [f"i{d + 1}" for d in range(ndims)]
+    index = {name: d for d, name in enumerate(dim_names)}
+
+    match = _QUERY_RE.match(text)
+    if match is None:
+        raise QuerySyntaxError(f"malformed query {text!r}")
+
+    def resolve(names: Tuple[str, ...]) -> Tuple[int, ...]:
+        out = []
+        for name in names:
+            if name not in index:
+                raise QuerySyntaxError(
+                    f"unknown index variable {name!r} (known: {list(index)})"
+                )
+            out.append(index[name])
+        return tuple(out)
+
+    group = resolve(_split_vars(match.group("group")))
+    specs = []
+    for part in _split_aggregations(match.group("aggrs")):
+        aggr_match = _AGGR_RE.match(part)
+        if aggr_match is None:
+            raise QuerySyntaxError(f"malformed aggregation {part.strip()!r}")
+        fn = aggr_match.group("fn")
+        if fn not in AGGREGATIONS:
+            raise QuerySyntaxError(f"unknown aggregation {fn!r}")
+        args = resolve(_split_vars(aggr_match.group("args")))
+        try:
+            specs.append(QuerySpec(group, fn, args, aggr_match.group("label")))
+        except ValueError as exc:
+            raise QuerySyntaxError(str(exc)) from exc
+    return tuple(specs)

@@ -1,0 +1,70 @@
+"""Attribute query specifications (the semantic core of Section 5).
+
+A :class:`QuerySpec` is the internal, name-free form of an attribute query
+
+.. code-block:: text
+
+    select [i1,...,im] -> aggr(...) as label
+
+over the *remapped* coordinate space of a conversion: ``group_by`` and the
+aggregation arguments are indices of remapped (destination) dimensions.
+Level formats declare the queries their assembly needs as ``QuerySpec``
+objects (Figures 7 and 11); the textual language of Section 5.1 parses to
+the same representation (:mod:`repro.query.parser`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+#: Aggregation functions of the attribute query language (Section 5.1).
+AGGREGATIONS = ("count", "max", "min", "id")
+
+
+@dataclass(frozen=True)
+class QuerySpec:
+    """One aggregation of one ``select`` statement.
+
+    ``group_by``
+        Remapped dimension indices the result is keyed by; the result is
+        conceptually a map from those coordinates to the aggregated value
+        (a scalar when empty).
+    ``aggr``
+        One of ``count``, ``max``, ``min``, ``id``.
+    ``args``
+        Remapped dimension indices aggregated over.  ``count`` accepts one
+        or more; ``max``/``min`` exactly one; ``id`` none.
+    ``label``
+        Name used to reference the result (the ``as`` clause).
+    """
+
+    group_by: Tuple[int, ...]
+    aggr: str
+    args: Tuple[int, ...]
+    label: str
+
+    def __post_init__(self) -> None:
+        if self.aggr not in AGGREGATIONS:
+            raise ValueError(f"unknown aggregation {self.aggr!r}")
+        if self.aggr == "id" and self.args:
+            raise ValueError("id() takes no arguments")
+        if self.aggr in ("max", "min") and len(self.args) != 1:
+            raise ValueError(f"{self.aggr}() takes exactly one dimension")
+        if self.aggr == "count" and not self.args:
+            raise ValueError("count() needs at least one dimension")
+        for dim in self.args:
+            if dim in self.group_by:
+                raise ValueError(
+                    f"dimension {dim} both grouped and aggregated in {self.label!r}"
+                )
+
+    def describe(self, dim_names=None) -> str:
+        """Render as the paper's concrete syntax, for docs and debugging."""
+
+        def name(d: int) -> str:
+            return dim_names[d] if dim_names else f"i{d + 1}"
+
+        group = ",".join(name(d) for d in self.group_by)
+        args = ",".join(name(d) for d in self.args)
+        return f"select [{group}] -> {self.aggr}({args}) as {self.label}"

@@ -1,0 +1,38 @@
+"""Coordinate remapping notation (Section 4 of the paper).
+
+Public surface:
+
+* :func:`parse_remap` — parse the concrete syntax of Figure 8;
+* :class:`Remap` and friends — the AST;
+* :func:`apply_remap` / :class:`CounterState` — reference evaluation;
+* :class:`IntervalAnalyzer` / :func:`remapped_dim_intervals` — symbolic
+  bounds of remapped dimensions;
+* :func:`lower_remap` — IR lowering used by the conversion code generator.
+"""
+
+from .ast import (
+    DstCoord,
+    LetBinding,
+    RBinOp,
+    RConst,
+    RCounter,
+    Remap,
+    RExpr,
+    RParam,
+    RVar,
+    default_index_names,
+    identity_remap,
+)
+from .evaluate import CounterState, apply_remap, apply_remap_once
+from .interval import Interval, IntervalAnalyzer, index_interval, remapped_dim_intervals
+from .lower import LoweredRemap, RemapLoweringError, lower_remap, lower_rexpr
+from .parser import RemapSyntaxError, parse_remap
+
+__all__ = [
+    "DstCoord", "LetBinding", "RBinOp", "RConst", "RCounter", "Remap",
+    "RExpr", "RParam", "RVar", "default_index_names", "identity_remap",
+    "CounterState", "apply_remap", "apply_remap_once",
+    "Interval", "IntervalAnalyzer", "index_interval", "remapped_dim_intervals",
+    "LoweredRemap", "RemapLoweringError", "lower_remap", "lower_rexpr",
+    "RemapSyntaxError", "parse_remap",
+]

@@ -1,0 +1,209 @@
+"""AST for coordinate remapping notation (Section 4, Figure 8).
+
+A remap statement ``(i,j) -> (j-i, i, j)`` describes how every component of
+a canonical input tensor maps to a component of a higher-order remapped
+tensor whose *lexicographic* coordinate order equals the storage order of
+some target format.  The AST mirrors the grammar of Figure 8:
+
+* source side: a tuple of index variables;
+* destination side: one entry per remapped dimension, each a chain of
+  ``let`` bindings terminated by an integer expression over index
+  variables, ``let`` variables, constants, and counters (``#i``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple, Union
+
+
+class RExpr:
+    """Base class of remap index expressions."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class RVar(RExpr):
+    """A reference to a source index variable or a ``let``-bound variable."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class RConst(RExpr):
+    """An integer literal."""
+
+    value: int
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class RParam(RExpr):
+    """A named format parameter (e.g. the block size ``M`` of BCSR).
+
+    Parameters are free identifiers on the right-hand side of a remapping
+    that are neither source index variables nor ``let``-bound.  Their values
+    are supplied by the format instance at code-generation time.
+    """
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+#: Remap binary operators in precedence order (Figure 8): ``|`` < ``^`` <
+#: ``&`` < shifts < additive < multiplicative.
+R_BINARY_OPS = ("|", "^", "&", "<<", ">>", "+", "-", "*", "/", "%")
+
+
+@dataclass(frozen=True)
+class RBinOp(RExpr):
+    """A binary operation.  ``/`` is integer (floor) division."""
+
+    op: str
+    lhs: RExpr
+    rhs: RExpr
+
+    def __post_init__(self) -> None:
+        if self.op not in R_BINARY_OPS:
+            raise ValueError(f"unknown remap operator {self.op!r}")
+
+    def __str__(self) -> str:
+        return f"({self.lhs} {self.op} {self.rhs})"
+
+
+@dataclass(frozen=True)
+class RCounter(RExpr):
+    """A counter ``#i1 i2 ...`` (``ivar_counter`` in Figure 8).
+
+    The counter's value for a nonzero is the number of previously iterated
+    nonzeros that share the same values of the listed index variables; an
+    empty tuple counts globally.  Counters make remappings like ELL's
+    ``(i,j) -> (#i, i, j)`` expressible (Figure 9).
+    """
+
+    over: Tuple[str, ...]
+
+    def __str__(self) -> str:
+        return "#" + " ".join(self.over)
+
+
+@dataclass(frozen=True)
+class LetBinding:
+    """One ``var = expr in`` binding inside a destination entry."""
+
+    name: str
+    value: RExpr
+
+
+@dataclass(frozen=True)
+class DstCoord:
+    """A destination coordinate: ``let``-bindings plus the final expression."""
+
+    lets: Tuple[LetBinding, ...]
+    expr: RExpr
+
+    def __str__(self) -> str:
+        prefix = "".join(f"{b.name}={b.value} in " for b in self.lets)
+        return prefix + str(self.expr)
+
+
+@dataclass(frozen=True)
+class Remap:
+    """A complete remap statement ``(src...) -> (dst...)``."""
+
+    src_vars: Tuple[str, ...]
+    dst_coords: Tuple[DstCoord, ...]
+
+    @property
+    def src_order(self) -> int:
+        """Number of canonical (source) dimensions."""
+        return len(self.src_vars)
+
+    @property
+    def dst_order(self) -> int:
+        """Number of remapped (destination) dimensions."""
+        return len(self.dst_coords)
+
+    def __str__(self) -> str:
+        src = ", ".join(self.src_vars)
+        dst = ", ".join(str(c) for c in self.dst_coords)
+        return f"({src}) -> ({dst})"
+
+    def counters(self) -> Tuple[RCounter, ...]:
+        """Return the distinct counters used anywhere in the remapping."""
+        seen = []
+        for coord in self.dst_coords:
+            for binding in coord.lets:
+                _collect_counters(binding.value, seen)
+            _collect_counters(coord.expr, seen)
+        return tuple(seen)
+
+    def params(self) -> Tuple[str, ...]:
+        """Return the names of free format parameters (e.g. BCSR's ``M``)."""
+        names: list = []
+        for coord in self.dst_coords:
+            bound = set(self.src_vars)
+            for binding in coord.lets:
+                _collect_params(binding.value, bound, names)
+                bound.add(binding.name)
+            _collect_params(coord.expr, bound, names)
+        return tuple(names)
+
+    def is_identity(self) -> bool:
+        """True if the remapping maps every tensor to itself."""
+        if self.dst_order != self.src_order:
+            return False
+        return all(
+            not coord.lets and coord.expr == RVar(name)
+            for coord, name in zip(self.dst_coords, self.src_vars)
+        )
+
+
+def _collect_counters(expr: RExpr, seen: list) -> None:
+    if isinstance(expr, RCounter):
+        if expr not in seen:
+            seen.append(expr)
+    elif isinstance(expr, RBinOp):
+        _collect_counters(expr.lhs, seen)
+        _collect_counters(expr.rhs, seen)
+
+
+def _collect_params(expr: RExpr, bound: set, names: list) -> None:
+    if isinstance(expr, RParam) and expr.name not in names:
+        names.append(expr.name)
+    elif isinstance(expr, RVar) and expr.name not in bound and expr.name not in names:
+        # Parser already classifies free names as RParam, but be permissive
+        # with hand-built ASTs.
+        names.append(expr.name)
+    elif isinstance(expr, RBinOp):
+        _collect_params(expr.lhs, bound, names)
+        _collect_params(expr.rhs, bound, names)
+
+
+def identity_remap(order: int) -> Remap:
+    """Build the identity remapping on ``order`` dimensions.
+
+    Index variables are named ``i1..iN`` for tensors of order > 2 and
+    ``i, j`` / ``i, j, k`` for the common low orders, matching the paper's
+    notation.
+    """
+    names = default_index_names(order)
+    return Remap(
+        tuple(names),
+        tuple(DstCoord((), RVar(name)) for name in names),
+    )
+
+
+def default_index_names(order: int) -> Tuple[str, ...]:
+    """Canonical index-variable names: ``i, j, k`` then ``i1..iN``."""
+    if order <= 3:
+        return ("i", "j", "k")[:order]
+    return tuple(f"i{d + 1}" for d in range(order))

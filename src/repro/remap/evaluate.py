@@ -1,0 +1,116 @@
+"""Host-side (interpreted) evaluation of coordinate remappings.
+
+This is the reference semantics used by the test oracle: it applies a
+remapping nonzero by nonzero exactly as Section 4 defines it, including the
+stateful counters of Figure 9.  The code generator must agree with this
+evaluator on every input — a property the test suite checks exhaustively.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Sequence, Tuple
+
+from .ast import DstCoord, RBinOp, RConst, RCounter, Remap, RExpr, RParam, RVar
+
+
+class CounterState:
+    """Mutable state of the counters of one remapping application.
+
+    Each distinct counter (identified by its tuple of index variables) owns
+    a table keyed by the values of those variables; fetching increments the
+    entry, so the k-th nonzero sharing a key observes value ``k``
+    (Section 4.2's ``counter[i]++``).
+    """
+
+    def __init__(self) -> None:
+        self._tables: Dict[Tuple[str, ...], Dict[Tuple[int, ...], int]] = {}
+
+    def fetch_and_increment(self, counter: RCounter, env: Dict[str, int]) -> int:
+        """Return the current count for ``counter`` and bump it."""
+        table = self._tables.setdefault(counter.over, {})
+        key = tuple(env[name] for name in counter.over)
+        value = table.get(key, 0)
+        table[key] = value + 1
+        return value
+
+    def reset(self) -> None:
+        """Clear all counters (a fresh iteration pass)."""
+        self._tables.clear()
+
+
+def _evaluate(expr: RExpr, env: Dict[str, int], params: Dict[str, int],
+              counters: "CounterState", counter_cache: Dict[RCounter, int]) -> int:
+    if isinstance(expr, RConst):
+        return expr.value
+    if isinstance(expr, RVar):
+        return env[expr.name]
+    if isinstance(expr, RParam):
+        return params[expr.name]
+    if isinstance(expr, RCounter):
+        # A counter fetched twice while remapping the same nonzero must
+        # observe the same value (it is one logical coordinate).
+        if expr not in counter_cache:
+            counter_cache[expr] = counters.fetch_and_increment(expr, env)
+        return counter_cache[expr]
+    if isinstance(expr, RBinOp):
+        lhs = _evaluate(expr.lhs, env, params, counters, counter_cache)
+        rhs = _evaluate(expr.rhs, env, params, counters, counter_cache)
+        ops = {
+            "+": lambda a, c: a + c,
+            "-": lambda a, c: a - c,
+            "*": lambda a, c: a * c,
+            "/": lambda a, c: a // c,
+            "%": lambda a, c: a % c,
+            "<<": lambda a, c: a << c,
+            ">>": lambda a, c: a >> c,
+            "&": lambda a, c: a & c,
+            "|": lambda a, c: a | c,
+            "^": lambda a, c: a ^ c,
+        }
+        return ops[expr.op](lhs, rhs)
+    raise TypeError(f"not a remap expression: {expr!r}")
+
+
+def apply_remap_once(
+    remap: Remap,
+    coords: Sequence[int],
+    params: Dict[str, int],
+    counters: CounterState,
+) -> Tuple[int, ...]:
+    """Remap the canonical coordinates of a single nonzero.
+
+    ``counters`` carries state across consecutive calls within one pass over
+    a tensor; callers iterate nonzeros in their chosen order and the counter
+    values reflect that order (Figure 9's caption makes the same caveat).
+    """
+    if len(coords) != remap.src_order:
+        raise ValueError(
+            f"expected {remap.src_order} coordinates, got {len(coords)}"
+        )
+    env = dict(zip(remap.src_vars, coords))
+    counter_cache: Dict[RCounter, int] = {}
+    out = []
+    for coord in remap.dst_coords:
+        local_env = dict(env)
+        for binding in coord.lets:
+            local_env[binding.name] = _evaluate(
+                binding.value, local_env, params, counters, counter_cache
+            )
+        out.append(
+            _evaluate(coord.expr, local_env, params, counters, counter_cache)
+        )
+    return tuple(out)
+
+
+def apply_remap(
+    remap: Remap,
+    coords_list: Iterable[Sequence[int]],
+    params: Dict[str, int] = None,
+) -> list:
+    """Remap a whole iteration-ordered sequence of nonzero coordinates."""
+    counters = CounterState()
+    params = params or {}
+    return [
+        apply_remap_once(remap, coords, params, counters)
+        for coords in coords_list
+    ]

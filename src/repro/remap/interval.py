@@ -1,0 +1,289 @@
+"""Symbolic interval analysis for remapped coordinates.
+
+Assembling a target format requires knowing the extent of each remapped
+dimension: e.g. applying ``(i,j) -> (j-i,i,j)`` to an M×N matrix produces
+offsets in ``[-(M-1), N-1]``, so DIA's generated code allocates ``M+N-1``
+slots and shifts by ``M-1`` (the paper's ``k + N - 1`` in Figure 6a).
+
+Because generated routines take dimension sizes as runtime arguments, the
+analysis is *symbolic*: interval endpoints are IR expressions over dimension
+variables.  Endpoints that cannot be bounded statically (counters, bitwise
+mixes of symbolic values) are ``None``; level formats that need static
+bounds check :meth:`Interval.is_known` and raise otherwise.
+
+All arithmetic follows Python semantics (floor division, nonnegative
+``%`` for positive divisors), which coincides with C on the nonnegative
+coordinates the paper manipulates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..ir import builder as b
+from ..ir.nodes import BinOp, Call, Const, Expr, UnOp, Var
+from ..ir.simplify import simplify_expr
+from .ast import DstCoord, RBinOp, RConst, RCounter, Remap, RExpr, RParam, RVar
+
+
+@dataclass(frozen=True)
+class Interval:
+    """An inclusive interval ``[lo, hi]`` with symbolic endpoints.
+
+    ``None`` endpoints mean "unknown".  ``Interval.exact(e)`` builds the
+    degenerate interval of a single value.
+    """
+
+    lo: Optional[Expr]
+    hi: Optional[Expr]
+
+    @staticmethod
+    def exact(expr: Expr) -> "Interval":
+        return Interval(expr, expr)
+
+    @staticmethod
+    def unknown() -> "Interval":
+        return Interval(None, None)
+
+    def is_known(self) -> bool:
+        """True if both endpoints are statically known expressions."""
+        return self.lo is not None and self.hi is not None
+
+    def extent(self) -> Optional[Expr]:
+        """Symbolic number of coordinates ``hi - lo + 1``, or ``None``."""
+        if not self.is_known():
+            return None
+        return simplify_expr(b.add(b.sub(self.hi, self.lo), 1))
+
+
+def index_interval(dim_size: Expr) -> Interval:
+    """The interval ``[0, dim_size - 1]`` of a canonical index variable."""
+    return Interval(Const(0), simplify_expr(b.sub(dim_size, 1)))
+
+
+def _is_nonneg(expr: Optional[Expr], nonneg_vars: frozenset) -> bool:
+    """Conservative syntactic check that ``expr`` is provably >= 0."""
+    if expr is None:
+        return False
+    if isinstance(expr, Const):
+        return expr.value >= 0
+    if isinstance(expr, Var):
+        return expr.name in nonneg_vars
+    if isinstance(expr, BinOp):
+        lhs_ok = _is_nonneg(expr.lhs, nonneg_vars)
+        rhs_ok = _is_nonneg(expr.rhs, nonneg_vars)
+        if expr.op in ("+", "*", "//", "<<", ">>", "&", "|", "^", "%"):
+            return lhs_ok and rhs_ok
+        return False
+    if isinstance(expr, Call) and expr.func in ("min", "max"):
+        return all(_is_nonneg(a, nonneg_vars) for a in expr.args)
+    return False
+
+
+def _const(expr: Optional[Expr]) -> Optional[int]:
+    if isinstance(expr, Const) and isinstance(expr.value, int):
+        return expr.value
+    return None
+
+
+class IntervalAnalyzer:
+    """Computes intervals of remap expressions over symbolic dimensions."""
+
+    def __init__(
+        self,
+        index_intervals: Dict[str, Interval],
+        param_values: Dict[str, Expr],
+        nonneg_vars=(),
+    ) -> None:
+        """``index_intervals`` maps source index-variable names to their
+        intervals; ``param_values`` maps format-parameter names to their
+        (exact) values; ``nonneg_vars`` lists variable names known to be
+        nonnegative (dimension sizes).
+        """
+        self.env: Dict[str, Interval] = dict(index_intervals)
+        self.params = dict(param_values)
+        self.nonneg = frozenset(nonneg_vars)
+
+    # -- helpers -----------------------------------------------------------
+    def _simp(self, expr: Optional[Expr]) -> Optional[Expr]:
+        return None if expr is None else simplify_expr(expr)
+
+    def _nonneg(self, expr: Optional[Expr]) -> bool:
+        return _is_nonneg(expr, self.nonneg)
+
+    # -- interval combinators ----------------------------------------------
+    def _add(self, a: Interval, c: Interval) -> Interval:
+        lo = None if a.lo is None or c.lo is None else b.add(a.lo, c.lo)
+        hi = None if a.hi is None or c.hi is None else b.add(a.hi, c.hi)
+        return Interval(self._simp(lo), self._simp(hi))
+
+    def _sub(self, a: Interval, c: Interval) -> Interval:
+        lo = None if a.lo is None or c.hi is None else b.sub(a.lo, c.hi)
+        hi = None if a.hi is None or c.lo is None else b.sub(a.hi, c.lo)
+        return Interval(self._simp(lo), self._simp(hi))
+
+    def _mul(self, a: Interval, c: Interval) -> Interval:
+        scale = _const(c.lo) if c.lo is not None and c.lo == c.hi else None
+        if scale is None and a.lo is not None and a.lo == a.hi:
+            a, c = c, a
+            scale = _const(c.lo) if c.lo is not None and c.lo == c.hi else None
+        if scale is not None:
+            if scale >= 0:
+                lo = None if a.lo is None else b.mul(scale, a.lo)
+                hi = None if a.hi is None else b.mul(scale, a.hi)
+            else:
+                lo = None if a.hi is None else b.mul(scale, a.hi)
+                hi = None if a.lo is None else b.mul(scale, a.lo)
+            return Interval(self._simp(lo), self._simp(hi))
+        if self._nonneg(a.lo) and self._nonneg(c.lo):
+            lo = None if a.lo is None or c.lo is None else b.mul(a.lo, c.lo)
+            hi = None if a.hi is None or c.hi is None else b.mul(a.hi, c.hi)
+            return Interval(self._simp(lo), self._simp(hi))
+        if a.is_known() and c.is_known():
+            combos = [
+                b.mul(a.lo, c.lo), b.mul(a.lo, c.hi),
+                b.mul(a.hi, c.lo), b.mul(a.hi, c.hi),
+            ]
+            lo = combos[0]
+            hi = combos[0]
+            for combo in combos[1:]:
+                lo = b.minimum(lo, combo)
+                hi = b.maximum(hi, combo)
+            return Interval(self._simp(lo), self._simp(hi))
+        return Interval.unknown()
+
+    def _floordiv(self, a: Interval, c: Interval) -> Interval:
+        divisor = _const(c.lo) if c.lo is not None and c.lo == c.hi else None
+        if divisor is not None and divisor > 0:
+            lo = None if a.lo is None else b.floordiv(a.lo, divisor)
+            hi = None if a.hi is None else b.floordiv(a.hi, divisor)
+            return Interval(self._simp(lo), self._simp(hi))
+        if self._nonneg(a.lo) and self._nonneg(c.lo) and a.is_known() and c.is_known():
+            # Monotone increasing in the dividend, decreasing in the divisor
+            # (positive divisor assumed when its lower bound is nonneg and
+            # formats never divide by zero).
+            return Interval(
+                self._simp(b.floordiv(a.lo, c.hi)),
+                self._simp(b.floordiv(a.hi, c.lo)),
+            )
+        return Interval.unknown()
+
+    def _mod(self, a: Interval, c: Interval) -> Interval:
+        divisor = _const(c.lo) if c.lo is not None and c.lo == c.hi else None
+        if divisor is not None and divisor > 0:
+            # Python % with a positive divisor is always in [0, divisor).
+            return Interval(Const(0), Const(divisor - 1))
+        if c.hi is not None and self._nonneg(c.lo):
+            return Interval(Const(0), self._simp(b.sub(c.hi, 1)))
+        return Interval.unknown()
+
+    def _shift(self, op: str, a: Interval, c: Interval) -> Interval:
+        if not (self._nonneg(a.lo) and self._nonneg(c.lo)):
+            return Interval.unknown()
+        make = b.shl if op == "<<" else b.shr
+        if op == "<<":
+            lo = None if a.lo is None or c.lo is None else make(a.lo, c.lo)
+            hi = None if a.hi is None or c.hi is None else make(a.hi, c.hi)
+        else:
+            lo = None if a.lo is None or c.hi is None else make(a.lo, c.hi)
+            hi = None if a.hi is None or c.lo is None else make(a.hi, c.lo)
+        return Interval(self._simp(lo), self._simp(hi))
+
+    def _bitand(self, a: Interval, c: Interval) -> Interval:
+        if not (self._nonneg(a.lo) and self._nonneg(c.lo)):
+            return Interval.unknown()
+        if a.hi is None and c.hi is None:
+            return Interval(Const(0), None)
+        if a.hi is None:
+            return Interval(Const(0), c.hi)
+        if c.hi is None:
+            return Interval(Const(0), a.hi)
+        return Interval(Const(0), self._simp(b.minimum(a.hi, c.hi)))
+
+    def _bitorxor(self, a: Interval, c: Interval) -> Interval:
+        if not (self._nonneg(a.lo) and self._nonneg(c.lo)):
+            return Interval.unknown()
+        a_hi, c_hi = _const(a.hi), _const(c.hi)
+        if a_hi is not None and c_hi is not None:
+            bits = max(a_hi.bit_length(), c_hi.bit_length())
+            return Interval(Const(0), Const((1 << bits) - 1))
+        return Interval(Const(0), None)
+
+    # -- expression walk ----------------------------------------------------
+    def interval_of(self, expr: RExpr) -> Interval:
+        """Compute the interval of a remap expression."""
+        if isinstance(expr, RConst):
+            return Interval.exact(Const(expr.value))
+        if isinstance(expr, RVar):
+            if expr.name not in self.env:
+                raise KeyError(f"unbound index variable {expr.name!r}")
+            return self.env[expr.name]
+        if isinstance(expr, RParam):
+            if expr.name not in self.params:
+                raise KeyError(f"unbound format parameter {expr.name!r}")
+            return Interval.exact(self.params[expr.name])
+        if isinstance(expr, RCounter):
+            return Interval(Const(0), None)
+        if isinstance(expr, RBinOp):
+            lhs = self.interval_of(expr.lhs)
+            rhs = self.interval_of(expr.rhs)
+            dispatch = {
+                "+": self._add,
+                "-": self._sub,
+                "*": self._mul,
+                "/": self._floordiv,
+                "%": self._mod,
+                "&": self._bitand,
+                "|": self._bitorxor,
+                "^": self._bitorxor,
+            }
+            if expr.op in dispatch:
+                return dispatch[expr.op](lhs, rhs)
+            return self._shift(expr.op, lhs, rhs)
+        raise TypeError(f"not a remap expression: {expr!r}")
+
+    def coord_interval(self, coord: DstCoord) -> Interval:
+        """Interval of one destination coordinate, resolving its lets."""
+        saved = dict(self.env)
+        try:
+            for binding in coord.lets:
+                self.env[binding.name] = self.interval_of(binding.value)
+            return self.interval_of(coord.expr)
+        finally:
+            self.env = saved
+
+
+def remapped_dim_intervals(
+    remap: Remap,
+    dim_sizes,
+    param_values: Dict[str, Expr],
+    nonneg_vars=(),
+):
+    """Intervals of every destination dimension of ``remap``.
+
+    ``dim_sizes`` lists one symbolic size expression per *source* dimension,
+    in the order of ``remap.src_vars``.
+    """
+    if len(dim_sizes) != remap.src_order:
+        raise ValueError(
+            f"remap has {remap.src_order} source dims but {len(dim_sizes)} sizes given"
+        )
+    nonneg = set(nonneg_vars)
+    for size in dim_sizes:
+        if isinstance(size, Var):
+            nonneg.add(size.name)
+    for value in param_values.values():
+        # Format parameters (block sizes, dimensions) are positive by
+        # construction, so their symbols may be assumed nonnegative.
+        if isinstance(value, Var):
+            nonneg.add(value.name)
+    analyzer = IntervalAnalyzer(
+        {
+            name: index_interval(size)
+            for name, size in zip(remap.src_vars, dim_sizes)
+        },
+        param_values,
+        nonneg_vars=frozenset(nonneg),
+    )
+    return tuple(analyzer.coord_interval(coord) for coord in remap.dst_coords)

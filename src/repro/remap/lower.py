@@ -1,0 +1,120 @@
+"""Lowering coordinate remappings to imperative IR (Section 4.2).
+
+Pure arithmetic/bitwise destination coordinates are inlined directly into
+the emitted loop body; ``let`` bindings become local variable assignments;
+counters are *not* lowered here — the conversion planner allocates counter
+storage (an array, or a scalar register when the counter's key is iterated
+in order) and passes the IR variable holding each counter's fetched value
+via ``counter_env``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..ir import builder as b
+from ..ir.builder import NameGenerator
+from ..ir.nodes import Assign, Expr, Stmt, Var
+from ..ir.simplify import simplify_expr
+from .ast import DstCoord, RBinOp, RConst, RCounter, Remap, RExpr, RParam, RVar
+
+#: remap operator -> IR operator (``/`` is floor division).
+_OP_MAP = {
+    "+": "+", "-": "-", "*": "*", "/": "//", "%": "%",
+    "<<": "<<", ">>": ">>", "&": "&", "|": "|", "^": "^",
+}
+
+
+class RemapLoweringError(ValueError):
+    """Raised when a remap expression cannot be lowered (e.g. an unbound
+    variable, or a counter with no entry in ``counter_env``)."""
+
+
+def lower_rexpr(
+    expr: RExpr,
+    env: Dict[str, Expr],
+    params: Dict[str, Expr],
+    counter_env: Dict[RCounter, Expr],
+) -> Expr:
+    """Translate a remap expression to an IR expression.
+
+    ``env`` binds source index variables and in-scope ``let`` variables to IR
+    expressions; ``params`` binds format parameters; ``counter_env`` binds
+    counters to the IR variables that hold their fetched values.
+    """
+    if isinstance(expr, RConst):
+        return b.const(expr.value)
+    if isinstance(expr, RVar):
+        if expr.name not in env:
+            raise RemapLoweringError(f"unbound index variable {expr.name!r}")
+        return env[expr.name]
+    if isinstance(expr, RParam):
+        if expr.name not in params:
+            raise RemapLoweringError(f"unbound format parameter {expr.name!r}")
+        return params[expr.name]
+    if isinstance(expr, RCounter):
+        if expr not in counter_env:
+            raise RemapLoweringError(f"counter {expr} was not set up by the planner")
+        return counter_env[expr]
+    if isinstance(expr, RBinOp):
+        return b.to_expr(
+            simplify_expr(
+                b.__dict__[
+                    {
+                        "+": "add", "-": "sub", "*": "mul", "/": "floordiv",
+                        "%": "mod", "<<": "shl", ">>": "shr", "&": "bitand",
+                        "|": "bitor", "^": "bitxor",
+                    }[expr.op]
+                ](
+                    lower_rexpr(expr.lhs, env, params, counter_env),
+                    lower_rexpr(expr.rhs, env, params, counter_env),
+                )
+            )
+        )
+    raise TypeError(f"not a remap expression: {expr!r}")
+
+
+@dataclass
+class LoweredRemap:
+    """Result of lowering all destination coordinates of a remapping.
+
+    ``prelude`` holds ``let``-binding assignments that must precede any use
+    of ``coord_exprs``; ``coord_exprs`` gives one IR expression per
+    destination dimension.
+    """
+
+    prelude: List[Stmt]
+    coord_exprs: List[Expr]
+
+
+def lower_remap(
+    remap: Remap,
+    coord_env: Dict[str, Expr],
+    params: Dict[str, Expr],
+    counter_env: Dict[RCounter, Expr],
+    namegen: NameGenerator,
+) -> LoweredRemap:
+    """Lower every destination coordinate of ``remap``.
+
+    ``coord_env`` maps each source index variable to the IR expression that
+    holds its value in the surrounding loop nest.
+    """
+    prelude: List[Stmt] = []
+    exprs: List[Expr] = []
+    from ..ir.nodes import Const
+
+    for coord in remap.dst_coords:
+        env = dict(coord_env)
+        for binding in coord.lets:
+            value = lower_rexpr(binding.value, env, params, counter_env)
+            if isinstance(value, (Var, Const)):
+                # Aliasing an existing variable/constant needs no copy
+                # (e.g. ELL's ``k = #i in k`` reuses the counter register).
+                env[binding.name] = value
+                continue
+            local = Var(namegen.fresh(binding.name))
+            prelude.append(Assign(local, value))
+            env[binding.name] = local
+        exprs.append(simplify_expr(lower_rexpr(coord.expr, env, params, counter_env)))
+    return LoweredRemap(prelude, exprs)

@@ -1,0 +1,205 @@
+"""Parser for coordinate remapping notation (the grammar of Figure 8).
+
+The concrete syntax is exactly the paper's::
+
+    (i,j) -> (j-i, i, j)                       # DIA
+    (i,j) -> (i/M, j/N, i%M, j%N)              # BCSR with block parameters
+    (i,j) -> (k=#i in k, i, j)                 # ELL / JAD grouping
+    (i,j,k) -> (r=i/B in s=j/B in (r&1)|((s&1)<<1), i/B, j/B, i, j, k)
+
+Identifiers on the destination side are classified as source index
+variables, ``let``-bound variables, or free *format parameters*
+(:class:`~repro.remap.ast.RParam`) such as block sizes.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Tuple
+
+from .ast import (
+    DstCoord,
+    LetBinding,
+    RBinOp,
+    RConst,
+    RCounter,
+    Remap,
+    RExpr,
+    RParam,
+    RVar,
+)
+
+
+class RemapSyntaxError(ValueError):
+    """Raised when a remap statement does not conform to the grammar."""
+
+
+_TOKEN_RE = re.compile(
+    r"\s*(?:(?P<arrow>->)|(?P<shl><<)|(?P<shr>>>)|(?P<num>\d+)"
+    r"|(?P<ident>[A-Za-z_]\w*)|(?P<sym>[()=,#|^&+\-*/%]))"
+)
+
+
+def _tokenize(text: str) -> List[Tuple[str, str]]:
+    tokens: List[Tuple[str, str]] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            raise RemapSyntaxError(f"unexpected character {text[pos]!r} at {pos}")
+        pos = match.end()
+        if match.lastgroup == "num":
+            tokens.append(("num", match.group("num")))
+        elif match.lastgroup == "ident":
+            word = match.group("ident")
+            tokens.append(("in", word) if word == "in" else ("ident", word))
+        elif match.lastgroup == "arrow":
+            tokens.append(("arrow", "->"))
+        elif match.lastgroup == "shl":
+            tokens.append(("op", "<<"))
+        elif match.lastgroup == "shr":
+            tokens.append(("op", ">>"))
+        else:
+            tokens.append(("op", match.group("sym")))
+    tokens.append(("eof", ""))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.tokens = _tokenize(text)
+        self.pos = 0
+        self.src_vars: Tuple[str, ...] = ()
+        self.let_vars: set = set()
+
+    # -- token plumbing ----------------------------------------------------
+    def peek(self) -> Tuple[str, str]:
+        return self.tokens[self.pos]
+
+    def next(self) -> Tuple[str, str]:
+        token = self.tokens[self.pos]
+        self.pos += 1
+        return token
+
+    def expect(self, kind: str, value: str = None) -> str:
+        token_kind, token_value = self.next()
+        if token_kind != kind or (value is not None and token_value != value):
+            want = value or kind
+            raise RemapSyntaxError(
+                f"expected {want!r} but found {token_value!r} in {self.text!r}"
+            )
+        return token_value
+
+    def at_op(self, *ops: str) -> bool:
+        kind, value = self.peek()
+        return kind == "op" and value in ops
+
+    # -- grammar -----------------------------------------------------------
+    def parse(self) -> Remap:
+        src = self.parse_src_indices()
+        self.src_vars = src
+        self.expect("arrow")
+        dst = self.parse_dst_indices()
+        self.expect("eof")
+        return Remap(src, dst)
+
+    def parse_src_indices(self) -> Tuple[str, ...]:
+        self.expect("op", "(")
+        names = [self.expect("ident")]
+        while self.at_op(","):
+            self.next()
+            names.append(self.expect("ident"))
+        self.expect("op", ")")
+        if len(set(names)) != len(names):
+            raise RemapSyntaxError(f"duplicate source index variable in {self.text!r}")
+        return tuple(names)
+
+    def parse_dst_indices(self) -> Tuple[DstCoord, ...]:
+        self.expect("op", "(")
+        coords = [self.parse_ivar_let()]
+        while self.at_op(","):
+            self.next()
+            coords.append(self.parse_ivar_let())
+        self.expect("op", ")")
+        return tuple(coords)
+
+    def parse_ivar_let(self) -> DstCoord:
+        bindings: List[LetBinding] = []
+        # Lookahead: IDENT '=' starts a let binding.
+        while (
+            self.peek()[0] == "ident"
+            and self.tokens[self.pos + 1] == ("op", "=")
+        ):
+            name = self.expect("ident")
+            self.expect("op", "=")
+            value = self.parse_ivar_expr()
+            self.expect("in")
+            bindings.append(LetBinding(name, value))
+            self.let_vars.add(name)
+        expr = self.parse_ivar_expr()
+        return DstCoord(tuple(bindings), expr)
+
+    def _binary_level(self, ops: Tuple[str, ...], parse_below) -> RExpr:
+        lhs = parse_below()
+        while self.at_op(*ops):
+            __, op = self.next()
+            lhs = RBinOp(op, lhs, parse_below())
+        return lhs
+
+    def parse_ivar_expr(self) -> RExpr:
+        return self._binary_level(("|",), self.parse_ivar_xor)
+
+    def parse_ivar_xor(self) -> RExpr:
+        return self._binary_level(("^",), self.parse_ivar_and)
+
+    def parse_ivar_and(self) -> RExpr:
+        return self._binary_level(("&",), self.parse_ivar_shift)
+
+    def parse_ivar_shift(self) -> RExpr:
+        return self._binary_level(("<<", ">>"), self.parse_ivar_add)
+
+    def parse_ivar_add(self) -> RExpr:
+        return self._binary_level(("+", "-"), self.parse_ivar_mul)
+
+    def parse_ivar_mul(self) -> RExpr:
+        return self._binary_level(("*", "/", "%"), self.parse_ivar_factor)
+
+    def parse_ivar_factor(self) -> RExpr:
+        kind, value = self.peek()
+        if kind == "op" and value == "(":
+            self.next()
+            expr = self.parse_ivar_expr()
+            self.expect("op", ")")
+            return expr
+        if kind == "op" and value == "#":
+            self.next()
+            return self.parse_counter()
+        if kind == "op" and value == "-":
+            self.next()
+            return RBinOp("-", RConst(0), self.parse_ivar_factor())
+        if kind == "num":
+            self.next()
+            return RConst(int(value))
+        if kind == "ident":
+            self.next()
+            if value in self.src_vars or value in self.let_vars:
+                return RVar(value)
+            return RParam(value)
+        raise RemapSyntaxError(
+            f"expected expression but found {value!r} in {self.text!r}"
+        )
+
+    def parse_counter(self) -> RCounter:
+        over: List[str] = []
+        while self.peek()[0] == "ident" and self.peek()[1] in self.src_vars:
+            over.append(self.next()[1])
+        return RCounter(tuple(over))
+
+
+def parse_remap(text: str) -> Remap:
+    """Parse a remap statement like ``(i,j) -> (j-i, i, j)``.
+
+    Raises :class:`RemapSyntaxError` on malformed input.
+    """
+    return _Parser(text).parse()

@@ -1,0 +1,7 @@
+"""Tensor storage, reference builders and helpers."""
+
+from .build import reference_build
+from .dense import from_dense
+from .tensor import Tensor
+
+__all__ = ["Tensor", "from_dense", "reference_build"]

@@ -1,0 +1,321 @@
+"""Reference tensor builders: construct tensors in any built-in format
+directly from coordinate lists.
+
+These are straightforward hand-written constructors, deliberately
+*independent of the code generator*: the test suite uses them as a second
+opinion for every generated conversion routine, and the benchmark harness
+uses them to produce inputs.  Duplicate coordinates are rejected.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..formats.format import Format, FormatError
+from .tensor import Tensor
+
+Coords = Sequence[Tuple[int, ...]]
+
+
+def _as_arrays(coords: Coords, vals: Sequence[float], order: int):
+    if len(coords) != len(vals):
+        raise ValueError("coords and vals must have equal length")
+    seen = set()
+    for c in coords:
+        if len(c) != order:
+            raise ValueError(f"coordinate {c} is not order-{order}")
+        if tuple(c) in seen:
+            raise ValueError(f"duplicate coordinate {c}")
+        seen.add(tuple(c))
+    return [tuple(int(x) for x in c) for c in coords], [float(v) for v in vals]
+
+
+def build_coo(dims, coords: Coords, vals, fmt: Format = None) -> Tensor:
+    """COO in the given order of nonzeros (COO is not assumed sorted)."""
+    from ..formats.library import COO
+
+    fmt = fmt or COO
+    coords, vals = _as_arrays(coords, vals, 2)
+    nnz = len(coords)
+    arrays = {
+        (0, "pos"): np.array([0, nnz], dtype=np.int64),
+        (0, "crd"): np.array([c[0] for c in coords], dtype=np.int64),
+        (1, "crd"): np.array([c[1] for c in coords], dtype=np.int64),
+    }
+    return Tensor(fmt, dims, arrays, {}, np.array(vals, dtype=np.float64))
+
+
+def build_csr(dims, coords: Coords, vals, fmt: Format = None) -> Tensor:
+    """CSR with rows grouped in order; columns sorted within each row."""
+    from ..formats.library import CSR
+
+    fmt = fmt or CSR
+    coords, vals = _as_arrays(coords, vals, 2)
+    order = sorted(range(len(coords)), key=lambda t: coords[t])
+    nrows = dims[0]
+    pos = np.zeros(nrows + 1, dtype=np.int64)
+    for i, _ in coords:
+        pos[i + 1] += 1
+    np.cumsum(pos, out=pos)
+    crd = np.array([coords[t][1] for t in order], dtype=np.int64)
+    out_vals = np.array([vals[t] for t in order], dtype=np.float64)
+    return Tensor(fmt, dims, {(1, "pos"): pos, (1, "crd"): crd}, {}, out_vals)
+
+
+def build_csc(dims, coords: Coords, vals, fmt: Format = None) -> Tensor:
+    """CSC: columns grouped in order; rows sorted within each column."""
+    from ..formats.library import CSC
+
+    fmt = fmt or CSC
+    coords, vals = _as_arrays(coords, vals, 2)
+    order = sorted(range(len(coords)), key=lambda t: (coords[t][1], coords[t][0]))
+    ncols = dims[1]
+    pos = np.zeros(ncols + 1, dtype=np.int64)
+    for _, j in coords:
+        pos[j + 1] += 1
+    np.cumsum(pos, out=pos)
+    crd = np.array([coords[t][0] for t in order], dtype=np.int64)
+    out_vals = np.array([vals[t] for t in order], dtype=np.float64)
+    return Tensor(fmt, dims, {(1, "pos"): pos, (1, "crd"): crd}, {}, out_vals)
+
+
+def build_dia(dims, coords: Coords, vals, fmt: Format = None) -> Tensor:
+    """DIA: one dense slot per (stored diagonal, row); Figure 2c."""
+    from ..formats.library import DIA
+
+    fmt = fmt or DIA
+    coords, vals = _as_arrays(coords, vals, 2)
+    nrows = dims[0]
+    offsets = sorted({j - i for i, j in coords})
+    index = {offset: p for p, offset in enumerate(offsets)}
+    count = len(offsets)
+    out_vals = np.zeros(count * nrows, dtype=np.float64)
+    for (i, j), v in zip(coords, vals):
+        out_vals[index[j - i] * nrows + i] = v
+    arrays = {(0, "perm"): np.array(offsets, dtype=np.int64)}
+    return Tensor(fmt, dims, arrays, {(0, "K"): count}, out_vals)
+
+
+def build_ell(dims, coords: Coords, vals, fmt: Format = None) -> Tensor:
+    """ELL: K slices of one nonzero per row, K = max row degree; Figure 2d."""
+    from ..formats.library import ELL
+
+    fmt = fmt or ELL
+    coords, vals = _as_arrays(coords, vals, 2)
+    nrows = dims[0]
+    # fill rows in sorted order so slices match CSR iteration order
+    order = sorted(range(len(coords)), key=lambda t: coords[t])
+    fill = [0] * nrows
+    for t in order:
+        fill[coords[t][0]] += 1
+    count = max(fill) if fill else 0
+    crd = np.zeros(count * nrows, dtype=np.int64)
+    out_vals = np.zeros(count * nrows, dtype=np.float64)
+    slot = [0] * nrows
+    for t in order:
+        i, j = coords[t]
+        k = slot[i]
+        slot[i] += 1
+        crd[k * nrows + i] = j
+        out_vals[k * nrows + i] = vals[t]
+    return Tensor(fmt, dims, {(2, "crd"): crd}, {(0, "K"): count}, out_vals)
+
+
+def build_sky(dims, coords: Coords, vals, fmt: Format = None) -> Tensor:
+    """Skyline: rows store [first nonzero .. diagonal]; input must be
+    lower-triangular (the format cannot represent j > i)."""
+    from ..formats.library import SKY
+
+    fmt = fmt or SKY
+    coords, vals = _as_arrays(coords, vals, 2)
+    nrows = dims[0]
+    if any(j > i for i, j in coords):
+        raise FormatError("skyline requires lower-triangular input")
+    first = [dims[1]] * nrows
+    for i, j in coords:
+        first[i] = min(first[i], j)
+    pos = np.zeros(nrows + 1, dtype=np.int64)
+    for i in range(nrows):
+        pos[i + 1] = pos[i] + max(i - first[i] + 1, 0)
+    out_vals = np.zeros(int(pos[nrows]), dtype=np.float64)
+    for (i, j), v in zip(coords, vals):
+        out_vals[pos[i + 1] + j - i - 1] = v
+    return Tensor(fmt, dims, {(1, "pos"): pos}, {}, out_vals)
+
+
+def build_bcsr(dims, coords: Coords, vals, fmt: Format) -> Tensor:
+    """BCSR: dense M x N blocks indexed CSR-style by block row/column."""
+    coords, vals = _as_arrays(coords, vals, 2)
+    block_rows = fmt.params["M"]
+    block_cols = fmt.params["N"]
+    nblock_rows = (dims[0] + block_rows - 1) // block_rows
+    blocks: Dict[Tuple[int, int], int] = {}
+    for i, j in coords:
+        blocks.setdefault((i // block_rows, j // block_cols), 0)
+    ordered = sorted(blocks)
+    for p, key in enumerate(ordered):
+        blocks[key] = p
+    pos = np.zeros(nblock_rows + 1, dtype=np.int64)
+    for bi, _ in ordered:
+        pos[bi + 1] += 1
+    np.cumsum(pos, out=pos)
+    crd = np.array([bj for _, bj in ordered], dtype=np.int64)
+    out_vals = np.zeros(len(ordered) * block_rows * block_cols, dtype=np.float64)
+    for (i, j), v in zip(coords, vals):
+        p = blocks[(i // block_rows, j // block_cols)]
+        out_vals[(p * block_rows + i % block_rows) * block_cols + j % block_cols] = v
+    return Tensor(fmt, dims, {(1, "pos"): pos, (1, "crd"): crd}, {}, out_vals)
+
+
+def build_hash(dims, coords: Coords, vals, fmt: Format = None) -> Tensor:
+    """DOK-like hash format: per-row open-addressing column tables."""
+    from ..formats.library import HASH
+    from ..ir.runtime import next_pow2
+
+    fmt = fmt or HASH
+    coords, vals = _as_arrays(coords, vals, 2)
+    nrows = dims[0]
+    per_row = [0] * nrows
+    for i, _ in coords:
+        per_row[i] += 1
+    width = next_pow2(2 * max(per_row, default=0))
+    crd = np.full(nrows * width, -1, dtype=np.int64)
+    out_vals = np.zeros(nrows * width, dtype=np.float64)
+    for (i, j), v in zip(coords, vals):
+        slot = j % width
+        while crd[i * width + slot] >= 0:
+            slot = (slot + 1) % width
+        crd[i * width + slot] = j
+        out_vals[i * width + slot] = v
+    return Tensor(fmt, dims, {(1, "crd"): crd}, {(1, "W"): width}, out_vals)
+
+
+def build_dcsr(dims, coords: Coords, vals, fmt: Format = None) -> Tensor:
+    """Doubly compressed sparse row: only nonempty rows stored."""
+    from ..formats.library import DCSR
+
+    fmt = fmt or DCSR
+    coords, vals = _as_arrays(coords, vals, 2)
+    order = sorted(range(len(coords)), key=lambda t: coords[t])
+    stored_rows: List[int] = []
+    row_pos: List[int] = [0]
+    col_crd: List[int] = []
+    out_vals: List[float] = []
+    for t in order:
+        i, j = coords[t]
+        if not stored_rows or stored_rows[-1] != i:
+            stored_rows.append(i)
+            row_pos.append(row_pos[-1])
+        col_crd.append(j)
+        out_vals.append(vals[t])
+        row_pos[-1] += 1
+    arrays = {
+        (0, "pos"): np.array([0, len(stored_rows)], dtype=np.int64),
+        (0, "crd"): np.array(stored_rows, dtype=np.int64),
+        (1, "pos"): np.array(row_pos, dtype=np.int64),
+        (1, "crd"): np.array(col_crd, dtype=np.int64),
+    }
+    return Tensor(fmt, dims, arrays, {}, np.array(out_vals, dtype=np.float64))
+
+
+def build_coo3(dims, coords: Coords, vals, fmt: Format = None) -> Tensor:
+    """Third-order COO (kept in the given order)."""
+    from ..formats.library import COO3
+
+    fmt = fmt or COO3
+    coords, vals = _as_arrays(coords, vals, 3)
+    nnz = len(coords)
+    arrays = {
+        (0, "pos"): np.array([0, nnz], dtype=np.int64),
+        (0, "crd"): np.array([c[0] for c in coords], dtype=np.int64),
+        (1, "crd"): np.array([c[1] for c in coords], dtype=np.int64),
+        (2, "crd"): np.array([c[2] for c in coords], dtype=np.int64),
+    }
+    return Tensor(fmt, dims, arrays, {}, np.array(vals, dtype=np.float64))
+
+
+def build_csf(dims, coords: Coords, vals, fmt: Format = None) -> Tensor:
+    """CSF for third-order tensors: dense root, compressed fibers."""
+    from ..formats.library import CSF
+
+    fmt = fmt or CSF
+    coords, vals = _as_arrays(coords, vals, 3)
+    order = sorted(range(len(coords)), key=lambda t: coords[t])
+    n0 = dims[0]
+    pos1 = np.zeros(n0 + 1, dtype=np.int64)
+    crd1: List[int] = []
+    pos2: List[int] = [0]
+    crd2: List[int] = []
+    out_vals: List[float] = []
+    last_ij = None
+    for t in order:
+        i, j, k = coords[t]
+        if last_ij != (i, j):
+            pos1[i + 1] += 1
+            crd1.append(j)
+            pos2.append(pos2[-1])
+            last_ij = (i, j)
+        crd2.append(k)
+        out_vals.append(vals[t])
+        pos2[-1] += 1
+    np.cumsum(pos1, out=pos1)
+    arrays = {
+        (1, "pos"): pos1,
+        (1, "crd"): np.array(crd1, dtype=np.int64),
+        (2, "pos"): np.array(pos2, dtype=np.int64),
+        (2, "crd"): np.array(crd2, dtype=np.int64),
+    }
+    return Tensor(fmt, dims, arrays, {}, np.array(out_vals, dtype=np.float64))
+
+
+def build_hicoo(dims, coords: Coords, vals, fmt: Format) -> Tensor:
+    """HiCOO-style Morton-blocked COO (see :func:`repro.formats.library.HICOO`)."""
+    coords, vals = _as_arrays(coords, vals, 2)
+    block = fmt.params["B"]
+
+    def key(c):
+        i, j = c
+        bi, bj = i // block, j // block
+        morton = (bi & 1) | ((bj & 1) << 1)
+        return (morton, bi, bj, i % block, j % block)
+
+    order = sorted(range(len(coords)), key=lambda t: key(coords[t]))
+    tuples = [key(coords[t]) for t in order]
+    nnz = len(tuples)
+    arrays = {
+        (0, "pos"): np.array([0, nnz], dtype=np.int64),
+        (0, "crd"): np.array([t[0] for t in tuples], dtype=np.int64),
+        (1, "crd"): np.array([t[1] for t in tuples], dtype=np.int64),
+        (2, "crd"): np.array([t[2] for t in tuples], dtype=np.int64),
+        (3, "crd"): np.array([t[3] for t in tuples], dtype=np.int64),
+        (4, "crd"): np.array([t[4] for t in tuples], dtype=np.int64),
+    }
+    out_vals = np.array([vals[t] for t in order], dtype=np.float64)
+    return Tensor(fmt, dims, arrays, {}, out_vals)
+
+
+_BUILDERS = {
+    "COO": build_coo,
+    "CSR": build_csr,
+    "CSC": build_csc,
+    "DIA": build_dia,
+    "ELL": build_ell,
+    "SKY": build_sky,
+    "DCSR": build_dcsr,
+    "HASH": build_hash,
+    "COO3": build_coo3,
+    "CSF": build_csf,
+}
+
+
+def reference_build(fmt: Format, dims, coords: Coords, vals) -> Tensor:
+    """Build a tensor in ``fmt`` with the hand-written reference builder."""
+    if fmt.name in _BUILDERS:
+        return _BUILDERS[fmt.name](dims, coords, vals, fmt)
+    if fmt.name.startswith("BCSR"):
+        return build_bcsr(dims, coords, vals, fmt)
+    if fmt.name.startswith("HICOO"):
+        return build_hicoo(dims, coords, vals, fmt)
+    raise FormatError(f"no reference builder for {fmt.name}")

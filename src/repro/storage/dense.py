@@ -1,0 +1,21 @@
+"""Dense-array entry points for tensor construction."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..formats.format import Format
+from .build import reference_build
+from .tensor import Tensor
+
+
+def from_dense(format: Format, dense) -> Tensor:
+    """Build a tensor in ``format`` from a dense numpy array.
+
+    Zeros are dropped; the remaining entries are handed to the reference
+    builder in row-major order.
+    """
+    dense = np.asarray(dense, dtype=np.float64)
+    coords = [tuple(int(x) for x in idx) for idx in np.argwhere(dense != 0)]
+    vals = [float(dense[idx]) for idx in coords]
+    return reference_build(format, dense.shape, coords, vals)

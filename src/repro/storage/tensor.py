@@ -1,0 +1,168 @@
+"""Sparse tensor storage: a format plus its concrete arrays.
+
+A :class:`Tensor` owns the numpy arrays of every level (``pos``, ``crd``,
+``perm``...), scalar metadata (e.g. ELL's ``K``), and the ``vals`` array.
+It also implements the *host-side oracle*: interpreted traversal of the
+coordinate hierarchy (``paths``/``to_coo``) through the same level
+abstraction the code generator uses, which gives the test suite an
+independent reference for every generated routine.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+import numpy as np
+
+from ..formats.format import Format, FormatError
+from ..remap.evaluate import apply_remap_once, CounterState
+
+
+class Tensor:
+    """A sparse tensor stored in some :class:`~repro.formats.format.Format`.
+
+    ``arrays`` maps ``(level_index, array_name)`` to numpy arrays;
+    ``meta`` maps ``(level_index, name)`` to scalars.  The canonical
+    dimensions are ``dims``; remapped-dimension extents are derived from
+    the format (plus metadata for data-dependent dimensions).
+    """
+
+    def __init__(
+        self,
+        format: Format,
+        dims: Sequence[int],
+        arrays: Dict[Tuple[int, str], np.ndarray],
+        meta: Dict[Tuple[int, str], int],
+        vals: np.ndarray,
+    ) -> None:
+        if len(dims) != format.order:
+            raise FormatError(
+                f"{format.name} is order-{format.order} but got dims {dims}"
+            )
+        self.format = format
+        self.dims = tuple(int(d) for d in dims)
+        self.arrays = dict(arrays)
+        self.metadata = dict(meta)
+        self.vals = vals
+        self._extents = format.concrete_dim_extents(self.dims)
+        self._lows = format.concrete_dim_lo(self.dims)
+
+    # -- StorageView interface (used by level host methods) -----------------
+    def array(self, k: int, name: str) -> np.ndarray:
+        """Numpy array ``name`` of level ``k`` (e.g. ``array(1, "pos")``)."""
+        return self.arrays[(k, name)]
+
+    def meta(self, k: int, name: str) -> int:
+        """Scalar metadata ``name`` of level ``k`` (e.g. ELL's K)."""
+        return self.metadata[(k, name)]
+
+    def dim_size(self, k: int) -> int:
+        """Extent of remapped dimension ``k`` (metadata for counter dims)."""
+        if self._extents[k] is not None:
+            return self._extents[k]
+        return self.metadata[(k, "K")]
+
+    def dim_lo(self, k: int) -> int:
+        """Lower coordinate bound of remapped dimension ``k``."""
+        return 0 if self._lows[k] is None else self._lows[k]
+
+    # -- basic facts ---------------------------------------------------------
+    @property
+    def nnz_stored(self) -> int:
+        """Number of stored components, including padding zeros."""
+        return int(len(self.vals))
+
+    @property
+    def nnz(self) -> int:
+        """Number of stored nonzero values."""
+        return int(np.count_nonzero(self.vals))
+
+    # -- oracle traversal ------------------------------------------------------
+    def paths(self) -> Iterator[Tuple[Tuple[int, ...], int]]:
+        """Yield every stored path as (level coordinates, leaf position).
+
+        This interprets each level's iteration level functions — the same
+        semantics the generated code compiles — making it a slow but
+        trustworthy oracle.
+        """
+        levels = self.format.levels
+
+        def rec(k: int, parent_pos: int, ancestors: Tuple[int, ...]):
+            if k == len(levels):
+                yield ancestors, parent_pos
+                return
+            for pos, coord in levels[k].iterate(self, k, parent_pos, ancestors):
+                yield from rec(k + 1, pos, ancestors + (coord,))
+
+        yield from rec(0, 0, ())
+
+    def to_coo(self, skip_zeros: bool = None) -> Dict[Tuple[int, ...], float]:
+        """Canonical content: map from canonical coordinates to value.
+
+        Padding zeros of padded formats (DIA/ELL/SKY...) are dropped by
+        default; pass ``skip_zeros`` explicitly to override.
+        """
+        if skip_zeros is None:
+            skip_zeros = self.format.padded
+        inverse = self.format.inverse
+        if inverse is None:
+            raise FormatError(f"{self.format.name} has no inverse mapping")
+        out: Dict[Tuple[int, ...], float] = {}
+        counters = CounterState()
+        for level_coords, leaf_pos in self.paths():
+            value = float(self.vals[leaf_pos])
+            if skip_zeros and value == 0.0:
+                continue
+            canonical = apply_remap_once(
+                inverse, level_coords, self.format.params, counters
+            )
+            if canonical in out:
+                raise FormatError(
+                    f"duplicate canonical coordinate {canonical} in {self.format.name}"
+                )
+            out[canonical] = value
+        return out
+
+    def to_dense(self) -> np.ndarray:
+        """Materialize as a dense numpy array (for kernel tests)."""
+        dense = np.zeros(self.dims, dtype=np.float64)
+        for coords, value in self.to_coo(skip_zeros=True).items():
+            dense[coords] = value
+        return dense
+
+    # -- validation ------------------------------------------------------------
+    def check(self) -> None:
+        """Validate structural invariants of every level; raises on failure."""
+        size = 1
+        for k, level in enumerate(self.format.levels):
+            name = level.name
+            if name in ("compressed", "banded"):
+                pos = self.array(k, "pos")
+                if len(pos) != size + 1:
+                    raise FormatError(f"level {k}: pos length {len(pos)} != {size + 1}")
+                if pos[0] != 0:
+                    raise FormatError(f"level {k}: pos[0] == {pos[0]} != 0")
+                if np.any(np.diff(pos) < 0):
+                    raise FormatError(f"level {k}: pos not monotone")
+                if name == "compressed":
+                    crd = self.array(k, "crd")
+                    if len(crd) < pos[-1]:
+                        raise FormatError(f"level {k}: crd shorter than pos[-1]")
+            elif name == "singleton":
+                crd = self.array(k, "crd")
+                if len(crd) < size:
+                    raise FormatError(f"level {k}: crd shorter than parent size")
+            elif name == "squeezed":
+                perm = self.array(k, "perm")
+                count = self.meta(k, "K")
+                if len(perm) != count:
+                    raise FormatError(f"level {k}: perm length != K")
+                if np.any(np.diff(perm) <= 0):
+                    raise FormatError(f"level {k}: perm not strictly increasing")
+            size = level.size(self, k, size)
+        if len(self.vals) != size:
+            raise FormatError(f"vals length {len(self.vals)} != leaf size {size}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        dims = "x".join(str(d) for d in self.dims)
+        return f"<Tensor {self.format.name} {dims} nnz={self.nnz}>"

@@ -1,0 +1,5 @@
+"""Small shared utilities."""
+
+from .evaluate import evaluate_expr
+
+__all__ = ["evaluate_expr"]

@@ -1,0 +1,59 @@
+"""Numeric evaluation of IR expressions over a variable environment.
+
+Used host-side to resolve symbolic dimension extents (e.g. a DIA tensor's
+offset dimension ``N1 + N2 - 1``) to concrete integers for a tensor with
+known dimensions.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Union
+
+from ..ir.nodes import BinOp, Call, Const, Expr, Ternary, UnOp, Var
+
+_BIN = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "//": lambda a, b: a // b,
+    "/": lambda a, b: a / b,
+    "%": lambda a, b: a % b,
+    "<<": lambda a, b: a << b,
+    ">>": lambda a, b: a >> b,
+    "&": lambda a, b: a & b,
+    "|": lambda a, b: a | b,
+    "^": lambda a, b: a ^ b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+    "==": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "and": lambda a, b: a and b,
+    "or": lambda a, b: a or b,
+}
+
+
+def evaluate_expr(expr: Expr, env: Dict[str, Union[int, float]]):
+    """Evaluate a pure IR expression (no loads) in ``env``.
+
+    Raises ``KeyError`` for unbound variables and ``TypeError`` for nodes
+    that need runtime state (array loads).
+    """
+    if isinstance(expr, Const):
+        return expr.value
+    if isinstance(expr, Var):
+        return env[expr.name]
+    if isinstance(expr, BinOp):
+        return _BIN[expr.op](evaluate_expr(expr.lhs, env), evaluate_expr(expr.rhs, env))
+    if isinstance(expr, UnOp):
+        value = evaluate_expr(expr.operand, env)
+        return {"-": lambda v: -v, "not": lambda v: not v, "~": lambda v: ~v}[expr.op](value)
+    if isinstance(expr, Call) and expr.func in ("min", "max"):
+        values = [evaluate_expr(a, env) for a in expr.args]
+        return min(values) if expr.func == "min" else max(values)
+    if isinstance(expr, Ternary):
+        if evaluate_expr(expr.cond, env):
+            return evaluate_expr(expr.if_true, env)
+        return evaluate_expr(expr.if_false, env)
+    raise TypeError(f"cannot evaluate {expr!r} without runtime state")

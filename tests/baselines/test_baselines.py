@@ -1,0 +1,149 @@
+"""Correctness tests for the SPARSKIT/MKL/taco-legacy baselines against
+the reference builders — the benchmark comparison is only meaningful if
+every implementation computes the same conversion."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import mkl_like, sparskit, taco_legacy
+from repro.formats.library import COO, CSC, CSR, DIA, ELL
+from repro.matrices.synthetic import random_matrix, stencil
+from repro.storage.build import reference_build
+
+
+@pytest.fixture(scope="module")
+def problem():
+    dims, coords, vals = random_matrix(25, 31, 160, seed=13)
+    return {
+        "dims": dims,
+        "coords": coords,
+        "vals": vals,
+        "coo": reference_build(COO, dims, coords, vals),
+        "csr": reference_build(CSR, dims, coords, vals),
+        "csc": reference_build(CSC, dims, coords, vals),
+        "dia": reference_build(DIA, dims, coords, vals),
+        "ell": reference_build(ELL, dims, coords, vals),
+    }
+
+
+def _rows_match(pos, crd, vals, want_csr):
+    if not np.array_equal(pos, want_csr.array(1, "pos")):
+        return False
+    want_crd = want_csr.array(1, "crd")
+    want_vals = want_csr.vals
+    for i in range(len(pos) - 1):
+        got = sorted(zip(crd[pos[i]:pos[i + 1]], vals[pos[i]:pos[i + 1]]))
+        want = sorted(zip(want_crd[pos[i]:pos[i + 1]], want_vals[pos[i]:pos[i + 1]]))
+        if got != want:
+            return False
+    return True
+
+
+@pytest.mark.parametrize("impl", [sparskit.coocsr, mkl_like.coocsr,
+                                  taco_legacy.coocsr_sorting],
+                         ids=["sparskit", "mkl", "taco_legacy"])
+def test_coocsr_variants(problem, impl):
+    coo = problem["coo"]
+    nrow = problem["dims"][0]
+    pos, crd, vals = impl(nrow, coo.array(0, "crd"), coo.array(1, "crd"), coo.vals)
+    assert _rows_match(pos, crd, vals, problem["csr"])
+
+
+def test_taco_legacy_output_is_fully_sorted(problem):
+    coo = problem["coo"]
+    pos, crd, _ = taco_legacy.coocsr_sorting(
+        problem["dims"][0], coo.array(0, "crd"), coo.array(1, "crd"), coo.vals
+    )
+    for i in range(len(pos) - 1):
+        segment = crd[pos[i]:pos[i + 1]]
+        assert np.all(np.diff(segment) > 0)
+
+
+@pytest.mark.parametrize("impl", [sparskit.csrcsc, mkl_like.csrcsc],
+                         ids=["sparskit", "mkl"])
+def test_csrcsc_variants(problem, impl):
+    csr, csc = problem["csr"], problem["csc"]
+    nrow, ncol = problem["dims"]
+    pos, crd, vals = impl(nrow, ncol, csr.array(1, "pos"), csr.array(1, "crd"), csr.vals)
+    assert np.array_equal(pos, csc.array(1, "pos"))
+    assert np.array_equal(crd, csc.array(1, "crd"))
+    assert np.allclose(vals, csc.vals)
+
+
+@pytest.mark.parametrize("impl", [sparskit.csrdia, mkl_like.csrdia],
+                         ids=["sparskit", "mkl"])
+def test_csrdia_variants(problem, impl):
+    csr, dia = problem["csr"], problem["dia"]
+    nrow, ncol = problem["dims"]
+    offsets, diag = impl(nrow, ncol, csr.array(1, "pos"), csr.array(1, "crd"), csr.vals)
+    assert np.array_equal(offsets, dia.array(0, "perm"))
+    assert np.allclose(diag, dia.vals)
+
+
+def test_csrdia_bounded_diagonals():
+    """SPARSKIT's ndiag argument keeps only the densest diagonals."""
+    dims, coords, vals = stencil(30, [0, -1, 1], partial=[9], seed=1)
+    csr = reference_build(CSR, dims, coords, vals)
+    offsets, _ = sparskit.csrdia(30, 30, csr.array(1, "pos"),
+                                 csr.array(1, "crd"), csr.vals, ndiag=3)
+    assert len(offsets) == 3
+    assert set(offsets) == {-1, 0, 1}  # the partial 9-diagonal is dropped
+
+
+def test_csrell_variants(problem):
+    csr, ell = problem["csr"], problem["ell"]
+    ndiag, jcoef, coef = sparskit.csrell(
+        problem["dims"][0], csr.array(1, "pos"), csr.array(1, "crd"), csr.vals
+    )
+    assert ndiag == ell.meta(0, "K")
+    assert np.array_equal(jcoef, ell.array(2, "crd"))
+    assert np.allclose(coef, ell.vals)
+
+
+def test_via_csr_composites(problem):
+    coo, csc, dia, ell = (problem[k] for k in ("coo", "csc", "dia", "ell"))
+    nrow, ncol = problem["dims"]
+    offsets, diag = sparskit.coodia_via_csr(
+        nrow, ncol, coo.array(0, "crd"), coo.array(1, "crd"), coo.vals
+    )
+    assert np.array_equal(offsets, dia.array(0, "perm"))
+    assert np.allclose(diag, dia.vals)
+
+    offsets, diag = mkl_like.cscdia_via_csr(
+        nrow, ncol, csc.array(1, "pos"), csc.array(1, "crd"), csc.vals
+    )
+    assert np.array_equal(offsets, dia.array(0, "perm"))
+    assert np.allclose(diag, dia.vals)
+
+    ndiag, jcoef, coef = sparskit.cscell_via_csr(
+        nrow, ncol, csc.array(1, "pos"), csc.array(1, "crd"), csc.vals
+    )
+    assert ndiag == ell.meta(0, "K")
+    assert np.allclose(coef, ell.vals)
+
+    ndiag, _, coef = sparskit.cooell_via_csr(
+        nrow, coo.array(0, "crd"), coo.array(1, "crd"), coo.vals
+    )
+    assert ndiag == ell.meta(0, "K")
+    assert np.allclose(coef, ell.vals)
+
+
+def test_infdia_counts(problem):
+    csr = problem["csr"]
+    nrow, ncol = problem["dims"]
+    counts = sparskit.infdia(nrow, ncol, csr.array(1, "pos"), csr.array(1, "crd"))
+    assert counts.sum() == len(problem["coords"])
+    diagonals = {j - i for i, j in problem["coords"]}
+    assert np.count_nonzero(counts) == len(diagonals)
+
+
+def test_empty_matrix_baselines():
+    pos = np.zeros(6, dtype=np.int64)
+    crd = np.zeros(0, dtype=np.int64)
+    vals = np.zeros(0, dtype=np.float64)
+    out_pos, _, _ = sparskit.csrcsc(5, 5, pos, crd, vals)
+    assert np.array_equal(out_pos, np.zeros(6, dtype=np.int64))
+    offsets, diag = sparskit.csrdia(5, 5, pos, crd, vals)
+    assert len(offsets) == 0 and len(diag) == 0
+    ndiag, _, _ = sparskit.csrell(5, pos, crd, vals)
+    assert ndiag == 0

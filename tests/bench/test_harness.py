@@ -1,0 +1,82 @@
+"""Tests for the benchmark harness itself (inclusion rules, rendering)."""
+
+from repro.bench import (
+    applicable,
+    format_table,
+    geomean,
+    render_ablations,
+    render_table2,
+    render_table3,
+    run_table2,
+    time_call,
+)
+from repro.bench.ablations import AblationResult
+from repro.bench.table3 import CellResult, _baselines, _ours
+from repro.matrices.suite import get_matrix, suite
+
+
+def test_geomean():
+    assert abs(geomean([2.0, 8.0]) - 4.0) < 1e-12
+    assert geomean([]) is None
+    assert abs(geomean([None, 3.0]) - 3.0) < 1e-12
+
+
+def test_format_table_alignment():
+    text = format_table(["a", "bb"], [["1", "2"], ["333", "4"]])
+    lines = text.splitlines()
+    assert len(lines) == 4
+    assert all(len(line) == len(lines[0]) for line in lines[1:])
+
+
+def test_time_call_returns_positive_median():
+    assert time_call(lambda: sum(range(100)), repeats=3) > 0
+
+
+def test_applicable_rules():
+    scircuit = get_matrix("scircuit", scale=0.2)
+    cant = get_matrix("cant", scale=0.2)
+    jnl = get_matrix("jnlbrng1", scale=0.2)
+    assert not applicable("csr_dia", scircuit)   # >75% DIA padding
+    assert not applicable("csr_ell", scircuit)   # >75% ELL padding
+    assert applicable("csr_dia", cant)
+    assert applicable("csr_csc", scircuit)       # nonsymmetric
+    assert not applicable("csr_csc", jnl)        # symmetric
+    assert applicable("coo_csr", scircuit)
+
+
+def test_ours_and_baselines_execute():
+    entry = get_matrix("jnlbrng1", scale=0.1)
+    fn = _ours("coo_csr", entry)
+    fn()
+    impls = _baselines("coo_csr", entry)
+    assert set(impls) == {"taco w/o ext", "skit", "mkl"}
+    for impl in impls.values():
+        impl()
+
+
+def test_symmetric_csc_casts_to_csr():
+    entry = get_matrix("jnlbrng1", scale=0.1)
+    assert entry.symmetric
+    impls = _baselines("csc_dia", entry)
+    # symmetric: baselines run the direct csr_dia routines (no via-CSR)
+    assert set(impls) == {"skit", "mkl"}
+
+
+def test_render_table3_includes_geomean():
+    cells = [CellResult("m1", 0.01, {"skit": 2.0}),
+             CellResult("m2", 0.02, {"skit": 8.0})]
+    text = render_table3({"coo_csr": cells})
+    assert "Geomean" in text and "4.00" in text
+
+
+def test_render_table2_lists_all():
+    rows = run_table2(suite(scale=0.05)[:3])
+    text = render_table2(rows)
+    assert "pdb1HYS_s" in text and "paper nnz" in text
+
+
+def test_render_ablations():
+    text = render_ablations(
+        {"A1": [AblationResult("m", 0.01, 2.0), AblationResult("n", 0.01, 8.0)]}
+    )
+    assert "4.00" in text

@@ -1,0 +1,72 @@
+"""Tests for lowering attribute queries to canonical CIN (Section 5.2)."""
+
+import pytest
+
+from repro.cin import (
+    DenseSpace,
+    KeyDim,
+    SrcNonzeros,
+    VConst,
+    VCoordMax,
+    VCoordMin,
+    VLoad,
+    lower_query,
+)
+from repro.query import QuerySpec
+
+
+def test_id_canonical_form():
+    plan = lower_query(QuerySpec((0,), "id", (), "nz"), "Q", "W")
+    assert len(plan.statements) == 1
+    stmt = plan.statements[0]
+    # ∀nz  Q[i1] |= map(B, 1)
+    assert stmt.result == "Q"
+    assert stmt.keys == (KeyDim(0),)
+    assert stmt.op == "or="
+    assert stmt.domain == SrcNonzeros()
+    assert stmt.value == VConst(1)
+    assert plan.decode is None
+
+
+def test_count_canonical_form_uses_where_temporary():
+    plan = lower_query(QuerySpec((0,), "count", (1, 2), "n"), "Q", "W")
+    producer, consumer = plan.statements
+    # (∀dense  Q[i1] += map(W, 1)) where (∀nz  W[i1,i2,i3] |= map(B, 1))
+    assert producer.result == "W"
+    assert producer.keys == (KeyDim(0), KeyDim(1), KeyDim(2))
+    assert producer.op == "or="
+    assert consumer.result == "Q"
+    assert consumer.keys == (KeyDim(0),)
+    assert consumer.domain == DenseSpace(producer.keys)
+    assert consumer.value == VLoad("W", bool_map=True)
+
+
+def test_max_canonical_form_is_shifted():
+    plan = lower_query(QuerySpec((), "max", (1,), "m"), "Q", "W")
+    stmt = plan.statements[0]
+    # ∀nz  Q' max= map(B, i - s + 1);  Q == Q' + s - 1
+    assert stmt.op == "max="
+    assert stmt.value == VCoordMax(1)
+    assert plan.decode == ("max", 1)
+
+
+def test_min_canonical_form_is_negated_max():
+    plan = lower_query(QuerySpec((0,), "min", (1,), "w"), "Q", "W")
+    stmt = plan.statements[0]
+    # ∀nz  Q' max= map(B, -i + t + 1);  Q == -Q' + t + 1
+    assert stmt.op == "max="
+    assert stmt.value == VCoordMin(1)
+    assert plan.decode == ("min", 1)
+
+
+def test_describe_renders_statements():
+    plan = lower_query(QuerySpec((0,), "count", (1,), "n"), "Q", "W")
+    text = plan.describe()
+    assert "W" in text and "Q" in text and "∀" in text
+
+
+def test_unknown_aggregation_rejected():
+    spec = QuerySpec((0,), "count", (1,), "n")
+    object.__setattr__(spec, "aggr", "median")
+    with pytest.raises(ValueError):
+        lower_query(spec, "Q", "W")

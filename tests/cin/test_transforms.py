@@ -1,0 +1,140 @@
+"""Tests for the Table 1 CIN transformations: each rule's effect and its
+preconditions, demonstrated on the paper's own conversion scenarios."""
+
+import pytest
+
+from repro.cin import (
+    DenseSpace,
+    KeyDim,
+    KeySrc,
+    QueryCompileError,
+    SrcNonzeros,
+    SrcPrefix,
+    VConst,
+    VLoad,
+    VWidth,
+    lower_query,
+    optimize_plan,
+)
+from repro.cin.transforms import ConversionInfo
+from repro.formats.library import BCSR, COO, CSR, DIA, ELL
+from repro.ir.builder import NameGenerator
+from repro.query import QuerySpec
+
+
+def _optimize(spec, src_format, dst_format):
+    ng = NameGenerator()
+    plan = lower_query(spec, "Q", "W")
+    info = ConversionInfo(src_format, dst_format.remap)
+    return optimize_plan(plan, info, ng)
+
+
+def test_canonical_count_has_two_statements():
+    plan = lower_query(QuerySpec((0,), "count", (1,), "nir"), "Q", "W")
+    assert len(plan.statements) == 2
+    assert plan.statements[0].op == "or="
+    assert plan.statements[1].op == "+="
+    assert isinstance(plan.statements[1].domain, DenseSpace)
+
+
+def test_coo_to_csr_count_becomes_single_histogram():
+    """Figure 6c lines 1-6: one pass over nonzeros, no temporary.
+
+    (reduction-to-assign then inline-temporary, as Section 5.2 traces;
+    our pipeline additionally folds the trailing singleton level into a
+    width-1 prefix pass, which is the same loop.)"""
+    plan = _optimize(QuerySpec((0,), "count", (1,), "nir"), COO, CSR)
+    assert len(plan.statements) == 1
+    stmt = plan.statements[0]
+    assert stmt.result == "Q"
+    assert isinstance(stmt.domain, (SrcNonzeros, SrcPrefix))
+    assert not isinstance(stmt.value, VLoad)  # temporary eliminated
+
+
+def test_csr_count_uses_width_not_nonzeros():
+    """CSR input: count(j) per row avoids iterating nonzeros entirely
+    (simplify-width-count -> ∀i Qi = B'i)."""
+    plan = _optimize(QuerySpec((0,), "count", (1,), "nir"), CSR, CSR)
+    assert len(plan.statements) == 1
+    stmt = plan.statements[0]
+    assert stmt.domain == SrcPrefix(1)
+    assert isinstance(stmt.value, VWidth)
+    assert stmt.op == "="  # each row visited exactly once
+
+
+def test_csr_to_ell_max_counter_becomes_width_max():
+    """Figure 6b lines 1-5: K = max over rows of pos[i+1]-pos[i].
+
+    counter-to-histogram, then simplify-width-count on the histogram,
+    then inline-temporary."""
+    plan = _optimize(QuerySpec((), "max", (0,), "max_crd"), CSR, ELL)
+    assert len(plan.statements) == 1
+    stmt = plan.statements[0]
+    assert stmt.domain == SrcPrefix(1)
+    assert isinstance(stmt.value, VWidth)
+    assert stmt.op == "max="
+    assert plan.decode == ("max", 0)
+
+
+def test_coo_to_ell_max_counter_keeps_histogram():
+    """COO input cannot use pos widths: the histogram must materialize."""
+    plan = _optimize(QuerySpec((), "max", (0,), "max_crd"), COO, ELL)
+    assert len(plan.statements) == 2
+    producer, consumer = plan.statements
+    assert producer.keys == (KeySrc("i"),)
+    assert isinstance(producer.domain, (SrcNonzeros, SrcPrefix))
+    assert isinstance(consumer.domain, DenseSpace)
+    assert isinstance(consumer.value, VLoad)
+
+
+def test_dia_id_query_stays_single_pass():
+    plan = _optimize(QuerySpec((0,), "id", (), "nz"), CSR, DIA)
+    assert len(plan.statements) == 1
+    stmt = plan.statements[0]
+    assert stmt.op == "="  # or= const is idempotent -> assignment
+    assert stmt.value == VConst(1)
+    assert stmt.keys == (KeyDim(0),)
+
+
+def test_bcsr_block_count_keeps_temporary():
+    """Counting *distinct* blocks cannot inline the bit-set temporary:
+    several nonzeros share a block, so the inline precondition fails."""
+    bcsr = BCSR(2, 2)
+    plan = _optimize(QuerySpec((0,), "count", (1,), "nir"), CSR, bcsr)
+    assert len(plan.statements) == 2
+    producer, consumer = plan.statements
+    assert producer.result == "W"
+    assert producer.op == "="  # idempotent bit set
+    assert isinstance(consumer.domain, DenseSpace)
+    assert consumer.value == VLoad("W", bool_map=True)
+
+
+def test_padded_source_blocks_width_count():
+    """ELL stores explicit zeros, so widths over its levels overcount;
+    the rule's precondition must reject it and keep the nonzero pass."""
+    plan = _optimize(QuerySpec((0,), "count", (1,), "nir"), ELL, CSR)
+    assert all(not isinstance(s.value, VWidth) for s in plan.statements)
+    assert any(isinstance(s.domain, SrcNonzeros) for s in plan.statements)
+
+
+def test_min_over_counter_rejected():
+    with pytest.raises(QueryCompileError):
+        _optimize(QuerySpec((), "min", (0,), "w"), CSR, ELL)
+
+
+def test_conversion_info_canonical_levels():
+    info = ConversionInfo(CSR, CSR.remap)
+    assert info.canonical_level == {"i": 0, "j": 1}
+    from repro.formats.library import CSC
+
+    info = ConversionInfo(CSC, CSR.remap)
+    assert info.canonical_level == {"i": 1, "j": 0}
+
+
+def test_keys_cover_sources_div_mod():
+    bcsr = BCSR(2, 2)
+    info = ConversionInfo(CSR, bcsr.remap)
+    # (i/M, j/N) alone does not determine (i, j)
+    assert not info.keys_cover_sources((KeyDim(0), KeyDim(1)))
+    # all four block coordinates do
+    assert info.keys_cover_sources((KeyDim(0), KeyDim(1), KeyDim(2), KeyDim(3)))

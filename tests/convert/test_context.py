@@ -1,0 +1,134 @@
+"""Unit tests for the conversion context: registries, bounds, handles."""
+
+import pytest
+
+from repro.cin.nodes import KeyDim, KeySrc
+from repro.convert.context import (
+    ConversionContext,
+    PlanError,
+    QueryResultHandle,
+)
+from repro.formats.library import BCSR, COO, CSC, CSR, DIA, ELL
+from repro.ir import builder as b
+from repro.ir.nodes import Const, Var
+from repro.ir.printer import print_expr
+
+
+def test_array_naming_and_registration_order():
+    ctx = ConversionContext(COO, CSR)
+    assert ctx.src_array(0, "crd") == Var("A1_crd")
+    assert ctx.src_array(1, "crd") == Var("A2_crd")
+    assert ctx.src_vals() == Var("A_vals")
+    assert ctx.dst_array(1, "pos") == Var("B2_pos")
+    assert ctx.dst_vals() == Var("B_vals")
+    # repeated registration returns the same variable, once
+    assert ctx.src_array(0, "crd") is ctx.src_params[("src_array", 0, "crd")]
+    names = [var.name for _, var in ctx.param_list()]
+    assert names == ["A1_crd", "A2_crd", "A_vals", "N1", "N2"]
+
+
+def test_meta_registration():
+    ctx = ConversionContext(CSR, ELL)
+    assert ctx.dst_meta(0, "K") == Var("B1_K")
+    assert ("dst_meta", 0, "K") in dict(ctx.output_list())
+
+
+def test_canonical_names_follow_dst_remap():
+    ctx = ConversionContext(CSC, CSR)
+    assert ctx.canonical_names == ("i", "j")
+    assert ctx.canonical_dim_size("j") == Var("N2")
+
+
+def test_src_level_var_mapping():
+    assert ConversionContext(CSR, CSR).src_level_var == ["i", "j"]
+    assert ConversionContext(CSC, CSR).src_level_var == ["j", "i"]
+    # DIA's column level is derived (k+i), not a bare variable
+    assert ConversionContext(DIA, CSR).src_level_var == [None, "i", None]
+
+
+def test_dst_dim_bounds_dia():
+    ctx = ConversionContext(CSR, DIA)
+    assert print_expr(ctx.dst_dim_lo(0)) == "-(N1 - 1)"
+    assert print_expr(ctx.dst_dim_extent(0)) == "N2 + N1 - 1"
+    assert print_expr(ctx.dst_dim_extent(1)) == "N1"
+
+
+def test_counter_dim_extent_raises():
+    ctx = ConversionContext(CSR, ELL)
+    with pytest.raises(PlanError):
+        ctx.dst_dim_extent(0)  # #i has no static extent
+    # but its lower bound is known
+    assert ctx.dst_dim_lo(0) == Const(0)
+
+
+def test_key_extent_for_src_keys():
+    ctx = ConversionContext(CSR, ELL)
+    assert ctx.key_extent(KeySrc("i")) == Var("N1")
+    assert ctx.key_lo(KeySrc("i")) == Const(0)
+
+
+def test_query_registry():
+    ctx = ConversionContext(CSR, CSR)
+    handle = QueryResultHandle(ctx, (KeyDim(0),), Var("q"), False)
+    ctx.register_query(1, "nir", handle)
+    assert ctx.query(1, "nir") is handle
+    with pytest.raises(PlanError):
+        ctx.query(0, "missing")
+
+
+def test_handle_decode_max():
+    ctx = ConversionContext(CSR, ELL)
+    handle = QueryResultHandle(ctx, (), Var("q"), True, decode=("max", 0))
+    # Q == Q' + lo - 1 with lo == 0
+    assert print_expr(handle.at(())) == "q - 1"
+
+
+def test_handle_decode_min():
+    from repro.formats.library import SKY
+
+    ctx = ConversionContext(CSR, SKY)
+    handle = QueryResultHandle(ctx, (), Var("q"), True, decode=("min", 1))
+    # Q == hi + 1 - Q' with hi == N2 - 1
+    assert print_expr(handle.at(())) == "N2 - q"
+
+
+def test_handle_array_indexing_shifts_by_lo():
+    ctx = ConversionContext(CSR, DIA)
+    handle = QueryResultHandle(ctx, (KeyDim(0),), Var("nz"), False)
+    expr = handle.at([b.sub("j", "i"), Var("i"), Var("j")])
+    assert print_expr(expr) == "nz[j - i + N1 - 1]"
+
+
+def test_handle_at_shifted_requires_single_key():
+    ctx = ConversionContext(CSR, DIA)
+    scalar = QueryResultHandle(ctx, (), Var("q"), True)
+    with pytest.raises(PlanError):
+        scalar.at_shifted(Const(0))
+
+
+def test_mismatched_orders_rejected():
+    from repro.formats.library import COO3
+
+    with pytest.raises(PlanError):
+        ConversionContext(COO3, CSR)
+
+
+def test_source_without_inverse_rejected():
+    from repro.formats.format import make_format
+    from repro.levels import CompressedLevel, DenseLevel
+
+    no_inverse = make_format("X", "(i,j) -> (i, j)",
+                             [DenseLevel(), CompressedLevel()])
+    with pytest.raises(PlanError):
+        ConversionContext(no_inverse, CSR)
+
+
+def test_dst_view_zero_init_tracks_padding():
+    assert ConversionContext(CSR, ELL).dst.needs_zero_init(2)
+    assert not ConversionContext(COO, CSR).dst.needs_zero_init(1)
+
+
+def test_scratch_is_shared():
+    ctx = ConversionContext(CSR, DIA)
+    ctx.dst.scratch[(0, "rperm")] = Var("r")
+    assert ctx.scratch[(0, "rperm")] == Var("r")

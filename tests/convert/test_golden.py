@@ -1,0 +1,39 @@
+"""Golden-file tests: the generated code for the paper's seven evaluated
+conversions is pinned verbatim.
+
+These protect the code generator against silent regressions: any change
+to emitted loops, temporaries or pass structure shows up as a readable
+diff.  If a change is *intended*, regenerate with::
+
+    python -m pytest tests/convert/test_golden.py --force-regen  # (manually:
+    rewrite the files with repro.convert.generated_source)
+"""
+
+import pathlib
+
+import pytest
+
+from repro.convert import generated_source
+from repro.formats import COO, CSC, CSR, DIA, ELL
+
+GOLDEN = pathlib.Path(__file__).parent / "golden"
+PAIRS = {
+    "coo_csr": (COO, CSR),
+    "coo_dia": (COO, DIA),
+    "csr_csc": (CSR, CSC),
+    "csr_dia": (CSR, DIA),
+    "csr_ell": (CSR, ELL),
+    "csc_dia": (CSC, DIA),
+    "csc_ell": (CSC, ELL),
+}
+
+
+@pytest.mark.parametrize("name", sorted(PAIRS))
+def test_generated_code_matches_golden(name):
+    src_fmt, dst_fmt = PAIRS[name]
+    want = (GOLDEN / f"{name}.py.txt").read_text()
+    got = generated_source(src_fmt, dst_fmt) + "\n"
+    assert got == want, (
+        f"generated code for {name} changed; diff against "
+        f"tests/convert/golden/{name}.py.txt and regenerate if intended"
+    )

@@ -1,0 +1,165 @@
+"""Unit tests for source-loop emission and counter planning."""
+
+import pytest
+
+from repro.convert.context import ConversionContext, PlanError
+from repro.convert.iterate import CounterPlan, SourceLoopEmitter
+from repro.formats.library import COO, COO3, CSC, CSF, CSR, DIA, ELL
+from repro.ir import builder as b
+from repro.ir.nodes import Block, Const, Pass, Var
+from repro.ir.printer import print_stmt
+from repro.remap.parser import parse_remap
+
+
+def _emitter(src, dst):
+    return SourceLoopEmitter(ConversionContext(src, dst))
+
+
+def test_canonical_exprs_identity_source():
+    emitter = _emitter(CSR, CSR)
+    coords = [Var("a"), Var("b")]
+    assert emitter.canonical_exprs(coords) == [Var("a"), Var("b")]
+
+
+def test_canonical_exprs_transposed_source():
+    emitter = _emitter(CSC, CSR)
+    coords = [Var("a"), Var("b")]
+    # CSC level order is (j, i): canonical i is the second level coord
+    assert emitter.canonical_exprs(coords) == [Var("b"), Var("a")]
+
+
+def test_canonical_exprs_dia_source():
+    emitter = _emitter(DIA, CSR)
+    coords = [Var("k"), Var("r"), Var("c")]
+    i, j = emitter.canonical_exprs(coords)
+    assert i == Var("r")
+    assert print_stmt(b.assign("x", j)) == "x = k + r"
+
+
+def test_emit_full_nest_shape():
+    emitter = _emitter(CSR, CSR)
+    code = print_stmt(
+        emitter.emit(lambda canonical, pos, coords: Pass())
+    )
+    assert "for i in range(N1):" in code
+    assert "for p2 in range(A2_pos[i], A2_pos[i + 1]):" in code
+
+
+def test_padded_source_gets_zero_guard():
+    emitter = _emitter(ELL, CSR)
+    code = print_stmt(emitter.emit(lambda c, p, lc: b.assign("x", 1)))
+    assert "!= 0" in code
+    # and can be overridden
+    code = print_stmt(
+        emitter.emit(lambda c, p, lc: b.assign("x", 1), skip_zeros=False)
+    )
+    assert "!= 0" not in code
+
+
+def test_level_prologue_hook_placement():
+    emitter = _emitter(CSR, ELL)
+    code = print_stmt(
+        emitter.emit(
+            lambda c, p, lc: b.assign("x", 1),
+            level_prologue={1: lambda coords: [b.assign("count", 0)]},
+        )
+    )
+    lines = [line.strip() for line in code.splitlines()]
+    reset = lines.index("count = 0")
+    inner = next(i for i, l in enumerate(lines) if l.startswith("for p2"))
+    assert reset < inner  # reset precedes the inner loop, inside the outer
+
+
+def test_emit_prefix_stops_early():
+    emitter = _emitter(CSR, CSR)
+    code = print_stmt(emitter.emit_prefix(1, lambda coords, pos: Pass()))
+    assert "A2_pos" not in code  # inner level untouched
+    assert "for i in range(N1):" in code
+
+
+def test_emit_width_csr():
+    emitter = _emitter(CSR, CSR)
+    _, width = emitter.emit_width(1, Var("i"))
+    assert print_stmt(b.assign("w", width)) == "w = A2_pos[i + 1] - A2_pos[i]"
+
+
+def test_emit_width_coo_root():
+    emitter = _emitter(COO, CSR)
+    _, width = emitter.emit_width(0, Const(0))
+    assert print_stmt(b.assign("w", width)) == "w = A1_pos[1] - A1_pos[0]"
+
+
+def test_emit_width_composes_nested_compressed():
+    """CSF: paths below row i span pos2[pos1[i]] .. pos2[pos1[i+1]]."""
+    emitter = _emitter(CSF, COO3)
+    _, width = emitter.emit_width(1, Var("i"))
+    text = print_stmt(b.assign("w", width))
+    assert text == "w = A3_pos[A2_pos[i + 1]] - A3_pos[A2_pos[i]]"
+
+
+def test_emit_width_rejects_dense_remainder():
+    emitter = _emitter(CSR, CSR)
+    with pytest.raises(PlanError):
+        emitter.emit_width(0, Const(0))  # would need widths through dense
+
+
+# ---------------------------------------------------------------------------
+# counter planning
+# ---------------------------------------------------------------------------
+
+
+def _counter_plan(src, force=False):
+    ctx = ConversionContext(src, ELL)
+    return ctx, CounterPlan(ctx, ELL.remap, force_arrays=force)
+
+
+def test_counter_scalar_for_ordered_csr():
+    _, plan = _counter_plan(CSR)
+    assert [impl.mode for impl in plan.impls] == ["scalar"]
+    assert plan.impls[0].reset_level == 1
+    assert plan.init_stmts() == []
+    assert 1 in plan.level_prologues()
+
+
+def test_counter_array_for_unordered_coo():
+    _, plan = _counter_plan(COO)
+    assert [impl.mode for impl in plan.impls] == ["array"]
+    init = plan.init_stmts()
+    assert len(init) == 1 and "N1" in print_stmt(init[0])
+
+
+def test_counter_array_for_csc_nonprefix():
+    # CSC iterates columns first; the counter key (i) is not a level
+    # prefix, so the scalar register is invalid.
+    _, plan = _counter_plan(CSC)
+    assert [impl.mode for impl in plan.impls] == ["array"]
+
+
+def test_counter_force_arrays():
+    _, plan = _counter_plan(CSR, force=True)
+    assert [impl.mode for impl in plan.impls] == ["array"]
+
+
+def test_counter_fetch_code():
+    ctx, plan = _counter_plan(CSR)
+    stmts, env = plan.fetch([Var("i"), Var("j")])
+    text = "\n".join(print_stmt(s) for s in stmts)
+    assert "k = count" in text and "count += 1" in text
+    counter = parse_remap("(i,j) -> (#i, i, j)").counters()[0]
+    assert counter in env
+
+
+def test_counter_fetch_array_indexing():
+    ctx, plan = _counter_plan(COO)
+    stmts, _ = plan.fetch([Var("i"), Var("j")])
+    text = "\n".join(print_stmt(s) for s in stmts)
+    assert "counter[i]" in text and "counter[i] += 1" in text
+
+
+def test_global_counter_is_scalar_register():
+    fmt_remap = parse_remap("(i,j) -> (#, i, j)")
+    ctx = ConversionContext(CSR, ELL)
+    plan = CounterPlan(ctx, fmt_remap)
+    # empty key: the prefix is the empty prefix — always ordered
+    assert plan.impls[0].mode == "scalar"
+    assert plan.impls[0].reset_level == 0

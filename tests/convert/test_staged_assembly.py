@@ -1,0 +1,121 @@
+"""Tests for staged (multi-group) assembly: DCSR and CSF targets.
+
+Edge insertion below explicitly stored parent coordinates splits the
+assembly into groups, each with its own pass over the source and a
+position memo carrying nonzeros across group boundaries.
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.convert import convert, generated_source, make_converter
+from repro.convert.planner import ConversionPlanner
+from repro.formats.library import BCSR, COO, COO3, CSC, CSF, CSR, DCSR, DIA, ELL
+from repro.storage.build import reference_build
+
+
+def _hypersparse(seed=12, nrows=50, ncols=60, rows=6, per_row=2):
+    rng = random.Random(seed)
+    cells = []
+    for r in rng.sample(range(nrows), rows):
+        cells += [(r, c) for c in rng.sample(range(ncols), per_row)]
+    return (nrows, ncols), cells, [float(n + 1) for n in range(len(cells))]
+
+
+def test_group_partitioning():
+    assert ConversionPlanner(COO, CSR)._groups() == [[0, 1]]
+    assert ConversionPlanner(COO, DIA)._groups() == [[0, 1, 2]]
+    assert ConversionPlanner(CSR, BCSR(2, 2))._groups() == [[0, 1, 2, 3]]
+    assert ConversionPlanner(COO, DCSR)._groups() == [[0], [1]]
+    assert ConversionPlanner(COO3, CSF)._groups() == [[0, 1], [2]]
+
+
+@pytest.mark.parametrize("src", [COO, CSR, CSC, DIA, ELL], ids=lambda f: f.name)
+def test_dcsr_target_from_all_sources(src):
+    dims, cells, vals = _hypersparse()
+    tensor = reference_build(src, dims, cells, vals)
+    out = convert(tensor, DCSR)
+    out.check()
+    assert out.to_coo() == dict(zip(cells, vals))
+    # hypersparse: only the nonempty rows are stored
+    assert len(out.array(0, "crd")) == len({i for i, _ in cells})
+
+
+def test_dcsr_as_source():
+    dims, cells, vals = _hypersparse(seed=3)
+    dcsr = convert(reference_build(COO, dims, cells, vals), DCSR)
+    for dst in [COO, CSR, CSC, DIA, ELL]:
+        out = convert(dcsr, dst)
+        out.check()
+        assert out.to_coo() == dict(zip(cells, vals))
+
+
+def test_dcsr_row_pos_structure():
+    dims, cells, vals = _hypersparse(seed=5)
+    out = convert(reference_build(COO, dims, cells, vals), DCSR)
+    row_pos = out.array(0, "pos")
+    assert row_pos[0] == 0 and row_pos[1] == len({i for i, _ in cells})
+    col_pos = out.array(1, "pos")
+    assert col_pos[-1] == len(cells)
+    # rows are grouped (each stored once) but not necessarily sorted —
+    # the same convention as the paper's unsorted CSR outputs
+    stored_rows = list(out.array(0, "crd"))
+    assert sorted(stored_rows) == sorted({i for i, _ in cells})
+
+
+def test_dcsr_generated_code_has_two_passes():
+    source = generated_source(COO, DCSR)
+    assert source.count("# assembly: coordinate insertion") == 2
+    assert "memo1" in source and "src_idx" in source
+
+
+def test_memo_sized_by_source_paths():
+    source = generated_source(COO, DCSR)
+    # COO's stored-path count is pos[1]
+    assert "memo1 = np.empty(A1_pos[1]" in source
+    source = generated_source(CSR, DCSR)
+    # CSR's is pos[N1]
+    assert "memo1 = np.empty(A2_pos[N1]" in source
+
+
+def test_csf_from_csr_like_third_order_sources():
+    rng = random.Random(8)
+    cells = rng.sample(
+        [(i, j, k) for i in range(6) for j in range(5) for k in range(4)], 30
+    )
+    vals = [float(n + 1) for n in range(30)]
+    csf = convert(reference_build(COO3, (6, 5, 4), cells, vals), CSF)
+    csf.check()
+    # fiber structure: each (i, j) fiber stored exactly once per row
+    pos1 = csf.array(1, "pos")
+    crd1 = csf.array(1, "crd")
+    for i in range(6):
+        segment = list(crd1[pos1[i]:pos1[i + 1]])
+        assert len(segment) == len(set(segment))
+        assert set(segment) == {j for (r, j, _) in cells if r == i}
+
+
+def test_staged_assembly_with_padded_source():
+    """DIA source (explicit zeros) into a staged target: the zero guard
+    must keep memo indices aligned across both passes."""
+    dims, cells, vals = _hypersparse(seed=17, nrows=12, ncols=12, rows=4)
+    dia = reference_build(DIA, dims, cells, vals)
+    out = convert(dia, DCSR)
+    out.check()
+    assert out.to_coo() == dict(zip(cells, vals))
+
+
+def test_empty_tensor_staged():
+    out = convert(reference_build(COO, (5, 5), [], []), DCSR)
+    out.check()
+    assert out.to_coo() == {}
+
+
+def test_single_dense_column_staged():
+    cells = [(i, 0) for i in range(8)]
+    vals = [float(i) + 1 for i in range(8)]
+    out = convert(reference_build(COO, (8, 3), cells, vals), DCSR)
+    assert out.to_coo() == dict(zip(cells, vals))
+    assert len(out.array(0, "crd")) == 8

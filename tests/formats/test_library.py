@@ -1,0 +1,81 @@
+"""Structural tests for every built-in format definition."""
+
+import pytest
+
+from repro.formats import (
+    BCSR,
+    BUILTIN_FORMATS,
+    COO,
+    COO3,
+    CSC,
+    CSF,
+    CSR,
+    DCSR,
+    DIA,
+    ELL,
+    HASH,
+    HICOO,
+    SKY,
+)
+from repro.remap import RCounter
+
+
+def test_builtin_registry_complete():
+    assert set(BUILTIN_FORMATS) == {
+        "COO", "CSR", "CSC", "DIA", "ELL", "SKY", "DCSR", "HASH",
+        "COO3", "CSF",
+    }
+    for name, fmt in BUILTIN_FORMATS.items():
+        assert fmt.name == name
+
+
+def test_level_compositions_match_paper():
+    assert [lvl.name for lvl in COO.levels] == ["compressed", "singleton"]
+    assert [lvl.name for lvl in CSR.levels] == ["dense", "compressed"]
+    assert [lvl.name for lvl in CSC.levels] == ["dense", "compressed"]
+    assert [lvl.name for lvl in DIA.levels] == ["squeezed", "dense", "offset"]
+    assert [lvl.name for lvl in ELL.levels] == ["sliced", "dense", "singleton"]
+    assert [lvl.name for lvl in SKY.levels] == ["dense", "banded"]
+    assert [lvl.name for lvl in DCSR.levels] == ["compressed", "compressed"]
+    assert [lvl.name for lvl in HASH.levels] == ["dense", "hashed"]
+    assert [lvl.name for lvl in CSF.levels] == ["dense", "compressed", "compressed"]
+
+
+def test_remappings_match_paper():
+    assert str(DIA.remap) == "(i, j) -> ((j - i), i, j)"
+    assert str(ELL.remap) == "(i, j) -> (k=#i in k, i, j)"
+    assert str(CSC.remap) == "(i, j) -> (j, i)"
+    assert ELL.remap.counters() == (RCounter(("i",)),)
+    assert DIA.remap.counters() == ()
+
+
+def test_coo_levels_are_nonunique_unordered():
+    assert not COO.levels[0].unique
+    assert not COO.levels[0].ordered
+    assert COO3.levels[1].unique is False
+
+
+def test_bcsr_parameterization():
+    fmt = BCSR(8, 2)
+    assert fmt.params == {"M": 8, "N": 2}
+    assert fmt.name == "BCSR8x2"
+    assert fmt.concrete_dim_extents((16, 16)) == (2, 8, 8, 2)
+
+
+def test_hicoo_parameterization():
+    fmt = HICOO(8)
+    assert fmt.params == {"B": 8}
+    assert fmt.nlevels == 5
+    assert not fmt.padded  # stores only nonzeros, COO-style
+
+
+def test_every_builtin_has_inverse():
+    for fmt in BUILTIN_FORMATS.values():
+        assert fmt.inverse is not None, fmt.name
+
+
+def test_orders():
+    for fmt in (COO, CSR, CSC, DIA, ELL, SKY, DCSR, HASH):
+        assert fmt.order == 2
+    for fmt in (COO3, CSF):
+        assert fmt.order == 3

@@ -1,0 +1,126 @@
+"""Hypothesis property tests over the whole pipeline.
+
+The central invariant: for random sparse matrices and any (source, target)
+format pair, building with the reference builder, converting with the
+*generated* routine and reading back through the host-side oracle yields
+exactly the original coordinate→value map.
+"""
+
+import hypothesis.strategies as st
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+
+from repro.convert import convert, make_converter
+from repro.formats.library import BCSR, COO, CSC, CSR, DCSR, DIA, ELL, HASH, HICOO
+from repro.kernels import spmv
+from repro.storage.build import reference_build
+
+FORMATS = [COO, CSR, CSC, DIA, ELL, BCSR(2, 2), HICOO(2), DCSR, HASH]
+_IDS = {f.name: f for f in FORMATS}
+
+
+@st.composite
+def sparse_matrices(draw):
+    nrows = draw(st.integers(1, 12))
+    ncols = draw(st.integers(1, 12))
+    cells = draw(
+        st.lists(
+            st.tuples(st.integers(0, nrows - 1), st.integers(0, ncols - 1)),
+            min_size=0,
+            max_size=min(40, nrows * ncols),
+            unique=True,
+        )
+    )
+    vals = draw(
+        st.lists(
+            st.floats(0.5, 99.5, allow_nan=False),
+            min_size=len(cells),
+            max_size=len(cells),
+        )
+    )
+    return (nrows, ncols), cells, vals
+
+
+@settings(max_examples=60, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(
+    problem=sparse_matrices(),
+    src_name=st.sampled_from(sorted(_IDS)),
+    dst_name=st.sampled_from(sorted(_IDS)),
+)
+def test_conversion_round_trip(problem, src_name, dst_name):
+    dims, cells, vals = problem
+    tensor = reference_build(_IDS[src_name], dims, cells, vals)
+    out = convert(tensor, _IDS[dst_name])
+    out.check()
+    assert out.to_coo() == dict(zip(cells, vals))
+
+
+@settings(max_examples=30, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(problem=sparse_matrices(), dst_name=st.sampled_from(["CSR", "CSC", "DIA", "ELL"]))
+def test_spmv_invariant_under_conversion(problem, dst_name):
+    dims, cells, vals = problem
+    tensor = reference_build(COO, dims, cells, vals)
+    x = np.linspace(-1.0, 1.0, dims[1])
+    want = spmv(tensor, x)
+    got = spmv(convert(tensor, _IDS[dst_name]), x)
+    np.testing.assert_allclose(got, want, atol=1e-9)
+
+
+@settings(max_examples=40, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(problem=sparse_matrices())
+def test_chained_conversions(problem):
+    """COO → CSR → DIA → CSR' keeps content (the paper's pipeline)."""
+    dims, cells, vals = problem
+    want = dict(zip(cells, vals))
+    tensor = reference_build(COO, dims, cells, vals)
+    csr = convert(tensor, CSR)
+    dia = convert(csr, DIA)
+    back = convert(dia, CSR)
+    assert back.to_coo() == want
+
+
+@settings(max_examples=40, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(problem=sparse_matrices())
+def test_generated_matches_reference_builder_csr(problem):
+    """Generated COO→CSR equals the independent reference constructor
+    up to within-row ordering."""
+    dims, cells, vals = problem
+    coo = reference_build(COO, dims, cells, vals)
+    generated = convert(coo, CSR)
+    reference = reference_build(CSR, dims, cells, vals)
+    np.testing.assert_array_equal(
+        generated.array(1, "pos"), reference.array(1, "pos")
+    )
+    pos = reference.array(1, "pos")
+    for i in range(dims[0]):
+        got = sorted(
+            zip(
+                generated.array(1, "crd")[pos[i]:pos[i + 1]],
+                generated.vals[pos[i]:pos[i + 1]],
+            )
+        )
+        want = sorted(
+            zip(
+                reference.array(1, "crd")[pos[i]:pos[i + 1]],
+                reference.vals[pos[i]:pos[i + 1]],
+            )
+        )
+        assert got == want
+
+
+@settings(max_examples=30, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(problem=sparse_matrices())
+def test_unsequenced_equals_sequenced(problem):
+    from repro.convert import PlanOptions
+
+    dims, cells, vals = problem
+    tensor = reference_build(COO, dims, cells, vals)
+    seq = make_converter(COO, CSR)(tensor)
+    unseq = make_converter(COO, CSR, PlanOptions(force_unsequenced_edges=True))(tensor)
+    np.testing.assert_array_equal(seq.array(1, "pos"), unseq.array(1, "pos"))
+    assert seq.to_coo() == unseq.to_coo()

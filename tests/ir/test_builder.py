@@ -1,0 +1,63 @@
+"""Tests for IR builder helpers and the name generator."""
+
+import pytest
+
+from repro.ir import builder as b
+from repro.ir.builder import NameGenerator, to_expr
+from repro.ir.nodes import (
+    Assign,
+    AugStore,
+    BinOp,
+    Block,
+    Const,
+    Pass,
+    Store,
+    Var,
+)
+
+
+def test_to_expr_coercions():
+    assert to_expr("x") == Var("x")
+    assert to_expr(3) == Const(3)
+    assert to_expr(2.5) == Const(2.5)
+    assert to_expr(True) == Const(True)
+    assert to_expr(Var("y")) == Var("y")
+    with pytest.raises(TypeError):
+        to_expr([1, 2])
+
+
+def test_binary_helpers_build_binops():
+    assert b.add("x", 1) == BinOp("+", Var("x"), Const(1))
+    assert b.floordiv("i", "M") == BinOp("//", Var("i"), Var("M"))
+    assert b.shl("s", 1) == BinOp("<<", Var("s"), Const(1))
+    assert b.lt("a", "b") == BinOp("<", Var("a"), Var("b"))
+
+
+def test_statement_helpers():
+    assert b.assign("x", 1) == Assign(Var("x"), Const(1))
+    assert b.store("a", "i", "v") == Store(Var("a"), Var("i"), Var("v"))
+    assert b.aug_store("a", "i", "max", 3) == AugStore(
+        Var("a"), Var("i"), "max", Const(3)
+    )
+
+
+def test_block_flattens_and_drops_noise():
+    inner = Block([b.assign("a", 1), Pass()])
+    outer = b.block([inner, None, Block([]), b.assign("b", 2)])
+    assert outer == Block([b.assign("a", 1), b.assign("b", 2)])
+
+
+def test_name_generator_is_deterministic_and_fresh():
+    ng = NameGenerator()
+    assert ng.fresh("i") == "i"
+    assert ng.fresh("i") == "i_2"
+    assert ng.fresh("i") == "i_3"
+    assert ng.fresh("j") == "j"
+
+
+def test_name_generator_reserve():
+    ng = NameGenerator()
+    assert ng.reserve("N1") == "N1"
+    assert ng.fresh("N1") == "N1_2"  # reserved names are not reissued
+    ng.reserve("N1")  # idempotent
+    assert ng.fresh("N1") == "N1_3"

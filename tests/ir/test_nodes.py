@@ -1,0 +1,73 @@
+"""Unit tests for IR node utilities (traversal, substitution)."""
+
+import pytest
+
+from repro.ir import builder as b
+from repro.ir.nodes import (
+    BinOp,
+    Call,
+    Const,
+    Load,
+    Ternary,
+    UnOp,
+    Var,
+    expr_children,
+    free_vars,
+    map_expr,
+    substitute,
+)
+
+
+def test_binop_rejects_unknown_operator():
+    with pytest.raises(ValueError):
+        BinOp("**", Var("a"), Var("b"))
+
+
+def test_unop_rejects_unknown_operator():
+    with pytest.raises(ValueError):
+        UnOp("+", Var("a"))
+
+
+def test_expr_children_covers_all_nodes():
+    assert expr_children(Var("x")) == ()
+    assert expr_children(Const(1)) == ()
+    assert expr_children(b.add("x", 1)) == (Var("x"), Const(1))
+    assert expr_children(b.neg("x")) == (Var("x"),)
+    assert expr_children(b.load("a", "i")) == (Var("a"), Var("i"))
+    assert expr_children(b.call("min", 1, 2)) == (Const(1), Const(2))
+    ternary = b.ternary("c", 1, 2)
+    assert expr_children(ternary) == (Var("c"), Const(1), Const(2))
+
+
+def test_free_vars_collects_all_names():
+    expr = b.add(b.load("pos", b.add("i", 1)), b.mul("k", "N"))
+    assert free_vars(expr) == {"pos", "i", "k", "N"}
+
+
+def test_substitute_replaces_variables():
+    expr = b.sub("j", "i")
+    result = substitute(expr, {"i": Const(2), "j": b.add("x", 1)})
+    assert result == b.sub(b.add("x", 1), 2)
+
+
+def test_substitute_leaves_unmapped_variables():
+    expr = b.add("i", "j")
+    assert substitute(expr, {"i": Var("p")}) == b.add("p", "j")
+
+
+def test_map_expr_is_bottom_up():
+    seen = []
+
+    def record(node):
+        seen.append(type(node).__name__)
+        return node
+
+    map_expr(b.add(b.mul("a", 2), 1), record)
+    # children visited before parents
+    assert seen.index("BinOp") > seen.index("Var")
+
+
+def test_nodes_are_hashable_and_comparable():
+    assert b.add("i", 1) == b.add("i", 1)
+    assert hash(b.add("i", 1)) == hash(b.add("i", 1))
+    assert b.add("i", 1) != b.add("i", 2)

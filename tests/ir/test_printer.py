@@ -1,0 +1,142 @@
+"""Unit tests for the Python source printer."""
+
+import numpy as np
+import pytest
+
+from repro.ir import builder as b
+from repro.ir import compile_source, print_expr, print_func, print_stmt
+from repro.ir.nodes import (
+    Alloc,
+    AugStore,
+    Block,
+    Comment,
+    For,
+    FuncDef,
+    If,
+    Pass,
+    Return,
+    Store,
+    Var,
+    While,
+)
+
+
+def test_precedence_minimal_parens():
+    assert print_expr(b.add(b.mul("a", "b"), "c")) == "a * b + c"
+    assert print_expr(b.mul(b.add("a", "b"), "c")) == "(a + b) * c"
+
+
+def test_right_associativity_parens():
+    # a - (b - c) must keep parentheses
+    expr = b.sub("a", b.sub("b", "c"))
+    assert print_expr(expr) == "a - (b - c)"
+    # (a - b) - c needs none
+    expr = b.sub(b.sub("a", "b"), "c")
+    assert print_expr(expr) == "a - b - c"
+
+
+def test_floordiv_and_mod():
+    assert print_expr(b.floordiv("i", 4)) == "i // 4"
+    assert print_expr(b.mod("j", "N")) == "j % N"
+
+
+def test_bitwise_precedence():
+    # (r & 1) | ((s & 1) << 1) — the HiCOO Morton expression shape
+    expr = b.bitor(b.bitand("r", 1), b.shl(b.bitand("s", 1), 1))
+    assert print_expr(expr) == "r & 1 | (s & 1) << 1"
+    assert eval(print_expr(expr), {"r": 1, "s": 1}) == 3
+
+
+def test_nested_comparisons_are_parenthesized():
+    inner = b.lt("a", "b")
+    expr = b.eq(inner, b.lt("c", "d"))
+    printed = print_expr(expr)
+    assert printed == "(a < b) == (c < d)"
+    assert eval(printed, {"a": 0, "b": 1, "c": 1, "d": 0}) is False
+
+
+def test_unary_and_ternary():
+    assert print_expr(b.neg(b.add("a", 1))) == "-(a + 1)"
+    assert print_expr(b.ternary(b.lt("a", 0), 0, "a")) == "(0 if a < 0 else a)"
+
+
+def test_load_and_call():
+    assert print_expr(b.load("pos", b.add("i", 1))) == "pos[i + 1]"
+    assert print_expr(b.maximum("K", "n")) == "max(K, n)"
+
+
+def test_store_and_aug_store():
+    assert print_stmt(b.store("crd", "p", "j")) == "crd[p] = j"
+    assert print_stmt(b.aug_store("count", "i", "+", 1)) == "count[i] += 1"
+
+
+def test_aug_store_max_expands():
+    printed = print_stmt(b.aug_store("W", "i", "max", "v"))
+    assert printed == "W[i] = max(W[i], v)"
+
+
+def test_aug_store_or_expands():
+    printed = print_stmt(b.aug_store("nz", "k", "or", True))
+    assert printed == "nz[k] = nz[k] or True"
+
+
+def test_for_loop_from_zero_omits_lower_bound():
+    loop = For(Var("i"), b.const(0), b.var("N"), b.assign("x", "i"))
+    assert print_stmt(loop).splitlines()[0] == "for i in range(N):"
+
+
+def test_for_loop_with_bounds():
+    loop = For(Var("p"), b.load("pos", "i"), b.load("pos", b.add("i", 1)),
+               b.assign("j", b.load("crd", "p")))
+    lines = print_stmt(loop).splitlines()
+    assert lines[0] == "for p in range(pos[i], pos[i + 1]):"
+    assert lines[1] == "    j = crd[p]"
+
+
+def test_if_else():
+    stmt = If(b.lt("a", "b"), b.assign("m", "a"), b.assign("m", "b"))
+    assert print_stmt(stmt).splitlines() == [
+        "if a < b:", "    m = a", "else:", "    m = b",
+    ]
+
+
+def test_while():
+    stmt = While(b.lt("p", "n"), b.aug_assign("p", "+", 1))
+    assert print_stmt(stmt).splitlines() == ["while p < n:", "    p += 1"]
+
+
+def test_alloc_zeros_and_empty():
+    assert print_stmt(Alloc(Var("a"), b.var("n"), "int64", "zeros")) == (
+        "a = np.zeros(n, dtype=np.int64)"
+    )
+    assert print_stmt(Alloc(Var("v"), b.mul("K", "N"), "float64", "empty")) == (
+        "v = np.empty(K * N, dtype=np.float64)"
+    )
+
+
+def test_comment_and_pass():
+    assert print_stmt(Comment("analysis phase")) == "# analysis phase"
+    assert print_stmt(Pass()) == "pass"
+
+
+def test_empty_block_prints_pass():
+    assert print_stmt(Block([])) == "pass"
+
+
+def test_function_roundtrip_executes():
+    body = Block([
+        Alloc(Var("count"), b.var("N"), "int64", "zeros"),
+        For(Var("i"), b.const(0), b.var("N"),
+            AugStore(b.var("count"), b.var("i"), "+", b.var("i"))),
+        Return([b.var("count")]),
+    ])
+    func = FuncDef("weights", ("N",), body)
+    source = print_func(func)
+    compiled = compile_source(source, "weights")
+    np.testing.assert_array_equal(compiled(4), np.array([0, 1, 2, 3]))
+    assert compiled.__source__ == source
+
+
+def test_docstring_emitted():
+    func = FuncDef("f", (), Block([Return([b.const(1)])]), docstring="hello")
+    assert '"""hello"""' in print_func(func)

@@ -1,0 +1,74 @@
+"""Tests for the generated-code runtime helpers and source compilation."""
+
+import numpy as np
+import pytest
+
+from repro.ir.runtime import compile_source, fill, prefix_sum, trim
+
+
+def test_prefix_sum_matches_figure_11_semantics():
+    # pos[0]=0, pos[k] = count of position k-1 -> offsets after finalize
+    pos = np.array([0, 3, 1, 2, 0], dtype=np.int64)
+    prefix_sum(pos, 5)
+    np.testing.assert_array_equal(pos, [0, 3, 4, 6, 6])
+
+
+def test_prefix_sum_partial_length():
+    arr = np.array([0, 1, 1, 99], dtype=np.int64)
+    prefix_sum(arr, 3)
+    np.testing.assert_array_equal(arr, [0, 1, 2, 99])
+
+
+def test_trim_returns_prefix_view():
+    arr = np.arange(10, dtype=np.int64)
+    out = trim(arr, 4)
+    np.testing.assert_array_equal(out, [0, 1, 2, 3])
+    out[0] = 7  # view, not copy — matches realloc-shrink semantics
+    assert arr[0] == 7
+
+
+def test_fill():
+    arr = np.empty(5, dtype=np.int64)
+    fill(arr, -1)
+    assert np.all(arr == -1)
+
+
+def test_compile_source_exposes_runtime():
+    src = (
+        "def f(n):\n"
+        "    pos = np.zeros(n + 1, dtype=np.int64)\n"
+        "    for i in range(n):\n"
+        "        pos[i + 1] = 2\n"
+        "    prefix_sum(pos, n + 1)\n"
+        "    return trim(pos, n + 1), min(1, 2), max(1, 2)\n"
+    )
+    f = compile_source(src, "f")
+    pos, lo, hi = f(3)
+    np.testing.assert_array_equal(pos, [0, 2, 4, 6])
+    assert (lo, hi) == (1, 2)
+    assert f.__source__ == src
+
+
+def test_compile_source_tracebacks_show_generated_lines():
+    src = "def boom():\n    return undefined_name\n"
+    boom = compile_source(src, "boom")
+    try:
+        boom()
+    except NameError:
+        import traceback
+
+        text = traceback.format_exc()
+        assert "return undefined_name" in text
+    else:  # pragma: no cover
+        pytest.fail("expected NameError")
+
+
+def test_compile_source_extra_globals():
+    f = compile_source("def g():\n    return MAGIC\n", "g", {"MAGIC": 42})
+    assert f() == 42
+
+
+def test_compiled_functions_are_isolated():
+    f1 = compile_source("def h():\n    return 1\n", "h")
+    f2 = compile_source("def h():\n    return 2\n", "h")
+    assert f1() == 1 and f2() == 2

@@ -1,0 +1,121 @@
+"""Unit tests for IR simplification, including hypothesis soundness checks."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.ir import builder as b
+from repro.ir import print_expr, simplify_expr, simplify_stmt
+from repro.ir.nodes import (
+    Block,
+    Const,
+    Expr,
+    For,
+    If,
+    Pass,
+    UnOp,
+    Var,
+)
+
+
+def test_constant_folding():
+    assert simplify_expr(b.add(2, 3)) == Const(5)
+    assert simplify_expr(b.mul(4, 5)) == Const(20)
+    assert simplify_expr(b.floordiv(7, 2)) == Const(3)
+    assert simplify_expr(b.mod(7, 4)) == Const(3)
+    assert simplify_expr(b.shl(1, 3)) == Const(8)
+
+
+def test_identity_elimination():
+    assert simplify_expr(b.add("x", 0)) == Var("x")
+    assert simplify_expr(b.mul("x", 1)) == Var("x")
+    assert simplify_expr(b.mul("x", 0)) == Const(0)
+    assert simplify_expr(b.floordiv("x", 1)) == Var("x")
+    assert simplify_expr(b.sub("x", "x")) == Const(0)
+
+
+def test_zero_minus_becomes_negation():
+    assert simplify_expr(b.sub(0, "x")) == UnOp("-", Var("x"))
+
+
+def test_double_negation():
+    assert simplify_expr(UnOp("-", UnOp("-", Var("x")))) == Var("x")
+
+
+def test_sum_normalization_combines_terms():
+    # N - 1 + 1 -> N
+    assert simplify_expr(b.add(b.sub("N", 1), 1)) == Var("N")
+    # (N - 1) - (-(M - 1)) + 1 -> N + M - 1
+    expr = b.add(b.sub(b.sub("N", 1), b.neg(b.sub("M", 1))), 1)
+    assert print_expr(simplify_expr(expr)) == "N + M - 1"
+
+
+def test_sum_normalization_keeps_float_arithmetic_alone():
+    expr = b.add(b.add("x", 0.5), 0.5)
+    # floats are not combined by the integer normalizer (0.5 + 0.5 stays)
+    simplified = simplify_expr(expr)
+    assert "0.5" in print_expr(simplified)
+
+
+def test_min_max_folding():
+    assert simplify_expr(b.minimum(3, 5)) == Const(3)
+    assert simplify_expr(b.maximum(3, 5)) == Const(5)
+    assert simplify_expr(b.maximum("x", "x")) == Var("x")
+
+
+def test_ternary_resolution():
+    assert simplify_expr(b.ternary(True, "a", "b")) == Var("a")
+    assert simplify_expr(b.ternary(False, "a", "b")) == Var("b")
+    assert simplify_expr(b.ternary("c", "a", "a")) == Var("a")
+
+
+def test_if_with_constant_condition_resolves():
+    stmt = If(b.gt(2, 1), b.assign("x", 1), b.assign("x", 2))
+    assert simplify_stmt(stmt) == b.assign("x", 1)
+    stmt = If(b.gt(1, 2), b.assign("x", 1))
+    assert isinstance(simplify_stmt(stmt), Pass)
+
+
+def test_empty_loop_removed():
+    loop = For(Var("i"), b.const(0), b.const(0), b.assign("x", 1))
+    assert isinstance(simplify_stmt(loop), Pass)
+    loop = For(Var("i"), b.const(0), b.var("N"), Block([]))
+    assert isinstance(simplify_stmt(loop), Pass)
+
+
+def test_nested_blocks_flattened():
+    stmt = Block([Block([b.assign("x", 1)]), Pass(), Block([b.assign("y", 2)])])
+    simplified = simplify_stmt(stmt)
+    assert simplified == Block([b.assign("x", 1), b.assign("y", 2)])
+
+
+# ---------------------------------------------------------------------------
+# Property: simplification preserves the value of integer expressions.
+# ---------------------------------------------------------------------------
+
+_names = ("x", "y", "z")
+
+
+def _exprs(depth=3):
+    atoms = st.one_of(
+        st.integers(min_value=-8, max_value=8).map(Const),
+        st.sampled_from([Var(name) for name in _names]),
+    )
+    if depth == 0:
+        return atoms
+    sub = _exprs(depth - 1)
+    ops = st.sampled_from(["+", "-", "*"])
+    return st.one_of(
+        atoms,
+        st.builds(lambda op, lhs, rhs: b.__dict__[
+            {"+": "add", "-": "sub", "*": "mul"}[op]](lhs, rhs), ops, sub, sub),
+        st.builds(b.neg, sub),
+    )
+
+
+@settings(max_examples=200, deadline=None)
+@given(expr=_exprs(), values=st.tuples(*[st.integers(-10, 10)] * 3))
+def test_simplify_preserves_value(expr: Expr, values):
+    env = dict(zip(_names, values))
+    original = eval(print_expr(expr), {}, dict(env))
+    simplified = eval(print_expr(simplify_expr(expr)), {}, dict(env))
+    assert original == simplified

@@ -1,0 +1,76 @@
+"""SpMV kernel tests: every format computes the same product, and the
+product is invariant under generated conversions (the pipeline the paper's
+introduction motivates)."""
+
+import numpy as np
+import pytest
+
+from repro.convert import convert
+from repro.formats.format import FormatError
+from repro.formats.library import BCSR, COO, CSC, CSR, DIA, ELL, HICOO, SKY
+from repro.kernels import spmv
+from repro.matrices.synthetic import random_matrix, stencil
+from repro.storage.build import reference_build
+
+FORMATS = [COO, CSR, CSC, DIA, ELL, BCSR(2, 2), HICOO(2)]
+
+
+@pytest.fixture(scope="module")
+def problem():
+    dims, coords, vals = random_matrix(18, 23, 90, seed=11)
+    rng = np.random.default_rng(0)
+    x = rng.uniform(-1, 1, dims[1])
+    dense = np.zeros(dims)
+    for (i, j), v in zip(coords, vals):
+        dense[i, j] = v
+    return dims, coords, vals, x, dense @ x
+
+
+@pytest.mark.parametrize("fmt", FORMATS, ids=lambda f: f.name)
+def test_spmv_matches_dense(problem, fmt):
+    dims, coords, vals, x, want = problem
+    tensor = reference_build(fmt, dims, coords, vals)
+    np.testing.assert_allclose(spmv(tensor, x), want, atol=1e-12)
+
+
+def test_spmv_skyline():
+    cells = [(0, 0), (2, 0), (2, 2), (3, 1), (3, 3)]
+    vals = [1.0, 2.0, 3.0, 4.0, 5.0]
+    tensor = reference_build(SKY, (4, 4), cells, vals)
+    x = np.array([1.0, 2.0, 3.0, 4.0])
+    dense = np.zeros((4, 4))
+    for (i, j), v in zip(cells, vals):
+        dense[i, j] = v
+    np.testing.assert_allclose(spmv(tensor, x), dense @ x)
+
+
+def test_spmv_invariant_under_conversion(problem):
+    dims, coords, vals, x, want = problem
+    coo = reference_build(COO, dims, coords, vals)
+    for dst in [CSR, CSC, DIA, ELL]:
+        converted = convert(coo, dst)
+        np.testing.assert_allclose(spmv(converted, x), want, atol=1e-12)
+
+
+def test_spmv_banded_matrix_through_dia():
+    dims, coords, vals = stencil(50, [0, -1, 1, -7, 7], seed=3)
+    x = np.arange(dims[1], dtype=np.float64)
+    csr = reference_build(CSR, dims, coords, vals)
+    dia = convert(csr, DIA)
+    np.testing.assert_allclose(spmv(dia, x), spmv(csr, x), atol=1e-12)
+
+
+def test_spmv_rejects_bad_shapes():
+    tensor = reference_build(CSR, (3, 4), [(0, 0)], [1.0])
+    with pytest.raises(ValueError):
+        spmv(tensor, np.zeros(3))
+    from repro.formats.library import COO3
+
+    cube = reference_build(COO3, (2, 2, 2), [(0, 0, 0)], [1.0])
+    with pytest.raises(FormatError):
+        spmv(cube, np.zeros(2))
+
+
+def test_spmv_empty_matrix():
+    tensor = reference_build(CSR, (3, 4), [], [])
+    np.testing.assert_array_equal(spmv(tensor, np.ones(4)), np.zeros(3))

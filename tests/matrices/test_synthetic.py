@@ -1,0 +1,121 @@
+"""Tests for the synthetic matrix generators and the benchmark suite."""
+
+import pytest
+
+from repro.matrices import get_matrix, suite, synthetic
+
+
+def test_stencil_diagonal_count():
+    dims, coords, vals = synthetic.stencil(50, [0, -1, 1, -7, 7])
+    diagonals = {j - i for i, j in coords}
+    assert diagonals == {0, -1, 1, -7, 7}
+    assert dims == (50, 50)
+    assert len(coords) == len(vals) == len(set(coords))
+
+
+def test_stencil_partial_offsets_shorter():
+    _, coords, _ = synthetic.stencil(40, [0], partial=[5])
+    full = sum(1 for i, j in coords if j == i)
+    part = sum(1 for i, j in coords if j - i == 5)
+    assert full == 40
+    assert 0 < part < 35
+
+
+def test_grid5_structure():
+    dims, coords, _ = synthetic.grid5(4, 5)
+    assert dims == (20, 20)
+    # interior nodes have degree 5
+    per_row = {}
+    for i, _ in coords:
+        per_row[i] = per_row.get(i, 0) + 1
+    assert max(per_row.values()) == 5
+    assert min(per_row.values()) == 3  # corners
+
+
+def test_multi_band_symmetry():
+    _, coords, _ = synthetic.multi_band(60, 9, 15, fill=0.8, symmetric=True, seed=4)
+    cells = set(coords)
+    assert all((j, i) in cells for i, j in cells)
+
+
+def test_multi_band_diagonal_budget():
+    _, coords, _ = synthetic.multi_band(80, 11, 20, seed=5)
+    diagonals = {j - i for i, j in coords}
+    assert len(diagonals) <= 11
+
+
+def test_scattered_degree_cap():
+    _, coords, _ = synthetic.scattered(100, 3.0, 10, seed=6)
+    per_row = {}
+    for i, _ in coords:
+        per_row[i] = per_row.get(i, 0) + 1
+    assert max(per_row.values()) <= 10
+
+
+def test_power_law_has_heavy_tail():
+    _, coords, _ = synthetic.power_law(400, alpha=2.0, max_degree=50, seed=7)
+    per_row = {}
+    for i, _ in coords:
+        per_row[i] = per_row.get(i, 0) + 1
+    degrees = sorted(per_row.values())
+    assert degrees[-1] >= 5 * degrees[len(degrees) // 2]
+
+
+def test_random_matrix_exact_nnz():
+    dims, coords, vals = synthetic.random_matrix(10, 12, 37, seed=8)
+    assert dims == (10, 12) and len(coords) == 37
+    with pytest.raises(ValueError):
+        synthetic.random_matrix(2, 2, 5)
+
+
+def test_generators_are_deterministic():
+    a = synthetic.scattered(50, 3.0, 9, seed=42)
+    b = synthetic.scattered(50, 3.0, 9, seed=42)
+    assert a == b
+
+
+def test_suite_has_21_matrices():
+    entries = suite(scale=0.1)
+    assert len(entries) == 21
+    names = {entry.paper_name for entry in entries}
+    assert {"pdb1HYS", "cant", "webbase-1M", "ecology1"} <= names
+
+
+def test_suite_exclusion_rules_match_paper():
+    """The >75% padding rule must blank the same cells as Table 3."""
+    entries = {e.paper_name: e for e in suite(scale=0.5)}
+    # DIA-excluded in the paper: the many-diagonal FEM and scattered ones
+    for name in ["pdb1HYS", "rma10", "consph", "cop20k_A", "shipsec1",
+                 "scircuit", "mac_econ_fwd500", "pwtk", "webbase-1M"]:
+        assert entries[name].dia_padding_ratio() > 0.75, name
+    # DIA-included: the banded stencils and cant
+    for name in ["jnlbrng1", "cant", "denormal", "Lin", "ecology1", "atmosmodd"]:
+        assert entries[name].dia_padding_ratio() <= 0.75, name
+    # ELL-excluded: scircuit, mac_econ, webbase
+    for name in ["scircuit", "mac_econ_fwd500", "webbase-1M"]:
+        assert entries[name].ell_padding_ratio() > 0.75, name
+    for name in ["pdb1HYS", "cant", "cop20k_A", "shipsec1"]:
+        assert entries[name].ell_padding_ratio() <= 0.75, name
+
+
+def test_suite_symmetry_flags():
+    entries = {e.paper_name: e for e in suite(scale=0.1)}
+    nonsym = {n for n, e in entries.items() if not e.symmetric}
+    assert nonsym == {
+        "chem_master1", "shyy161", "Baumann", "majorbasis", "scircuit",
+        "mac_econ_fwd500", "webbase-1M", "atmosmodd",
+    }
+
+
+def test_get_matrix_by_either_name():
+    assert get_matrix("cant_s", scale=0.1).paper_name == "cant"
+    assert get_matrix("cant", scale=0.1).name == "cant_s"
+    with pytest.raises(KeyError):
+        get_matrix("nonexistent")
+
+
+def test_suite_tensor_cache():
+    from repro.formats.library import CSR
+
+    entry = get_matrix("jnlbrng1", scale=0.1)
+    assert entry.tensor(CSR) is entry.tensor(CSR)

@@ -1,0 +1,95 @@
+"""Tests for brute-force attribute query evaluation against Figure 10."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.query import QuerySpec, evaluate_query
+from repro.remap import apply_remap, parse_remap
+
+# the matrix of Figure 1 as (row, col) coordinates
+FIGURE1 = [
+    (0, 0), (0, 1), (1, 1), (1, 2), (2, 0), (2, 2), (2, 3),
+    (3, 1), (3, 3), (3, 4),
+]
+
+
+def test_count_per_row_matches_figure_10():
+    spec = QuerySpec((0,), "count", (1,), "nir")
+    result = evaluate_query(spec, FIGURE1)
+    assert result == {(0,): 2, (1,): 2, (2,): 3, (3,): 3}
+
+
+def test_min_max_per_row_matches_figure_10():
+    lo = evaluate_query(QuerySpec((0,), "min", (1,), "minir"), FIGURE1)
+    hi = evaluate_query(QuerySpec((0,), "max", (1,), "maxir"), FIGURE1)
+    assert lo == {(0,): 0, (1,): 1, (2,): 0, (3,): 1}
+    assert hi == {(0,): 1, (1,): 2, (2,): 3, (3,): 4}
+
+
+def test_id_per_column_matches_figure_10():
+    result = evaluate_query(QuerySpec((1,), "id", (), "ne"), FIGURE1)
+    # columns 0-4 are nonempty, column 5 is empty (absent from the result)
+    assert result == {(c,): 1 for c in range(5)}
+
+
+def test_id_over_diagonals():
+    # select [k] -> id() as ne on the (j-i,i,j)-remapped tensor encodes the
+    # set of nonzero diagonals (Section 5.1's DIA example)
+    remapped = apply_remap(parse_remap("(i,j) -> (j-i, i, j)"), FIGURE1)
+    result = evaluate_query(QuerySpec((0,), "id", (), "ne"), remapped)
+    assert set(result) == {(-2,), (0,), (1,)}  # perm of Figure 2c
+
+
+def test_global_bandwidth_query():
+    remapped = apply_remap(parse_remap("(i,j) -> (j-i, i, j)"), FIGURE1)
+    lo = evaluate_query(QuerySpec((), "min", (0,), "lb"), remapped)
+    hi = evaluate_query(QuerySpec((), "max", (0,), "ub"), remapped)
+    assert lo == {(): -2}
+    assert hi == {(): 1}
+
+
+def test_count_distinct_blocks():
+    # count() counts distinct nonzero subtensors, not stored entries
+    spec = QuerySpec((0,), "count", (1,), "nbr")
+    remapped = apply_remap(parse_remap("(i,j) -> (i/2, j/2, i, j)"), FIGURE1)
+    result = evaluate_query(spec, remapped)
+    # block rows 0 and 1, distinct block-column counts
+    assert result == {(0,): 2, (1,): 3}
+
+
+def test_empty_input():
+    assert evaluate_query(QuerySpec((0,), "count", (1,), "n"), []) == {}
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    coords=st.lists(
+        st.tuples(st.integers(0, 6), st.integers(0, 6)),
+        min_size=0, max_size=40, unique=True,
+    )
+)
+def test_count_equals_row_histogram(coords):
+    spec = QuerySpec((0,), "count", (1,), "n")
+    result = evaluate_query(spec, coords)
+    rows = {}
+    for i, _ in coords:
+        rows[(i,)] = rows.get((i,), 0) + 1
+    assert result == rows
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    coords=st.lists(
+        st.tuples(st.integers(0, 6), st.integers(0, 6)),
+        min_size=1, max_size=40, unique=True,
+    )
+)
+def test_max_of_counter_equals_max_row_count_minus_one(coords):
+    """The ELL identity: max(#i) == max row degree - 1."""
+    remap = parse_remap("(i,j) -> (k=#i in k, i, j)")
+    remapped = apply_remap(remap, coords)
+    result = evaluate_query(QuerySpec((), "max", (0,), "m"), remapped)
+    rows = {}
+    for i, _ in coords:
+        rows[i] = rows.get(i, 0) + 1
+    assert result[()] == max(rows.values()) - 1

@@ -1,0 +1,81 @@
+"""Tests for the attribute query language parser (Section 5.1)."""
+
+import pytest
+
+from repro.query import QuerySpec, QuerySyntaxError, parse_queries
+
+
+def test_count_query():
+    specs = parse_queries("select [i] -> count(j) as nir", dim_names=["i", "j"])
+    assert specs == (QuerySpec((0,), "count", (1,), "nir"),)
+
+
+def test_multi_aggregation_query():
+    specs = parse_queries(
+        "select [i] -> min(j) as minir, max(j) as maxir", dim_names=["i", "j"]
+    )
+    assert specs == (
+        QuerySpec((0,), "min", (1,), "minir"),
+        QuerySpec((0,), "max", (1,), "maxir"),
+    )
+
+
+def test_id_query_empty_group():
+    specs = parse_queries("select [] -> id() as ne", dim_names=["i", "j"])
+    assert specs == (QuerySpec((), "id", (), "ne"),)
+
+
+def test_count_multiple_dims():
+    specs = parse_queries(
+        "select [i] -> count(j,k) as nnz_in_slice", dim_names=["i", "j", "k"]
+    )
+    assert specs == (QuerySpec((0,), "count", (1, 2), "nnz_in_slice"),)
+
+
+def test_default_dim_names():
+    specs = parse_queries("select [] -> max(i1) as max_crd", ndims=3)
+    assert specs == (QuerySpec((), "max", (0,), "max_crd"),)
+
+
+def test_figure_10_queries():
+    # the three example queries of Figure 10
+    q1 = parse_queries("select [i] -> count(j) as nir", dim_names=["i", "j"])
+    q2 = parse_queries(
+        "select [i] -> min(j) as minir, max(j) as maxir", dim_names=["i", "j"]
+    )
+    q3 = parse_queries("select [j] -> id() as ne", dim_names=["i", "j"])
+    assert q1[0].aggr == "count"
+    assert [s.aggr for s in q2] == ["min", "max"]
+    assert q3[0].group_by == (1,)
+
+
+def test_describe_round_trip():
+    spec = QuerySpec((0,), "count", (1,), "nir")
+    text = spec.describe(dim_names=["i", "j"])
+    assert parse_queries(text, dim_names=["i", "j"]) == (spec,)
+
+
+def test_errors():
+    with pytest.raises(QuerySyntaxError):
+        parse_queries("count(j) as x", dim_names=["i", "j"])  # no select
+    with pytest.raises(QuerySyntaxError):
+        parse_queries("select [i] -> count(z) as x", dim_names=["i", "j"])
+    with pytest.raises(QuerySyntaxError):
+        parse_queries("select [i] -> bogus(j) as x", dim_names=["i", "j"])
+    with pytest.raises(QuerySyntaxError):
+        parse_queries("select [i] -> count(j) x", dim_names=["i", "j"])
+    with pytest.raises(QuerySyntaxError):
+        parse_queries("select [i] -> id(j) as x", dim_names=["i", "j"])
+    with pytest.raises(ValueError):
+        parse_queries("select [i] -> max(j) as x")  # neither names nor ndims
+
+
+def test_spec_validation():
+    with pytest.raises(ValueError):
+        QuerySpec((), "max", (0, 1), "two_args")
+    with pytest.raises(ValueError):
+        QuerySpec((), "count", (), "no_args")
+    with pytest.raises(ValueError):
+        QuerySpec((0,), "count", (0,), "overlap")
+    with pytest.raises(ValueError):
+        QuerySpec((), "sum", (0,), "unknown")

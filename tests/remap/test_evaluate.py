@@ -1,0 +1,103 @@
+"""Unit and property tests for reference evaluation of remappings."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.remap import CounterState, apply_remap, apply_remap_once, parse_remap
+
+
+def test_dia_remap_matches_figure_5():
+    # The 4x6 matrix of Figure 1, nonzeros in CSR order.
+    nonzeros = [(0, 0), (0, 1), (1, 1), (1, 2), (2, 0), (2, 2), (2, 3),
+                (3, 1), (3, 3), (3, 4)]
+    remap = parse_remap("(i,j) -> (j-i, i, j)")
+    remapped = apply_remap(remap, nonzeros)
+    assert remapped[0] == (0, 0, 0)     # 5 on the main diagonal
+    assert remapped[1] == (1, 0, 1)     # 1 on the +1 diagonal
+    assert remapped[4] == (-2, 2, 0)    # 8 on the -2 diagonal
+    # lexicographic order of remapped coords groups by diagonal
+    by_diag = sorted(remapped)
+    assert [c[0] for c in by_diag] == sorted(c[0] for c in remapped)
+
+
+def test_ell_counter_remap_matches_figure_9():
+    # Nonzeros iterated in CSR order (Figure 2b): counters number nonzeros
+    # within each row.
+    nonzeros = [(0, 0), (0, 1), (1, 1), (1, 2), (2, 0), (2, 2), (2, 3),
+                (3, 1), (3, 3), (3, 4)]
+    remap = parse_remap("(i,j) -> (k=#i in k, i, j)")
+    remapped = apply_remap(remap, nonzeros)
+    slices = [c[0] for c in remapped]
+    assert slices == [0, 1, 0, 1, 0, 1, 2, 0, 1, 2]
+
+
+def test_global_counter():
+    remap = parse_remap("(i,j) -> (#, i, j)")
+    remapped = apply_remap(remap, [(0, 0), (5, 1), (2, 2)])
+    assert [c[0] for c in remapped] == [0, 1, 2]
+
+
+def test_counter_used_twice_sees_one_value():
+    # The same counter appearing in two destination coordinates must be
+    # fetched once per nonzero (it is a single logical coordinate).
+    remap = parse_remap("(i,j) -> (#i, #i, i, j)")
+    remapped = apply_remap(remap, [(0, 0), (0, 1)])
+    assert remapped == [(0, 0, 0, 0), (1, 1, 0, 1)]
+
+
+def test_counter_state_reset():
+    remap = parse_remap("(i,j) -> (#i, i, j)")
+    state = CounterState()
+    assert apply_remap_once(remap, (0, 0), {}, state)[0] == 0
+    assert apply_remap_once(remap, (0, 1), {}, state)[0] == 1
+    state.reset()
+    assert apply_remap_once(remap, (0, 2), {}, state)[0] == 0
+
+
+def test_bcsr_remap_with_params():
+    remap = parse_remap("(i,j) -> (i/M, j/N, i%M, j%N)")
+    assert apply_remap(remap, [(5, 7)], params={"M": 2, "N": 4})[0] == (2, 1, 1, 3)
+
+
+def test_morton_let_bindings():
+    remap = parse_remap("(i,j) -> (r=i%2 in s=j%2 in (r)|((s)<<1), i/2, j/2, i, j)")
+    # i=1, j=0 -> morton bit 0 set only
+    assert apply_remap(remap, [(1, 0)], params={})[0][0] == 1
+    # i=0, j=1 -> morton bit 1 set only
+    assert apply_remap(remap, [(0, 1)], params={})[0][0] == 2
+
+
+def test_floor_division_semantics():
+    remap = parse_remap("(i,j) -> (j-i, (j-i)/2, i, j)")
+    # j - i = -3; Python floor division: -3 // 2 == -2
+    assert apply_remap(remap, [(3, 0)])[0][:2] == (-3, -2)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    coords=st.lists(
+        st.tuples(st.integers(0, 9), st.integers(0, 9)), min_size=1, max_size=30
+    )
+)
+def test_counter_values_are_dense_per_key(coords):
+    """Counters assign 0..n-1 within each group, in iteration order."""
+    remap = parse_remap("(i,j) -> (k=#i in k, i, j)")
+    remapped = apply_remap(remap, coords)
+    seen = {}
+    for (slice_k, row, _), (i, _) in zip(remapped, coords):
+        assert row == i
+        assert slice_k == seen.get(i, 0)
+        seen[i] = slice_k + 1
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    coords=st.lists(
+        st.tuples(st.integers(0, 20), st.integers(0, 20)), min_size=1, max_size=30
+    )
+)
+def test_dia_remap_preserves_original_coords(coords):
+    remap = parse_remap("(i,j) -> (j-i, i, j)")
+    for (offset, row, col), (i, j) in zip(apply_remap(remap, coords), coords):
+        assert offset == j - i
+        assert (row, col) == (i, j)

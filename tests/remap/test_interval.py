@@ -1,0 +1,146 @@
+"""Tests for symbolic interval analysis of remapped dimensions."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.ir import builder as b
+from repro.ir import print_expr
+from repro.remap import (
+    apply_remap,
+    parse_remap,
+    remapped_dim_intervals,
+)
+from repro.remap.interval import Interval, IntervalAnalyzer, index_interval
+
+
+def _pp(interval):
+    def render(expr):
+        return None if expr is None else print_expr(expr)
+
+    return render(interval.lo), render(interval.hi)
+
+
+def test_dia_offsets_interval():
+    remap = parse_remap("(i,j) -> (j-i, i, j)")
+    intervals = remapped_dim_intervals(remap, [b.var("M"), b.var("N")], {})
+    lo, hi = _pp(intervals[0])
+    assert lo == "-(M - 1)"
+    assert hi == "N - 1"
+    assert print_expr(intervals[0].extent()) == "N + M - 1"
+
+
+def test_square_dia_extent_matches_paper():
+    remap = parse_remap("(i,j) -> (j-i, i, j)")
+    intervals = remapped_dim_intervals(remap, [b.var("N"), b.var("N")], {})
+    assert print_expr(intervals[0].extent()) == "2 * N - 1"
+
+
+def test_identity_dims():
+    remap = parse_remap("(i,j) -> (i, j)")
+    intervals = remapped_dim_intervals(remap, [b.var("M"), b.var("N")], {})
+    assert _pp(intervals[0]) == ("0", "M - 1")
+    assert print_expr(intervals[1].extent()) == "N"
+
+
+def test_counter_dim_is_unbounded():
+    remap = parse_remap("(i,j) -> (k=#i in k, i, j)")
+    intervals = remapped_dim_intervals(remap, [b.var("M"), b.var("N")], {})
+    assert intervals[0].lo is not None and intervals[0].lo.value == 0
+    assert intervals[0].hi is None
+    assert not intervals[0].is_known()
+    assert intervals[0].extent() is None
+
+
+def test_bcsr_block_dims():
+    remap = parse_remap("(i,j) -> (i/M, j/N, i%M, j%N)")
+    intervals = remapped_dim_intervals(
+        remap,
+        [b.var("I"), b.var("J")],
+        {"M": b.const(4), "N": b.const(8)},
+    )
+    assert _pp(intervals[0]) == ("0", "(I - 1) // 4")
+    assert _pp(intervals[2]) == ("0", "3")
+    assert _pp(intervals[3]) == ("0", "7")
+
+
+def test_mod_with_symbolic_positive_divisor():
+    remap = parse_remap("(i,j) -> (i%B, i, j)")
+    intervals = remapped_dim_intervals(
+        remap, [b.var("I"), b.var("J")], {"B": b.var("B")}
+    )
+    assert _pp(intervals[0]) == ("0", "B - 1")
+
+
+def test_morton_bits_interval_with_constant_blocks():
+    remap = parse_remap("(i,j) -> (r=i%2 in s=j%2 in r|(s<<1), i/2, j/2, i, j)")
+    intervals = remapped_dim_intervals(remap, [b.var("I"), b.var("J")], {})
+    # r in [0,1], s<<1 in [0,2], r|(s<<1) in [0, 3]
+    assert _pp(intervals[0]) == ("0", "3")
+
+
+def test_scaled_coordinate():
+    remap = parse_remap("(i,j) -> (2*i, i, j)")
+    intervals = remapped_dim_intervals(remap, [b.var("M"), b.var("N")], {})
+    assert _pp(intervals[0]) == ("0", "2 * (M - 1)")
+
+
+def test_negative_scale_swaps_endpoints():
+    remap = parse_remap("(i,j) -> (-2*i, i, j)")
+    intervals = remapped_dim_intervals(remap, [b.var("M"), b.var("N")], {})
+    lo, hi = _pp(intervals[0])
+    assert lo == "-2 * (M - 1)" or lo == "-(2 * (M - 1))"
+    assert hi == "0"
+
+
+def test_unknown_propagates():
+    # bit-ops over symbolic operands cannot be bounded statically
+    remap = parse_remap("(i,j) -> (i^j, i, j)")
+    intervals = remapped_dim_intervals(remap, [b.var("M"), b.var("N")], {})
+    assert intervals[0].lo is not None  # still known nonneg
+    assert intervals[0].hi is None
+
+
+def test_interval_exact_and_unknown_constructors():
+    exact = Interval.exact(b.const(5))
+    assert exact.is_known() and print_expr(exact.extent()) == "1"
+    assert not Interval.unknown().is_known()
+
+
+# ---------------------------------------------------------------------------
+# Soundness property: evaluating the remap on random coordinates always
+# lands inside the analyzed interval.
+# ---------------------------------------------------------------------------
+
+_REMAPS = [
+    "(i,j) -> (j-i, i, j)",
+    "(i,j) -> (i/3, j/5, i%3, j%5)",
+    "(i,j) -> (i+j, i, j)",
+    "(i,j) -> (2*i+j, i, j)",
+    "(i,j) -> (i&3, i, j)",
+    "(i,j) -> ((i%2)|((j%2)<<1), i, j)",
+]
+
+
+@settings(max_examples=120, deadline=None)
+@given(
+    text=st.sampled_from(_REMAPS),
+    dims=st.tuples(st.integers(1, 12), st.integers(1, 12)),
+    data=st.data(),
+)
+def test_interval_analysis_is_sound(text, dims, data):
+    remap = parse_remap(text)
+    m, n = dims
+    coords = data.draw(
+        st.lists(
+            st.tuples(st.integers(0, m - 1), st.integers(0, n - 1)),
+            min_size=1,
+            max_size=20,
+        )
+    )
+    intervals = remapped_dim_intervals(remap, [b.const(m), b.const(n)], {})
+    for remapped in apply_remap(remap, coords):
+        for value, interval in zip(remapped, intervals):
+            if interval.lo is not None:
+                assert value >= interval.lo.value
+            if interval.hi is not None:
+                assert value <= interval.hi.value

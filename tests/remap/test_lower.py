@@ -1,0 +1,97 @@
+"""Tests for lowering remap expressions to imperative IR (Section 4.2)."""
+
+import pytest
+
+from repro.ir import builder as b
+from repro.ir.builder import NameGenerator
+from repro.ir.nodes import Assign, Const, Var
+from repro.ir.printer import print_expr, print_stmt
+from repro.remap import (
+    RemapLoweringError,
+    lower_remap,
+    lower_rexpr,
+    parse_remap,
+)
+from repro.remap.ast import RCounter
+
+
+def _lower(text, coord_env=None, params=None, counters=None):
+    remap = parse_remap(text)
+    return lower_remap(
+        remap,
+        coord_env or {"i": Var("i"), "j": Var("j")},
+        params or {},
+        counters or {},
+        NameGenerator(),
+    )
+
+
+def test_arithmetic_is_inlined():
+    lowered = _lower("(i,j) -> (j-i, i, j)")
+    assert lowered.prelude == []
+    assert [print_expr(e) for e in lowered.coord_exprs] == ["j - i", "i", "j"]
+
+
+def test_parameters_are_substituted():
+    lowered = _lower("(i,j) -> (i/M, j/N, i%M, j%N)",
+                     params={"M": Const(4), "N": Const(8)})
+    assert [print_expr(e) for e in lowered.coord_exprs] == [
+        "i // 4", "j // 8", "i % 4", "j % 8",
+    ]
+
+
+def test_let_binding_emits_local():
+    lowered = _lower("(i,j) -> (r=i*3+j in r*r, i, j)")
+    assert len(lowered.prelude) == 1
+    assert print_stmt(lowered.prelude[0]) == "r = i * 3 + j"
+    assert print_expr(lowered.coord_exprs[0]) == "r * r"
+
+
+def test_let_alias_of_variable_is_not_copied():
+    # `k = #i in k` must reuse the counter register, not copy it
+    counter = RCounter(("i",))
+    lowered = _lower(
+        "(i,j) -> (k=#i in k, i, j)", counters={counter: Var("count_reg")}
+    )
+    assert lowered.prelude == []
+    assert lowered.coord_exprs[0] == Var("count_reg")
+
+
+def test_morton_let_chain():
+    lowered = _lower("(i,j) -> (r=i%2 in s=j%2 in r|(s<<1), i/2, j/2, i, j)")
+    # r and s are constants-free expressions -> two locals, bit expr inlined
+    assert [print_stmt(s) for s in lowered.prelude] == ["r = i % 2", "s = j % 2"]
+    assert print_expr(lowered.coord_exprs[0]) == "r | s << 1"
+
+
+def test_missing_counter_raises():
+    with pytest.raises(RemapLoweringError):
+        _lower("(i,j) -> (#i, i, j)")
+
+
+def test_missing_param_raises():
+    with pytest.raises(RemapLoweringError):
+        _lower("(i,j) -> (i/M, i, j)")
+
+
+def test_unbound_variable_raises():
+    remap = parse_remap("(i,j) -> (j-i, i, j)")
+    with pytest.raises(RemapLoweringError):
+        lower_remap(remap, {"i": Var("i")}, {}, {}, NameGenerator())
+
+
+def test_lower_rexpr_simplifies():
+    remap = parse_remap("(i,j) -> (i*1+0, i, j)")
+    lowered = lower_remap(
+        remap, {"i": Var("i"), "j": Var("j")}, {}, {}, NameGenerator()
+    )
+    assert lowered.coord_exprs[0] == Var("i")
+
+
+def test_coordinates_can_be_expressions():
+    # coordinate environment entries may themselves be expressions
+    lowered = _lower(
+        "(i,j) -> (j-i, i, j)",
+        coord_env={"i": b.add("base", "r"), "j": Var("c")},
+    )
+    assert print_expr(lowered.coord_exprs[0]) == "c - (base + r)"

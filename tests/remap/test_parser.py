@@ -1,0 +1,128 @@
+"""Unit tests for the coordinate remapping notation parser (Figure 8)."""
+
+import pytest
+
+from repro.remap import (
+    DstCoord,
+    RBinOp,
+    RConst,
+    RCounter,
+    Remap,
+    RemapSyntaxError,
+    RParam,
+    RVar,
+    identity_remap,
+    parse_remap,
+)
+
+
+def test_dia_remap():
+    remap = parse_remap("(i,j) -> (j-i, i, j)")
+    assert remap.src_vars == ("i", "j")
+    assert remap.dst_order == 3
+    assert remap.dst_coords[0].expr == RBinOp("-", RVar("j"), RVar("i"))
+    assert remap.dst_coords[1].expr == RVar("i")
+    assert remap.dst_coords[2].expr == RVar("j")
+
+
+def test_bcsr_remap_with_parameters():
+    remap = parse_remap("(i,j) -> (i/M, j/N, i%M, j%N)")
+    assert remap.params() == ("M", "N")
+    assert remap.dst_coords[0].expr == RBinOp("/", RVar("i"), RParam("M"))
+
+
+def test_ell_remap_with_counter_and_let():
+    remap = parse_remap("(i,j) -> (k=#i in k, i, j)")
+    coord = remap.dst_coords[0]
+    assert coord.lets[0].name == "k"
+    assert coord.lets[0].value == RCounter(("i",))
+    assert coord.expr == RVar("k")
+    assert remap.counters() == (RCounter(("i",)),)
+
+
+def test_counter_without_ivars_counts_globally():
+    remap = parse_remap("(i,j) -> (#, i, j)")
+    assert remap.dst_coords[0].expr == RCounter(())
+
+
+def test_morton_remap_parses():
+    remap = parse_remap(
+        "(i,j) -> (r=i/B in s=j/B in (r&1)|((s&1)<<1), i/B, j/B, i%B, j%B)"
+    )
+    assert remap.dst_order == 5
+    coord = remap.dst_coords[0]
+    assert [binding.name for binding in coord.lets] == ["r", "s"]
+    assert isinstance(coord.expr, RBinOp) and coord.expr.op == "|"
+
+
+def test_precedence_or_lowest():
+    remap = parse_remap("(i,j) -> (i|j&1, i, j)")
+    expr = remap.dst_coords[0].expr
+    assert expr.op == "|"
+    assert expr.rhs == RBinOp("&", RVar("j"), RConst(1))
+
+
+def test_shift_binds_tighter_than_and():
+    remap = parse_remap("(i,j) -> (i&j<<1, i, j)")
+    expr = remap.dst_coords[0].expr
+    assert expr.op == "&"
+    assert expr.rhs == RBinOp("<<", RVar("j"), RConst(1))
+
+
+def test_mul_binds_tighter_than_add():
+    remap = parse_remap("(i,j) -> (i+j*2, i, j)")
+    expr = remap.dst_coords[0].expr
+    assert expr.op == "+"
+    assert expr.rhs == RBinOp("*", RVar("j"), RConst(2))
+
+
+def test_parentheses_override_precedence():
+    remap = parse_remap("(i,j) -> ((i+j)*2, i, j)")
+    expr = remap.dst_coords[0].expr
+    assert expr.op == "*"
+
+
+def test_unary_minus():
+    remap = parse_remap("(i,j) -> (-i, i, j)")
+    assert remap.dst_coords[0].expr == RBinOp("-", RConst(0), RVar("i"))
+
+
+def test_roundtrip_through_str():
+    texts = [
+        "(i,j) -> (j-i, i, j)",
+        "(i,j) -> (k=#i in k, i, j)",
+        "(i,j) -> (i/M, j/N, i%M, j%N)",
+        "(i,j,k) -> (i, j, k)",
+    ]
+    for text in texts:
+        remap = parse_remap(text)
+        assert parse_remap(str(remap)) == remap
+
+
+def test_identity_remap_helper():
+    remap = identity_remap(2)
+    assert remap.is_identity()
+    assert str(remap) == "(i, j) -> (i, j)"
+    assert identity_remap(4).src_vars == ("i1", "i2", "i3", "i4")
+    assert not parse_remap("(i,j) -> (j, i)").is_identity()
+
+
+def test_syntax_errors():
+    bad = [
+        "(i,j) (j,i)",           # missing arrow
+        "(i,j) -> (j-i, i, j",   # unclosed paren
+        "(i,i) -> (i, i)",       # duplicate src var
+        "(i,j) -> ()",           # empty dst — '(' then ')' fails expression
+        "(i,j) -> (j !! i)",     # bad character
+        "",
+    ]
+    for text in bad:
+        with pytest.raises(RemapSyntaxError):
+            parse_remap(text)
+
+
+def test_let_chain():
+    remap = parse_remap("(i,j) -> (a=i/2 in b=a%4 in b, i, j)")
+    coord = remap.dst_coords[0]
+    assert [binding.name for binding in coord.lets] == ["a", "b"]
+    assert coord.lets[1].value == RBinOp("%", RVar("a"), RConst(4))

@@ -1,0 +1,96 @@
+"""Tests for tensor storage, the oracle traversal and validation."""
+
+import numpy as np
+import pytest
+
+from repro.formats.format import FormatError
+from repro.formats.library import BCSR, COO, CSC, CSR, DIA, ELL
+from repro.storage.build import reference_build
+from repro.storage.dense import from_dense
+from repro.storage.tensor import Tensor
+
+CELLS = [(0, 0), (1, 2), (2, 1), (3, 3)]
+VALS = [1.0, 2.0, 3.0, 4.0]
+
+
+def test_to_coo_round_trip():
+    tensor = reference_build(CSR, (4, 4), CELLS, VALS)
+    assert tensor.to_coo() == dict(zip(CELLS, VALS))
+
+
+def test_to_dense():
+    tensor = reference_build(CSR, (4, 4), CELLS, VALS)
+    dense = tensor.to_dense()
+    assert dense[1, 2] == 2.0 and dense[0, 1] == 0.0
+
+
+def test_from_dense_drops_zeros():
+    dense = np.zeros((3, 3))
+    dense[0, 0] = 1.5
+    dense[2, 1] = -2.0
+    tensor = from_dense(COO, dense)
+    assert tensor.to_coo() == {(0, 0): 1.5, (2, 1): -2.0}
+
+
+def test_nnz_and_stored_counts():
+    tensor = reference_build(ELL, (4, 4), CELLS, VALS)
+    assert tensor.nnz == 4
+    assert tensor.nnz_stored >= 4  # padding counts as stored
+
+
+def test_dim_size_uses_meta_for_counter_dims():
+    tensor = reference_build(ELL, (4, 4), CELLS, VALS)
+    assert tensor.dim_size(0) == tensor.meta(0, "K") == 1
+    assert tensor.dim_size(1) == 4
+
+
+def test_dia_dim_lo_is_negative():
+    tensor = reference_build(DIA, (4, 6), [(3, 0), (0, 5)], [1.0, 2.0])
+    assert tensor.dim_lo(0) == -3
+    assert tensor.dim_size(0) == 4 + 6 - 1
+
+
+def test_check_accepts_reference_builders():
+    for fmt in (COO, CSR, CSC, DIA, ELL, BCSR(2, 2)):
+        reference_build(fmt, (4, 4), CELLS, VALS).check()
+
+
+def test_check_rejects_nonmonotone_pos():
+    tensor = reference_build(CSR, (4, 4), CELLS, VALS)
+    tensor.array(1, "pos")[2] = 99
+    with pytest.raises(FormatError):
+        tensor.check()
+
+
+def test_check_rejects_wrong_vals_length():
+    tensor = reference_build(CSR, (4, 4), CELLS, VALS)
+    tensor.vals = tensor.vals[:-1]
+    with pytest.raises(FormatError):
+        tensor.check()
+
+
+def test_wrong_dims_rejected():
+    with pytest.raises(FormatError):
+        Tensor(CSR, (4,), {}, {}, np.zeros(0))
+
+
+def test_duplicate_coordinates_rejected_by_builders():
+    with pytest.raises(ValueError):
+        reference_build(COO, (4, 4), [(0, 0), (0, 0)], [1.0, 2.0])
+
+
+def test_padded_property():
+    assert DIA.padded and ELL.padded and BCSR(2, 2).padded
+    assert not CSR.padded and not COO.padded and not CSC.padded
+
+
+def test_skip_zeros_override():
+    tensor = reference_build(DIA, (3, 3), [(0, 0), (2, 2)], [1.0, 2.0])
+    full = tensor.to_coo(skip_zeros=False)
+    assert len(full) == 3  # one padding slot on the main diagonal
+    assert tensor.to_coo() == {(0, 0): 1.0, (2, 2): 2.0}
+
+
+def test_repr_mentions_format():
+    tensor = reference_build(CSR, (4, 4), CELLS, VALS)
+    assert "CSR" in repr(tensor)

@@ -1,0 +1,66 @@
+"""Tests for the command-line interface (python -m repro)."""
+
+import pytest
+
+from repro.__main__ import _resolve_format, main
+from repro.io import write_matrix_market
+
+
+@pytest.fixture()
+def mtx(tmp_path):
+    path = tmp_path / "m.mtx"
+    cells = [(0, 0), (1, 2), (3, 1), (3, 3)]
+    write_matrix_market(path, (4, 4), cells, [1.0, 2.0, 3.0, 4.0])
+    return str(path)
+
+
+def test_resolve_builtin_formats():
+    assert _resolve_format("csr").name == "CSR"
+    assert _resolve_format("DIA").name == "DIA"
+    assert _resolve_format("BCSR2x3").params == {"M": 2, "N": 3}
+    assert _resolve_format("BCSR").params == {"M": 4, "N": 4}
+    assert _resolve_format("HICOO8").params == {"B": 8}
+    with pytest.raises(SystemExit):
+        _resolve_format("NOPE")
+
+
+def test_formats_command(capsys):
+    main(["formats"])
+    out = capsys.readouterr().out
+    assert "CSR" in out and "DIA" in out and "remap" in out
+
+
+def test_codegen_command(capsys):
+    main(["codegen", "CSR", "ELL"])
+    out = capsys.readouterr().out
+    assert "def convert_CSR_to_ELL" in out
+
+
+def test_convert_command(mtx, capsys):
+    main(["convert", mtx, "--to", "CSR"])
+    out = capsys.readouterr().out
+    assert "COO -> CSR" in out and "4 nonzeros" in out
+
+
+def test_convert_show_code(mtx, capsys):
+    main(["convert", mtx, "--to", "DIA", "--show-code"])
+    out = capsys.readouterr().out
+    assert "def convert_COO_to_DIA" in out
+
+
+def test_convert_from_format(mtx, capsys):
+    main(["convert", mtx, "--from", "CSR", "--to", "CSC"])
+    out = capsys.readouterr().out
+    assert "CSR -> CSC" in out
+
+
+def test_stats_command(mtx, capsys):
+    main(["stats", mtx])
+    out = capsys.readouterr().out
+    assert "nonzero diagonals" in out and "max nnz per row" in out
+
+
+def test_verify_command(capsys):
+    main(["verify", "COO", "CSR", "--trials", "5", "--max-dim", "5"])
+    out = capsys.readouterr().out
+    assert "OK on" in out

@@ -1,0 +1,60 @@
+"""Tests for host-side evaluation of IR expressions."""
+
+import pytest
+
+from repro.ir import builder as b
+from repro.ir.nodes import Call, Load, Ternary, Var
+from repro.utils.evaluate import evaluate_expr
+
+
+def test_arithmetic():
+    expr = b.add(b.mul("N", 2), b.sub("M", 1))
+    assert evaluate_expr(expr, {"N": 5, "M": 3}) == 12
+
+
+def test_floor_division_and_mod():
+    assert evaluate_expr(b.floordiv("x", 4), {"x": -3}) == -1
+    assert evaluate_expr(b.mod("x", 4), {"x": -3}) == 1
+
+
+def test_bitwise_and_shifts():
+    env = {"a": 6, "b": 3}
+    assert evaluate_expr(b.bitand("a", "b"), env) == 2
+    assert evaluate_expr(b.bitor("a", "b"), env) == 7
+    assert evaluate_expr(b.bitxor("a", "b"), env) == 5
+    assert evaluate_expr(b.shl("b", 2), env) == 12
+    assert evaluate_expr(b.shr("a", 1), env) == 3
+
+
+def test_comparisons_and_logic():
+    env = {"x": 2}
+    assert evaluate_expr(b.lt("x", 3), env) is True
+    assert evaluate_expr(b.logical_and(b.gt("x", 0), b.lt("x", 2)), env) is False
+    assert evaluate_expr(b.logical_not(b.eq("x", 2)), env) is False
+
+
+def test_unary_and_minmax():
+    assert evaluate_expr(b.neg("x"), {"x": 4}) == -4
+    assert evaluate_expr(b.minimum("x", 2), {"x": 4}) == 2
+    assert evaluate_expr(b.maximum("x", 2), {"x": 4}) == 4
+
+
+def test_ternary():
+    expr = b.ternary(b.lt("x", 0), 0, "x")
+    assert evaluate_expr(expr, {"x": -5}) == 0
+    assert evaluate_expr(expr, {"x": 5}) == 5
+
+
+def test_unbound_variable_raises():
+    with pytest.raises(KeyError):
+        evaluate_expr(Var("nope"), {})
+
+
+def test_loads_are_rejected():
+    with pytest.raises(TypeError):
+        evaluate_expr(Load(Var("a"), Var("i")), {"a": 1, "i": 0})
+
+
+def test_unknown_call_rejected():
+    with pytest.raises(TypeError):
+        evaluate_expr(Call("sqrt", (Var("x"),)), {"x": 4})
