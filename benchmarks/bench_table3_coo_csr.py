@@ -11,7 +11,7 @@ import pytest
 from repro.matrices.suite import PAPER_NAMES
 
 COLUMN = "coo_csr"
-IMPLS = ["taco w/ ext", "taco w/o ext", "skit", "mkl"]
+IMPLS = ["taco w/ ext", "taco w/ ext (vec)", "taco w/o ext", "skit", "mkl", "scipy"]
 
 
 @pytest.mark.parametrize("matrix_name", PAPER_NAMES)

@@ -11,7 +11,7 @@ import pytest
 from repro.matrices.suite import PAPER_NAMES
 
 COLUMN = "coo_dia"
-IMPLS = ["taco w/ ext", "skit", "mkl"]
+IMPLS = ["taco w/ ext", "taco w/ ext (vec)", "skit", "mkl", "scipy"]
 
 
 @pytest.mark.parametrize("matrix_name", PAPER_NAMES)

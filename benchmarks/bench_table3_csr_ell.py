@@ -11,7 +11,7 @@ import pytest
 from repro.matrices.suite import PAPER_NAMES
 
 COLUMN = "csr_ell"
-IMPLS = ["taco w/ ext", "skit"]
+IMPLS = ["taco w/ ext", "taco w/ ext (vec)", "skit"]
 
 
 @pytest.mark.parametrize("matrix_name", PAPER_NAMES)

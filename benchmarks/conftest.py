@@ -47,6 +47,8 @@ def run_cell(suite_map, bench_rounds):
             pytest.skip("omitted per Table 3's 75%-padding / symmetry rules")
         if impl == "taco w/ ext":
             fn = table3._ours(column, entry)
+        elif impl == "taco w/ ext (vec)":
+            fn = table3._ours(column, entry, backend="vector")
         else:
             baselines = table3._baselines(column, entry)
             if impl not in baselines:

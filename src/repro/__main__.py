@@ -14,7 +14,6 @@ Usage::
 from __future__ import annotations
 
 import argparse
-import sys
 import time
 
 from .convert import generated_source, make_converter
@@ -48,14 +47,18 @@ def _cmd_formats(_args) -> None:
 
 
 def _cmd_codegen(args) -> None:
-    print(generated_source(_resolve_format(args.src), _resolve_format(args.dst)))
+    print(
+        generated_source(
+            _resolve_format(args.src), _resolve_format(args.dst), backend=args.backend
+        )
+    )
 
 
 def _cmd_convert(args) -> None:
     src_fmt = _resolve_format(args.source_format)
     dst_fmt = _resolve_format(args.to)
     tensor = read_tensor(args.input, src_fmt)
-    converter = make_converter(src_fmt, dst_fmt)
+    converter = make_converter(src_fmt, dst_fmt, backend=args.backend)
     start = time.perf_counter()
     out = converter(tensor)
     elapsed = (time.perf_counter() - start) * 1e3
@@ -96,7 +99,12 @@ def _cmd_verify(args) -> None:
     src_fmt = _resolve_format(args.src)
     dst_fmt = _resolve_format(args.dst)
     checked = verify_conversion(
-        src_fmt, dst_fmt, trials=args.trials, max_dim=args.max_dim, seed=args.seed
+        src_fmt,
+        dst_fmt,
+        trials=args.trials,
+        max_dim=args.max_dim,
+        seed=args.seed,
+        backend=args.backend,
     )
     print(f"{src_fmt.name} -> {dst_fmt.name}: OK on {checked} randomized inputs")
 
@@ -110,12 +118,17 @@ def main(argv=None) -> None:
     codegen = sub.add_parser("codegen", help="print a generated routine")
     codegen.add_argument("src")
     codegen.add_argument("dst")
+    codegen.add_argument("--backend", choices=["auto", "scalar", "vector"],
+                         default="scalar",
+                         help="lowering backend (default: scalar, the paper's loops)")
 
     convert = sub.add_parser("convert", help="convert a Matrix Market file")
     convert.add_argument("input")
     convert.add_argument("--from", dest="source_format", default="COO")
     convert.add_argument("--to", required=True)
     convert.add_argument("--show-code", action="store_true")
+    convert.add_argument("--backend", choices=["auto", "scalar", "vector"],
+                         default="auto", help="lowering backend (default: auto)")
 
     stats = sub.add_parser("stats", help="attribute-query statistics of a file")
     stats.add_argument("input")
@@ -126,6 +139,8 @@ def main(argv=None) -> None:
     verify.add_argument("--trials", type=int, default=25)
     verify.add_argument("--max-dim", type=int, default=10)
     verify.add_argument("--seed", type=int, default=0)
+    verify.add_argument("--backend", choices=["auto", "scalar", "vector"],
+                        default="auto", help="lowering backend under test")
 
     args = parser.parse_args(argv)
     {

@@ -1,6 +1,6 @@
 """Hand-implemented baselines: SPARSKIT ports, MKL-style simulations, and
 the sort-based taco-without-extensions conversion (Section 7.2)."""
 
-from . import mkl_like, sparskit, taco_legacy
+from . import mkl_like, scipy_ref, sparskit, taco_legacy
 
-__all__ = ["mkl_like", "sparskit", "taco_legacy"]
+__all__ = ["mkl_like", "scipy_ref", "sparskit", "taco_legacy"]

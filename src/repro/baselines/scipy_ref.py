@@ -1,0 +1,54 @@
+"""scipy.sparse reference conversions (compiled C, the external yardstick).
+
+These pin the vector backend's numbers against a widely deployed,
+hand-written C implementation of the same conversions.  scipy is an
+*optional* dependency: every helper raises :class:`RuntimeError` when it
+is missing, and :func:`available` lets the harness skip the column.
+
+Only the conversions scipy actually implements are exposed — there is no
+ELL format in scipy, so the ``*_ell`` Table 3 columns have no scipy
+reference.
+"""
+
+from __future__ import annotations
+
+try:  # gated: the benchmark container may not ship scipy
+    import scipy.sparse as _sparse
+except ImportError:  # pragma: no cover - exercised only without scipy
+    _sparse = None
+
+
+def available() -> bool:
+    """True when scipy.sparse can be imported."""
+    return _sparse is not None
+
+
+def _require():
+    if _sparse is None:  # pragma: no cover - exercised only without scipy
+        raise RuntimeError("scipy is not installed; no scipy reference available")
+    return _sparse
+
+
+def coocsr(nrow, ncol, rows, cols, vals):
+    sp = _require()
+    return sp.coo_matrix((vals, (rows, cols)), shape=(nrow, ncol)).tocsr()
+
+
+def coodia(nrow, ncol, rows, cols, vals):
+    sp = _require()
+    return sp.coo_matrix((vals, (rows, cols)), shape=(nrow, ncol)).todia()
+
+
+def csrcsc(nrow, ncol, pos, crd, vals):
+    sp = _require()
+    return sp.csr_matrix((vals, crd, pos), shape=(nrow, ncol)).tocsc()
+
+
+def csrdia(nrow, ncol, pos, crd, vals):
+    sp = _require()
+    return sp.csr_matrix((vals, crd, pos), shape=(nrow, ncol)).todia()
+
+
+def cscdia(nrow, ncol, pos, crd, vals):
+    sp = _require()
+    return sp.csc_matrix((vals, crd, pos), shape=(nrow, ncol)).todia()

@@ -19,7 +19,7 @@ Notable ported behaviours the paper calls out (Section 7.2):
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import List, Optional
 
 import numpy as np
 

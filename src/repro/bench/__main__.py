@@ -4,18 +4,28 @@ Usage::
 
     python -m repro.bench table2 [--scale S]
     python -m repro.bench table3 [--scale S] [--repeats R] [--columns c1,c2]
+    python -m repro.bench backends [--scale S] [--repeats R] [--columns c1,c2]
+                                   [--matrices m1,m2] [--json PATH]
     python -m repro.bench ablations [--scale S] [--repeats R]
+
+``backends`` compares the scalar (loop) and vector (bulk numpy) lowering
+backends, plus scipy where it implements the conversion; ``--json``
+additionally writes the report as JSON (the CI smoke artifact).
 """
 
 import argparse
+import json
 
 from ..matrices.suite import suite
 from . import (
     COLUMNS,
+    backends_json,
     render_ablations,
+    render_backends,
     render_table2,
     render_table3,
     run_ablations,
+    run_backends,
     run_table2,
     run_table3,
 )
@@ -23,21 +33,45 @@ from . import (
 
 def main() -> None:
     parser = argparse.ArgumentParser(prog="python -m repro.bench")
-    parser.add_argument("report", choices=["table2", "table3", "ablations"])
+    parser.add_argument("report", choices=["table2", "table3", "backends", "ablations"])
     parser.add_argument("--scale", type=float, default=1.0,
                         help="matrix size scale factor (default 1.0)")
     parser.add_argument("--repeats", type=int, default=3,
                         help="timing repeats per cell (median reported)")
     parser.add_argument("--columns", type=str, default=None,
                         help="comma-separated Table 3 columns to run")
+    parser.add_argument("--matrices", type=str, default=None,
+                        help="comma-separated suite matrix names to run")
+    parser.add_argument("--json", type=str, default=None, metavar="PATH",
+                        help="also write the backends report as JSON")
     args = parser.parse_args()
+    if args.json and args.report != "backends":
+        parser.error("--json is only produced by the 'backends' report")
 
     matrices = suite(scale=args.scale)
+    if args.matrices:
+        wanted = set(args.matrices.split(","))
+        matrices = [m for m in matrices if {m.name, m.paper_name} & wanted]
+        if not matrices:
+            parser.error(f"no suite matrix matches {args.matrices!r}")
+    columns = args.columns.split(",") if args.columns else COLUMNS
+    unknown = [c for c in columns if c not in COLUMNS]
+    if unknown:
+        parser.error(
+            f"unknown column(s) {', '.join(unknown)}; choose from {', '.join(COLUMNS)}"
+        )
+
     if args.report == "table2":
         print(render_table2(run_table2(matrices)))
     elif args.report == "table3":
-        columns = args.columns.split(",") if args.columns else COLUMNS
         print(render_table3(run_table3(matrices, columns, args.repeats)))
+    elif args.report == "backends":
+        results = run_backends(matrices, columns, args.repeats)
+        print(render_backends(results))
+        if args.json:
+            with open(args.json, "w") as handle:
+                json.dump(backends_json(results), handle, indent=2)
+            print(f"\nwrote {args.json}")
     else:
         print(render_ablations(run_ablations(matrices, args.repeats)))
 

@@ -41,8 +41,12 @@ def _run(
     repeats: int,
     predicate=None,
 ) -> List[AblationResult]:
-    base = make_converter(src_format, dst_format)
-    alt = make_converter(src_format, dst_format, variant)
+    # Ablations compare scalar code shapes (counter arrays, unsequenced
+    # edges, ...), so both sides pin the scalar backend: under "auto" the
+    # default-options base would silently lower through the vector backend
+    # and the ratio would measure backends, not the ablated optimization.
+    base = make_converter(src_format, dst_format, backend="scalar")
+    alt = make_converter(src_format, dst_format, variant, backend="scalar")
     results = []
     for entry in matrices:
         if predicate and not predicate(entry):

@@ -26,7 +26,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
-from ..baselines import mkl_like, sparskit, taco_legacy
+from ..baselines import mkl_like, scipy_ref, sparskit, taco_legacy
 from ..convert import make_converter
 from ..formats.library import COO, CSC, CSR, DIA, ELL
 from ..matrices.suite import SuiteMatrix, suite
@@ -57,14 +57,16 @@ def applicable(column: str, entry: SuiteMatrix) -> bool:
     return True
 
 
-def _ours(column: str, entry: SuiteMatrix) -> Callable[[], object]:
+def _ours(
+    column: str, entry: SuiteMatrix, backend: str = "scalar"
+) -> Callable[[], object]:
     src_name, dst_name = column.split("_")
     # Symmetric matrices make CSC and CSR interchangeable; the paper casts
     # CSC→DIA/ELL to CSR→DIA/ELL in that case.
     if src_name == "csc" and entry.symmetric:
         src_name = "csr"
     src = _FORMATS[src_name]
-    converter = make_converter(src, _FORMATS[dst_name])
+    converter = make_converter(src, _FORMATS[dst_name], backend=backend)
     args = converter.arguments(entry.tensor(src))
     return lambda: converter.func(*args)
 
@@ -83,44 +85,64 @@ def _baselines(column: str, entry: SuiteMatrix) -> Dict[str, Callable[[], object
         csc = entry.tensor(CSC)
         return csc.array(1, "pos"), csc.array(1, "crd"), csc.vals
 
+    have_scipy = scipy_ref.available()
+
     if column == "coo_csr":
-        return {
+        impls = {
             "taco w/o ext": lambda: taco_legacy.coocsr_sorting(nrow, rows_a, cols_a, coo_vals),
             "skit": lambda: sparskit.coocsr(nrow, rows_a, cols_a, coo_vals),
             "mkl": lambda: mkl_like.coocsr(nrow, rows_a, cols_a, coo_vals),
         }
+        if have_scipy:
+            impls["scipy"] = lambda: scipy_ref.coocsr(nrow, ncol, rows_a, cols_a, coo_vals)
+        return impls
     if column == "coo_dia":
-        return {
+        impls = {
             "skit": lambda: sparskit.coodia_via_csr(nrow, ncol, rows_a, cols_a, coo_vals),
             "mkl": lambda: mkl_like.coodia_via_csr(nrow, ncol, rows_a, cols_a, coo_vals),
         }
+        if have_scipy:
+            impls["scipy"] = lambda: scipy_ref.coodia(nrow, ncol, rows_a, cols_a, coo_vals)
+        return impls
     if column == "csr_csc":
         pos, crd, vals = csr_args()
-        return {
+        impls = {
             "skit": lambda: sparskit.csrcsc(nrow, ncol, pos, crd, vals),
             "mkl": lambda: mkl_like.csrcsc(nrow, ncol, pos, crd, vals),
         }
+        if have_scipy:
+            impls["scipy"] = lambda: scipy_ref.csrcsc(nrow, ncol, pos, crd, vals)
+        return impls
     if column == "csr_dia":
         pos, crd, vals = csr_args()
-        return {
+        impls = {
             "skit": lambda: sparskit.csrdia(nrow, ncol, pos, crd, vals),
             "mkl": lambda: mkl_like.csrdia(nrow, ncol, pos, crd, vals),
         }
+        if have_scipy:
+            impls["scipy"] = lambda: scipy_ref.csrdia(nrow, ncol, pos, crd, vals)
+        return impls
     if column == "csr_ell":
         pos, crd, vals = csr_args()
         return {"skit": lambda: sparskit.csrell(nrow, pos, crd, vals)}
     if column == "csc_dia":
         if entry.symmetric:
             pos, crd, vals = csr_args()
-            return {
+            impls = {
                 "skit": lambda: sparskit.csrdia(nrow, ncol, pos, crd, vals),
                 "mkl": lambda: mkl_like.csrdia(nrow, ncol, pos, crd, vals),
             }
+            if have_scipy:
+                impls["scipy"] = lambda: scipy_ref.csrdia(nrow, ncol, pos, crd, vals)
+            return impls
         pos, crd, vals = csc_args()
-        return {
+        impls = {
             "skit": lambda: sparskit.cscdia_via_csr(nrow, ncol, pos, crd, vals),
             "mkl": lambda: mkl_like.cscdia_via_csr(nrow, ncol, pos, crd, vals),
         }
+        if have_scipy:
+            impls["scipy"] = lambda: scipy_ref.cscdia(nrow, ncol, pos, crd, vals)
+        return impls
     if column == "csc_ell":
         if entry.symmetric:
             pos, crd, vals = csr_args()
@@ -158,6 +180,94 @@ def run_table3(
         column: run_column(column, matrices, repeats)
         for column in (columns or COLUMNS)
     }
+
+
+@dataclass
+class BackendCellResult:
+    """One matrix × one column: scalar vs. vector backend (and scipy)."""
+
+    matrix: str
+    nnz: int
+    scalar_seconds: float
+    vector_seconds: float
+    scipy_seconds: Optional[float]
+
+    @property
+    def speedup(self) -> float:
+        """Scalar-over-vector time ratio (higher = vector wins)."""
+        return self.scalar_seconds / self.vector_seconds
+
+
+def run_backends(
+    matrices: Optional[List[SuiteMatrix]] = None,
+    columns: Optional[List[str]] = None,
+    repeats: int = 3,
+) -> Dict[str, List[BackendCellResult]]:
+    """Time the scalar vs. the vector backend (vs. scipy where it exists)
+    for every applicable (column, matrix) cell.
+
+    This is the report that turns the vector backend's advantage into a
+    number: both backends run the *same* conversion plan, differing only
+    in lowering (per-nonzero loops vs. bulk numpy operations).
+    """
+    matrices = matrices if matrices is not None else suite()
+    results: Dict[str, List[BackendCellResult]] = {}
+    for column in columns or COLUMNS:
+        cells = []
+        for entry in matrices:
+            if not applicable(column, entry):
+                continue
+            scalar = time_call(_ours(column, entry, backend="scalar"), repeats)
+            vector = time_call(_ours(column, entry, backend="vector"), repeats)
+            scipy_fn = _baselines(column, entry).get("scipy")
+            scipy_s = time_call(scipy_fn, repeats) if scipy_fn else None
+            cells.append(
+                BackendCellResult(entry.name, entry.nnz, scalar, vector, scipy_s)
+            )
+        results[column] = cells
+    return results
+
+
+def render_backends(results: Dict[str, List[BackendCellResult]]) -> str:
+    """Text rendering of the backend comparison (times in ms)."""
+    out = []
+    for column, cells in results.items():
+        headers = ["matrix", "nnz", "scalar (ms)", "vector (ms)", "speedup", "scipy (ms)"]
+        rows = []
+        for cell in cells:
+            rows.append([
+                cell.matrix,
+                str(cell.nnz),
+                f"{cell.scalar_seconds * 1e3:.2f}",
+                f"{cell.vector_seconds * 1e3:.2f}",
+                f"{cell.speedup:.1f}x",
+                f"{cell.scipy_seconds * 1e3:.2f}" if cell.scipy_seconds else "",
+            ])
+        mean = geomean([cell.speedup for cell in cells])
+        rows.append(["Geomean", "", "", "", f"{mean:.1f}x" if mean else "", ""])
+        out.append(f"== {column} ==\n{format_table(headers, rows)}")
+    return "\n\n".join(out)
+
+
+def backends_json(results: Dict[str, List[BackendCellResult]]) -> Dict:
+    """JSON-serializable form of the backend comparison (CI artifact)."""
+    report = {}
+    for column, cells in results.items():
+        report[column] = {
+            "geomean_speedup": geomean([cell.speedup for cell in cells]),
+            "cells": [
+                {
+                    "matrix": cell.matrix,
+                    "nnz": cell.nnz,
+                    "scalar_seconds": cell.scalar_seconds,
+                    "vector_seconds": cell.vector_seconds,
+                    "speedup": cell.speedup,
+                    "scipy_seconds": cell.scipy_seconds,
+                }
+                for cell in cells
+            ],
+        }
+    return report
 
 
 def render_table3(results: Dict[str, List[CellResult]]) -> str:

@@ -5,7 +5,7 @@ from __future__ import annotations
 import gc
 import math
 import time
-from typing import Callable, Dict, Iterable, List, Optional
+from typing import Callable, Iterable, List, Optional
 
 
 def time_call(fn: Callable[[], object], repeats: int = 3) -> float:

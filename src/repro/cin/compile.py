@@ -22,7 +22,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Sequence, Tuple
 
-from ..convert.context import ConversionContext, PlanError, QueryResultHandle
+from ..convert.context import ConversionContext, QueryResultHandle
 from ..convert.iterate import SourceLoopEmitter
 from ..ir import builder as b
 from ..ir.nodes import (
@@ -30,7 +30,6 @@ from ..ir.nodes import (
     Assign,
     AugAssign,
     AugStore,
-    Comment,
     Const,
     Expr,
     For,
@@ -48,15 +47,12 @@ from .nodes import (
     CinStatement,
     DenseSpace,
     Key,
-    KeyDim,
     KeySrc,
     SrcNonzeros,
     SrcPrefix,
     VConst,
     VCoordMax,
     VCoordMin,
-    VLoad,
-    VWidth,
 )
 from .transforms import ConversionInfo, QueryCompileError, optimize_plan
 

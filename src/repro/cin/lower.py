@@ -15,7 +15,7 @@ records how to decode them back (Section 5.2's ``Q ≡ Q' + s - 1`` and
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 from ..query.spec import QuerySpec

@@ -22,7 +22,7 @@ point, mirroring Section 5.2's "iteratively and eagerly apply".
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 from ..formats.format import Format
 from ..ir.builder import NameGenerator
@@ -32,7 +32,6 @@ from .nodes import (
     CinStatement,
     DenseSpace,
     Key,
-    KeyDim,
     KeySrc,
     SrcNonzeros,
     SrcPrefix,

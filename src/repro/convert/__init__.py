@@ -2,10 +2,18 @@
 
 from .api import CompiledConversion, convert, generated_source, make_converter
 from .context import ConversionContext, PlanError, QueryResultHandle
-from .planner import ConversionPlanner, GeneratedConversion, PlanOptions
+from .planner import (
+    BACKENDS,
+    ConversionPlanner,
+    GeneratedConversion,
+    PlanOptions,
+    plan_conversion,
+    resolve_backend,
+)
 from .verify import VerificationError, verify_all_pairs, verify_conversion
 
 __all__ = [
+    "BACKENDS",
     "CompiledConversion",
     "ConversionContext",
     "ConversionPlanner",
@@ -14,6 +22,8 @@ __all__ = [
     "PlanOptions",
     "QueryResultHandle",
     "VerificationError",
+    "plan_conversion",
+    "resolve_backend",
     "verify_all_pairs",
     "verify_conversion",
     "convert",

@@ -20,7 +20,7 @@ import numpy as np
 from ..formats.format import Format
 from ..ir.runtime import compile_source
 from ..storage.tensor import Tensor
-from .planner import ConversionPlanner, GeneratedConversion, PlanOptions
+from .planner import GeneratedConversion, PlanOptions, plan_conversion, resolve_backend
 
 
 @dataclass
@@ -34,6 +34,11 @@ class CompiledConversion:
     def source(self) -> str:
         """The generated Python source code of the routine."""
         return self.generated.source
+
+    @property
+    def backend(self) -> str:
+        """The lowering backend that produced the routine."""
+        return self.generated.backend
 
     @property
     def src_format(self) -> Format:
@@ -87,25 +92,46 @@ def make_converter(
     src_format: Format,
     dst_format: Format,
     options: PlanOptions = None,
+    backend: str = "auto",
 ) -> CompiledConversion:
     """Generate (or fetch from cache) the conversion routine for a format
-    pair.  Generated code is cached per structural format signature, so
-    e.g. every 4x4-blocked BCSR conversion shares one routine."""
+    pair.  Generated code is cached per (structural format signature,
+    plan options, resolved backend), so e.g. every 4x4-blocked BCSR
+    conversion shares one routine.
+
+    ``backend`` selects the lowering: ``"auto"`` (default) uses the bulk
+    numpy vector backend where available and falls back to the scalar
+    loop backend; ``"scalar"`` / ``"vector"`` request one explicitly
+    (a ``"vector"`` request still falls back for non-vectorizable pairs).
+    """
     options = options or PlanOptions()
-    key = (src_format.signature(), dst_format.signature(), options.key())
+    resolved = resolve_backend(src_format, dst_format, options, backend)
+    key = (src_format.signature(), dst_format.signature(), options.key(), resolved)
     if key not in _CACHE:
-        generated = ConversionPlanner(src_format, dst_format, options).plan()
+        generated = plan_conversion(src_format, dst_format, options, resolved)
         func = compile_source(generated.source, generated.func_name)
         _CACHE[key] = CompiledConversion(generated, func)
     return _CACHE[key]
 
 
-def convert(tensor: Tensor, dst_format: Format, options: PlanOptions = None) -> Tensor:
+def convert(
+    tensor: Tensor,
+    dst_format: Format,
+    options: PlanOptions = None,
+    backend: str = "auto",
+) -> Tensor:
     """Convert ``tensor`` to ``dst_format`` with a generated routine."""
-    return make_converter(tensor.format, dst_format, options)(tensor)
+    return make_converter(tensor.format, dst_format, options, backend)(tensor)
 
 
-def generated_source(src_format: Format, dst_format: Format) -> str:
+def generated_source(
+    src_format: Format, dst_format: Format, backend: str = "scalar"
+) -> str:
     """The Python source of the generated conversion routine (for docs,
-    examples and golden tests)."""
-    return make_converter(src_format, dst_format).source
+    examples and golden tests).
+
+    Defaults to the scalar backend — its loop nests are the paper's
+    generated code and are pinned by the golden tests.  Pass
+    ``backend="vector"`` to inspect the bulk numpy lowering instead.
+    """
+    return make_converter(src_format, dst_format, backend=backend).source

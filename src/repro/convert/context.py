@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..cin.nodes import Key, KeyDim, KeySrc
+from ..cin.nodes import Key, KeyDim
 from ..formats.format import Format, FormatError
 from ..ir import builder as b
 from ..ir.builder import NameGenerator

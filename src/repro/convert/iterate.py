@@ -36,7 +36,7 @@ from ..ir.nodes import (
 )
 from ..ir.simplify import simplify_expr
 from ..remap.ast import RCounter, Remap
-from ..remap.lower import lower_remap, lower_rexpr
+from ..remap.lower import lower_remap
 from .context import ConversionContext, PlanError
 
 

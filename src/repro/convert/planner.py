@@ -89,15 +89,76 @@ class PlanOptions:
 
 @dataclass
 class GeneratedConversion:
-    """A generated conversion routine plus its calling convention."""
+    """A generated conversion routine plus its calling convention.
 
-    func: FuncDef
+    ``func`` is the routine's IR (scalar backend only; the vector backend
+    emits numpy source directly and leaves it ``None``).  ``backend``
+    names the lowering that produced the routine — ``"scalar"`` for the
+    per-nonzero loop nests of this module, ``"vector"`` for the bulk
+    numpy lowering of :mod:`repro.ir.vector`.
+    """
+
+    func: Optional[FuncDef]
     source: str
     func_name: str
     params: List[Tuple[str, int, str]]
     outputs: List[Tuple[str, int, str]]
     src_format: Format
     dst_format: Format
+    backend: str = "scalar"
+
+
+#: Valid values of the public ``backend=`` option.
+BACKENDS = ("auto", "scalar", "vector")
+
+
+def _validate_backend(backend: str) -> str:
+    backend = backend or "auto"
+    if backend not in BACKENDS:
+        raise PlanError(f"unknown backend {backend!r}; expected one of {BACKENDS}")
+    return backend
+
+
+def resolve_backend(
+    src_format: Format,
+    dst_format: Format,
+    options: PlanOptions = None,
+    backend: str = "auto",
+) -> str:
+    """Pick the lowering backend for a (src, dst) format pair.
+
+    ``"auto"`` (and ``None``) selects the vector backend whenever the
+    pair matches one of its recognized patterns and falls back to
+    ``"scalar"`` otherwise.  An explicit ``"vector"`` request also falls
+    back to scalar for non-vectorizable pairs (every pair stays
+    convertible); ``"scalar"`` always lowers to loops.
+    """
+    if _validate_backend(backend) == "scalar":
+        return "scalar"
+    from ..ir.vector import vectorizable
+
+    return "vector" if vectorizable(src_format, dst_format, options) else "scalar"
+
+
+def plan_conversion(
+    src_format: Format,
+    dst_format: Format,
+    options: PlanOptions = None,
+    backend: str = "auto",
+) -> GeneratedConversion:
+    """Plan one conversion routine through the resolved backend.
+
+    ``plan_vector`` itself reports non-vectorizable pairs by returning
+    ``None``, so resolution is not repeated here — callers that already
+    ran :func:`resolve_backend` (the kernel cache) pay for it once.
+    """
+    if _validate_backend(backend) != "scalar":
+        from ..ir.vector import plan_vector
+
+        generated = plan_vector(src_format, dst_format, options)
+        if generated is not None:
+            return generated
+    return ConversionPlanner(src_format, dst_format, options).plan()
 
 
 def _sanitize(name: str) -> str:

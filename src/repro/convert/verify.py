@@ -56,15 +56,18 @@ def verify_conversion(
     max_dim: int = 10,
     seed: int = 0,
     options: Optional[PlanOptions] = None,
+    backend: str = "auto",
 ) -> int:
     """Differentially test ``src_format`` → ``dst_format``.
 
     Returns the number of inputs checked; raises
     :class:`VerificationError` with a reproducer description on the first
     disagreement.  Inputs incompatible with the source format (e.g.
-    non-lower-triangular data for skyline) are skipped.
+    non-lower-triangular data for skyline) are skipped.  ``backend``
+    selects the lowering under test (``"scalar"``, ``"vector"``, or
+    ``"auto"``).
     """
-    converter = make_converter(src_format, dst_format, options)
+    converter = make_converter(src_format, dst_format, options, backend)
     rng = random.Random(seed)
     checked = 0
     for trial in range(trials):
@@ -96,7 +99,11 @@ def verify_conversion(
 
 
 def verify_all_pairs(
-    formats: List[Format], trials: int = 10, max_dim: int = 8, seed: int = 0
+    formats: List[Format],
+    trials: int = 10,
+    max_dim: int = 8,
+    seed: int = 0,
+    backend: str = "auto",
 ):
     """Verify every ordered pair; returns [(src, dst, inputs checked)]."""
     report = []
@@ -104,6 +111,6 @@ def verify_all_pairs(
         for dst in formats:
             if src.order != dst.order:
                 continue
-            checked = verify_conversion(src, dst, trials, max_dim, seed)
+            checked = verify_conversion(src, dst, trials, max_dim, seed, backend=backend)
             report.append((src.name, dst.name, checked))
     return report

@@ -16,7 +16,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Sequence, Tuple
 
-from ..ir import builder as b
 from ..ir.nodes import Const, Expr, Var
 from ..levels.base import Level
 from ..remap.ast import Remap

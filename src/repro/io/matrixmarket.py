@@ -10,7 +10,6 @@ from __future__ import annotations
 
 from typing import List, Sequence, Tuple
 
-import numpy as np
 
 
 class MatrixMarketError(ValueError):

@@ -36,7 +36,7 @@ from .nodes import (
     substitute,
 )
 from .printer import print_expr, print_func, print_stmt
-from .runtime import compile_source, prefix_sum
+from .runtime import compile_source, prefix_sum, stable_order
 from .simplify import simplify_expr, simplify_stmt
 from . import builder
 
@@ -46,5 +46,5 @@ __all__ = [
     "Node", "Pass", "Return", "Stmt", "Store", "Ternary", "UnOp", "Var",
     "While", "expr_children", "free_vars", "map_expr", "substitute",
     "print_expr", "print_func", "print_stmt", "compile_source", "prefix_sum",
-    "simplify_expr", "simplify_stmt", "builder",
+    "simplify_expr", "simplify_stmt", "stable_order", "builder",
 ]

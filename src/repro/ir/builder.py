@@ -8,7 +8,6 @@ or :class:`~repro.ir.nodes.Var` as appropriate.
 
 from __future__ import annotations
 
-import itertools
 from typing import Iterable, Union
 
 from .nodes import (

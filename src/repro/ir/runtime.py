@@ -45,6 +45,25 @@ def next_pow2(n: int) -> int:
     return width
 
 
+def stable_order(keys: np.ndarray) -> np.ndarray:
+    """Permutation sorting ``keys`` ascending, ties in original order.
+
+    The vector backend's replacement for sequenced coordinate insertion:
+    applying the returned permutation to the gathered nonzero streams
+    replays the scalar routine's insertion order exactly.  Small
+    non-negative keys (the common case — level coordinates) take a fast
+    path that packs ``(key, index)`` into one int64 and sorts with
+    numpy's unstable introsort, which beats ``np.argsort(kind="stable")``
+    by ~8x; anything else falls back to the stable argsort.
+    """
+    n = keys.shape[0]
+    if n and n < (1 << 32) and keys.min() >= 0 and keys.max() < (1 << 31):
+        packed = (keys.astype(np.int64) << np.int64(32)) | np.arange(n, dtype=np.int64)
+        packed.sort()
+        return packed & np.int64(0xFFFFFFFF)
+    return np.argsort(keys, kind="stable")
+
+
 _counter = itertools.count()
 
 
@@ -69,6 +88,7 @@ def compile_source(
         "trim": trim,
         "fill": fill,
         "next_pow2": next_pow2,
+        "stable_order": stable_order,
     }
     if extra_globals:
         namespace.update(extra_globals)

@@ -26,14 +26,12 @@ from .nodes import (
     ExprStmt,
     For,
     If,
-    Load,
     Pass,
     Return,
     Stmt,
     Store,
     Ternary,
     UnOp,
-    Var,
     While,
     map_expr,
 )

@@ -12,7 +12,7 @@ nonzero of each row).
 from __future__ import annotations
 
 from ..ir import builder as b
-from ..ir.nodes import Alloc, Assign, Expr, ExprStmt, For, Store, Var
+from ..ir.nodes import Alloc, Assign, ExprStmt, For, Store, Var
 from ..ir.simplify import simplify_expr
 from ..query.spec import QuerySpec
 from .base import Level

@@ -28,9 +28,9 @@ fresh variable names.  Host-side methods receive a
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Iterator, List, Sequence, Tuple
+from typing import Callable, Iterator, List, Sequence, Tuple
 
-from ..ir.nodes import Expr, Stmt, Var
+from ..ir.nodes import Expr, Stmt
 from ..query.spec import QuerySpec
 
 

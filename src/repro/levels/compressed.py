@@ -9,10 +9,9 @@ nonzero).
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
 
 from ..ir import builder as b
-from ..ir.nodes import Alloc, Assign, Expr, ExprStmt, For, Stmt, Store, Var
+from ..ir.nodes import Alloc, Assign, ExprStmt, For, Store, Var
 from ..ir.simplify import simplify_expr
 from ..query.spec import QuerySpec
 from .base import Level

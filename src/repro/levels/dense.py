@@ -7,10 +7,9 @@ the row dimension of CSR/ELL/DIA and the in-block dimensions of BCSR.
 
 from __future__ import annotations
 
-from typing import Callable, List, Sequence, Tuple
 
 from ..ir import builder as b
-from ..ir.nodes import Assign, Expr, For, Stmt, Var
+from ..ir.nodes import For, Var
 from ..ir.simplify import simplify_expr
 from .base import Level
 

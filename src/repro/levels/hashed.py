@@ -20,18 +20,7 @@ hash-based storage.
 from __future__ import annotations
 
 from ..ir import builder as b
-from ..ir.nodes import (
-    Alloc,
-    Assign,
-    AugAssign,
-    Expr,
-    ExprStmt,
-    If,
-    Load,
-    Store,
-    Var,
-    While,
-)
+from ..ir.nodes import Alloc, Assign, AugAssign, ExprStmt, If, Load, Store, Var, While
 from ..ir.simplify import simplify_expr
 from ..query.spec import QuerySpec
 from .base import Level

@@ -9,7 +9,7 @@ stores is a *counter* dimension (``#i``), so its extent is data-dependent.
 from __future__ import annotations
 
 from ..ir import builder as b
-from ..ir.nodes import Assign, Expr, For, Var
+from ..ir.nodes import Assign, For, Var
 from ..ir.simplify import simplify_expr
 from ..query.spec import QuerySpec
 from .base import Level

@@ -10,16 +10,7 @@ offsets), so auxiliary arrays are indexed with a shift of ``-lo``.
 from __future__ import annotations
 
 from ..ir import builder as b
-from ..ir.nodes import (
-    Alloc,
-    Assign,
-    AugAssign,
-    Expr,
-    For,
-    If,
-    Store,
-    Var,
-)
+from ..ir.nodes import Alloc, Assign, AugAssign, For, If, Store, Var
 from ..ir.simplify import simplify_expr
 from ..query.spec import QuerySpec
 from .base import Level

@@ -10,9 +10,8 @@ symmetry.  Every generator is deterministic given its seed.
 
 from __future__ import annotations
 
-import math
 import random
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 Coords = List[Tuple[int, int]]
 

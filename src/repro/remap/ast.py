@@ -14,7 +14,7 @@ some target format.  The AST mirrors the grammar of Figure 8:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple, Union
+from typing import Tuple
 
 
 class RExpr:

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, Sequence, Tuple
 
-from .ast import DstCoord, RBinOp, RConst, RCounter, Remap, RExpr, RParam, RVar
+from .ast import RBinOp, RConst, RCounter, Remap, RExpr, RParam, RVar
 
 
 class CounterState:

@@ -22,7 +22,7 @@ from dataclasses import dataclass
 from typing import Dict, Optional
 
 from ..ir import builder as b
-from ..ir.nodes import BinOp, Call, Const, Expr, UnOp, Var
+from ..ir.nodes import BinOp, Call, Const, Expr, Var
 from ..ir.simplify import simplify_expr
 from .ast import DstCoord, RBinOp, RConst, RCounter, Remap, RExpr, RParam, RVar
 

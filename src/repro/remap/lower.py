@@ -11,13 +11,13 @@ via ``counter_env``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List
 
 from ..ir import builder as b
 from ..ir.builder import NameGenerator
 from ..ir.nodes import Assign, Expr, Stmt, Var
 from ..ir.simplify import simplify_expr
-from .ast import DstCoord, RBinOp, RConst, RCounter, Remap, RExpr, RParam, RVar
+from .ast import RBinOp, RConst, RCounter, Remap, RExpr, RParam, RVar
 
 #: remap operator -> IR operator (``/`` is floor division).
 _OP_MAP = {

@@ -1,12 +1,16 @@
 """Tests for the benchmark harness itself (inclusion rules, rendering)."""
 
+from repro.baselines import scipy_ref
 from repro.bench import (
     applicable,
+    backends_json,
     format_table,
     geomean,
     render_ablations,
+    render_backends,
     render_table2,
     render_table3,
+    run_backends,
     run_table2,
     time_call,
 )
@@ -49,9 +53,18 @@ def test_ours_and_baselines_execute():
     fn = _ours("coo_csr", entry)
     fn()
     impls = _baselines("coo_csr", entry)
-    assert set(impls) == {"taco w/o ext", "skit", "mkl"}
+    expected = {"taco w/o ext", "skit", "mkl"}
+    if scipy_ref.available():
+        expected.add("scipy")
+    assert set(impls) == expected
     for impl in impls.values():
         impl()
+
+
+def test_ours_vector_backend_executes():
+    entry = get_matrix("jnlbrng1", scale=0.1)
+    for column in ("coo_csr", "csr_csc", "csr_dia", "csr_ell"):
+        _ours(column, entry, backend="vector")()
 
 
 def test_symmetric_csc_casts_to_csr():
@@ -59,7 +72,23 @@ def test_symmetric_csc_casts_to_csr():
     assert entry.symmetric
     impls = _baselines("csc_dia", entry)
     # symmetric: baselines run the direct csr_dia routines (no via-CSR)
-    assert set(impls) == {"skit", "mkl"}
+    expected = {"skit", "mkl"}
+    if scipy_ref.available():
+        expected.add("scipy")
+    assert set(impls) == expected
+
+
+def test_run_backends_reports_speedup():
+    matrices = [get_matrix("jnlbrng1", scale=0.1)]
+    results = run_backends(matrices, columns=["coo_csr"], repeats=1)
+    (cell,) = results["coo_csr"]
+    assert cell.scalar_seconds > 0 and cell.vector_seconds > 0
+    assert cell.speedup == cell.scalar_seconds / cell.vector_seconds
+    text = render_backends(results)
+    assert "speedup" in text and "jnlbrng1_s" in text
+    report = backends_json(results)
+    assert report["coo_csr"]["cells"][0]["matrix"] == "jnlbrng1_s"
+    assert report["coo_csr"]["geomean_speedup"] > 0
 
 
 def test_render_table3_includes_geomean():

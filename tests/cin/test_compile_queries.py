@@ -12,7 +12,6 @@ import numpy as np
 import pytest
 
 from repro.cin.compile import QueryCompiler
-from repro.cin.nodes import KeyDim
 from repro.convert.context import ConversionContext
 from repro.formats.library import BCSR, COO, CSC, CSR, DIA, ELL
 from repro.ir.nodes import Block, FuncDef, Return
@@ -72,7 +71,6 @@ def _run_analysis(src_format, dst_format, spec, level=None):
     if handle.is_scalar:
         return {(): decode(raw)}
     out = {}
-    strides = []
     extents = []
     for key in handle.keys:
         extents.append(evaluate_expr(ctx.key_extent(key), env))

@@ -1,0 +1,155 @@
+"""Backend equivalence: the vector (bulk numpy) lowering must produce
+*bit-identical* output arrays to the scalar (loop) lowering.
+
+This is the contract that lets the planner pick backends freely: same
+dtypes, same array contents, same metadata, for every registered format
+pair — on adversarial random inputs (empty, dense, rectangular) and on
+the synthetic benchmark suite matrices.
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.convert import (
+    convert,
+    generated_source,
+    make_converter,
+    resolve_backend,
+    verify_all_pairs,
+)
+from repro.convert.planner import PlanOptions
+from repro.formats.format import make_format
+from repro.formats.library import BCSR, COO, CSC, CSR, DCSR, DIA, ELL, HICOO
+from repro.ir.runtime import stable_order
+from repro.levels.compressed import CompressedLevel
+from repro.levels.dense import DenseLevel
+from repro.matrices.suite import get_matrix
+from repro.storage.build import reference_build
+
+VECTOR_FORMATS = [COO, CSR, CSC, DIA, ELL]
+FALLBACK_FORMATS = [BCSR(2, 2), HICOO(2), DCSR]
+
+
+def assert_tensors_bit_identical(a, b):
+    assert a.dims == b.dims
+    assert a.metadata == b.metadata
+    assert set(a.arrays) == set(b.arrays)
+    for key in a.arrays:
+        left, right = a.arrays[key], b.arrays[key]
+        assert left.dtype == right.dtype, f"{key}: {left.dtype} != {right.dtype}"
+        assert np.array_equal(left, right), f"{key}: arrays differ"
+    assert a.vals.dtype == b.vals.dtype
+    assert np.array_equal(a.vals, b.vals)
+
+
+def _random_problem(seed, m, n, style):
+    rng = random.Random(seed)
+    capacity = m * n
+    count = {"empty": 0, "dense": capacity, "sparse": rng.randint(1, capacity)}[style]
+    cells = rng.sample([(i, j) for i in range(m) for j in range(n)], count)
+    vals = [round(rng.uniform(0.5, 9.5), 4) for _ in cells]
+    return cells, vals
+
+
+@pytest.mark.parametrize("src", VECTOR_FORMATS, ids=lambda f: f.name)
+@pytest.mark.parametrize("dst", VECTOR_FORMATS, ids=lambda f: f.name)
+def test_backends_bit_identical_all_pairs(src, dst):
+    for seed, (m, n) in enumerate([(7, 11), (11, 7), (1, 9), (8, 8)]):
+        for style in ("empty", "dense", "sparse"):
+            cells, vals = _random_problem(seed, m, n, style)
+            tensor = reference_build(src, (m, n), cells, vals)
+            scalar = convert(tensor, dst, backend="scalar")
+            vector = convert(tensor, dst, backend="vector")
+            assert vector.to_coo() == dict(zip(cells, vals))
+            assert_tensors_bit_identical(scalar, vector)
+
+
+@pytest.mark.parametrize("matrix_name", ["jnlbrng1", "scircuit", "cant"])
+@pytest.mark.parametrize(
+    "pair",
+    [(COO, CSR), (CSR, CSC), (COO, DIA), (CSR, ELL), (CSC, DIA)],
+    ids=lambda p: f"{p[0].name}_{p[1].name}",
+)
+def test_backends_bit_identical_on_suite_matrices(matrix_name, pair):
+    src, dst = pair
+    entry = get_matrix(matrix_name, scale=0.05)
+    tensor = entry.tensor(src)
+    scalar = convert(tensor, dst, backend="scalar")
+    vector = convert(tensor, dst, backend="vector")
+    assert_tensors_bit_identical(scalar, vector)
+
+
+def test_vector_backend_passes_randomized_verification():
+    report = verify_all_pairs(VECTOR_FORMATS, trials=6, max_dim=7, backend="vector")
+    assert len(report) == len(VECTOR_FORMATS) ** 2
+    assert all(checked > 0 for _, _, checked in report)
+
+
+def test_resolve_backend_selection():
+    assert resolve_backend(COO, CSR) == "vector"
+    assert resolve_backend(CSR, CSC, backend="auto") == "vector"
+    assert resolve_backend(COO, CSR, backend="scalar") == "scalar"
+    # non-vectorizable pairs fall back, even on explicit request
+    assert resolve_backend(CSR, BCSR(2, 2)) == "scalar"
+    assert resolve_backend(CSR, BCSR(2, 2), backend="vector") == "scalar"
+    # ablation options select scalar code shapes: scalar only
+    assert resolve_backend(COO, CSR, PlanOptions(force_unsequenced_edges=True)) == "scalar"
+
+
+def test_structural_match_vectorizes_renamed_format():
+    """Backend selection is structural, not by format name."""
+    my_csr = make_format(
+        "MyRowMajor",
+        "(i,j) -> (i, j)",
+        [DenseLevel(), CompressedLevel(ordered=False)],
+        inverse_text="(i,j) -> (i, j)",
+    )
+    assert resolve_backend(COO, my_csr) == "vector"
+    cells, vals = _random_problem(3, 6, 5, "sparse")
+    tensor = reference_build(COO, (6, 5), cells, vals)
+    out = convert(tensor, my_csr, backend="vector")
+    assert out.to_coo() == dict(zip(cells, vals))
+
+
+@pytest.mark.parametrize("dst", FALLBACK_FORMATS, ids=lambda f: f.name)
+def test_vector_request_falls_back_to_scalar(dst):
+    cells, vals = _random_problem(1, 6, 6, "sparse")
+    tensor = reference_build(CSR, (6, 6), cells, vals)
+    converter = make_converter(CSR, dst, backend="vector")
+    assert converter.backend == "scalar"  # fell back
+    out = converter(tensor)
+    out.check()
+    assert out.to_coo() == dict(zip(cells, vals))
+
+
+def test_both_backends_keep_source_inspectable():
+    scalar = make_converter(COO, CSR, backend="scalar")
+    vector = make_converter(COO, CSR, backend="vector")
+    assert scalar.backend == "scalar" and "for " in scalar.source
+    assert vector.backend == "vector" and "np.bincount" in vector.source
+    assert scalar.source != vector.source
+    # both spellings reachable through generated_source too
+    assert generated_source(COO, CSR) == scalar.source
+    assert generated_source(COO, CSR, backend="vector") == vector.source
+
+
+def test_backends_cached_separately():
+    scalar = make_converter(CSR, DIA, backend="scalar")
+    vector = make_converter(CSR, DIA, backend="vector")
+    auto = make_converter(CSR, DIA, backend="auto")
+    assert scalar is not vector
+    assert auto is vector  # auto resolves to the vector cache entry
+
+
+def test_stable_order_matches_stable_argsort():
+    rng = np.random.default_rng(0)
+    for n in (0, 1, 17, 1000):
+        keys = rng.integers(0, 50, size=n).astype(np.int64)
+        got = stable_order(keys)
+        want = np.argsort(keys, kind="stable")
+        assert np.array_equal(got, want)
+    # negative keys take the argsort fallback and stay correct
+    keys = np.array([3, -1, 2, -1, 3], dtype=np.int64)
+    assert np.array_equal(stable_order(keys), np.argsort(keys, kind="stable"))

@@ -8,7 +8,7 @@ from repro.convert.context import (
     PlanError,
     QueryResultHandle,
 )
-from repro.formats.library import BCSR, COO, CSC, CSR, DIA, ELL
+from repro.formats.library import COO, CSC, CSR, DIA, ELL
 from repro.ir import builder as b
 from repro.ir.nodes import Const, Var
 from repro.ir.printer import print_expr

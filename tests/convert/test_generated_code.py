@@ -3,7 +3,6 @@ attributes its performance to must be visible in the emitted source."""
 
 import re
 
-import pytest
 
 from repro.convert import PlanOptions, generated_source, make_converter
 from repro.formats.library import BCSR, COO, CSC, CSR, DIA, ELL

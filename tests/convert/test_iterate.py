@@ -6,7 +6,7 @@ from repro.convert.context import ConversionContext, PlanError
 from repro.convert.iterate import CounterPlan, SourceLoopEmitter
 from repro.formats.library import COO, COO3, CSC, CSF, CSR, DIA, ELL
 from repro.ir import builder as b
-from repro.ir.nodes import Block, Const, Pass, Var
+from repro.ir.nodes import Const, Pass, Var
 from repro.ir.printer import print_stmt
 from repro.remap.parser import parse_remap
 

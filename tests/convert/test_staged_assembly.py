@@ -7,10 +7,9 @@ position memo carrying nonzeros across group boundaries.
 
 import random
 
-import numpy as np
 import pytest
 
-from repro.convert import convert, generated_source, make_converter
+from repro.convert import convert, generated_source
 from repro.convert.planner import ConversionPlanner
 from repro.formats.library import BCSR, COO, COO3, CSC, CSF, CSR, DCSR, DIA, ELL
 from repro.storage.build import reference_build

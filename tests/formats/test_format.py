@@ -16,9 +16,8 @@ from repro.formats import (
     dim_size_vars,
     make_format,
 )
-from repro.ir import builder as b
 from repro.ir import print_expr
-from repro.levels import CompressedLevel, DenseLevel, SingletonLevel
+from repro.levels import CompressedLevel, DenseLevel
 from repro.remap import parse_remap
 
 

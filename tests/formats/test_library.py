@@ -1,6 +1,5 @@
 """Structural tests for every built-in format definition."""
 
-import pytest
 
 from repro.formats import (
     BCSR,

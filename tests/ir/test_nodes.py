@@ -5,10 +5,7 @@ import pytest
 from repro.ir import builder as b
 from repro.ir.nodes import (
     BinOp,
-    Call,
     Const,
-    Load,
-    Ternary,
     UnOp,
     Var,
     expr_children,

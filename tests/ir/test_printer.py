@@ -1,7 +1,6 @@
 """Unit tests for the Python source printer."""
 
 import numpy as np
-import pytest
 
 from repro.ir import builder as b
 from repro.ir import compile_source, print_expr, print_func, print_stmt
@@ -15,7 +14,6 @@ from repro.ir.nodes import (
     If,
     Pass,
     Return,
-    Store,
     Var,
     While,
 )

@@ -1,7 +1,6 @@
 """Unit tests for level formats' host-side iteration (the oracle side of
 the coordinate hierarchy abstraction)."""
 
-import numpy as np
 import pytest
 
 from repro.formats.library import BCSR, COO, CSR, CSC, DIA, ELL, SKY

@@ -10,7 +10,7 @@ from repro.remap import (
     parse_remap,
     remapped_dim_intervals,
 )
-from repro.remap.interval import Interval, IntervalAnalyzer, index_interval
+from repro.remap.interval import Interval
 
 
 def _pp(interval):

@@ -4,14 +4,9 @@ import pytest
 
 from repro.ir import builder as b
 from repro.ir.builder import NameGenerator
-from repro.ir.nodes import Assign, Const, Var
+from repro.ir.nodes import Const, Var
 from repro.ir.printer import print_expr, print_stmt
-from repro.remap import (
-    RemapLoweringError,
-    lower_remap,
-    lower_rexpr,
-    parse_remap,
-)
+from repro.remap import RemapLoweringError, lower_remap, parse_remap
 from repro.remap.ast import RCounter
 
 

@@ -3,11 +3,9 @@
 import pytest
 
 from repro.remap import (
-    DstCoord,
     RBinOp,
     RConst,
     RCounter,
-    Remap,
     RemapSyntaxError,
     RParam,
     RVar,

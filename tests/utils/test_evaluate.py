@@ -3,7 +3,7 @@
 import pytest
 
 from repro.ir import builder as b
-from repro.ir.nodes import Call, Load, Ternary, Var
+from repro.ir.nodes import Call, Load, Var
 from repro.utils.evaluate import evaluate_expr
 
 
