@@ -3,9 +3,11 @@
 from .ablations import run_ablations, render_ablations
 from .table2 import render_table2, run_table2
 from .table3 import (
+    BACKEND_COLUMNS,
     COLUMNS,
     applicable,
     backends_json,
+    compare_backend_reports,
     render_backends,
     render_table3,
     run_backends,
@@ -15,7 +17,8 @@ from .table3 import (
 from .timing import format_table, geomean, time_call
 
 __all__ = [
-    "COLUMNS", "applicable", "backends_json", "format_table", "geomean",
+    "BACKEND_COLUMNS", "COLUMNS", "applicable", "backends_json",
+    "compare_backend_reports", "format_table", "geomean",
     "render_ablations", "render_backends", "render_table2", "render_table3",
     "run_ablations", "run_backends", "run_column", "run_table2", "run_table3",
     "time_call",

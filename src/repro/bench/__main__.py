@@ -4,22 +4,30 @@ Usage::
 
     python -m repro.bench table2 [--scale S]
     python -m repro.bench table3 [--scale S] [--repeats R] [--columns c1,c2]
-    python -m repro.bench backends [--scale S] [--repeats R] [--columns c1,c2]
+    python -m repro.bench backends [--scale S] [--repeats R] [--pairs p1,p2]
                                    [--matrices m1,m2] [--json PATH]
     python -m repro.bench ablations [--scale S] [--repeats R]
+    python -m repro.bench compare BASELINE.json CURRENT.json [--threshold X]
 
 ``backends`` compares the scalar (loop) and vector (bulk numpy) lowering
-backends, plus scipy where it implements the conversion; ``--json``
-additionally writes the report as JSON (the CI smoke artifact).
+backends, plus scipy where it implements the conversion; ``--pairs``
+selects which conversions run (including the extra BCSR/DCSR pairs that
+have no Table 3 baselines) and ``--json`` additionally writes the report
+as JSON (the CI smoke artifact).  ``compare`` diffs two such JSON reports
+and exits nonzero when any vector-backend cell regressed by more than
+``--threshold`` (CI fails the build on >2x regressions).
 """
 
 import argparse
 import json
+import sys
 
 from ..matrices.suite import suite
 from . import (
+    BACKEND_COLUMNS,
     COLUMNS,
     backends_json,
+    compare_backend_reports,
     render_ablations,
     render_backends,
     render_table2,
@@ -33,20 +41,56 @@ from . import (
 
 def main() -> None:
     parser = argparse.ArgumentParser(prog="python -m repro.bench")
-    parser.add_argument("report", choices=["table2", "table3", "backends", "ablations"])
+    parser.add_argument(
+        "report", choices=["table2", "table3", "backends", "ablations", "compare"]
+    )
+    parser.add_argument("paths", nargs="*", metavar="JSON",
+                        help="for 'compare': baseline and current report files")
     parser.add_argument("--scale", type=float, default=1.0,
                         help="matrix size scale factor (default 1.0)")
     parser.add_argument("--repeats", type=int, default=3,
                         help="timing repeats per cell (median reported)")
     parser.add_argument("--columns", type=str, default=None,
                         help="comma-separated Table 3 columns to run")
+    parser.add_argument("--pairs", type=str, default=None,
+                        help="comma-separated conversion pairs for the "
+                             "'backends' report (superset of --columns; "
+                             f"choose from {','.join(BACKEND_COLUMNS)})")
     parser.add_argument("--matrices", type=str, default=None,
                         help="comma-separated suite matrix names to run")
     parser.add_argument("--json", type=str, default=None, metavar="PATH",
                         help="also write the backends report as JSON")
+    parser.add_argument("--threshold", type=float, default=2.0,
+                        help="'compare': fail on vector times above "
+                             "threshold x baseline (default 2.0)")
+    parser.add_argument("--min-seconds", type=float, default=1e-3,
+                        help="'compare': ignore cells whose baseline vector "
+                             "time is below this (noise floor, default 1e-3)")
     args = parser.parse_args()
     if args.json and args.report != "backends":
         parser.error("--json is only produced by the 'backends' report")
+    if args.pairs and args.report != "backends":
+        parser.error("--pairs only filters the 'backends' report")
+
+    if args.report == "compare":
+        if len(args.paths) != 2:
+            parser.error("compare needs exactly two JSON report paths")
+        with open(args.paths[0]) as handle:
+            baseline = json.load(handle)
+        with open(args.paths[1]) as handle:
+            current = json.load(handle)
+        regressions = compare_backend_reports(
+            baseline, current, args.threshold, args.min_seconds
+        )
+        if regressions:
+            print(f"{len(regressions)} vector-backend regression(s):")
+            for line in regressions:
+                print(f"  {line}")
+            sys.exit(1)
+        print(f"no vector-backend regressions above {args.threshold:g}x")
+        return
+    if args.paths:
+        parser.error("positional JSON paths are only used by 'compare'")
 
     matrices = suite(scale=args.scale)
     if args.matrices:
@@ -54,11 +98,16 @@ def main() -> None:
         matrices = [m for m in matrices if {m.name, m.paper_name} & wanted]
         if not matrices:
             parser.error(f"no suite matrix matches {args.matrices!r}")
-    columns = args.columns.split(",") if args.columns else COLUMNS
-    unknown = [c for c in columns if c not in COLUMNS]
+
+    if args.report == "backends":
+        valid, requested = BACKEND_COLUMNS, args.pairs or args.columns
+    else:
+        valid, requested = COLUMNS, args.columns
+    columns = requested.split(",") if requested else valid
+    unknown = [c for c in columns if c not in valid]
     if unknown:
         parser.error(
-            f"unknown column(s) {', '.join(unknown)}; choose from {', '.join(COLUMNS)}"
+            f"unknown column(s) {', '.join(unknown)}; choose from {', '.join(valid)}"
         )
 
     if args.report == "table2":

@@ -28,13 +28,28 @@ from typing import Callable, Dict, List, Optional
 
 from ..baselines import mkl_like, scipy_ref, sparskit, taco_legacy
 from ..convert import make_converter
-from ..formats.library import COO, CSC, CSR, DIA, ELL
+from ..formats.library import BCSR, COO, CSC, CSR, DCSR, DIA, ELL
 from ..matrices.suite import SuiteMatrix, suite
 from .timing import format_table, geomean, time_call
 
 COLUMNS = ["coo_csr", "coo_dia", "csr_csc", "csr_dia", "csr_ell", "csc_dia", "csc_ell"]
 
-_FORMATS = {"coo": COO, "csr": CSR, "csc": CSC, "dia": DIA, "ell": ELL}
+#: Additional pairs of the ``backends`` report only (no Table 3 baselines):
+#: the formerly scalar-only formats the per-level vector lowering handles.
+EXTRA_BACKEND_COLUMNS = ["bcsr_csr", "csr_bcsr", "dcsr_csr", "csr_dcsr"]
+
+#: Every pair the ``backends`` report (and its ``--pairs`` filter) accepts.
+BACKEND_COLUMNS = COLUMNS + EXTRA_BACKEND_COLUMNS
+
+_FORMATS = {
+    "coo": COO,
+    "csr": CSR,
+    "csc": CSC,
+    "dia": DIA,
+    "ell": ELL,
+    "bcsr": BCSR(4, 4),
+    "dcsr": DCSR,
+}
 
 
 @dataclass
@@ -72,6 +87,8 @@ def _ours(
 
 
 def _baselines(column: str, entry: SuiteMatrix) -> Dict[str, Callable[[], object]]:
+    if column not in COLUMNS:
+        return {}  # backend-only pairs have no Table 3 baselines
     nrow, ncol = entry.dims
     coo = entry.tensor(COO)
     rows_a, cols_a = coo.array(0, "crd"), coo.array(1, "crd")
@@ -268,6 +285,42 @@ def backends_json(results: Dict[str, List[BackendCellResult]]) -> Dict:
             ],
         }
     return report
+
+
+def compare_backend_reports(
+    baseline: Dict, current: Dict, threshold: float = 2.0,
+    min_seconds: float = 1e-3,
+) -> List[str]:
+    """Diff two ``backends_json`` reports; returns regression descriptions.
+
+    A cell regresses when its vector-backend time exceeds ``threshold``
+    times the baseline's for the same (pair, matrix).  Cells present in
+    only one report are ignored (pairs/matrices may be added or removed
+    between runs), as are cells whose baseline is below ``min_seconds`` —
+    sub-millisecond smoke timings vary more than ``threshold`` across
+    shared CI runners on noise alone.  Only the vector path is gated —
+    scalar times are reference measurements.
+    """
+    regressions: List[str] = []
+    for column, current_report in current.items():
+        baseline_report = baseline.get(column)
+        if not baseline_report:
+            continue
+        baseline_cells = {c["matrix"]: c for c in baseline_report["cells"]}
+        for cell in current_report["cells"]:
+            base = baseline_cells.get(cell["matrix"])
+            if not base or not base.get("vector_seconds"):
+                continue
+            if base["vector_seconds"] < min_seconds:
+                continue
+            if cell["vector_seconds"] > threshold * base["vector_seconds"]:
+                regressions.append(
+                    f"{column}/{cell['matrix']}: vector "
+                    f"{cell['vector_seconds'] * 1e3:.3f} ms vs baseline "
+                    f"{base['vector_seconds'] * 1e3:.3f} ms "
+                    f"(> {threshold:g}x)"
+                )
+    return regressions
 
 
 def render_table3(results: Dict[str, List[CellResult]]) -> str:

@@ -1,4 +1,4 @@
-"""Compiling optimized CIN query plans to imperative IR.
+"""Compiling optimized CIN query plans to imperative IR (and to numpy).
 
 The :class:`QueryCompiler` takes the attribute queries every destination
 level requires, lowers them to canonical CIN (:mod:`repro.cin.lower`),
@@ -12,6 +12,14 @@ emits the analysis phase of the conversion routine:
   from ``pos``);
 * dense reduction loops over materialized temporaries (e.g. the max over
   a row-count histogram for COO→ELL).
+
+:class:`VectorQueryCompiler` compiles the *same* optimized plans to bulk
+numpy passes for the vector backend (:mod:`repro.ir.vector`): histogram
+reductions become ``np.bincount``/``np.add.at``, extrema become
+``np.maximum.at``/``.max(initial=0)``, assignments become fancy-index
+scatters, and dense reductions become reshape + axis reductions — so
+every query an optimized plan can express vectorizes without per-format
+special cases.
 
 Results are registered on the conversion context as
 :class:`~repro.convert.context.QueryResultHandle` objects for the assembly
@@ -220,6 +228,13 @@ class QueryCompiler:
 
         return self.emitter.emit_prefix(nlevels, body)
 
+    # -- shared helpers (also used by the vector compiler) ---------------------
+    def _size_expr(self, keys: Tuple[Key, ...]) -> Expr:
+        size: Expr = Const(1)
+        for key in keys:
+            size = b.mul(size, self.ctx.key_extent(key))
+        return simplify_expr(size)
+
     # -- dense reduction pass -----------------------------------------------
     def _emit_dense_pass(self, stmt: CinStatement) -> Stmt:
         domain_keys = stmt.domain.keys
@@ -243,3 +258,197 @@ class QueryCompiler:
         for key in reversed(domain_keys):
             update = For(loop_vars[key], Const(0), self.ctx.key_extent(key), update)
         return update
+
+
+class VectorQueryCompiler(QueryCompiler):
+    """Compiles optimized query plans to bulk numpy passes.
+
+    Consumes the very same :class:`~repro.cin.lower.QueryPlan` statements
+    as the scalar compiler — lowered and Table 1-optimized identically —
+    but emits one bulk operation per statement instead of loop nests.
+    Construction needs the gathered per-nonzero canonical coordinate
+    arrays (``canonical``, one int64 array variable per canonical
+    dimension, in scalar iteration order) and a ``prefix_pass`` callback
+    (supplied by :mod:`repro.ir.vector`) that enumerates a source level
+    prefix and composes the remaining levels' widths.
+    """
+
+    def __init__(self, ctx, em, canonical, prefix_pass) -> None:
+        super().__init__(ctx)
+        self.em = em
+        self.canonical = list(canonical)
+        self.prefix_pass = prefix_pass
+
+    # ------------------------------------------------------------------
+    def compile(
+        self, level_specs: Sequence[Tuple[int, QuerySpec]]
+    ) -> List[Stmt]:
+        plans: List[Tuple[int, QueryPlan]] = []
+        for level, spec in level_specs:
+            result = self.ctx.ng.fresh(f"q{level + 1}_{spec.label}")
+            temp = self.ctx.ng.fresh("W")
+            plan = optimize_plan(
+                lower_query(spec, result, temp), self.info, self.ctx.ng
+            )
+            plans.append((level, plan))
+
+        statements = [stmt for _, plan in plans for stmt in plan.statements]
+        for stmt in statements:
+            self._vector_declare(stmt)
+
+        for stmt in statements:
+            if isinstance(stmt.domain, SrcNonzeros):
+                self._vector_src(stmt)
+
+        prefixes = sorted({s.domain.nlevels for s in statements
+                           if isinstance(s.domain, SrcPrefix)})
+        for nlevels in prefixes:
+            group = [s for s in statements
+                     if isinstance(s.domain, SrcPrefix) and s.domain.nlevels == nlevels]
+            self._vector_prefix(nlevels, group)
+
+        for stmt in statements:
+            if isinstance(stmt.domain, DenseSpace):
+                self._vector_dense(stmt)
+
+        for level, plan in plans:
+            keys, var, is_scalar = self.results[plan.result_name]
+            handle = QueryResultHandle(self.ctx, keys, var, is_scalar, plan.decode)
+            self.ctx.register_query(level, plan.spec.label, handle)
+        return []
+
+    # ------------------------------------------------------------------
+    def _vector_declare(self, stmt: CinStatement) -> None:
+        # registry only: every result is fully produced by one bulk pass
+        if stmt.result not in self.results:
+            var = Var(self.ctx.ng.reserve(stmt.result))
+            self.results[stmt.result] = (stmt.keys, var, not stmt.keys)
+
+    def _vector_src(self, stmt: CinStatement) -> None:
+        """One bulk reduction over the gathered nonzero streams."""
+        em = self.em
+        keys, var, _ = self.results[stmt.result]
+        if keys:
+            env = {key: self._key_value(key, self.canonical) for key in keys}
+            index = em.bind("qi", self._result_index(stmt, env))
+            size = em.atom(self._size_expr(keys))
+        if stmt.op == "=" and isinstance(stmt.value, VConst):
+            if not keys:
+                em.emit(f"{var.name} = {stmt.value.value}")
+            else:
+                em.emit(f"{var.name} = np.zeros({size}, dtype=np.int64)")
+                em.emit(f"{var.name}[{index.name}] = {stmt.value.value}")
+        elif stmt.op == "+=" and isinstance(stmt.value, VConst):
+            scale = "" if stmt.value.value == 1 else f" * {stmt.value.value}"
+            if not keys:
+                em.emit(f"{var.name} = {em.nnz}{scale}")
+            else:
+                em.emit(
+                    f"{var.name} = np.bincount({index.name},"
+                    f" minlength={size}){scale}"
+                )
+        elif stmt.op == "max=":
+            value = em.bind("qv", self._value_expr(stmt, self.canonical))
+            if not keys:
+                em.emit(f"{var.name} = int({value.name}.max(initial=0))")
+            else:
+                em.emit(f"{var.name} = np.zeros({size}, dtype=np.int64)")
+                em.emit(f"np.maximum.at({var.name}, {index.name}, {value.name})")
+        else:
+            raise QueryCompileError(
+                f"operator {stmt.op!r} on {stmt.value} survived optimization"
+            )
+
+    def _vector_prefix(self, nlevels: int, stmts: List[CinStatement]) -> None:
+        """One prefix enumeration with composed widths (the bulk mirror of
+        the scalar prefix pass)."""
+        em = self.em
+        frontier, width = self.prefix_pass(nlevels)
+        width_var = None if isinstance(width, Const) else em.bind("width", width)
+        canonical_env: Dict[str, Expr] = {}
+        for lvl, coord in enumerate(frontier.coords):
+            var_name = self.ctx.src_level_var[lvl]
+            if var_name is not None:
+                canonical_env[var_name] = coord
+        for stmt in stmts:
+            keys, var, _ = self.results[stmt.result]
+            scale = stmt.value.scale
+            if keys:
+                env = {
+                    key: canonical_env[self.info.key_var(key)] for key in stmt.keys
+                }
+                index = em.bind("qi", self._result_index(stmt, env))
+                size = em.atom(self._size_expr(keys))
+            if width_var is None:
+                value = str(width.value * scale)
+            else:
+                value = width_var.name if scale == 1 else f"{width_var.name} * {scale}"
+            if stmt.op == "=":
+                if not keys:
+                    em.emit(f"{var.name} = int({value})")
+                else:
+                    em.emit(f"{var.name} = np.zeros({size}, dtype=np.int64)")
+                    em.emit(f"{var.name}[{index.name}] = {value}")
+            elif stmt.op == "+=" and width_var is None:
+                # constant width: the pass degenerates to a histogram
+                scaled = "" if width.value * scale == 1 else f" * {width.value * scale}"
+                em.emit(
+                    f"{var.name} = np.bincount({index.name},"
+                    f" minlength={size}){scaled}"
+                )
+            elif stmt.op == "+=":
+                em.emit(f"{var.name} = np.zeros({size}, dtype=np.int64)")
+                em.emit(f"np.add.at({var.name}, {index.name}, {value})")
+            elif stmt.op == "max=":
+                # e.g. ELL's K: the counter histogram inlined to row widths
+                if not keys and width_var is None:
+                    em.emit(f"{var.name} = max(int({value}), 0)")
+                elif not keys:
+                    em.emit(f"{var.name} = int(np.max({value}, initial=0))")
+                else:
+                    em.emit(f"{var.name} = np.zeros({size}, dtype=np.int64)")
+                    em.emit(f"np.maximum.at({var.name}, {index.name}, {value})")
+            else:
+                raise QueryCompileError(
+                    f"operator {stmt.op!r} not valid in a prefix pass"
+                )
+
+    def _vector_dense(self, stmt: CinStatement) -> None:
+        """Dense reduction of a temporary: reshape + axis reduction.
+
+        Valid because the optimizer only emits dense consumers whose
+        result keys are a prefix of the temporary's keys (``count``'s
+        group-by, or the scalar extremum of counter histograms)."""
+        em = self.em
+        keys, var, _ = self.results[stmt.result]
+        domain_keys = stmt.domain.keys
+        src_keys, src_var, src_scalar = self.results[stmt.value.temp]
+        if src_keys != domain_keys or keys != domain_keys[: len(keys)] or src_scalar:
+            raise QueryCompileError(
+                "dense reduction must reduce an array temporary over a key prefix"
+            )
+        if keys:
+            shape = (
+                f"{em.atom(self._size_expr(keys))},"
+                f" {em.atom(self._size_expr(domain_keys[len(keys):]))}"
+            )
+            grid = f"{src_var.name}.reshape({shape})"
+        if stmt.value.bool_map and stmt.op == "+=":
+            if not keys:
+                em.emit(f"{var.name} = int(np.count_nonzero({src_var.name}))")
+            else:
+                em.emit(f"{var.name} = np.count_nonzero({grid}, axis=1)")
+        elif stmt.op == "max=" and not stmt.value.bool_map:
+            if not keys:
+                em.emit(f"{var.name} = int({src_var.name}.max(initial=0))")
+            else:
+                em.emit(f"{var.name} = {grid}.max(axis=1, initial=0)")
+        elif stmt.op == "+=" and not stmt.value.bool_map:
+            if not keys:
+                em.emit(f"{var.name} = int({src_var.name}.sum())")
+            else:
+                em.emit(f"{var.name} = {grid}.sum(axis=1)")
+        else:
+            raise QueryCompileError(
+                f"operator {stmt.op!r} not valid in a dense reduction"
+            )

@@ -12,7 +12,7 @@ amortize lookups in benchmarks.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Callable, Dict, List, Tuple
 
 import numpy as np
@@ -20,7 +20,13 @@ import numpy as np
 from ..formats.format import Format
 from ..ir.runtime import compile_source
 from ..storage.tensor import Tensor
-from .planner import GeneratedConversion, PlanOptions, plan_conversion, resolve_backend
+from .planner import (
+    GeneratedConversion,
+    PlanOptions,
+    plan_conversion,
+    resolve_backend,
+    structural_key,
+)
 
 
 @dataclass
@@ -62,8 +68,8 @@ class CompiledConversion:
         return args
 
     def __call__(self, tensor: Tensor) -> Tensor:
-        """Convert ``tensor`` (must be in the source format)."""
-        if tensor.format.signature() != self.src_format.signature():
+        """Convert ``tensor`` (must be structurally in the source format)."""
+        if structural_key(tensor.format) != structural_key(self.src_format):
             raise ValueError(
                 f"converter expects {self.src_format.name}, got {tensor.format.name}"
             )
@@ -85,6 +91,12 @@ class CompiledConversion:
         return Tensor(self.dst_format, tensor.dims, arrays, meta, vals)
 
 
+#: Compiled kernels keyed by *structural* identity: structurally-identical
+#: renamed formats share one generated routine.
+_KERNELS: Dict[Tuple, Tuple[GeneratedConversion, Callable]] = {}
+
+#: Converter objects keyed by exact format signatures (so repeated calls
+#: with the same format objects return the identical converter).
 _CACHE: Dict[Tuple, CompiledConversion] = {}
 
 
@@ -95,21 +107,40 @@ def make_converter(
     backend: str = "auto",
 ) -> CompiledConversion:
     """Generate (or fetch from cache) the conversion routine for a format
-    pair.  Generated code is cached per (structural format signature,
-    plan options, resolved backend), so e.g. every 4x4-blocked BCSR
-    conversion shares one routine.
+    pair.  Generated code is cached per (structural format key, plan
+    options, resolved backend) — see
+    :func:`repro.convert.planner.structural_key` — so e.g. every
+    4x4-blocked BCSR conversion shares one routine, and a renamed format
+    with CSR's exact structure reuses the CSR kernel.
 
     ``backend`` selects the lowering: ``"auto"`` (default) uses the bulk
     numpy vector backend where available and falls back to the scalar
     loop backend; ``"scalar"`` / ``"vector"`` request one explicitly
-    (a ``"vector"`` request still falls back for non-vectorizable pairs).
+    (a ``"vector"`` request still falls back for non-vectorizable pairs,
+    warning once per pair).
     """
     options = options or PlanOptions()
     resolved = resolve_backend(src_format, dst_format, options, backend)
     key = (src_format.signature(), dst_format.signature(), options.key(), resolved)
     if key not in _CACHE:
-        generated = plan_conversion(src_format, dst_format, options, resolved)
-        func = compile_source(generated.source, generated.func_name)
+        kernel_key = (
+            structural_key(src_format),
+            structural_key(dst_format),
+            options.key(),
+            resolved,
+        )
+        if kernel_key not in _KERNELS:
+            generated = plan_conversion(src_format, dst_format, options, resolved)
+            func = compile_source(generated.source, generated.func_name)
+            _KERNELS[kernel_key] = (generated, func)
+        generated, func = _KERNELS[kernel_key]
+        if (
+            generated.src_format is not src_format
+            or generated.dst_format is not dst_format
+        ):
+            generated = replace(
+                generated, src_format=src_format, dst_format=dst_format
+            )
         _CACHE[key] = CompiledConversion(generated, func)
     return _CACHE[key]
 

@@ -27,8 +27,9 @@ block-column level, where many nonzeros share one block.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..cin.compile import QueryCompiler
 from ..formats.format import Format
@@ -119,6 +120,52 @@ def _validate_backend(backend: str) -> str:
     return backend
 
 
+def structural_key(fmt: Format) -> Tuple:
+    """Structural identity of a format, ignoring its display name.
+
+    This is the kernel-cache key component: two formats with the same
+    remapping, inverse, level signatures and parameters share one
+    generated routine regardless of how they are named.  Memoized on the
+    (immutable) format instance: backend resolution runs on every
+    ``convert()`` call, including kernel-cache hits, and the key
+    derivation would otherwise dominate the hot-path lookup.
+    """
+    key = getattr(fmt, "_structural_key_memo", None)
+    if key is None:
+        key = (
+            str(fmt.remap),
+            str(fmt.inverse),
+            tuple(level.signature() for level in fmt.levels),
+            tuple(sorted(fmt.params.items())),
+        )
+        object.__setattr__(fmt, "_structural_key_memo", key)  # frozen dataclass
+    return key
+
+
+def needs_dedup(dst_format: Format, canonical_names: Sequence[str], k: int) -> bool:
+    """True if destination level ``k`` requires on-the-fly deduplication
+    (Section 6.2): a unique ``yield_pos`` level whose destination prefix
+    does not injectively determine a nonzero — e.g. BCSR's block-column
+    level, where many nonzeros share one block.  Shared by both lowering
+    backends."""
+    level = dst_format.levels[k]
+    if level.pos_kind != "yield" or not level.unique:
+        return False
+    bare = set()
+    for coord in dst_format.remap.dst_coords[: k + 1]:
+        if not coord.lets and isinstance(coord.expr, RVar):
+            bare.add(coord.expr.name)
+    return not bare >= set(canonical_names)
+
+
+#: Memoized vector-capability per (structural pair, options) — consulted on
+#: every convert() call.
+_CAPABLE_CACHE: Dict[Tuple, bool] = {}
+
+#: Pairs an explicit ``backend="vector"`` request already warned about.
+_FALLBACK_WARNED: Set[Tuple] = set()
+
+
 def resolve_backend(
     src_format: Format,
     dst_format: Format,
@@ -127,17 +174,37 @@ def resolve_backend(
 ) -> str:
     """Pick the lowering backend for a (src, dst) format pair.
 
-    ``"auto"`` (and ``None``) selects the vector backend whenever the
-    pair matches one of its recognized patterns and falls back to
-    ``"scalar"`` otherwise.  An explicit ``"vector"`` request also falls
-    back to scalar for non-vectorizable pairs (every pair stays
-    convertible); ``"scalar"`` always lowers to loops.
+    ``"auto"`` (and ``None``) selects the vector backend whenever every
+    level of both formats implements the vector-emission protocol
+    (``Level.vector_capable``) under default plan options, and falls back
+    to ``"scalar"`` otherwise — there is no per-format allowlist.  An
+    explicit ``"vector"`` request also falls back for non-vectorizable
+    pairs (every pair stays convertible), warning once per pair;
+    ``"scalar"`` always lowers to loops.
     """
     if _validate_backend(backend) == "scalar":
         return "scalar"
-    from ..ir.vector import vectorizable
+    options = options or PlanOptions()
+    key = (structural_key(src_format), structural_key(dst_format), options.key())
+    if key not in _CAPABLE_CACHE:
+        from ..ir.vector import vectorizable
 
-    return "vector" if vectorizable(src_format, dst_format, options) else "scalar"
+        _CAPABLE_CACHE[key] = vectorizable(src_format, dst_format, options)
+    if _CAPABLE_CACHE[key]:
+        return "vector"
+    if backend == "vector" and key not in _FALLBACK_WARNED:
+        _FALLBACK_WARNED.add(key)
+        if options.key() != PlanOptions().key():
+            reason = "non-default plan options select scalar code shapes"
+        else:
+            reason = "a level format does not implement the vector-emission protocol"
+        warnings.warn(
+            f"vector backend unavailable for {src_format.name}->"
+            f"{dst_format.name} ({reason}); falling back to scalar",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+    return "scalar"
 
 
 def plan_conversion(
@@ -353,14 +420,7 @@ class ConversionPlanner:
 
     # ------------------------------------------------------------------
     def _needs_dedup(self, k: int) -> bool:
-        level = self.dst_format.levels[k]
-        if level.pos_kind != "yield" or not level.unique:
-            return False
-        bare = set()
-        for coord in self.dst_format.remap.dst_coords[: k + 1]:
-            if not coord.lets and isinstance(coord.expr, RVar):
-                bare.add(coord.expr.name)
-        return not bare >= set(self.ctx.canonical_names)
+        return needs_dedup(self.dst_format, self.ctx.canonical_names, k)
 
     def _emit_insertion(
         self,

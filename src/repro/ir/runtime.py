@@ -64,6 +64,52 @@ def stable_order(keys: np.ndarray) -> np.ndarray:
     return np.argsort(keys, kind="stable")
 
 
+def _sorted_boundary(keys: np.ndarray):
+    """Stable sort of ``keys`` plus the group-start mask of the sorted run:
+    ``boundary[t]`` is True where ``keys[order][t]`` starts a new key group."""
+    n = keys.shape[0]
+    order = stable_order(keys)
+    sorted_keys = keys[order]
+    boundary = np.empty(n, dtype=bool)
+    boundary[0] = True
+    np.not_equal(sorted_keys[1:], sorted_keys[:-1], out=boundary[1:])
+    return order, boundary
+
+
+def group_ranks(keys: np.ndarray) -> np.ndarray:
+    """Rank of each element within its equal-key group, in original order.
+
+    ``group_ranks([3, 1, 3, 1, 1]) == [0, 0, 1, 1, 2]``.  This is the bulk
+    form of the sequenced ``yield_pos`` bump (``pos[p]++``) and of the
+    remapping counters of Section 4.2: a nonzero's rank equals the number
+    of previously iterated nonzeros sharing its key, regardless of whether
+    the scalar backend realizes the counter as an array or a register.
+    """
+    n = keys.shape[0]
+    if n == 0:
+        return np.zeros(0, dtype=np.int64)
+    order, boundary = _sorted_boundary(keys)
+    starts = np.flatnonzero(boundary)
+    sizes = np.diff(np.append(starts, n))
+    ranks = np.empty(n, dtype=np.int64)
+    ranks[order] = np.arange(n, dtype=np.int64) - np.repeat(starts, sizes)
+    return ranks
+
+
+def unique_first(keys: np.ndarray) -> np.ndarray:
+    """Indices of the first occurrence of each distinct key, ascending.
+
+    The bulk form of the deduplication lookup table of Section 6.2: the
+    returned indices select, in iteration order, the nonzeros that trigger
+    a fresh ``yield_pos`` insertion (e.g. the first nonzero of each BCSR
+    block); later duplicates reuse the first occurrence's position.
+    """
+    if keys.shape[0] == 0:
+        return np.zeros(0, dtype=np.int64)
+    order, boundary = _sorted_boundary(keys)
+    return np.sort(order[boundary])
+
+
 _counter = itertools.count()
 
 
@@ -89,6 +135,8 @@ def compile_source(
         "fill": fill,
         "next_pow2": next_pow2,
         "stable_order": stable_order,
+        "group_ranks": group_ranks,
+        "unique_first": unique_first,
     }
     if extra_globals:
         namespace.update(extra_globals)

@@ -29,8 +29,42 @@ class BandedLevel(Level):
     compact = True
     has_edges = True
     pos_kind = "get"
+    vector_capable = True
     stores_explicit_zeros = True
     introduces_padding = True
+
+    # -- vector emission ------------------------------------------------------
+    def vector_iterate(self, em, view, k, frontier):
+        pos_arr = view.array(k, "pos").name
+        ends = em.assign(
+            "ends", f"{pos_arr}[{frontier.lo_plus1()}:{frontier.hi_plus1()}]"
+        )
+        reps = em.assign(
+            "ln", f"{ends.name} - {pos_arr}[{frontier.lo}:{frontier.hi}]"
+        )
+        end_rep = em.assign("ends_r", f"np.repeat({ends.name}, {reps.name})")
+        prev = frontier.coords[k - 1]
+        frontier.repeat_coords(reps.name)
+        frontier.rebound(f"{pos_arr}[{frontier.lo}]", f"{pos_arr}[{frontier.hi}]")
+        positions = frontier.pos_array(f"p{k + 1}")
+        # column = i - (segment_end - 1 - p), like the scalar derivation
+        coord = em.assign(
+            view.coord_name(k),
+            f"{prev.name} + {positions.name} - {end_rep.name} + 1",
+        )
+        frontier.coords.append(coord)
+
+    def vector_edges(self, em, ctx, k, parents, parent_size):
+        from ..ir.printer import print_expr
+
+        width = simplify_expr(
+            b.add(
+                b.sub(parents.coords[k - 1], ctx.query(k, "w").at(list(parents.coords))),
+                1,
+            )
+        )
+        counts = em.assign("cnt", f"np.maximum({print_expr(width)}, 0)")
+        em.emit_edges_from_counts(ctx.array(k, "pos"), counts, parent_size)
 
     # -- iteration ----------------------------------------------------------
     def emit_iteration(self, ctx, k, parent_pos, ancestors, body):

@@ -16,7 +16,16 @@ coordinate remapping.  Each level implements up to three facets:
    sequenced/unsequenced edge insertion, ``init_coords``,
    ``get_pos``/``yield_pos`` (+ init/finalize) and ``insert_coord``,
    together with the attribute queries (:class:`~repro.query.spec.QuerySpec`)
-   the level requires.
+   the level requires;
+4. **vector emission** — the bulk-numpy mirrors of the iteration and
+   assembly facets consumed by :mod:`repro.ir.vector`: ``vector_iterate``
+   (expand a frontier of paths by this level's children), ``vector_edges``
+   (bulk edge insertion via ``cumsum`` over query counts), ``vector_pos``
+   (per-nonzero destination positions, ``group_ranks`` in place of the
+   sequenced ``yield_pos`` bump) and friends.  A level that sets
+   ``vector_capable = False`` (the default for new level types, and for
+   :class:`~repro.levels.hashed.HashedLevel`) makes every conversion
+   touching it fall back to the scalar backend.
 
 Code generation methods receive a context object (implemented by the
 conversion planner, :mod:`repro.convert.context`) that resolves array names
@@ -163,6 +172,68 @@ class Level:
     ) -> List[Stmt]:
         """Store the coordinate at position ``pos`` (no-op when implicit)."""
         return []
+
+    # ------------------------------------------------------------------
+    # vector-emission facet (bulk numpy lowering, repro.ir.vector)
+    # ------------------------------------------------------------------
+    #: True if the level implements the vector-emission protocol; the
+    #: backend resolver asks every level of both formats before choosing
+    #: the vector backend, so unsupported levels fall back to scalar.
+    vector_capable: bool = False
+
+    def vector_iterate(self, em, view, k: int, frontier) -> None:
+        """Expand ``frontier`` (one entry per enumerated path through
+        levels ``0..k-1``) by this level's children, in the exact order of
+        the scalar :meth:`emit_iteration` loop.  Appends the level's bulk
+        coordinate array to ``frontier.coords`` and updates
+        ``frontier.pos``."""
+        raise LevelFunctionError(f"{self.name} level does not vector-iterate")
+
+    def vector_width_step(self, em, view, k: int, start: Expr, end: Expr):
+        """Compose a position range ``[start, end)`` through this level —
+        the bulk mirror of the simplify-width-count composition of
+        :meth:`~repro.convert.iterate.SourceLoopEmitter.emit_width`."""
+        raise LevelFunctionError(f"{self.name} level does not compose widths")
+
+    def vector_edges(self, em, ctx, k: int, parents, parent_size: Expr) -> None:
+        """Bulk edge insertion: build the level's ``pos`` array from the
+        count attribute query with ``cumsum``, one entry per parent
+        position (``parents`` is the destination-prefix frontier, or
+        ``None`` at the root)."""
+        raise LevelFunctionError(f"{self.name} level does not define edges")
+
+    def vector_init_coords(self, em, ctx, k: int, parent_size: Expr) -> None:
+        """Bulk ``init_coords``.  The default prints the scalar emission,
+        which is valid whenever it is straight-line code (allocations and
+        scalar assignments vectorize as-is)."""
+        em.emit_straightline(self.emit_init_coords(ctx, k, parent_size))
+
+    def vector_init_pos(self, em, ctx, k: int, parent_size: Expr) -> None:
+        """Bulk ``init_{get|yield}_pos`` (see :meth:`vector_init_coords`)."""
+        em.emit_straightline(self.emit_init_pos(ctx, k, parent_size))
+
+    def vector_pos(self, em, ctx, k: int, parent, coords: Sequence[Expr]):
+        """Per-nonzero destination positions as one bulk expression.
+
+        ``parent`` is the parents' position array (an IR ``Var`` naming an
+        int64 array aligned with the nonzero streams) or ``None`` at the
+        root; ``coords`` are the destination coordinate arrays.  The
+        default reuses the scalar :meth:`emit_pos` — pure position
+        arithmetic (``locate``-style levels) evaluates elementwise over
+        numpy arrays unchanged."""
+        from ..ir.nodes import Const
+
+        stmts, expr = self.emit_pos(ctx, k, parent if parent is not None else Const(0), coords)
+        if stmts:
+            raise LevelFunctionError(
+                f"{self.name} level positions do not vectorize"
+            )
+        return em.bind(f"pB{k + 1}", expr)
+
+    def vector_insert_coord(self, em, ctx, k: int, pos, coords: Sequence[Expr]) -> None:
+        """Bulk coordinate stores; the scalar ``insert_coord`` stores are
+        plain array scatters, which vectorize as-is."""
+        em.emit_straightline(self.emit_insert_coord(ctx, k, pos, coords))
 
     # ------------------------------------------------------------------
     def signature(self) -> str:

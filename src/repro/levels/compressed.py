@@ -27,6 +27,7 @@ class CompressedLevel(Level):
     has_edges = True
     pos_kind = "yield"
     explicit_coords = True
+    vector_capable = True
 
     def __init__(self, unique: bool = True, ordered: bool = True) -> None:
         self.unique = unique
@@ -62,6 +63,68 @@ class CompressedLevel(Level):
 
     def size(self, view, k, parent_size):
         return int(view.array(k, "pos")[parent_size])
+
+    # -- vector emission ------------------------------------------------------
+    def vector_iterate(self, em, view, k, frontier):
+        frontier.expand_segments(view.array(k, "pos").name)
+        coord = em.assign(
+            view.coord_name(k), frontier.slice(view.array(k, "crd").name)
+        )
+        frontier.coords.append(coord)
+
+    def vector_width_step(self, em, view, k, start, end):
+        pos_arr = view.array(k, "pos")
+        return b.load(pos_arr, start), b.load(pos_arr, end)
+
+    def vector_edges(self, em, ctx, k, parents, parent_size):
+        pos_arr = ctx.array(k, "pos")
+        handle = ctx.query(k, "nir")
+        if parents is None:
+            total = em.atom(handle.at(()))
+            em.emit(f"{pos_arr.name} = np.array([0, {total}], dtype=np.int64)")
+            return
+        counts = em.bind("cnt", handle.at(list(parents.coords)))
+        em.emit_edges_from_counts(pos_arr, counts, parent_size)
+
+    def vector_pos(self, em, ctx, k, parent, coords):
+        """Bulk ``yield_pos``: edge offset plus the nonzero's rank among
+        same-parent insertions in source order (``group_ranks`` replays
+        the sequenced position bump).  Deduplicated levels (Section 6.2)
+        assign positions at first occurrences only and share them through
+        the lookup table, exactly like the scalar dedup path."""
+        pos_arr = ctx.array(k, "pos").name
+        if em.dedup:
+            shifted = simplify_expr(b.sub(coords[k], ctx.dim_lo(k)))
+            if parent is None:
+                key = em.bind("key", shifted)
+            else:
+                key = em.assign(
+                    "key",
+                    f"{parent.name} * {em.atom(ctx.dim_extent(k))}"
+                    f" + {em.atom(shifted)}",
+                )
+            first = em.assign("first", f"unique_first({key.name})")
+            table_size = simplify_expr(b.mul(em.parent_size, ctx.dim_extent(k)))
+            table = em.assign(
+                f"B{k + 1}_lookup",
+                f"np.empty({em.atom(table_size)}, dtype=np.int64)",
+            )
+            if parent is None:
+                fpos = em.assign(
+                    "fpos", f"np.arange({first.name}.shape[0], dtype=np.int64)"
+                )
+            else:
+                pf = em.assign("pf", f"{parent.name}[{first.name}]")
+                fpos = em.assign(
+                    "fpos", f"{pos_arr}[{pf.name}] + group_ranks({pf.name})"
+                )
+            em.emit(f"{table.name}[{key.name}[{first.name}]] = {fpos.name}")
+            return em.assign(f"pB{k + 1}", f"{table.name}[{key.name}]")
+        if parent is None:
+            return em.assign(f"pB{k + 1}", f"np.arange({em.nnz}, dtype=np.int64)")
+        return em.assign(
+            f"pB{k + 1}", f"{pos_arr}[{parent.name}] + group_ranks({parent.name})"
+        )
 
     # -- assembly -------------------------------------------------------------
     def queries(self, k, ndims):

@@ -24,6 +24,7 @@ class DenseLevel(Level):
     branchless = True
     compact = True
     pos_kind = "get"
+    vector_capable = True
 
     # -- iteration ----------------------------------------------------------
     def emit_iteration(self, ctx, k, parent_pos, ancestors, body):
@@ -39,6 +40,12 @@ class DenseLevel(Level):
 
     def size(self, view, k, parent_size):
         return parent_size * view.dim_size(k)
+
+    # -- vector emission ------------------------------------------------------
+    def vector_iterate(self, em, view, k, frontier):
+        # every parent position owns `size` consecutive children 0..size-1
+        slot = frontier.expand_fixed(view.dim_size(k), view.coord_name(k))
+        frontier.coords.append(slot)
 
     # -- assembly -------------------------------------------------------------
     def emit_get_size(self, ctx, k, parent_size):

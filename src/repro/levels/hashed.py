@@ -38,6 +38,9 @@ class HashedLevel(Level):
     has_edges = False
     pos_kind = "get"
     explicit_coords = True
+    #: probe chains are inherently sequential; conversions touching a
+    #: hashed level fall back to the scalar backend (the resolver asks).
+    vector_capable = False
     #: empty slots are materialized (values there stay zero)
     introduces_padding = True
 

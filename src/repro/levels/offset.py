@@ -26,6 +26,7 @@ class OffsetLevel(Level):
     branchless = True
     compact = True
     pos_kind = "get"
+    vector_capable = True
 
     def __init__(self, base_level: int, offset_level: int) -> None:
         """Coordinate = coord(base_level) + coord(offset_level)."""
@@ -48,6 +49,15 @@ class OffsetLevel(Level):
 
     def size(self, view, k, parent_size):
         return parent_size
+
+    # -- vector emission ------------------------------------------------------
+    def vector_iterate(self, em, view, k, frontier):
+        derived = simplify_expr(
+            b.add(
+                frontier.coords[self.base_level], frontier.coords[self.offset_level]
+            )
+        )
+        frontier.coords.append(em.bind(view.coord_name(k), derived))
 
     # -- assembly -------------------------------------------------------------
     def emit_get_size(self, ctx, k, parent_size):

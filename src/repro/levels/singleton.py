@@ -22,6 +22,7 @@ class SingletonLevel(Level):
     has_edges = False
     pos_kind = "get"
     explicit_coords = True
+    vector_capable = True
 
     def __init__(self, unique: bool = True, ordered: bool = True) -> None:
         self.unique = unique
@@ -48,6 +49,16 @@ class SingletonLevel(Level):
 
     def size(self, view, k, parent_size):
         return parent_size
+
+    # -- vector emission ------------------------------------------------------
+    def vector_iterate(self, em, view, k, frontier):
+        coord = em.assign(
+            view.coord_name(k), frontier.slice(view.array(k, "crd").name)
+        )
+        frontier.coords.append(coord)
+
+    def vector_width_step(self, em, view, k, start, end):
+        return start, end
 
     # -- assembly -------------------------------------------------------------
     def emit_get_size(self, ctx, k, parent_size):

@@ -25,8 +25,14 @@ class SlicedLevel(Level):
     branchless = True
     compact = True
     pos_kind = "get"
+    vector_capable = True
     #: slices shorter than K leave padding in every child level
     introduces_padding = True
+
+    # -- vector emission ------------------------------------------------------
+    def vector_iterate(self, em, view, k, frontier):
+        slot = frontier.expand_fixed(view.meta(k, "K"), view.coord_name(k))
+        frontier.coords.append(slot)
 
     # -- iteration ----------------------------------------------------------
     def emit_iteration(self, ctx, k, parent_pos, ancestors, body):

@@ -26,7 +26,43 @@ class SqueezedLevel(Level):
     branchless = False
     compact = True
     pos_kind = "get"
+    vector_capable = True
     introduces_padding = True
+
+    # -- vector emission ------------------------------------------------------
+    def vector_iterate(self, em, view, k, frontier):
+        slot = frontier.expand_fixed(view.meta(k, "K"), f"s{k + 1}")
+        coord = em.assign(
+            view.coord_name(k), f"{view.array(k, 'perm').name}[{slot.name}]"
+        )
+        frontier.coords.append(coord)
+
+    def vector_init_coords(self, em, ctx, k, parent_size):
+        """Bulk perm construction: the sorted nonempty coordinates are the
+        set bits of the ``nz`` query, read off with ``flatnonzero`` —
+        identical to the scalar coordinate-order scan."""
+        perm = ctx.array(k, "perm")
+        count = ctx.meta_var(k, "K")
+        nz = ctx.query(k, "nz")
+        lo = em.atom(ctx.dim_lo(k))
+        em.emit(f"{perm.name} = np.flatnonzero({nz.var.name}) + {lo}")
+        em.emit(f"{count.name} = {perm.name}.shape[0]")
+
+    def vector_init_pos(self, em, ctx, k, parent_size):
+        """Bulk reverse permutation: one scatter in place of the fill loop."""
+        from ..ir.nodes import Var as IRVar
+
+        perm = ctx.array(k, "perm")
+        count = ctx.meta_var(k, "K")
+        rperm = IRVar(ctx.ng.fresh(f"B{k + 1}_rperm"))
+        ctx.scratch[(k, "rperm")] = rperm
+        em.emit(
+            f"{rperm.name} = np.empty({em.atom(ctx.dim_extent(k))}, dtype=np.int64)"
+        )
+        em.emit(
+            f"{rperm.name}[{perm.name} - {em.atom(ctx.dim_lo(k))}]"
+            f" = np.arange({count.name}, dtype=np.int64)"
+        )
 
     # -- iteration ----------------------------------------------------------
     def emit_iteration(self, ctx, k, parent_pos, ancestors, body):

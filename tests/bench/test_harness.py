@@ -2,8 +2,11 @@
 
 from repro.baselines import scipy_ref
 from repro.bench import (
+    BACKEND_COLUMNS,
+    COLUMNS,
     applicable,
     backends_json,
+    compare_backend_reports,
     format_table,
     geomean,
     render_ablations,
@@ -89,6 +92,58 @@ def test_run_backends_reports_speedup():
     report = backends_json(results)
     assert report["coo_csr"]["cells"][0]["matrix"] == "jnlbrng1_s"
     assert report["coo_csr"]["geomean_speedup"] > 0
+
+
+def test_backend_columns_include_per_level_pairs():
+    assert set(COLUMNS) < set(BACKEND_COLUMNS)
+    assert {"bcsr_csr", "dcsr_csr"} <= set(BACKEND_COLUMNS)
+    entry = get_matrix("jnlbrng1", scale=0.1)
+    # backend-only pairs execute (and have no Table 3 baselines)
+    for column in ("bcsr_csr", "dcsr_csr"):
+        _ours(column, entry, backend="vector")()
+        assert _baselines(column, entry) == {}
+
+
+def test_extra_backend_pairs_resolve_to_vector():
+    from repro.convert import resolve_backend
+    from repro.bench.table3 import _FORMATS
+
+    assert resolve_backend(_FORMATS["bcsr"], _FORMATS["csr"]) == "vector"
+    assert resolve_backend(_FORMATS["dcsr"], _FORMATS["csr"]) == "vector"
+
+
+def _report(vector_seconds):
+    return {
+        "coo_csr": {
+            "geomean_speedup": 10.0,
+            "cells": [
+                {
+                    "matrix": "jnlbrng1_s",
+                    "nnz": 100,
+                    "scalar_seconds": 0.5,
+                    "vector_seconds": vector_seconds,
+                    "speedup": 0.5 / vector_seconds,
+                    "scipy_seconds": None,
+                }
+            ],
+        }
+    }
+
+
+def test_compare_backend_reports_flags_regressions():
+    baseline = _report(0.010)
+    assert compare_backend_reports(baseline, _report(0.015), 2.0) == []
+    regressions = compare_backend_reports(baseline, _report(0.025), 2.0)
+    assert len(regressions) == 1
+    assert "coo_csr/jnlbrng1_s" in regressions[0]
+    # unmatched columns/matrices are ignored, not regressions
+    assert compare_backend_reports({}, _report(0.025), 2.0) == []
+    other = {"csr_csc": _report(0.001)["coo_csr"]}
+    assert compare_backend_reports(other, _report(0.025), 2.0) == []
+    # sub-noise-floor baselines never gate (shared-runner jitter exceeds 2x)
+    assert compare_backend_reports(_report(0.0004), _report(0.5), 2.0) == []
+    assert compare_backend_reports(_report(0.0004), _report(0.5), 2.0,
+                                   min_seconds=0.0001) != []
 
 
 def test_render_table3_includes_geomean():

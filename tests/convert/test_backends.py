@@ -8,6 +8,7 @@ the synthetic benchmark suite matrices.
 """
 
 import random
+import warnings
 
 import numpy as np
 import pytest
@@ -19,17 +20,32 @@ from repro.convert import (
     resolve_backend,
     verify_all_pairs,
 )
-from repro.convert.planner import PlanOptions
+from repro.convert.planner import PlanOptions, _FALLBACK_WARNED
 from repro.formats.format import make_format
-from repro.formats.library import BCSR, COO, CSC, CSR, DCSR, DIA, ELL, HICOO
-from repro.ir.runtime import stable_order
+from repro.formats.library import (
+    BCSR,
+    COO,
+    COO3,
+    CSC,
+    CSF,
+    CSR,
+    DCSR,
+    DIA,
+    ELL,
+    HASH,
+    HICOO,
+)
+from repro.ir.runtime import group_ranks, stable_order, unique_first
 from repro.levels.compressed import CompressedLevel
 from repro.levels.dense import DenseLevel
 from repro.matrices.suite import get_matrix
 from repro.storage.build import reference_build
 
 VECTOR_FORMATS = [COO, CSR, CSC, DIA, ELL]
-FALLBACK_FORMATS = [BCSR(2, 2), HICOO(2), DCSR]
+#: formerly scalar-only pairs that the per-level lowering newly vectorizes
+EXTENDED_FORMATS = [BCSR(2, 2), DCSR, HICOO(2)]
+#: the only library format without the vector-emission protocol
+FALLBACK_FORMATS = [HASH]
 
 
 def assert_tensors_bit_identical(a, b):
@@ -66,6 +82,45 @@ def test_backends_bit_identical_all_pairs(src, dst):
             assert_tensors_bit_identical(scalar, vector)
 
 
+@pytest.mark.parametrize("src", EXTENDED_FORMATS, ids=lambda f: f.name)
+@pytest.mark.parametrize("dst", EXTENDED_FORMATS + [CSR, COO], ids=lambda f: f.name)
+def test_backends_bit_identical_extended_formats(src, dst):
+    """BCSR / DCSR / HiCOO vectorize through the per-level lowering —
+    no structural allowlist — and stay bit-identical to scalar."""
+    assert resolve_backend(src, dst) == "vector"
+    for seed, (m, n) in enumerate([(6, 8), (8, 6), (1, 7)]):
+        for style in ("empty", "dense", "sparse"):
+            cells, vals = _random_problem(seed, m, n, style)
+            tensor = reference_build(src, (m, n), cells, vals)
+            scalar = convert(tensor, dst, backend="scalar")
+            vector = convert(tensor, dst, backend="vector")
+            assert vector.to_coo() == dict(zip(cells, vals))
+            assert_tensors_bit_identical(scalar, vector)
+
+
+@pytest.mark.parametrize(
+    "pair",
+    [(COO3, CSF), (CSF, COO3), (CSF, CSF), (COO3, COO3)],
+    ids=lambda p: f"{p[0].name}_{p[1].name}",
+)
+def test_backends_bit_identical_third_order(pair):
+    """CSF / COO3 third-order conversions resolve to the vector backend
+    through the leaf singleton / staged compressed emitters."""
+    src, dst = pair
+    assert resolve_backend(src, dst) == "vector"
+    rng = random.Random(11)
+    dims = (4, 5, 6)
+    cells = rng.sample(
+        [(i, j, k) for i in range(4) for j in range(5) for k in range(6)], 37
+    )
+    vals = [round(rng.uniform(0.5, 9.5), 4) for _ in cells]
+    tensor = reference_build(src, dims, cells, vals)
+    scalar = convert(tensor, dst, backend="scalar")
+    vector = convert(tensor, dst, backend="vector")
+    assert vector.to_coo() == dict(zip(cells, vals))
+    assert_tensors_bit_identical(scalar, vector)
+
+
 @pytest.mark.parametrize("matrix_name", ["jnlbrng1", "scircuit", "cant"])
 @pytest.mark.parametrize(
     "pair",
@@ -81,6 +136,28 @@ def test_backends_bit_identical_on_suite_matrices(matrix_name, pair):
     assert_tensors_bit_identical(scalar, vector)
 
 
+def test_every_capable_library_pair_actually_plans_vector():
+    """`resolve_backend` promises are kept: every library pair whose
+    levels report vector capability really lowers through the vector
+    backend (no silent scalar fallback inside plan_vector)."""
+    from repro.formats.library import BUILTIN_FORMATS
+
+    formats = dict(BUILTIN_FORMATS)
+    formats["BCSR4x4"] = BCSR(4, 4)
+    formats["HICOO4"] = HICOO(4)
+    for src in formats.values():
+        for dst in formats.values():
+            if src.order != dst.order:
+                continue
+            if resolve_backend(src, dst) != "vector":
+                assert "hashed" in {
+                    level.name for level in src.levels + dst.levels
+                }, f"{src.name}->{dst.name} unexpectedly scalar"
+                continue
+            converter = make_converter(src, dst, backend="vector")
+            assert converter.backend == "vector", f"{src.name}->{dst.name}"
+
+
 def test_vector_backend_passes_randomized_verification():
     report = verify_all_pairs(VECTOR_FORMATS, trials=6, max_dim=7, backend="vector")
     assert len(report) == len(VECTOR_FORMATS) ** 2
@@ -91,9 +168,17 @@ def test_resolve_backend_selection():
     assert resolve_backend(COO, CSR) == "vector"
     assert resolve_backend(CSR, CSC, backend="auto") == "vector"
     assert resolve_backend(COO, CSR, backend="scalar") == "scalar"
-    # non-vectorizable pairs fall back, even on explicit request
-    assert resolve_backend(CSR, BCSR(2, 2)) == "scalar"
-    assert resolve_backend(CSR, BCSR(2, 2), backend="vector") == "scalar"
+    # capability is asked of the levels, not read off an allowlist:
+    # blocked/hypersparse/third-order formats all resolve to vector
+    assert resolve_backend(BCSR(2, 2), CSR) == "vector"
+    assert resolve_backend(CSR, BCSR(2, 2), backend="vector") == "vector"
+    assert resolve_backend(DCSR, CSR) == "vector"
+    assert resolve_backend(COO3, CSF) == "vector"
+    # a level without the vector-emission protocol falls back
+    assert resolve_backend(CSR, HASH) == "scalar"
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", RuntimeWarning)
+        assert resolve_backend(HASH, CSR, backend="vector") == "scalar"
     # ablation options select scalar code shapes: scalar only
     assert resolve_backend(COO, CSR, PlanOptions(force_unsequenced_edges=True)) == "scalar"
 
@@ -113,15 +198,76 @@ def test_structural_match_vectorizes_renamed_format():
     assert out.to_coo() == dict(zip(cells, vals))
 
 
+def test_renamed_format_shares_kernel_cache_entry():
+    """Structurally-identical renamed formats share one compiled kernel
+    (the cache is keyed by repro.convert.planner.structural_key)."""
+    my_csr = make_format(
+        "MyRowMajor2",
+        "(i,j) -> (i, j)",
+        [DenseLevel(), CompressedLevel(ordered=False)],
+        inverse_text="(i,j) -> (i, j)",
+    )
+    for backend in ("vector", "scalar"):
+        renamed = make_converter(COO, my_csr, backend=backend)
+        canonical = make_converter(COO, CSR, backend=backend)
+        assert renamed.func is canonical.func
+        assert renamed.source == canonical.source
+    # ...while the returned converters still carry the requested formats
+    assert make_converter(COO, my_csr).dst_format.name == "MyRowMajor2"
+    # and a converter compiled for CSR accepts the structural twin
+    from repro.storage.tensor import Tensor
+
+    cells, vals = _random_problem(5, 4, 4, "sparse")
+    built = reference_build(CSR, (4, 4), cells, vals)
+    twin = Tensor(my_csr, built.dims, built.arrays, built.metadata, built.vals)
+    out = make_converter(CSR, CSC)(twin)
+    assert out.to_coo() == dict(zip(cells, vals))
+
+
 @pytest.mark.parametrize("dst", FALLBACK_FORMATS, ids=lambda f: f.name)
 def test_vector_request_falls_back_to_scalar(dst):
     cells, vals = _random_problem(1, 6, 6, "sparse")
     tensor = reference_build(CSR, (6, 6), cells, vals)
-    converter = make_converter(CSR, dst, backend="vector")
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", RuntimeWarning)
+        converter = make_converter(CSR, dst, backend="vector")
     assert converter.backend == "scalar"  # fell back
     out = converter(tensor)
     out.check()
     assert out.to_coo() == dict(zip(cells, vals))
+
+
+@pytest.mark.parametrize(
+    "options",
+    [
+        PlanOptions(force_unsequenced_edges=True),
+        PlanOptions(force_counter_arrays=True),
+        PlanOptions(disable_width_count=True),
+        PlanOptions(skip_src_zeros=False),
+    ],
+    ids=["unseq_edges", "counter_arrays", "no_width_count", "keep_zeros"],
+)
+def test_non_default_options_stay_scalar_and_warn_once(options):
+    """Non-default PlanOptions select scalar code shapes: the resolver
+    falls back (even on explicit vector requests) and warns exactly once
+    per pair."""
+    assert resolve_backend(COO, CSR, options) == "scalar"
+    _FALLBACK_WARNED.clear()
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        assert resolve_backend(COO, CSR, options, backend="vector") == "scalar"
+        assert resolve_backend(COO, CSR, options, backend="vector") == "scalar"
+    fallback = [w for w in caught if issubclass(w.category, RuntimeWarning)]
+    assert len(fallback) == 1
+    assert "falling back to scalar" in str(fallback[0].message)
+    # the fallback still produces a correct scalar routine
+    cells, vals = _random_problem(2, 5, 5, "sparse")
+    tensor = reference_build(COO, (5, 5), cells, vals)
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", RuntimeWarning)
+        converter = make_converter(COO, CSR, options, backend="vector")
+    assert converter.backend == "scalar"
+    assert converter(tensor).to_coo() == dict(zip(cells, vals))
 
 
 def test_both_backends_keep_source_inspectable():
@@ -153,3 +299,29 @@ def test_stable_order_matches_stable_argsort():
     # negative keys take the argsort fallback and stay correct
     keys = np.array([3, -1, 2, -1, 3], dtype=np.int64)
     assert np.array_equal(stable_order(keys), np.argsort(keys, kind="stable"))
+
+
+def test_group_ranks_matches_sequential_counting():
+    rng = np.random.default_rng(1)
+    for n in (0, 1, 17, 1000):
+        keys = rng.integers(0, 7, size=n).astype(np.int64)
+        got = group_ranks(keys)
+        counts = {}
+        want = np.empty(n, dtype=np.int64)
+        for idx, key in enumerate(keys):
+            want[idx] = counts.get(int(key), 0)
+            counts[int(key)] = want[idx] + 1
+        assert np.array_equal(got, want)
+
+
+def test_unique_first_matches_sequential_dedup():
+    rng = np.random.default_rng(2)
+    for n in (0, 1, 17, 1000):
+        keys = rng.integers(0, 9, size=n).astype(np.int64)
+        got = unique_first(keys)
+        seen, want = set(), []
+        for idx, key in enumerate(keys):
+            if int(key) not in seen:
+                seen.add(int(key))
+                want.append(idx)
+        assert np.array_equal(got, np.array(want, dtype=np.int64))

@@ -27,6 +27,14 @@ PAIRS = {
     "csc_ell": (CSC, ELL),
 }
 
+#: Vector-backend pins: the per-level numpy lowering for two
+#: representative pairs (a compressed target, a squeezed/offset target),
+#: so lowering refactors show up as reviewable text diffs.
+VECTOR_PAIRS = {
+    "vector_csr_csc": (CSR, CSC),
+    "vector_coo_dia": (COO, DIA),
+}
+
 
 @pytest.mark.parametrize("name", sorted(PAIRS))
 def test_generated_code_matches_golden(name):
@@ -35,5 +43,16 @@ def test_generated_code_matches_golden(name):
     got = generated_source(src_fmt, dst_fmt) + "\n"
     assert got == want, (
         f"generated code for {name} changed; diff against "
+        f"tests/convert/golden/{name}.py.txt and regenerate if intended"
+    )
+
+
+@pytest.mark.parametrize("name", sorted(VECTOR_PAIRS))
+def test_vector_generated_code_matches_golden(name):
+    src_fmt, dst_fmt = VECTOR_PAIRS[name]
+    want = (GOLDEN / f"{name}.py.txt").read_text()
+    got = generated_source(src_fmt, dst_fmt, backend="vector") + "\n"
+    assert got == want, (
+        f"vector-generated code for {name} changed; diff against "
         f"tests/convert/golden/{name}.py.txt and regenerate if intended"
     )
