@@ -57,6 +57,13 @@ def main() -> None:
         assert sideways.to_coo() == coo.to_coo()
         print(f"{fmt.name} -> COO and CSR -> {fmt.name}: OK")
 
+    # register once, then the format is addressable by name everywhere
+    # (convert(), Tensor.to(), the CLI, the bench harness)
+    repro.register_format(cbcoo)
+    by_name = repro.convert(coo, "cbcoo")
+    assert by_name.to_coo() == coo.to_coo()
+    print('register_format(cbcoo); convert(coo, "cbcoo"): OK')
+
     print("\n--- generated CSR -> BandedRows routine ---")
     print(repro.generated_source(repro.formats.CSR, bdia))
 

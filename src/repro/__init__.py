@@ -25,13 +25,23 @@ Quickstart::
 
 from .convert import (
     CompiledConversion,
+    ConversionEngine,
+    ConversionRoute,
     PlanError,
     PlanOptions,
     convert,
+    default_engine,
     generated_source,
     make_converter,
 )
-from .formats import Format, FormatError, make_format
+from .formats import (
+    Format,
+    FormatError,
+    get_format,
+    make_format,
+    parse_format_spec,
+    register_format,
+)
 from .query import QuerySpec, evaluate_query, parse_queries
 from .remap import Remap, parse_remap
 from .storage import Tensor, from_dense, reference_build
@@ -51,6 +61,8 @@ def build(format, dims, coords, vals):
 
 __all__ = [
     "CompiledConversion",
+    "ConversionEngine",
+    "ConversionRoute",
     "Format",
     "FormatError",
     "PlanError",
@@ -60,12 +72,16 @@ __all__ = [
     "Tensor",
     "build",
     "convert",
+    "default_engine",
     "evaluate_query",
     "from_dense",
     "generated_source",
+    "get_format",
     "make_converter",
     "make_format",
+    "parse_format_spec",
     "parse_remap",
     "parse_queries",
     "reference_build",
+    "register_format",
 ]

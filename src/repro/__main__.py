@@ -2,13 +2,16 @@
 
 Usage::
 
-    python -m repro formats                     # list built-in formats
+    python -m repro formats                     # list registered formats
     python -m repro codegen CSR DIA             # print the generated routine
     python -m repro convert in.mtx --to DIA     # convert a Matrix Market file
+    python -m repro route HASH CSR --explain    # show the conversion route
     python -m repro stats in.mtx                # attribute-query statistics
     python -m repro verify COO CSR --trials 50  # differential verification
 
-(The evaluation harness lives under ``python -m repro.bench``.)
+Formats are given as registry spec strings — any registered name
+(``CSR``, ``HASH``...) or a parameterized family instance (``BCSR8x8``,
+``HICOO4``).  (The evaluation harness lives under ``python -m repro.bench``.)
 """
 
 from __future__ import annotations
@@ -16,31 +19,24 @@ from __future__ import annotations
 import argparse
 import time
 
-from .convert import generated_source, make_converter
+from .convert import default_engine, generated_source, make_converter
 from .convert.verify import verify_conversion
-from .formats import BCSR, BUILTIN_FORMATS, HICOO
+from .formats import UnknownFormatError, available_formats, get_format
 from .io import read_tensor
 from .query import evaluate_query, parse_queries
 from .remap import apply_remap, parse_remap
 
 
-def _resolve_format(name: str):
-    token = name.upper()
-    if token in BUILTIN_FORMATS:
-        return BUILTIN_FORMATS[token]
-    if token.startswith("BCSR"):
-        dims = token[4:].split("X") if token[4:] else ["4", "4"]
-        return BCSR(int(dims[0]), int(dims[-1]))
-    if token.startswith("HICOO"):
-        return HICOO(int(token[5:]) if token[5:] else 4)
-    raise SystemExit(
-        f"unknown format {name!r}; known: {', '.join(sorted(BUILTIN_FORMATS))}, "
-        "BCSR<MxN>, HICOO<B>"
-    )
+def _format_arg(spec: str):
+    """Resolve a CLI format spec, turning lookup failures into exit codes."""
+    try:
+        return get_format(spec)
+    except UnknownFormatError as exc:
+        raise SystemExit(str(exc)) from exc
 
 
 def _cmd_formats(_args) -> None:
-    for name, fmt in sorted(BUILTIN_FORMATS.items()):
+    for name, fmt in sorted(available_formats().items()):
         levels = ", ".join(level.signature() for level in fmt.levels)
         print(f"{name:6s} remap: {fmt.remap}   levels: [{levels}]")
     print("BCSR<MxN> and HICOO<B> are parameterized (e.g. BCSR4x4, HICOO8).")
@@ -49,31 +45,64 @@ def _cmd_formats(_args) -> None:
 def _cmd_codegen(args) -> None:
     print(
         generated_source(
-            _resolve_format(args.src), _resolve_format(args.dst), backend=args.backend
+            _format_arg(args.src), _format_arg(args.dst), backend=args.backend
         )
     )
 
 
 def _cmd_convert(args) -> None:
-    src_fmt = _resolve_format(args.source_format)
-    dst_fmt = _resolve_format(args.to)
+    src_fmt = _format_arg(args.source_format)
+    dst_fmt = _format_arg(args.to)
     tensor = read_tensor(args.input, src_fmt)
-    converter = make_converter(src_fmt, dst_fmt, backend=args.backend)
+    engine = default_engine()
+    # Routing engages only under the auto policies (mirrors engine.convert):
+    # an explicit backend request always runs the direct conversion.
+    route = None
+    if args.route == "auto" and args.backend == "auto":
+        found = engine.route(src_fmt, dst_fmt, nnz=tensor.nnz_stored)
+        if found.beats_direct:
+            route = found
     start = time.perf_counter()
-    out = converter(tensor)
+    out = engine.convert(tensor, dst_fmt, backend=args.backend, route=args.route)
     elapsed = (time.perf_counter() - start) * 1e3
     out.check()
     print(
         f"{args.input}: {tensor.dims[0]}x{tensor.dims[1]}, {tensor.nnz} nonzeros"
     )
     print(f"{src_fmt.name} -> {dst_fmt.name} in {elapsed:.2f} ms (generated routine)")
+    if route is not None:
+        print(f"  routed: {route}")
     for (k, name), array in sorted(out.arrays.items()):
         print(f"  B{k + 1}_{name}: {len(array)} entries")
     for (k, name), value in sorted(out.metadata.items()):
         print(f"  B{k + 1}_{name} = {value}")
     print(f"  B_vals: {len(out.vals)} entries ({out.nnz} nonzero)")
     if args.show_code:
-        print("\n" + converter.source)
+        if route is not None:
+            # show what actually ran: the generated source of every
+            # codegen hop (bridges are library calls, not generated code)
+            for hop in route.hops:
+                if hop.kind == "bridge":
+                    print(f"\n# {hop}: bulk extraction, no generated source")
+                else:
+                    print("\n" + make_converter(
+                        hop.src, hop.dst, backend=hop.kind
+                    ).source)
+        else:
+            print("\n" + make_converter(
+                src_fmt, dst_fmt, backend=args.backend
+            ).source)
+
+
+def _cmd_route(args) -> None:
+    src_fmt = _format_arg(args.src)
+    dst_fmt = _format_arg(args.dst)
+    route = default_engine().route(src_fmt, dst_fmt, nnz=args.nnz)
+    if args.explain:
+        print(route.explain())
+    else:
+        hops = ", ".join(route.backend_per_hop)
+        print(f"{route} ({hops})")
 
 
 def _cmd_stats(args) -> None:
@@ -96,8 +125,8 @@ def _cmd_stats(args) -> None:
 
 
 def _cmd_verify(args) -> None:
-    src_fmt = _resolve_format(args.src)
-    dst_fmt = _resolve_format(args.dst)
+    src_fmt = _format_arg(args.src)
+    dst_fmt = _format_arg(args.dst)
     checked = verify_conversion(
         src_fmt,
         dst_fmt,
@@ -113,7 +142,7 @@ def main(argv=None) -> None:
     parser = argparse.ArgumentParser(prog="python -m repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("formats", help="list built-in formats")
+    sub.add_parser("formats", help="list registered formats")
 
     codegen = sub.add_parser("codegen", help="print a generated routine")
     codegen.add_argument("src")
@@ -129,6 +158,17 @@ def main(argv=None) -> None:
     convert.add_argument("--show-code", action="store_true")
     convert.add_argument("--backend", choices=["auto", "scalar", "vector"],
                          default="auto", help="lowering backend (default: auto)")
+    convert.add_argument("--route", choices=["auto", "direct"], default="auto",
+                         help="multi-hop routing policy (default: auto)")
+
+    route = sub.add_parser("route", help="show the conversion route for a pair")
+    route.add_argument("src")
+    route.add_argument("dst")
+    route.add_argument("--explain", action="store_true",
+                       help="print the full routing transcript")
+    route.add_argument("--nnz", type=int, default=None,
+                       help="expected stored-component count the cost model "
+                            "plans for (default: bulk sizes)")
 
     stats = sub.add_parser("stats", help="attribute-query statistics of a file")
     stats.add_argument("input")
@@ -147,6 +187,7 @@ def main(argv=None) -> None:
         "formats": _cmd_formats,
         "codegen": _cmd_codegen,
         "convert": _cmd_convert,
+        "route": _cmd_route,
         "stats": _cmd_stats,
         "verify": _cmd_verify,
     }[args.command](args)

@@ -12,10 +12,12 @@ Usage::
 ``backends`` compares the scalar (loop) and vector (bulk numpy) lowering
 backends, plus scipy where it implements the conversion; ``--pairs``
 selects which conversions run (including the extra BCSR/DCSR pairs that
-have no Table 3 baselines) and ``--json`` additionally writes the report
-as JSON (the CI smoke artifact).  ``compare`` diffs two such JSON reports
-and exits nonzero when any vector-backend cell regressed by more than
-``--threshold`` (CI fails the build on >2x regressions).
+have no Table 3 baselines, and the routed ``hash_csr`` pair whose fast
+cell runs the engine's multi-hop route) and ``--json`` additionally
+writes the report as JSON (the CI smoke artifact).  ``compare`` diffs
+two such JSON reports and exits nonzero when any fast-path cell (vector
+or routed) regressed by more than ``--threshold`` (CI fails the build
+on >2x regressions).
 """
 
 import argparse

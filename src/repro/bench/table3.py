@@ -27,16 +27,19 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
 from ..baselines import mkl_like, scipy_ref, sparskit, taco_legacy
-from ..convert import make_converter
-from ..formats.library import BCSR, COO, CSC, CSR, DCSR, DIA, ELL
+from ..convert import default_engine, make_converter
+from ..formats.library import BCSR, COO, CSC, CSR, DCSR, DIA, ELL, HASH
 from ..matrices.suite import SuiteMatrix, suite
 from .timing import format_table, geomean, time_call
 
 COLUMNS = ["coo_csr", "coo_dia", "csr_csc", "csr_dia", "csr_ell", "csc_dia", "csc_ell"]
 
 #: Additional pairs of the ``backends`` report only (no Table 3 baselines):
-#: the formerly scalar-only formats the per-level vector lowering handles.
-EXTRA_BACKEND_COLUMNS = ["bcsr_csr", "csr_bcsr", "dcsr_csr", "csr_dcsr"]
+#: the formerly scalar-only formats the per-level vector lowering handles,
+#: plus the routed hash pair — its "vector" cell runs the engine's
+#: multi-hop route (bridge extraction + vectorized hop), so the CI
+#: ``compare`` gate guards routing regressions too.
+EXTRA_BACKEND_COLUMNS = ["bcsr_csr", "csr_bcsr", "dcsr_csr", "csr_dcsr", "hash_csr"]
 
 #: Every pair the ``backends`` report (and its ``--pairs`` filter) accepts.
 BACKEND_COLUMNS = COLUMNS + EXTRA_BACKEND_COLUMNS
@@ -49,6 +52,7 @@ _FORMATS = {
     "ell": ELL,
     "bcsr": BCSR(4, 4),
     "dcsr": DCSR,
+    "hash": HASH,
 }
 
 
@@ -72,16 +76,23 @@ def applicable(column: str, entry: SuiteMatrix) -> bool:
     return True
 
 
+def _pair_formats(column: str, entry: SuiteMatrix):
+    """The (src, dst) formats a column times for ``entry``.
+
+    Symmetric matrices make CSC and CSR interchangeable; the paper casts
+    CSC→DIA/ELL to CSR→DIA/ELL in that case.
+    """
+    src_name, dst_name = column.split("_")
+    if src_name == "csc" and entry.symmetric:
+        src_name = "csr"
+    return _FORMATS[src_name], _FORMATS[dst_name]
+
+
 def _ours(
     column: str, entry: SuiteMatrix, backend: str = "scalar"
 ) -> Callable[[], object]:
-    src_name, dst_name = column.split("_")
-    # Symmetric matrices make CSC and CSR interchangeable; the paper casts
-    # CSC→DIA/ELL to CSR→DIA/ELL in that case.
-    if src_name == "csc" and entry.symmetric:
-        src_name = "csr"
-    src = _FORMATS[src_name]
-    converter = make_converter(src, _FORMATS[dst_name], backend=backend)
+    src, dst = _pair_formats(column, entry)
+    converter = make_converter(src, dst, backend=backend)
     args = converter.arguments(entry.tensor(src))
     return lambda: converter.func(*args)
 
@@ -201,18 +212,41 @@ def run_table3(
 
 @dataclass
 class BackendCellResult:
-    """One matrix × one column: scalar vs. vector backend (and scipy)."""
+    """One matrix × one column: scalar vs. vector backend (and scipy).
+
+    ``route`` names the conversion path of the fast cell when the engine
+    routed it (e.g. ``"HASH -> COO -> CSR"``); ``None`` for direct
+    vector-backend cells.
+    """
 
     matrix: str
     nnz: int
     scalar_seconds: float
     vector_seconds: float
     scipy_seconds: Optional[float]
+    route: Optional[str] = None
 
     @property
     def speedup(self) -> float:
         """Scalar-over-vector time ratio (higher = vector wins)."""
         return self.scalar_seconds / self.vector_seconds
+
+
+def _routed(column: str, entry: SuiteMatrix):
+    """The engine-routed fast implementation for a cell, if routing
+    applies: ``(callable, route description)``, else ``(None, None)``.
+
+    Routed cells convert tensor-to-tensor through the engine (marshalling
+    included) — the honest cost of the multi-hop path — where direct
+    cells time the raw generated function.
+    """
+    src, dst = _pair_formats(column, entry)
+    engine = default_engine()
+    tensor = entry.tensor(src)
+    route = engine.route(src, dst, nnz=tensor.nnz_stored)
+    if not route.beats_direct:
+        return None, None
+    return (lambda: engine.convert_via(route, tensor)), str(route)
 
 
 def run_backends(
@@ -235,11 +269,19 @@ def run_backends(
             if not applicable(column, entry):
                 continue
             scalar = time_call(_ours(column, entry, backend="scalar"), repeats)
-            vector = time_call(_ours(column, entry, backend="vector"), repeats)
+            routed_fn, route = _routed(column, entry)
+            if routed_fn is not None:
+                # scalar-only pair with a multi-hop/bridge route: the fast
+                # cell is the engine's routed conversion
+                vector = time_call(routed_fn, repeats)
+            else:
+                vector = time_call(_ours(column, entry, backend="vector"), repeats)
             scipy_fn = _baselines(column, entry).get("scipy")
             scipy_s = time_call(scipy_fn, repeats) if scipy_fn else None
             cells.append(
-                BackendCellResult(entry.name, entry.nnz, scalar, vector, scipy_s)
+                BackendCellResult(
+                    entry.name, entry.nnz, scalar, vector, scipy_s, route
+                )
             )
         results[column] = cells
     return results
@@ -249,7 +291,8 @@ def render_backends(results: Dict[str, List[BackendCellResult]]) -> str:
     """Text rendering of the backend comparison (times in ms)."""
     out = []
     for column, cells in results.items():
-        headers = ["matrix", "nnz", "scalar (ms)", "vector (ms)", "speedup", "scipy (ms)"]
+        headers = ["matrix", "nnz", "scalar (ms)", "vector (ms)", "speedup",
+                   "scipy (ms)", "route"]
         rows = []
         for cell in cells:
             rows.append([
@@ -259,9 +302,10 @@ def render_backends(results: Dict[str, List[BackendCellResult]]) -> str:
                 f"{cell.vector_seconds * 1e3:.2f}",
                 f"{cell.speedup:.1f}x",
                 f"{cell.scipy_seconds * 1e3:.2f}" if cell.scipy_seconds else "",
+                cell.route or "direct",
             ])
         mean = geomean([cell.speedup for cell in cells])
-        rows.append(["Geomean", "", "", "", f"{mean:.1f}x" if mean else "", ""])
+        rows.append(["Geomean", "", "", "", f"{mean:.1f}x" if mean else "", "", ""])
         out.append(f"== {column} ==\n{format_table(headers, rows)}")
     return "\n\n".join(out)
 
@@ -280,6 +324,7 @@ def backends_json(results: Dict[str, List[BackendCellResult]]) -> Dict:
                     "vector_seconds": cell.vector_seconds,
                     "speedup": cell.speedup,
                     "scipy_seconds": cell.scipy_seconds,
+                    "route": cell.route,
                 }
                 for cell in cells
             ],

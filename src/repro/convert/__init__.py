@@ -2,6 +2,7 @@
 
 from .api import CompiledConversion, convert, generated_source, make_converter
 from .context import ConversionContext, PlanError, QueryResultHandle
+from .engine import ConversionEngine, default_engine, set_default_engine
 from .planner import (
     BACKENDS,
     ConversionPlanner,
@@ -10,23 +11,42 @@ from .planner import (
     plan_conversion,
     resolve_backend,
 )
+from .router import (
+    ConversionRoute,
+    CostModel,
+    Hop,
+    bridge_for,
+    find_route,
+    rebind_endpoints,
+    register_bridge,
+)
 from .verify import VerificationError, verify_all_pairs, verify_conversion
 
 __all__ = [
     "BACKENDS",
     "CompiledConversion",
     "ConversionContext",
+    "ConversionEngine",
     "ConversionPlanner",
+    "ConversionRoute",
+    "CostModel",
     "GeneratedConversion",
+    "Hop",
     "PlanError",
     "PlanOptions",
     "QueryResultHandle",
     "VerificationError",
-    "plan_conversion",
-    "resolve_backend",
-    "verify_all_pairs",
-    "verify_conversion",
+    "bridge_for",
     "convert",
+    "default_engine",
+    "find_route",
     "generated_source",
     "make_converter",
+    "plan_conversion",
+    "rebind_endpoints",
+    "register_bridge",
+    "resolve_backend",
+    "set_default_engine",
+    "verify_all_pairs",
+    "verify_conversion",
 ]

@@ -1,114 +1,50 @@
-"""Public conversion API: plan, compile, cache and run conversion routines.
+"""Public conversion API: stable module-level shims over the default engine.
 
 Typical use::
 
     from repro import convert, formats
-    csr = convert(coo_tensor, formats.CSR)
+    csr = convert(coo_tensor, formats.CSR)    # or convert(coo_tensor, "CSR")
 
 ``make_converter`` returns the compiled routine itself (with its generated
 Python source on ``.source``) so callers can inspect the generated code or
 amortize lookups in benchmarks.
+
+These functions delegate to the process-wide
+:class:`~repro.convert.engine.ConversionEngine`
+(:func:`~repro.convert.engine.default_engine`), which owns the caches,
+policy, routing and telemetry.  They are kept stable for existing callers;
+new code that needs its own cache bounds, default options or counters
+should construct an engine directly.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
-from typing import Callable, Dict, List, Tuple
+from typing import Optional, Union
 
-import numpy as np
-
-from ..formats.format import Format
-from ..ir.runtime import compile_source
+from ..formats.registry import FormatSpec
 from ..storage.tensor import Tensor
-from .planner import (
-    GeneratedConversion,
-    PlanOptions,
-    plan_conversion,
-    resolve_backend,
-    structural_key,
-)
+from .engine import CompiledConversion, default_engine
+from .planner import PlanOptions
+from .router import ConversionRoute
 
-
-@dataclass
-class CompiledConversion:
-    """A ready-to-run conversion routine for a (source, target) format pair."""
-
-    generated: GeneratedConversion
-    func: Callable
-
-    @property
-    def source(self) -> str:
-        """The generated Python source code of the routine."""
-        return self.generated.source
-
-    @property
-    def backend(self) -> str:
-        """The lowering backend that produced the routine."""
-        return self.generated.backend
-
-    @property
-    def src_format(self) -> Format:
-        return self.generated.src_format
-
-    @property
-    def dst_format(self) -> Format:
-        return self.generated.dst_format
-
-    # ------------------------------------------------------------------
-    def arguments(self, tensor: Tensor) -> List:
-        """Marshal a source tensor into the generated function's arguments."""
-        args = []
-        for side, k, name in self.generated.params:
-            if side == "src_array":
-                args.append(tensor.vals if k == -1 else tensor.array(k, name))
-            elif side == "src_meta":
-                args.append(tensor.meta(k, name))
-            else:  # dimension size
-                args.append(tensor.dims[k])
-        return args
-
-    def __call__(self, tensor: Tensor) -> Tensor:
-        """Convert ``tensor`` (must be structurally in the source format)."""
-        if structural_key(tensor.format) != structural_key(self.src_format):
-            raise ValueError(
-                f"converter expects {self.src_format.name}, got {tensor.format.name}"
-            )
-        results = self.func(*self.arguments(tensor))
-        if not isinstance(results, tuple):
-            results = (results,)
-        arrays: Dict[Tuple[int, str], np.ndarray] = {}
-        meta: Dict[Tuple[int, str], int] = {}
-        vals = None
-        for (side, k, name), value in zip(self.generated.outputs, results):
-            if side == "dst_array" and k == -1:
-                vals = value
-            elif side == "dst_array":
-                arrays[(k, name)] = value
-            else:
-                meta[(k, name)] = int(value)
-        if vals is None:
-            raise RuntimeError("generated routine returned no values array")
-        return Tensor(self.dst_format, tensor.dims, arrays, meta, vals)
-
-
-#: Compiled kernels keyed by *structural* identity: structurally-identical
-#: renamed formats share one generated routine.
-_KERNELS: Dict[Tuple, Tuple[GeneratedConversion, Callable]] = {}
-
-#: Converter objects keyed by exact format signatures (so repeated calls
-#: with the same format objects return the identical converter).
-_CACHE: Dict[Tuple, CompiledConversion] = {}
+__all__ = [
+    "CompiledConversion",
+    "convert",
+    "generated_source",
+    "make_converter",
+]
 
 
 def make_converter(
-    src_format: Format,
-    dst_format: Format,
-    options: PlanOptions = None,
+    src_format: FormatSpec,
+    dst_format: FormatSpec,
+    options: Optional[PlanOptions] = None,
     backend: str = "auto",
 ) -> CompiledConversion:
-    """Generate (or fetch from cache) the conversion routine for a format
-    pair.  Generated code is cached per (structural format key, plan
-    options, resolved backend) — see
+    """Generate (or fetch from the default engine's cache) the conversion
+    routine for a format pair.  Formats may be objects or registry spec
+    strings (``"CSR"``, ``"BCSR8x8"``...).  Generated code is cached per
+    (structural format key, plan options, resolved backend) — see
     :func:`repro.convert.planner.structural_key` — so e.g. every
     4x4-blocked BCSR conversion shares one routine, and a renamed format
     with CSR's exact structure reuses the CSR kernel.
@@ -119,44 +55,29 @@ def make_converter(
     (a ``"vector"`` request still falls back for non-vectorizable pairs,
     warning once per pair).
     """
-    options = options or PlanOptions()
-    resolved = resolve_backend(src_format, dst_format, options, backend)
-    key = (src_format.signature(), dst_format.signature(), options.key(), resolved)
-    if key not in _CACHE:
-        kernel_key = (
-            structural_key(src_format),
-            structural_key(dst_format),
-            options.key(),
-            resolved,
-        )
-        if kernel_key not in _KERNELS:
-            generated = plan_conversion(src_format, dst_format, options, resolved)
-            func = compile_source(generated.source, generated.func_name)
-            _KERNELS[kernel_key] = (generated, func)
-        generated, func = _KERNELS[kernel_key]
-        if (
-            generated.src_format is not src_format
-            or generated.dst_format is not dst_format
-        ):
-            generated = replace(
-                generated, src_format=src_format, dst_format=dst_format
-            )
-        _CACHE[key] = CompiledConversion(generated, func)
-    return _CACHE[key]
+    return default_engine().make_converter(src_format, dst_format, options, backend)
 
 
 def convert(
     tensor: Tensor,
-    dst_format: Format,
-    options: PlanOptions = None,
+    dst_format: FormatSpec,
+    options: Optional[PlanOptions] = None,
     backend: str = "auto",
+    route: Union[str, ConversionRoute, None] = "auto",
 ) -> Tensor:
-    """Convert ``tensor`` to ``dst_format`` with a generated routine."""
-    return make_converter(tensor.format, dst_format, options, backend)(tensor)
+    """Convert ``tensor`` to ``dst_format`` with a generated routine.
+
+    ``route="auto"`` (default) lets the engine take a cheaper multi-hop
+    path when the direct pair only lowers to scalar loops (e.g.
+    ``HASH -> COO -> CSR`` at bulk sizes) — the result is bit-identical
+    to the direct conversion.  ``route="direct"`` always converts in one
+    hop, matching the pre-engine behaviour exactly.
+    """
+    return default_engine().convert(tensor, dst_format, options, backend, route)
 
 
 def generated_source(
-    src_format: Format, dst_format: Format, backend: str = "scalar"
+    src_format: FormatSpec, dst_format: FormatSpec, backend: str = "scalar"
 ) -> str:
     """The Python source of the generated conversion routine (for docs,
     examples and golden tests).
@@ -165,4 +86,4 @@ def generated_source(
     generated code and are pinned by the golden tests.  Pass
     ``backend="vector"`` to inspect the bulk numpy lowering instead.
     """
-    return make_converter(src_format, dst_format, backend=backend).source
+    return default_engine().generated_source(src_format, dst_format, backend)

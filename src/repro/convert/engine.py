@@ -1,0 +1,526 @@
+"""The conversion engine: caching, policy, routing and telemetry.
+
+:class:`ConversionEngine` is the production entry point of the library.
+It owns everything the old module-level functions kept in hidden globals:
+
+* a **thread-safe, LRU-bounded kernel cache** (generated + compiled
+  routines, keyed structurally so renamed format twins share kernels) and
+  a converter cache (keyed by exact format signatures), with exact
+  telemetry via :meth:`cache_stats`;
+* the **default policy** — :class:`~repro.convert.planner.PlanOptions`
+  and lowering backend — applied when callers do not specify one;
+* **multi-hop routing** (:mod:`repro.convert.router`): ``route="auto"``
+  conversions go through a cheaper intermediate when the direct pair only
+  lowers to scalar loops (``HASH -> COO -> CSR``), bit-identically;
+* **per-pair conversion counters** and :meth:`warmup` precompilation.
+
+The module-level :func:`repro.convert.convert` / ``make_converter`` /
+``generated_source`` remain stable shims over a process-wide default
+engine (:func:`default_engine`), so existing callers see no change.
+
+Typical use::
+
+    engine = ConversionEngine(capacity=256)
+    engine.warmup([("COO", "CSR"), ("CSR", "CSC")])
+    csr = engine.convert(tensor, "CSR")
+    print(engine.route("HASH", "CSR").explain())
+    print(engine.cache_stats())
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, Iterable, List, Optional, Tuple, Union
+
+import numpy as np
+
+from ..formats.format import Format
+from ..formats.registry import FormatSpec, get_format
+from ..ir.runtime import compile_source
+from ..storage.tensor import Tensor
+# Import order matters: .planner pulls in repro.cin, whose compiler module
+# in turn imports .context — importing .context first would hit it
+# partially initialized (the long-standing cin <-> convert import cycle).
+from .planner import (
+    BACKENDS,
+    GeneratedConversion,
+    PlanOptions,
+    plan_conversion,
+    resolve_backend,
+    structural_key,
+)
+from .context import PlanError
+from .router import (
+    DEFAULT_ROUTE_NNZ,
+    ConversionRoute,
+    CostModel,
+    bridge_for,
+    check_route,
+    find_route,
+    rebind_endpoints,
+)
+
+#: Accepted values of the ``route=`` option.
+ROUTE_MODES = ("auto", "direct")
+
+
+@dataclass
+class CompiledConversion:
+    """A ready-to-run conversion routine for a (source, target) format pair."""
+
+    generated: GeneratedConversion
+    func: Callable
+
+    @property
+    def source(self) -> str:
+        """The generated Python source code of the routine."""
+        return self.generated.source
+
+    @property
+    def backend(self) -> str:
+        """The lowering backend that produced the routine."""
+        return self.generated.backend
+
+    @property
+    def src_format(self) -> Format:
+        return self.generated.src_format
+
+    @property
+    def dst_format(self) -> Format:
+        return self.generated.dst_format
+
+    # ------------------------------------------------------------------
+    def arguments(self, tensor: Tensor) -> List:
+        """Marshal a source tensor into the generated function's arguments."""
+        args = []
+        for side, k, name in self.generated.params:
+            if side == "src_array":
+                args.append(tensor.vals if k == -1 else tensor.array(k, name))
+            elif side == "src_meta":
+                args.append(tensor.meta(k, name))
+            else:  # dimension size
+                args.append(tensor.dims[k])
+        return args
+
+    def __call__(self, tensor: Tensor) -> Tensor:
+        """Convert ``tensor`` (must be structurally in the source format)."""
+        if structural_key(tensor.format) != structural_key(self.src_format):
+            raise ValueError(
+                f"converter expects {self.src_format.name}, got {tensor.format.name}"
+            )
+        results = self.func(*self.arguments(tensor))
+        if not isinstance(results, tuple):
+            results = (results,)
+        arrays: Dict[Tuple[int, str], np.ndarray] = {}
+        meta: Dict[Tuple[int, str], int] = {}
+        vals = None
+        for (side, k, name), value in zip(self.generated.outputs, results):
+            if side == "dst_array" and k == -1:
+                vals = value
+            elif side == "dst_array":
+                arrays[(k, name)] = value
+            else:
+                meta[(k, name)] = int(value)
+        if vals is None:
+            raise RuntimeError("generated routine returned no values array")
+        return Tensor(self.dst_format, tensor.dims, arrays, meta, vals)
+
+
+class ConversionEngine:
+    """Owns conversion caches, policy, routing and telemetry.
+
+    Parameters
+    ----------
+    capacity:
+        LRU bound for the kernel cache *and* the converter cache (each
+        holds at most ``capacity`` entries; least recently used entries
+        are evicted and transparently recompiled on re-request).
+    options:
+        Default :class:`PlanOptions` applied when a call passes none.
+    backend:
+        Default lowering backend policy (``"auto"``, ``"scalar"``,
+        ``"vector"``).
+    cost_model:
+        Routing :class:`~repro.convert.router.CostModel`; defaults to the
+        bench-seeded constants.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 512,
+        options: Optional[PlanOptions] = None,
+        backend: str = "auto",
+        cost_model: Optional[CostModel] = None,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        if backend not in BACKENDS:
+            raise PlanError(
+                f"unknown backend {backend!r}; expected one of {BACKENDS}"
+            )
+        self.capacity = capacity
+        self.options = options or PlanOptions()
+        self.backend = backend
+        self.cost_model = cost_model or CostModel()
+        self._lock = threading.RLock()
+        #: kernel keys currently compiling (kernel_key -> done event):
+        #: concurrent requests for the same pair wait on the event instead
+        #: of compiling twice, and cache hits never wait behind a compile.
+        self._inflight: Dict[Tuple, threading.Event] = {}
+        self._kernels: "OrderedDict[Tuple, Tuple[GeneratedConversion, Callable]]" = (
+            OrderedDict()
+        )
+        self._converters: "OrderedDict[Tuple, CompiledConversion]" = OrderedDict()
+        self._routes: Dict[Tuple, ConversionRoute] = {}
+        self._pair_counts: Dict[Tuple[str, str], int] = {}
+        self._stats = {
+            "requests": 0,
+            "hits": 0,
+            "misses": 0,
+            "kernel_hits": 0,
+            "compiles": 0,
+            "compile_seconds": 0.0,
+            "evictions": 0,
+            "converter_evictions": 0,
+            "conversions": 0,
+            "routed_conversions": 0,
+        }
+
+    # -- policy helpers -------------------------------------------------
+    def _effective(
+        self, options: Optional[PlanOptions], backend: Optional[str]
+    ) -> Tuple[PlanOptions, str]:
+        return options or self.options, backend or self.backend
+
+    # -- compilation & caching ------------------------------------------
+    def make_converter(
+        self,
+        src_format: FormatSpec,
+        dst_format: FormatSpec,
+        options: Optional[PlanOptions] = None,
+        backend: Optional[str] = None,
+    ) -> CompiledConversion:
+        """Generate (or fetch from cache) the routine for a format pair.
+
+        Formats may be given as objects or registry spec strings.  Kernels
+        are cached per (structural format key, plan options, resolved
+        backend) — renamed structural twins share one routine — and both
+        caches are LRU-bounded at the engine's ``capacity``.  Compilation
+        happens *outside* the engine lock behind a per-kernel in-flight
+        event: concurrent requests for the same pair never compile twice,
+        and cache hits for other pairs never stall behind a compile.
+        """
+        src_format = get_format(src_format)
+        dst_format = get_format(dst_format)
+        options, backend = self._effective(options, backend)
+        resolved = resolve_backend(src_format, dst_format, options, backend)
+        key = (
+            src_format.signature(),
+            dst_format.signature(),
+            options.key(),
+            resolved,
+        )
+        with self._lock:
+            self._stats["requests"] += 1
+            converter = self._converters.get(key)
+            if converter is not None:
+                self._stats["hits"] += 1
+                self._converters.move_to_end(key)
+                return converter
+            self._stats["misses"] += 1
+        kernel_key = (
+            structural_key(src_format),
+            structural_key(dst_format),
+            options.key(),
+            resolved,
+        )
+        entry = self._obtain_kernel(kernel_key, src_format, dst_format,
+                                    options, resolved)
+        generated, func = entry
+        if (
+            generated.src_format is not src_format
+            or generated.dst_format is not dst_format
+        ):
+            generated = replace(
+                generated, src_format=src_format, dst_format=dst_format
+            )
+        converter = CompiledConversion(generated, func)
+        with self._lock:
+            # another thread may have built the same converter while we
+            # compiled; keep the first one so callers share the object
+            existing = self._converters.get(key)
+            if existing is not None:
+                self._converters.move_to_end(key)
+                return existing
+            self._converters[key] = converter
+            while len(self._converters) > self.capacity:
+                self._converters.popitem(last=False)
+                self._stats["converter_evictions"] += 1
+        return converter
+
+    def _obtain_kernel(
+        self,
+        kernel_key: Tuple,
+        src_format: Format,
+        dst_format: Format,
+        options: PlanOptions,
+        resolved: str,
+    ) -> Tuple[GeneratedConversion, Callable]:
+        """Fetch or compile the kernel for ``kernel_key``, compiling at
+        most once across concurrent callers (in-flight event pattern)."""
+        while True:
+            with self._lock:
+                entry = self._kernels.get(kernel_key)
+                if entry is not None:
+                    self._stats["kernel_hits"] += 1
+                    self._kernels.move_to_end(kernel_key)
+                    return entry
+                event = self._inflight.get(kernel_key)
+                if event is None:
+                    event = threading.Event()
+                    self._inflight[kernel_key] = event
+                    compiling = True
+                else:
+                    compiling = False
+            if not compiling:
+                # someone else is compiling this kernel: wait without
+                # holding the lock, then re-check (it may also have been
+                # evicted again under a tiny capacity — then we compile)
+                event.wait()
+                continue
+            try:
+                started = time.perf_counter()
+                generated = plan_conversion(src_format, dst_format, options, resolved)
+                func = compile_source(generated.source, generated.func_name)
+                elapsed = time.perf_counter() - started
+                entry = (generated, func)
+                with self._lock:
+                    self._stats["compile_seconds"] += elapsed
+                    self._stats["compiles"] += 1
+                    self._kernels[kernel_key] = entry
+                    self._kernels.move_to_end(kernel_key)
+                    while len(self._kernels) > self.capacity:
+                        self._kernels.popitem(last=False)
+                        self._stats["evictions"] += 1
+                return entry
+            finally:
+                with self._lock:
+                    self._inflight.pop(kernel_key, None)
+                event.set()
+
+    def generated_source(
+        self,
+        src_format: FormatSpec,
+        dst_format: FormatSpec,
+        backend: str = "scalar",
+        options: Optional[PlanOptions] = None,
+    ) -> str:
+        """The Python source of the generated conversion routine."""
+        return self.make_converter(src_format, dst_format, options, backend).source
+
+    def warmup(
+        self,
+        pairs: Iterable[Tuple[FormatSpec, FormatSpec]],
+        options: Optional[PlanOptions] = None,
+        backend: Optional[str] = None,
+        routes: bool = True,
+    ) -> int:
+        """Precompile the converters for ``pairs`` (specs or formats).
+
+        With ``routes=True`` (default) the auto-route of each pair is
+        resolved too and its generated hops are compiled, so the first
+        routed conversion pays no compile either.  Returns the number of
+        pairs warmed.
+        """
+        count = 0
+        for src, dst in pairs:
+            self.make_converter(src, dst, options, backend)
+            if routes:
+                route = self.route(src, dst, options=options)
+                for hop in route.hops:
+                    if hop.kind != "bridge":
+                        self.make_converter(hop.src, hop.dst, options, hop.kind)
+            count += 1
+        return count
+
+    # -- routing --------------------------------------------------------
+    def route(
+        self,
+        src_format: FormatSpec,
+        dst_format: FormatSpec,
+        options: Optional[PlanOptions] = None,
+        nnz: Optional[int] = None,
+    ) -> ConversionRoute:
+        """The cost-optimal conversion route for a pair.
+
+        ``nnz`` is the expected stored-component count (defaults to
+        ``DEFAULT_ROUTE_NNZ``); tiny tensors route direct because per-hop
+        overhead dominates.  Routes are cached per (structural pair,
+        options, nnz magnitude); a cache entry produced for a renamed
+        structural twin is re-tagged with the requested formats.
+        """
+        src_format = get_format(src_format)
+        dst_format = get_format(dst_format)
+        options = options or self.options
+        nnz = DEFAULT_ROUTE_NNZ if nnz is None else int(nnz)
+        key = (
+            structural_key(src_format),
+            structural_key(dst_format),
+            options.key(),
+            max(nnz, 1).bit_length(),
+        )
+        with self._lock:
+            route = self._routes.get(key)
+        if route is None:
+            route = find_route(
+                src_format,
+                dst_format,
+                options=options,
+                cost_model=self.cost_model,
+                nnz=nnz,
+            )
+            with self._lock:
+                self._routes[key] = route
+        if (
+            route.src.signature() != src_format.signature()
+            or route.dst.signature() != dst_format.signature()
+        ):
+            route = rebind_endpoints(route, src_format, dst_format)
+        return route
+
+    def convert_via(self, route: ConversionRoute, tensor: Tensor) -> Tensor:
+        """Execute an explicit route on ``tensor``."""
+        check_route(route)
+        if structural_key(tensor.format) != structural_key(route.src):
+            raise ValueError(
+                f"route starts at {route.src.name}, got {tensor.format.name}"
+            )
+        for hop in route.hops:
+            if hop.kind == "bridge":
+                bridge = bridge_for(hop.src)
+                if bridge is None:
+                    raise PlanError(f"no bridge registered for {hop.src.name}")
+                tensor = bridge[1](tensor)
+            else:
+                tensor = self.make_converter(
+                    hop.src, hop.dst, route.options, hop.kind
+                )(tensor)
+        return tensor
+
+    # -- conversion -----------------------------------------------------
+    def convert(
+        self,
+        tensor: Tensor,
+        dst_format: FormatSpec,
+        options: Optional[PlanOptions] = None,
+        backend: Optional[str] = None,
+        route: Union[str, ConversionRoute, None] = "auto",
+    ) -> Tensor:
+        """Convert ``tensor`` to ``dst_format`` (object or spec string).
+
+        ``route="auto"`` (default) considers multi-hop routing when the
+        requested backend policy is ``"auto"``: if a cheaper path through
+        an intermediate exists (scalar-only pairs at bulk sizes), it is
+        taken — the result is bit-identical to the direct conversion.
+        ``route="direct"`` always converts directly.  A
+        :class:`ConversionRoute` instance is executed as given after
+        checking it actually ends at ``dst_format`` (an explicit route
+        carries its own per-hop backends and plan options, so the
+        ``options``/``backend`` arguments do not apply to it).
+        """
+        dst_format = get_format(dst_format)
+        src_format = tensor.format
+        options, backend = self._effective(options, backend)
+        pair = (src_format.name, dst_format.name)
+        if isinstance(route, ConversionRoute):
+            # validates both endpoints structurally and re-tags renamed
+            # twins, so the result comes back in the requested format
+            aligned = rebind_endpoints(route, src_format, dst_format)
+            self._record_conversion(pair, routed=True)
+            return self.convert_via(aligned, tensor)
+        if route not in (None, *ROUTE_MODES):
+            raise ValueError(
+                f"unknown route mode {route!r}; expected one of {ROUTE_MODES} "
+                "or a ConversionRoute"
+            )
+        if route == "auto" and backend == "auto":
+            found = self.route(
+                src_format, dst_format, options=options, nnz=tensor.nnz_stored
+            )
+            if found.beats_direct:
+                self._record_conversion(pair, routed=True)
+                return self.convert_via(found, tensor)
+        self._record_conversion(pair, routed=False)
+        return self.make_converter(src_format, dst_format, options, backend)(tensor)
+
+    def _record_conversion(self, pair: Tuple[str, str], routed: bool) -> None:
+        with self._lock:
+            self._stats["conversions"] += 1
+            if routed:
+                self._stats["routed_conversions"] += 1
+            self._pair_counts[pair] = self._pair_counts.get(pair, 0) + 1
+
+    # -- telemetry ------------------------------------------------------
+    def cache_stats(self) -> Dict[str, float]:
+        """Exact cache/telemetry counters (a snapshot copy).
+
+        ``requests`` counts converter lookups; ``hits``/``misses`` split
+        them at the converter cache; ``kernel_hits`` are misses served by
+        a structurally-shared kernel; ``compiles`` are actual plan+compile
+        runs with their total ``compile_seconds``; ``evictions`` /
+        ``converter_evictions`` count LRU drops; ``conversions`` /
+        ``routed_conversions`` count executed conversions.
+        """
+        with self._lock:
+            stats = dict(self._stats)
+            stats["size"] = len(self._kernels)
+            stats["converter_size"] = len(self._converters)
+            stats["capacity"] = self.capacity
+        return stats
+
+    def pair_counts(self) -> Dict[Tuple[str, str], int]:
+        """Executed conversions per (source name, destination name)."""
+        with self._lock:
+            return dict(self._pair_counts)
+
+    def clear_cache(self) -> None:
+        """Drop all cached kernels, converters and routes (stats remain)."""
+        with self._lock:
+            self._kernels.clear()
+            self._converters.clear()
+            self._routes.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        stats = self.cache_stats()
+        return (
+            f"<ConversionEngine kernels={stats['size']}/{self.capacity} "
+            f"hits={stats['hits']} misses={stats['misses']} "
+            f"conversions={stats['conversions']}>"
+        )
+
+
+# ----------------------------------------------------------------------
+# the process-wide default engine (behind the module-level shims)
+
+_DEFAULT_ENGINE: Optional[ConversionEngine] = None
+_DEFAULT_LOCK = threading.Lock()
+
+
+def default_engine() -> ConversionEngine:
+    """The process-wide engine behind ``repro.convert.convert`` et al."""
+    global _DEFAULT_ENGINE
+    with _DEFAULT_LOCK:
+        if _DEFAULT_ENGINE is None:
+            _DEFAULT_ENGINE = ConversionEngine()
+        return _DEFAULT_ENGINE
+
+
+def set_default_engine(engine: ConversionEngine) -> Optional[ConversionEngine]:
+    """Replace the default engine; returns the previous one (if any)."""
+    global _DEFAULT_ENGINE
+    with _DEFAULT_LOCK:
+        previous, _DEFAULT_ENGINE = _DEFAULT_ENGINE, engine
+    return previous

@@ -169,7 +169,7 @@ _FALLBACK_WARNED: Set[Tuple] = set()
 def resolve_backend(
     src_format: Format,
     dst_format: Format,
-    options: PlanOptions = None,
+    options: Optional[PlanOptions] = None,
     backend: str = "auto",
 ) -> str:
     """Pick the lowering backend for a (src, dst) format pair.
@@ -210,7 +210,7 @@ def resolve_backend(
 def plan_conversion(
     src_format: Format,
     dst_format: Format,
-    options: PlanOptions = None,
+    options: Optional[PlanOptions] = None,
     backend: str = "auto",
 ) -> GeneratedConversion:
     """Plan one conversion routine through the resolved backend.
@@ -239,7 +239,7 @@ class ConversionPlanner:
         self,
         src_format: Format,
         dst_format: Format,
-        options: PlanOptions = None,
+        options: Optional[PlanOptions] = None,
     ) -> None:
         self.options = options or PlanOptions()
         self.ctx = ConversionContext(src_format, dst_format)

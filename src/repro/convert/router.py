@@ -1,0 +1,417 @@
+"""Multi-hop conversion routing over the format graph.
+
+Direct conversions between some pairs only lower to the scalar backend —
+today that is every pair touching a hashed level.  Rather than silently
+running a per-nonzero Python loop, the engine can *route* the conversion
+through an intermediate format whose hops are bulk numpy operations::
+
+    HASH -> COO -> CSR        # bridge extraction, then a vectorized hop
+    ^^^^^^^^^^^    ^^^^^^
+    bulk mask/gather over     generated vector
+    the hash table            conversion routine
+
+Routing is cost-driven: :class:`CostModel` holds per-nonzero throughput
+estimates for each hop kind, seeded from the ``BENCH_*.json`` backend
+reports the CI smoke publishes (see :meth:`CostModel.from_bench_report`).
+:func:`find_route` runs Dijkstra over the registered formats and returns a
+:class:`ConversionRoute` whose ``explain()`` transcript shows the decision.
+
+Routed execution is **bit-identical** to the direct scalar conversion:
+bridge extractions replay the scalar loop's iteration order exactly, and
+the vector backend is bit-identical to scalar by construction; the test
+suite asserts equality for every multi-hop pair.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, replace
+from statistics import median
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..formats.format import Format, FormatError
+from ..formats.registry import FormatSpec, available_formats, get_format
+from ..storage.tensor import Tensor
+from .planner import PlanOptions, resolve_backend, structural_key
+
+#: Hop kinds, in the cost model's vocabulary.  ``scalar`` and ``vector``
+#: are the generated-code backends; ``bridge`` is a registered bulk
+#: extraction (below).
+HOP_KINDS = ("scalar", "vector", "bridge")
+
+#: Reference nonzero count used when no tensor is at hand (``engine.route``
+#: without ``nnz``): large enough that throughput, not per-hop overhead,
+#: dominates the decision.
+DEFAULT_ROUTE_NNZ = 100_000
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Per-hop conversion cost estimates, linear in the stored size.
+
+    The defaults are seeded from the repository's CI ``BENCH_smoke.json``
+    reports (scalar loops run ~1.5 µs per stored component on the GitHub
+    runners; the vector backend ~40 ns at 100k+ nnz).  ``hop_overhead``
+    charges each hop's fixed cost (dispatch, array allocation, tensor
+    marshalling) so short routes win ties and tiny tensors stay direct.
+    """
+
+    scalar_per_nnz: float = 1.5e-6
+    vector_per_nnz: float = 4.0e-8
+    bridge_per_nnz: float = 2.0e-8
+    hop_overhead: float = 5.0e-5
+
+    def cost(self, kind: str, nnz: int) -> float:
+        """Estimated seconds for one hop of ``kind`` over ``nnz`` components."""
+        per_nnz = {
+            "scalar": self.scalar_per_nnz,
+            "vector": self.vector_per_nnz,
+            "bridge": self.bridge_per_nnz,
+        }[kind]
+        return per_nnz * max(int(nnz), 0) + self.hop_overhead
+
+    @classmethod
+    def from_bench_report(cls, report: Dict) -> "CostModel":
+        """Seed a model from a ``backends_json`` report (``BENCH_*.json``).
+
+        Takes the median per-nonzero scalar and vector times over every
+        cell; bridge extraction is estimated at half the vector rate (it
+        is a single mask/gather pass).  Falls back to the defaults for
+        rates the report cannot support.
+        """
+        scalar_rates: List[float] = []
+        vector_rates: List[float] = []
+        for column in report.values():
+            for cell in column.get("cells", ()):
+                nnz = cell.get("nnz") or 0
+                if nnz <= 0:
+                    continue
+                if cell.get("scalar_seconds"):
+                    scalar_rates.append(cell["scalar_seconds"] / nnz)
+                if cell.get("vector_seconds"):
+                    vector_rates.append(cell["vector_seconds"] / nnz)
+        model = cls()
+        if scalar_rates:
+            model = replace(model, scalar_per_nnz=median(scalar_rates))
+        if vector_rates:
+            vector = median(vector_rates)
+            model = replace(
+                model, vector_per_nnz=vector, bridge_per_nnz=vector / 2
+            )
+        return model
+
+
+# ----------------------------------------------------------------------
+# extraction bridges
+
+#: Bulk extractions for formats whose levels cannot join the generic
+#: vector-emission protocol (yet): structural key of the source format ->
+#: (intermediate format, extraction function).  The extraction must be
+#: bit-identical to the generated scalar src->intermediate routine.
+_BRIDGES: Dict[Tuple, Tuple[Format, Callable[[Tensor], Tensor]]] = {}
+
+
+def register_bridge(
+    src_format: Format,
+    intermediate: Format,
+    extract: Callable[[Tensor], Tensor],
+) -> None:
+    """Register a bulk extraction bridge for ``src_format`` (structurally:
+    renamed twins share the bridge).  ``extract(tensor)`` must return the
+    tensor in ``intermediate``, bit-identical to the generated scalar
+    conversion for the same pair."""
+    _BRIDGES[structural_key(src_format)] = (intermediate, extract)
+
+
+def bridge_for(src_format: Format) -> Optional[Tuple[Format, Callable]]:
+    """The (intermediate, extraction) bridge of ``src_format``, if any."""
+    return _BRIDGES.get(structural_key(src_format))
+
+
+def _hash_to_coo(tensor: Tensor) -> Tensor:
+    """Bulk extraction of a (dense, hashed) table into COO.
+
+    Replays the scalar loop's iteration order — rows ascending, slots
+    ascending within each row — as one mask/gather: flat slot index order
+    *is* that order.  Empty slots (``crd < 0``) and explicit zeros are
+    dropped exactly as the generated guard drops them.
+    """
+    from ..formats.library import COO
+
+    width = tensor.meta(1, "W")
+    crd = tensor.array(1, "crd")
+    vals = tensor.vals
+    keep = np.flatnonzero((crd >= 0) & (vals != 0.0))
+    arrays = {
+        (0, "pos"): np.array([0, len(keep)], dtype=np.int64),
+        (0, "crd"): keep // max(width, 1),
+        (1, "crd"): crd[keep],
+    }
+    return Tensor(COO, tensor.dims, arrays, {}, vals[keep])
+
+
+def _register_builtin_bridges() -> None:
+    from ..formats.library import COO, HASH
+
+    register_bridge(HASH, COO, _hash_to_coo)
+
+
+# ----------------------------------------------------------------------
+# routes
+
+
+@dataclass(frozen=True)
+class Hop:
+    """One edge of a conversion route."""
+
+    src: Format
+    dst: Format
+    kind: str  # "scalar" | "vector" | "bridge"
+
+    def __str__(self) -> str:
+        return f"{self.src.name} -> {self.dst.name} [{self.kind}]"
+
+
+@dataclass(frozen=True)
+class ConversionRoute:
+    """A conversion path chosen by the router.
+
+    ``hops`` is the executed sequence; ``cost`` the estimated seconds at
+    ``nnz`` stored components; ``direct_cost`` the estimate for the direct
+    single-hop conversion the route was weighed against.  Calling the
+    route converts a tensor (hop converters come from ``engine``, the
+    default engine unless one is passed).
+    """
+
+    hops: Tuple[Hop, ...]
+    cost: float
+    direct_cost: float
+    nnz: int
+    options: PlanOptions
+
+    @property
+    def src(self) -> Format:
+        return self.hops[0].src
+
+    @property
+    def dst(self) -> Format:
+        return self.hops[-1].dst
+
+    @property
+    def is_direct(self) -> bool:
+        return len(self.hops) == 1
+
+    @property
+    def beats_direct(self) -> bool:
+        """True when executing this route is preferable to the plain
+        direct conversion: a multi-hop path, or a direct bridge
+        extraction (which beats the scalar loop at any size).  This is
+        *the* engage-routing predicate — the engine, the CLI display and
+        the bench all consult it."""
+        return not self.is_direct or "bridge" in self.backend_per_hop
+
+    @property
+    def formats(self) -> Tuple[Format, ...]:
+        """The visited formats, source first."""
+        return (self.hops[0].src,) + tuple(hop.dst for hop in self.hops)
+
+    @property
+    def backend_per_hop(self) -> Tuple[str, ...]:
+        """The lowering kind of every hop, in execution order."""
+        return tuple(hop.kind for hop in self.hops)
+
+    def explain(self) -> str:
+        """Human-readable transcript of the routing decision."""
+        path = " -> ".join(fmt.name for fmt in self.formats)
+        lines = [
+            f"route {self.src.name} -> {self.dst.name}: {path} "
+            f"({len(self.hops)} hop{'s' if len(self.hops) != 1 else ''}, "
+            f"est {self.cost * 1e3:.3f} ms at {self.nnz} stored components)"
+        ]
+        for n, hop in enumerate(self.hops, 1):
+            detail = {
+                "scalar": "generated per-nonzero loop nest",
+                "vector": "generated bulk-numpy routine",
+                "bridge": "bulk extraction (mask/gather, no codegen)",
+            }[hop.kind]
+            lines.append(f"  {n}. {hop} {detail}")
+        if self.is_direct:
+            lines.append(
+                "  direct conversion is the estimated optimum; no "
+                "intermediate beats it"
+            )
+        else:
+            lines.append(
+                f"  chosen over the direct scalar conversion "
+                f"(est {self.direct_cost * 1e3:.3f} ms): every hop is a "
+                f"bulk operation, the direct pair only lowers to scalar "
+                f"loops"
+            )
+        return "\n".join(lines)
+
+    def __call__(self, tensor: Tensor, engine=None) -> Tensor:
+        """Run the route on ``tensor`` (with ``engine``'s converter cache)."""
+        if engine is None:
+            from .engine import default_engine
+
+            engine = default_engine()
+        return engine.convert_via(self, tensor)
+
+    def __str__(self) -> str:
+        return " -> ".join(fmt.name for fmt in self.formats)
+
+
+def _candidate_intermediates(src: Format, dst: Format) -> List[Format]:
+    """Registered formats eligible as intermediates for (src, dst)."""
+    skip = {structural_key(src), structural_key(dst)}
+    seen = set(skip)
+    out: List[Format] = []
+    for fmt in available_formats().values():
+        key = structural_key(fmt)
+        if key in seen:
+            continue
+        seen.add(key)
+        if fmt.order != src.order or fmt.inverse is None:
+            continue
+        out.append(fmt)
+    return out
+
+
+def _edge_kind(src: Format, dst: Format, options: PlanOptions) -> str:
+    # Bridges replay the *default* code shapes; non-default options must
+    # take the generated routine that honours them.
+    if options.key() == PlanOptions().key():
+        bridge = bridge_for(src)
+        if bridge is not None and structural_key(bridge[0]) == structural_key(dst):
+            return "bridge"
+    return resolve_backend(src, dst, options, "auto")
+
+
+def find_route(
+    src: FormatSpec,
+    dst: FormatSpec,
+    options: Optional[PlanOptions] = None,
+    cost_model: Optional[CostModel] = None,
+    nnz: Optional[int] = None,
+    max_hops: int = 3,
+    intermediates: Optional[Sequence[Format]] = None,
+) -> ConversionRoute:
+    """Find the cheapest conversion path from ``src`` to ``dst``.
+
+    Runs Dijkstra over the format graph — nodes are ``src``, ``dst`` and
+    the registered same-order intermediates (or an explicit
+    ``intermediates`` list); edge weights come from ``cost_model`` at
+    ``nnz`` stored components.  Non-default :class:`PlanOptions` pin the
+    route to the direct conversion: the options select scalar code shapes
+    that bridges and vector hops do not honour.
+
+    The direct route always exists, so the result is never empty; ties go
+    to the direct conversion.
+    """
+    src = get_format(src)
+    dst = get_format(dst)
+    options = options or PlanOptions()
+    model = cost_model or CostModel()
+    nnz = DEFAULT_ROUTE_NNZ if nnz is None else int(nnz)
+
+    direct_kind = _edge_kind(src, dst, options)
+    direct_cost = model.cost(direct_kind, nnz)
+    direct = ConversionRoute(
+        hops=(Hop(src, dst, direct_kind),),
+        cost=direct_cost,
+        direct_cost=direct_cost,
+        nnz=nnz,
+        options=options,
+    )
+    if (
+        src.order != dst.order
+        or options.key() != PlanOptions().key()
+        or max_hops < 2
+    ):
+        return direct
+
+    if intermediates is None:
+        intermediates = _candidate_intermediates(src, dst)
+    nodes: List[Format] = [src] + list(intermediates) + [dst]
+    dst_index = len(nodes) - 1
+
+    # Dijkstra with a hop budget; the graph is tiny (every registered
+    # format), so the quadratic edge scan is fine.
+    best: Dict[Tuple[int, int], float] = {(0, 0): 0.0}
+    heap: List[Tuple[float, int, int, Tuple[Hop, ...]]] = [(0.0, 0, 0, ())]
+    best_route = direct
+    while heap:
+        cost, node, hops_used, hops = heapq.heappop(heap)
+        if cost > best.get((node, hops_used), float("inf")):
+            continue
+        if node == dst_index:
+            if cost < best_route.cost - 1e-12:
+                best_route = ConversionRoute(
+                    hops=hops,
+                    cost=cost,
+                    direct_cost=direct_cost,
+                    nnz=nnz,
+                    options=options,
+                )
+            continue
+        if hops_used == max_hops:
+            continue
+        here = nodes[node]
+        if here.inverse is None:
+            continue  # cannot be a conversion source
+        for nxt in range(1, len(nodes)):
+            if nxt == node:
+                continue
+            kind = _edge_kind(here, nodes[nxt], options)
+            step = cost + model.cost(kind, nnz)
+            state = (nxt, hops_used + 1)
+            if step < best.get(state, float("inf")):
+                best[state] = step
+                heapq.heappush(
+                    heap,
+                    (step, nxt, hops_used + 1, hops + (Hop(here, nodes[nxt], kind),)),
+                )
+    return best_route
+
+
+def rebind_endpoints(
+    route: ConversionRoute, src: Format, dst: Format
+) -> ConversionRoute:
+    """The same route with its endpoint formats swapped for ``src``/``dst``.
+
+    Routes are cached by *structural* pair, but results must be tagged
+    with the exact (possibly renamed-twin) formats the caller asked for —
+    the converter cache handles the rename per hop.  Raises ``ValueError``
+    when the endpoints are not structurally identical to the route's.
+    """
+    if structural_key(src) != structural_key(route.src) or structural_key(
+        dst
+    ) != structural_key(route.dst):
+        raise ValueError(
+            f"route {route} does not fit the pair {src.name} -> {dst.name}"
+        )
+    if src is route.src and dst is route.dst:
+        return route
+    hops = list(route.hops)
+    first = hops[0]
+    hops[0] = Hop(src, dst if len(hops) == 1 else first.dst, first.kind)
+    if len(hops) > 1:
+        last = hops[-1]
+        hops[-1] = Hop(last.src, dst, last.kind)
+    return replace(route, hops=tuple(hops))
+
+
+def check_route(route: ConversionRoute) -> None:
+    """Validate a route's shape (used when callers pass explicit routes)."""
+    if not route.hops:
+        raise FormatError("route has no hops")
+    for prev, nxt in zip(route.hops, route.hops[1:]):
+        if structural_key(prev.dst) != structural_key(nxt.src):
+            raise FormatError(
+                f"route hops do not chain: {prev} then {nxt}"
+            )
+
+
+_register_builtin_bridges()

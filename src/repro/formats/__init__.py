@@ -1,4 +1,4 @@
-"""Format descriptors and the built-in format library."""
+"""Format descriptors, the built-in format library, and the registry."""
 
 from .format import Format, FormatError, dim_size_vars, make_format
 from .library import (
@@ -16,9 +16,22 @@ from .library import (
     HICOO,
     SKY,
 )
+from .registry import (
+    FormatSpec,
+    UnknownFormatError,
+    available_formats,
+    get_format,
+    parse_format_spec,
+    register_format,
+    register_parameterized,
+    resolve_format,
+    spec_help,
+)
 
 __all__ = [
     "BCSR", "BUILTIN_FORMATS", "COO", "COO3", "CSC", "CSF", "CSR", "DCSR", "DIA", "HASH",
-    "ELL", "Format", "FormatError", "HICOO", "SKY", "dim_size_vars",
-    "make_format",
+    "ELL", "Format", "FormatError", "FormatSpec", "HICOO", "SKY",
+    "UnknownFormatError", "available_formats", "dim_size_vars", "get_format",
+    "make_format", "parse_format_spec", "register_format",
+    "register_parameterized", "resolve_format", "spec_help",
 ]

@@ -112,7 +112,7 @@ class Format:
         return {name: Const(value) for name, value in self.params.items()}
 
     # ------------------------------------------------------------------
-    def dim_intervals(self, dim_sizes: Sequence[Expr] = None) -> Tuple[Interval, ...]:
+    def dim_intervals(self, dim_sizes: Optional[Sequence[Expr]] = None) -> Tuple[Interval, ...]:
         """Symbolic intervals of the remapped dimensions.
 
         ``dim_sizes`` defaults to the symbolic ``N1..Nr`` variables.
@@ -159,8 +159,8 @@ def make_format(
     name: str,
     remap_text: str,
     levels: Sequence[Level],
-    inverse_text: str = None,
-    params: Dict[str, int] = None,
+    inverse_text: Optional[str] = None,
+    params: Optional[Dict[str, int]] = None,
 ) -> Format:
     """Convenience constructor parsing the remap notation strings.
 

@@ -1,0 +1,203 @@
+"""Format registry: resolve formats by name anywhere a format is expected.
+
+Every public API that takes a format — :func:`repro.convert`, the
+:class:`~repro.convert.engine.ConversionEngine` methods, the CLI, the
+benchmark harness — accepts either a :class:`~repro.formats.format.Format`
+object or a *spec string* resolved through this registry::
+
+    get_format("CSR")        # built-in, case-insensitive
+    get_format("BCSR8x8")    # parameterized: 8x8-blocked BCSR
+    get_format("HICOO4")     # parameterized: 4x4 Morton blocks
+
+User-defined formats register once and are then addressable by name from
+every entry point::
+
+    fmt = make_format("MYFMT", "(i,j) -> (i,j)", [...], inverse_text=...)
+    register_format(fmt)
+    convert(tensor, "MYFMT")
+
+The registry is thread-safe (the conversion engine resolves specs under
+concurrent traffic) and pre-populated with the built-in library plus the
+``BCSR<MxN>`` / ``HICOO<B>`` parameterized families.  Parameterized
+instances are interned: ``get_format("bcsr8x8") is get_format("BCSR8X8")``,
+so downstream exact-identity caches (the engine's converter cache) hit.
+"""
+
+from __future__ import annotations
+
+import re
+from collections import OrderedDict
+from threading import RLock
+from typing import Callable, Dict, List, Optional, Union
+
+from .format import Format, FormatError
+from .library import BCSR, BUILTIN_FORMATS, HICOO
+
+#: Anything the public API accepts where a format is expected.
+FormatSpec = Union[Format, str]
+
+
+class UnknownFormatError(FormatError):
+    """Raised when a spec string does not resolve to a registered format."""
+
+
+_LOCK = RLock()
+
+#: Registered formats by canonical token (uppercased name or alias).
+_FORMATS: Dict[str, Format] = {}
+
+#: Parameterized families: prefix token -> parser of the spec suffix.
+#: A parser returns a Format, or None when the suffix does not belong to
+#: the family (the lookup then falls through to the unknown-format error).
+_FACTORIES: Dict[str, Callable[[str], Optional[Format]]] = {}
+
+#: Interned parameterized instances, separate from the explicit registry
+#: so parsing never mutates the ``available_formats()`` listing; bounded
+#: so arbitrary spec traffic cannot grow it without limit.
+_PARSED: "OrderedDict[str, Format]" = OrderedDict()
+_PARSED_CAPACITY = 1024
+
+
+def _token(spec: str) -> str:
+    return spec.strip().upper()
+
+
+def register_format(fmt: Format, *aliases: str, overwrite: bool = False) -> Format:
+    """Register ``fmt`` under its name (and optional aliases) and return it.
+
+    Registration makes the format addressable as a spec string from every
+    API.  Re-registering a name raises unless ``overwrite=True`` or the
+    existing entry is the same object (idempotent re-registration).
+    """
+    with _LOCK:
+        tokens = []
+        # validate every name before inserting any, so a conflict on one
+        # alias leaves the registry untouched
+        for name in (fmt.name, *aliases):
+            token = _token(name)
+            if not token:
+                raise FormatError("cannot register a format under an empty name")
+            existing = _FORMATS.get(token)
+            if existing is not None and existing is not fmt and not overwrite:
+                raise FormatError(
+                    f"format name {name!r} is already registered to "
+                    f"{existing.signature()}; pass overwrite=True to replace it"
+                )
+            tokens.append(token)
+        for token in tokens:
+            _FORMATS[token] = fmt
+    return fmt
+
+
+def register_parameterized(
+    prefix: str, parser: Callable[[str], Optional[Format]]
+) -> None:
+    """Register a parameterized format family.
+
+    ``parser`` receives the spec suffix after ``prefix`` (e.g. ``"8X8"``
+    for ``"BCSR8x8"``, ``""`` for a bare ``"BCSR"``) and returns the
+    corresponding :class:`Format`, or ``None`` to reject the suffix.
+    """
+    with _LOCK:
+        _FACTORIES[_token(prefix)] = parser
+
+
+def parse_format_spec(spec: str) -> Format:
+    """Resolve a spec string (``"CSR"``, ``"BCSR8x8"``, ``"HICOO4"``...).
+
+    Lookup order: registered names/aliases (case-insensitive), then the
+    longest matching parameterized-family prefix.  Parameterized instances
+    are interned (in a bounded side table, not the registry itself) so
+    repeated parses return the identical object without mutating the
+    ``available_formats()`` listing.  Raises :class:`UnknownFormatError`
+    otherwise.
+    """
+    if not isinstance(spec, str):
+        raise TypeError(f"format spec must be a str, got {type(spec).__name__}")
+    token = _token(spec)
+    with _LOCK:
+        fmt = _FORMATS.get(token)
+        if fmt is not None:
+            return fmt
+        fmt = _PARSED.get(token)
+        if fmt is not None:
+            _PARSED.move_to_end(token)
+            return fmt
+        for prefix in sorted(_FACTORIES, key=len, reverse=True):
+            if token.startswith(prefix):
+                fmt = _FACTORIES[prefix](token[len(prefix):])
+                if fmt is not None:
+                    _PARSED[token] = fmt
+                    _PARSED.setdefault(_token(fmt.name), fmt)
+                    while len(_PARSED) > _PARSED_CAPACITY:
+                        _PARSED.popitem(last=False)
+                    return fmt
+    raise UnknownFormatError(
+        f"unknown format {spec!r}; known: {spec_help()}"
+    )
+
+
+def get_format(spec: FormatSpec) -> Format:
+    """Resolve ``spec`` to a :class:`Format` (pass-through for formats)."""
+    if isinstance(spec, Format):
+        return spec
+    return parse_format_spec(spec)
+
+
+#: Alias used by call sites that emphasize the pass-through behaviour.
+resolve_format = get_format
+
+
+def available_formats() -> Dict[str, Format]:
+    """Explicitly registered formats by canonical token (a snapshot copy).
+
+    Parsing parameterized specs (``"BCSR8X8"``...) does *not* appear
+    here — the listing is stable under spec traffic; the parameterized
+    *families* are listed by :func:`spec_help`.
+    """
+    with _LOCK:
+        return dict(_FORMATS)
+
+
+def spec_help() -> str:
+    """One-line human-readable summary of accepted spec strings."""
+    with _LOCK:
+        names = sorted(token for token in _FORMATS)
+        families = sorted(_FACTORIES)
+    parts: List[str] = [", ".join(names)] if names else []
+    if families:
+        parts.append(
+            "parameterized: " + ", ".join(f"{p}<params>" for p in families)
+        )
+    return "; ".join(parts)
+
+
+def _parse_bcsr(suffix: str) -> Optional[Format]:
+    if not suffix:
+        return BCSR()
+    match = re.fullmatch(r"(\d+)(?:X(\d+))?", suffix)
+    if not match:
+        return None
+    rows = int(match.group(1))
+    cols = int(match.group(2)) if match.group(2) else rows
+    if rows <= 0 or cols <= 0:
+        return None
+    return BCSR(rows, cols)
+
+
+def _parse_hicoo(suffix: str) -> Optional[Format]:
+    if not suffix:
+        return HICOO()
+    if not suffix.isdigit() or int(suffix) <= 0:
+        return None
+    return HICOO(int(suffix))
+
+
+def _register_builtins() -> None:
+    for fmt in BUILTIN_FORMATS.values():
+        register_format(fmt)
+    register_parameterized("BCSR", _parse_bcsr)
+    register_parameterized("HICOO", _parse_hicoo)
+
+
+_register_builtins()

@@ -3,26 +3,37 @@
 The paper's evaluation inputs come from the SuiteSparse collection, which
 distributes Matrix Market files.  This module supports the coordinate
 subset sufficient for SuiteSparse matrices: real/integer/pattern values,
-general/symmetric/skew-symmetric storage.
+general/symmetric/skew-symmetric storage.  SuiteSparse downloads arrive
+gzipped, so ``.mtx.gz`` paths are read (and written) transparently.
 """
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+import gzip
+from typing import List, Optional, Sequence, Tuple
 
+from ..formats.format import Format
 
 
 class MatrixMarketError(ValueError):
     """Raised for malformed Matrix Market content."""
 
 
+def _open_text(path, mode: str):
+    """Open ``path`` for text I/O, through gzip for ``.gz`` paths."""
+    if str(path).endswith(".gz"):
+        return gzip.open(path, mode + "t")
+    return open(path, mode)
+
+
 def read_matrix_market(path) -> Tuple[Tuple[int, int], List[Tuple[int, int]], List[float]]:
-    """Read a coordinate Matrix Market file.
+    """Read a coordinate Matrix Market file (gzipped if ``path`` ends
+    in ``.gz``, as SuiteSparse distributes them).
 
     Returns ``(dims, coords, vals)`` with zero-based coordinates.
     Symmetric and skew-symmetric storage is expanded to general form.
     """
-    with open(path, "r") as handle:
+    with _open_text(path, "r") as handle:
         header = handle.readline().strip().split()
         if len(header) < 4 or header[0] != "%%MatrixMarket" or header[1] != "matrix":
             raise MatrixMarketError(f"{path}: not a Matrix Market matrix file")
@@ -60,15 +71,16 @@ def read_matrix_market(path) -> Tuple[Tuple[int, int], List[Tuple[int, int]], Li
 
 
 def write_matrix_market(path, dims, coords: Sequence[Tuple[int, int]], vals) -> None:
-    """Write a general real coordinate Matrix Market file (1-based)."""
-    with open(path, "w") as handle:
+    """Write a general real coordinate Matrix Market file (1-based),
+    gzipped when ``path`` ends in ``.gz``."""
+    with _open_text(path, "w") as handle:
         handle.write("%%MatrixMarket matrix coordinate real general\n")
         handle.write(f"{dims[0]} {dims[1]} {len(coords)}\n")
         for (i, j), value in zip(coords, vals):
             handle.write(f"{i + 1} {j + 1} {value!r}\n")
 
 
-def read_tensor(path, format=None):
+def read_tensor(path, format: Optional[Format] = None):
     """Read a Matrix Market file directly into a tensor (default COO)."""
     from ..formats.library import COO
     from ..storage.build import reference_build

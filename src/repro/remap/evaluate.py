@@ -8,7 +8,7 @@ evaluator on every input — a property the test suite checks exhaustively.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Sequence, Tuple
+from typing import Dict, Iterable, Optional, Sequence, Tuple
 
 from .ast import RBinOp, RConst, RCounter, Remap, RExpr, RParam, RVar
 
@@ -105,7 +105,7 @@ def apply_remap_once(
 def apply_remap(
     remap: Remap,
     coords_list: Iterable[Sequence[int]],
-    params: Dict[str, int] = None,
+    params: Optional[Dict[str, int]] = None,
 ) -> list:
     """Remap a whole iteration-ordered sequence of nonzero coordinates."""
     counters = CounterState()

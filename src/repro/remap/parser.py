@@ -15,7 +15,7 @@ variables, ``let``-bound variables, or free *format parameters*
 from __future__ import annotations
 
 import re
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 from .ast import (
     DstCoord,
@@ -82,7 +82,7 @@ class _Parser:
         self.pos += 1
         return token
 
-    def expect(self, kind: str, value: str = None) -> str:
+    def expect(self, kind: str, value: Optional[str] = None) -> str:
         token_kind, token_value = self.next()
         if token_kind != kind or (value is not None and token_value != value):
             want = value or kind

@@ -9,7 +9,7 @@ uses them to produce inputs.  Duplicate coordinates are rejected.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -32,7 +32,7 @@ def _as_arrays(coords: Coords, vals: Sequence[float], order: int):
     return [tuple(int(x) for x in c) for c in coords], [float(v) for v in vals]
 
 
-def build_coo(dims, coords: Coords, vals, fmt: Format = None) -> Tensor:
+def build_coo(dims, coords: Coords, vals, fmt: Optional[Format] = None) -> Tensor:
     """COO in the given order of nonzeros (COO is not assumed sorted)."""
     from ..formats.library import COO
 
@@ -47,7 +47,7 @@ def build_coo(dims, coords: Coords, vals, fmt: Format = None) -> Tensor:
     return Tensor(fmt, dims, arrays, {}, np.array(vals, dtype=np.float64))
 
 
-def build_csr(dims, coords: Coords, vals, fmt: Format = None) -> Tensor:
+def build_csr(dims, coords: Coords, vals, fmt: Optional[Format] = None) -> Tensor:
     """CSR with rows grouped in order; columns sorted within each row."""
     from ..formats.library import CSR
 
@@ -64,7 +64,7 @@ def build_csr(dims, coords: Coords, vals, fmt: Format = None) -> Tensor:
     return Tensor(fmt, dims, {(1, "pos"): pos, (1, "crd"): crd}, {}, out_vals)
 
 
-def build_csc(dims, coords: Coords, vals, fmt: Format = None) -> Tensor:
+def build_csc(dims, coords: Coords, vals, fmt: Optional[Format] = None) -> Tensor:
     """CSC: columns grouped in order; rows sorted within each column."""
     from ..formats.library import CSC
 
@@ -81,7 +81,7 @@ def build_csc(dims, coords: Coords, vals, fmt: Format = None) -> Tensor:
     return Tensor(fmt, dims, {(1, "pos"): pos, (1, "crd"): crd}, {}, out_vals)
 
 
-def build_dia(dims, coords: Coords, vals, fmt: Format = None) -> Tensor:
+def build_dia(dims, coords: Coords, vals, fmt: Optional[Format] = None) -> Tensor:
     """DIA: one dense slot per (stored diagonal, row); Figure 2c."""
     from ..formats.library import DIA
 
@@ -98,7 +98,7 @@ def build_dia(dims, coords: Coords, vals, fmt: Format = None) -> Tensor:
     return Tensor(fmt, dims, arrays, {(0, "K"): count}, out_vals)
 
 
-def build_ell(dims, coords: Coords, vals, fmt: Format = None) -> Tensor:
+def build_ell(dims, coords: Coords, vals, fmt: Optional[Format] = None) -> Tensor:
     """ELL: K slices of one nonzero per row, K = max row degree; Figure 2d."""
     from ..formats.library import ELL
 
@@ -123,7 +123,7 @@ def build_ell(dims, coords: Coords, vals, fmt: Format = None) -> Tensor:
     return Tensor(fmt, dims, {(2, "crd"): crd}, {(0, "K"): count}, out_vals)
 
 
-def build_sky(dims, coords: Coords, vals, fmt: Format = None) -> Tensor:
+def build_sky(dims, coords: Coords, vals, fmt: Optional[Format] = None) -> Tensor:
     """Skyline: rows store [first nonzero .. diagonal]; input must be
     lower-triangular (the format cannot represent j > i)."""
     from ..formats.library import SKY
@@ -169,7 +169,7 @@ def build_bcsr(dims, coords: Coords, vals, fmt: Format) -> Tensor:
     return Tensor(fmt, dims, {(1, "pos"): pos, (1, "crd"): crd}, {}, out_vals)
 
 
-def build_hash(dims, coords: Coords, vals, fmt: Format = None) -> Tensor:
+def build_hash(dims, coords: Coords, vals, fmt: Optional[Format] = None) -> Tensor:
     """DOK-like hash format: per-row open-addressing column tables."""
     from ..formats.library import HASH
     from ..ir.runtime import next_pow2
@@ -192,7 +192,7 @@ def build_hash(dims, coords: Coords, vals, fmt: Format = None) -> Tensor:
     return Tensor(fmt, dims, {(1, "crd"): crd}, {(1, "W"): width}, out_vals)
 
 
-def build_dcsr(dims, coords: Coords, vals, fmt: Format = None) -> Tensor:
+def build_dcsr(dims, coords: Coords, vals, fmt: Optional[Format] = None) -> Tensor:
     """Doubly compressed sparse row: only nonempty rows stored."""
     from ..formats.library import DCSR
 
@@ -220,7 +220,7 @@ def build_dcsr(dims, coords: Coords, vals, fmt: Format = None) -> Tensor:
     return Tensor(fmt, dims, arrays, {}, np.array(out_vals, dtype=np.float64))
 
 
-def build_coo3(dims, coords: Coords, vals, fmt: Format = None) -> Tensor:
+def build_coo3(dims, coords: Coords, vals, fmt: Optional[Format] = None) -> Tensor:
     """Third-order COO (kept in the given order)."""
     from ..formats.library import COO3
 
@@ -236,7 +236,7 @@ def build_coo3(dims, coords: Coords, vals, fmt: Format = None) -> Tensor:
     return Tensor(fmt, dims, arrays, {}, np.array(vals, dtype=np.float64))
 
 
-def build_csf(dims, coords: Coords, vals, fmt: Format = None) -> Tensor:
+def build_csf(dims, coords: Coords, vals, fmt: Optional[Format] = None) -> Tensor:
     """CSF for third-order tensors: dense root, compressed fibers."""
     from ..formats.library import CSF
 

@@ -10,7 +10,7 @@ independent reference for every generated routine.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, Sequence, Tuple
+from typing import Dict, Iterator, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -96,7 +96,7 @@ class Tensor:
 
         yield from rec(0, 0, ())
 
-    def to_coo(self, skip_zeros: bool = None) -> Dict[Tuple[int, ...], float]:
+    def to_coo(self, skip_zeros: Optional[bool] = None) -> Dict[Tuple[int, ...], float]:
         """Canonical content: map from canonical coordinates to value.
 
         Padding zeros of padded formats (DIA/ELL/SKY...) are dropped by
@@ -129,6 +129,84 @@ class Tensor:
         for coords, value in self.to_coo(skip_zeros=True).items():
             dense[coords] = value
         return dense
+
+    # -- conversion convenience ------------------------------------------------
+    def to(self, dst_format, options=None, backend=None, engine=None,
+           route="auto") -> "Tensor":
+        """Convert to ``dst_format`` (a :class:`Format` or a registry spec
+        string like ``"CSR"`` / ``"BCSR8x8"``) with a generated routine.
+
+        Uses the process-wide default engine unless ``engine`` (a
+        :class:`~repro.convert.engine.ConversionEngine`) is given::
+
+            csr = tensor.to("CSR")
+            dia = tensor.to(DIA, engine=my_engine)
+        """
+        if engine is None:
+            from ..convert.engine import default_engine
+
+            engine = default_engine()
+        return engine.convert(self, dst_format, options, backend, route)
+
+    # -- scipy interop ---------------------------------------------------------
+    @classmethod
+    def from_scipy(cls, matrix, format=None, engine=None) -> "Tensor":
+        """Build a tensor from a ``scipy.sparse`` matrix.
+
+        The entries arrive in the scipy matrix's COO order; pass
+        ``format`` (a :class:`Format` or spec string) to convert onward
+        with a generated routine (through ``engine`` or the default)::
+
+            csr = Tensor.from_scipy(scipy_matrix, "CSR")
+        """
+        from ..formats.library import COO
+
+        coo = matrix.tocoo()
+        if not getattr(coo, "has_canonical_format", True):
+            # scipy COO may carry duplicate entries (its semantics: they
+            # sum); the library's builders/oracle require unique
+            # coordinates, so canonicalize a copy first.
+            coo = coo.copy()
+            coo.sum_duplicates()
+        rows = np.asarray(coo.row, dtype=np.int64)
+        cols = np.asarray(coo.col, dtype=np.int64)
+        vals = np.asarray(coo.data, dtype=np.float64)
+        arrays = {
+            (0, "pos"): np.array([0, len(vals)], dtype=np.int64),
+            (0, "crd"): rows,
+            (1, "crd"): cols,
+        }
+        tensor = cls(COO, coo.shape, arrays, {}, vals)
+        if format is None:
+            return tensor
+        return tensor.to(format, engine=engine)
+
+    def to_scipy(self, kind: str = "coo", engine=None):
+        """Export as a ``scipy.sparse`` matrix (``kind``: coo/csr/csc...).
+
+        Matrix formats only.  The tensor is brought to COO with a
+        generated routine (a no-op for COO tensors) and handed to scipy,
+        which converts to any of its own formats from there.
+        """
+        import scipy.sparse  # deliberately late: scipy is optional
+
+        from ..formats.library import COO
+        from ..convert.planner import structural_key
+
+        if self.format.order != 2:
+            raise FormatError(
+                f"to_scipy exports matrices; {self.format.name} is "
+                f"order-{self.format.order}"
+            )
+        if structural_key(self.format) == structural_key(COO):
+            coo = self
+        else:
+            coo = self.to(COO, engine=engine)
+        matrix = scipy.sparse.coo_matrix(
+            (coo.vals, (coo.array(0, "crd"), coo.array(1, "crd"))),
+            shape=coo.dims,
+        )
+        return matrix.asformat(kind)
 
     # -- validation ------------------------------------------------------------
     def check(self) -> None:

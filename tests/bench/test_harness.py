@@ -164,3 +164,19 @@ def test_render_ablations():
         {"A1": [AblationResult("m", 0.01, 2.0), AblationResult("n", 0.01, 8.0)]}
     )
     assert "4.00" in text
+
+
+def test_run_backends_routed_hash_column():
+    matrices = [get_matrix("jnlbrng1", scale=0.1)]
+    results = run_backends(matrices, columns=["hash_csr"], repeats=1)
+    (cell,) = results["hash_csr"]
+    # the fast cell is the engine's multi-hop route, and says so
+    assert cell.route == "HASH -> COO -> CSR"
+    assert cell.scalar_seconds > 0 and cell.vector_seconds > 0
+    text = render_backends(results)
+    assert "HASH -> COO -> CSR" in text
+    report = backends_json(results)
+    assert report["hash_csr"]["cells"][0]["route"] == "HASH -> COO -> CSR"
+    # direct vector cells stay unrouted
+    direct = run_backends(matrices, columns=["coo_csr"], repeats=1)
+    assert direct["coo_csr"][0].route is None

@@ -1,0 +1,304 @@
+"""Tests for the ConversionEngine: caching, LRU bounds, thread safety,
+policy, telemetry and the stable module-level shims."""
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+import pytest
+
+import repro
+from repro.convert import (
+    ConversionEngine,
+    PlanOptions,
+    convert,
+    default_engine,
+    make_converter,
+)
+from repro.formats import BCSR, COO, CSC, CSR, DIA, ELL, make_format
+from repro.levels.compressed import CompressedLevel
+from repro.levels.dense import DenseLevel
+from repro.storage.build import reference_build
+
+
+def small_coo():
+    return reference_build(COO, (4, 5), [(0, 1), (2, 3), (3, 0)], [1.0, 2.0, 3.0])
+
+
+# ----------------------------------------------------------------------
+# basic semantics
+
+
+def test_engine_convert_accepts_spec_strings():
+    engine = ConversionEngine()
+    out = engine.convert(small_coo(), "CSR")
+    assert out.format is CSR
+    assert out.to_coo() == small_coo().to_coo()
+
+
+def test_engine_make_converter_accepts_spec_strings():
+    engine = ConversionEngine()
+    converter = engine.make_converter("COO", "CSR")
+    assert converter.src_format is COO and converter.dst_format is CSR
+    assert "def convert_COO_to_CSR" in converter.source
+
+
+def test_engine_default_options_and_backend_policy():
+    engine = ConversionEngine(
+        options=PlanOptions(force_unsequenced_edges=True), backend="scalar"
+    )
+    converter = engine.make_converter(COO, CSR)
+    assert converter.backend == "scalar"
+    assert "prefix_sum" in converter.source  # unsequenced edges honoured
+
+
+def test_generated_source_defaults_to_scalar():
+    engine = ConversionEngine()
+    assert "for " in engine.generated_source(COO, CSR)
+
+
+def test_invalid_capacity_and_backend_rejected():
+    with pytest.raises(ValueError):
+        ConversionEngine(capacity=0)
+    with pytest.raises(Exception):
+        ConversionEngine(backend="simd")
+
+
+def test_unknown_route_mode_rejected():
+    engine = ConversionEngine()
+    with pytest.raises(ValueError):
+        engine.convert(small_coo(), CSR, route="scenic")
+
+
+# ----------------------------------------------------------------------
+# cache behaviour and telemetry
+
+
+def test_cache_stats_are_exact():
+    engine = ConversionEngine(capacity=8)
+    engine.make_converter(COO, CSR)  # miss + compile
+    engine.make_converter(COO, CSR)  # converter hit
+    engine.make_converter(COO, CSC)  # miss + compile
+    stats = engine.cache_stats()
+    assert stats["requests"] == 3
+    assert stats["hits"] == 1
+    assert stats["misses"] == 2
+    assert stats["compiles"] == 2
+    assert stats["kernel_hits"] == 0
+    assert stats["evictions"] == 0
+    assert stats["size"] == 2
+    assert stats["capacity"] == 8
+    assert stats["compile_seconds"] > 0.0
+
+
+def test_structural_twins_share_kernels():
+    engine = ConversionEngine()
+    twin = make_format(
+        "CSRTWIN_ENGINE",
+        "(i,j) -> (i, j)",
+        [DenseLevel(), CompressedLevel(ordered=False)],
+        inverse_text="(i,j) -> (i, j)",
+    )
+    engine.make_converter(COO, CSR)
+    converter = engine.make_converter(COO, twin)
+    stats = engine.cache_stats()
+    assert stats["compiles"] == 1  # kernel shared structurally
+    assert stats["kernel_hits"] == 1
+    assert converter.dst_format is twin  # but the converter knows its format
+
+
+def test_lru_eviction_evicts_and_recompiles():
+    engine = ConversionEngine(capacity=2)
+    engine.make_converter(COO, CSR)
+    engine.make_converter(COO, CSC)
+    engine.make_converter(COO, DIA)  # evicts COO->CSR
+    stats = engine.cache_stats()
+    assert stats["compiles"] == 3
+    assert stats["evictions"] == 1
+    assert stats["size"] == 2
+    engine.make_converter(COO, CSR)  # gone: must recompile
+    stats = engine.cache_stats()
+    assert stats["compiles"] == 4
+    assert stats["evictions"] == 2
+
+
+def test_lru_order_is_recency_not_insertion():
+    engine = ConversionEngine(capacity=2)
+    engine.make_converter(COO, CSR)
+    engine.make_converter(COO, CSC)
+    engine.make_converter(COO, CSR)  # refresh CSR
+    engine.make_converter(COO, DIA)  # evicts CSC, not CSR
+    engine.make_converter(COO, CSR)
+    assert engine.cache_stats()["compiles"] == 3  # CSR never recompiled
+
+
+def test_evicted_converters_still_work_and_results_stay_correct():
+    engine = ConversionEngine(capacity=1)
+    tensor = small_coo()
+    first = engine.make_converter(COO, CSR)
+    engine.make_converter(COO, CSC)  # evicts the CSR kernel
+    assert first(tensor).to_coo() == tensor.to_coo()  # object keeps working
+    again = engine.convert(tensor, CSR)  # recompiled transparently
+    assert again.to_coo() == tensor.to_coo()
+
+
+def test_clear_cache_forces_recompile():
+    engine = ConversionEngine()
+    engine.make_converter(COO, CSR)
+    engine.clear_cache()
+    assert engine.cache_stats()["size"] == 0
+    engine.make_converter(COO, CSR)
+    assert engine.cache_stats()["compiles"] == 2
+
+
+def test_pair_counts():
+    engine = ConversionEngine()
+    tensor = small_coo()
+    engine.convert(tensor, CSR)
+    engine.convert(tensor, CSR)
+    engine.convert(tensor, CSC)
+    assert engine.pair_counts() == {("COO", "CSR"): 2, ("COO", "CSC"): 1}
+    assert engine.cache_stats()["conversions"] == 3
+
+
+def test_warmup_precompiles():
+    engine = ConversionEngine()
+    assert engine.warmup([("COO", "CSR"), (COO, ELL)]) == 2
+    compiled = engine.cache_stats()["compiles"]
+    assert compiled >= 2
+    engine.convert(small_coo(), CSR)
+    assert engine.cache_stats()["compiles"] == compiled  # no compile at use
+
+
+def test_warmup_compiles_route_hops():
+    engine = ConversionEngine()
+    engine.warmup([("HASH", "CSR")])
+    compiled = engine.cache_stats()["compiles"]
+    # the routed hop COO->CSR (vector) was compiled during warmup
+    engine.make_converter("COO", "CSR", backend="vector")
+    assert engine.cache_stats()["compiles"] == compiled
+
+
+# ----------------------------------------------------------------------
+# thread safety
+
+
+def test_concurrent_converts_never_double_compile():
+    engine = ConversionEngine()
+    tensor = small_coo()
+    want = tensor.to_coo()
+    barrier = threading.Barrier(8)
+    errors = []
+
+    def hammer():
+        barrier.wait()
+        for _ in range(25):
+            out = engine.convert(tensor, CSR, route="direct")
+            if out.to_coo() != want:
+                errors.append("wrong result")
+
+    with ThreadPoolExecutor(max_workers=8) as pool:
+        list(pool.map(lambda _: hammer(), range(8)))
+
+    assert not errors
+    stats = engine.cache_stats()
+    assert stats["compiles"] == 1  # never double-compiled
+    assert stats["requests"] == 8 * 25
+    # several threads may converter-miss before the first insert, but
+    # every request is accounted for and the kernel compiled only once
+    assert stats["hits"] + stats["misses"] == 8 * 25
+    assert 1 <= stats["misses"] <= 8
+    assert stats["conversions"] == 8 * 25
+    assert stats["size"] == 1 and stats["converter_size"] == 1
+
+
+def test_cache_hits_do_not_wait_behind_a_compile(monkeypatch):
+    """Compilation happens outside the engine lock: a hit for an already
+    cached pair returns promptly while another pair is mid-compile."""
+    import sys
+    import time as time_mod
+
+    engine_mod = sys.modules["repro.convert.engine"]
+
+    engine = ConversionEngine()
+    engine.make_converter(COO, CSR)  # cached ahead of the stall
+    release = threading.Event()
+    in_compile = threading.Event()
+    real_plan = engine_mod.plan_conversion
+
+    def slow_plan(*args, **kwargs):
+        in_compile.set()
+        release.wait(timeout=10)
+        return real_plan(*args, **kwargs)
+
+    monkeypatch.setattr(engine_mod, "plan_conversion", slow_plan)
+    worker = threading.Thread(target=lambda: engine.make_converter(COO, CSC))
+    worker.start()
+    try:
+        assert in_compile.wait(timeout=10)  # CSC compile is now stalled
+        start = time_mod.perf_counter()
+        engine.make_converter(COO, CSR)  # must not queue behind it
+        hit_seconds = time_mod.perf_counter() - start
+    finally:
+        release.set()
+        worker.join()
+    assert hit_seconds < 1.0, hit_seconds
+    assert engine.cache_stats()["compiles"] == 2
+
+
+def test_concurrent_distinct_pairs_fill_cache_consistently():
+    engine = ConversionEngine()
+    targets = [CSR, CSC, DIA, ELL, BCSR(2, 2)]
+    tensor = small_coo()
+
+    def work(dst):
+        for _ in range(10):
+            engine.convert(tensor, dst, route="direct")
+
+    with ThreadPoolExecutor(max_workers=5) as pool:
+        list(pool.map(work, targets))
+
+    stats = engine.cache_stats()
+    assert stats["compiles"] == len(targets)
+    assert stats["requests"] == 50
+    assert stats["misses"] == len(targets)
+
+
+# ----------------------------------------------------------------------
+# the stable module-level shims
+
+
+def test_module_shims_delegate_to_default_engine():
+    tensor = small_coo()
+    before = default_engine().cache_stats()["conversions"]
+    out = convert(tensor, "CSR")
+    assert out.format is CSR
+    assert default_engine().cache_stats()["conversions"] == before + 1
+    assert make_converter("COO", "CSR") is default_engine().make_converter(COO, CSR)
+
+
+def test_top_level_exports():
+    assert repro.ConversionEngine is ConversionEngine
+    assert isinstance(repro.default_engine(), ConversionEngine)
+
+
+def test_shim_results_match_engine_results():
+    tensor = small_coo()
+    mine = ConversionEngine()
+    a = convert(tensor, DIA)
+    b = mine.convert(tensor, DIA)
+    assert a.format is b.format is DIA
+    for key in a.arrays:
+        assert np.array_equal(a.arrays[key], b.arrays[key])
+    assert np.array_equal(a.vals, b.vals)
+    assert a.metadata == b.metadata
+
+
+def test_failed_route_validation_leaves_counters_untouched():
+    engine = ConversionEngine()
+    tensor = small_coo()
+    with pytest.raises(ValueError):
+        engine.convert(tensor, CSR, route="scenic")
+    stats = engine.cache_stats()
+    assert stats["conversions"] == 0
+    assert engine.pair_counts() == {}

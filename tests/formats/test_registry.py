@@ -1,0 +1,143 @@
+"""Tests for the format registry and spec parser."""
+
+import pytest
+
+import repro
+from repro.formats import (
+    COO,
+    CSR,
+    DIA,
+    Format,
+    FormatError,
+    UnknownFormatError,
+    available_formats,
+    get_format,
+    make_format,
+    parse_format_spec,
+    register_format,
+    register_parameterized,
+    spec_help,
+)
+from repro.levels.compressed import CompressedLevel
+from repro.levels.dense import DenseLevel
+
+
+def test_builtin_specs_resolve_to_library_objects():
+    assert parse_format_spec("CSR") is CSR
+    assert parse_format_spec("csr") is CSR
+    assert parse_format_spec(" dia ") is DIA
+    assert parse_format_spec("Coo") is COO
+
+
+def test_parameterized_specs():
+    assert parse_format_spec("BCSR2x3").params == {"M": 2, "N": 3}
+    assert parse_format_spec("BCSR8").params == {"M": 8, "N": 8}
+    assert parse_format_spec("BCSR").params == {"M": 4, "N": 4}
+    assert parse_format_spec("HICOO8").params == {"B": 8}
+    assert parse_format_spec("HICOO").params == {"B": 4}
+
+
+def test_parameterized_instances_are_interned():
+    assert parse_format_spec("BCSR8x8") is parse_format_spec("bcsr8X8")
+    assert parse_format_spec("HICOO16") is parse_format_spec("hicoo16")
+
+
+def test_unknown_specs_raise():
+    for bad in ("NOPE", "", "BCSRxx", "BCSR0x4", "HICOOx", "HICOO0"):
+        with pytest.raises(UnknownFormatError):
+            parse_format_spec(bad)
+
+
+def test_spec_must_be_a_string():
+    with pytest.raises(TypeError):
+        parse_format_spec(42)
+
+
+def test_get_format_passes_formats_through():
+    assert get_format(CSR) is CSR
+    assert get_format("CSR") is CSR
+
+
+def test_register_custom_format_addressable_everywhere():
+    fmt = make_format(
+        "REGTESTCSR",
+        "(i,j) -> (i, j)",
+        [DenseLevel(), CompressedLevel(ordered=False)],
+        inverse_text="(i,j) -> (i, j)",
+    )
+    register_format(fmt, "REGTESTALIAS")
+    assert get_format("regtestcsr") is fmt
+    assert get_format("REGTESTALIAS") is fmt
+    assert "REGTESTCSR" in available_formats()
+    # end to end: a registered name works as a convert() target spec
+    coo = repro.build(COO, (3, 3), [(0, 1), (2, 2)], [1.0, 2.0])
+    out = repro.convert(coo, "REGTESTCSR")
+    assert out.format is fmt
+    assert out.to_coo() == coo.to_coo()
+
+
+def test_register_is_idempotent_but_conflicts_raise():
+    fmt = make_format(
+        "REGTESTTWICE",
+        "(i,j) -> (i, j)",
+        [DenseLevel(), CompressedLevel(ordered=False)],
+        inverse_text="(i,j) -> (i, j)",
+    )
+    register_format(fmt)
+    register_format(fmt)  # same object: fine
+    other = make_format(
+        "REGTESTTWICE",
+        "(i,j) -> (i, j)",
+        [DenseLevel(), CompressedLevel(ordered=False)],
+        inverse_text="(i,j) -> (i, j)",
+    )
+    with pytest.raises(FormatError):
+        register_format(other)
+    register_format(other, overwrite=True)
+    assert get_format("REGTESTTWICE") is other
+
+
+def test_register_parameterized_family():
+    def parse(suffix):
+        if suffix.isdigit():
+            return make_format(
+                f"REGFAM{suffix}",
+                "(i,j) -> (i, j)",
+                [DenseLevel(), CompressedLevel(ordered=False)],
+                inverse_text="(i,j) -> (i, j)",
+            )
+        return None
+
+    register_parameterized("REGFAM", parse)
+    fmt = get_format("REGFAM7")
+    assert isinstance(fmt, Format) and fmt.name == "REGFAM7"
+    assert get_format("regfam7") is fmt  # interned
+    with pytest.raises(UnknownFormatError):
+        get_format("REGFAMx")
+
+
+def test_spec_help_mentions_families_and_names():
+    text = spec_help()
+    assert "CSR" in text and "BCSR<params>" in text
+
+
+def test_parsing_specs_does_not_mutate_the_listing():
+    before = set(available_formats())
+    parse_format_spec("BCSR14x3")  # interned, but not "registered"
+    assert set(available_formats()) == before
+    # still interned for identity-keyed caches
+    assert parse_format_spec("BCSR14x3") is parse_format_spec("bcsr14X3")
+
+
+def test_register_format_is_atomic_across_aliases():
+    fmt = make_format(
+        "REGATOMIC",
+        "(i,j) -> (i, j)",
+        [DenseLevel(), CompressedLevel(ordered=False)],
+        inverse_text="(i,j) -> (i, j)",
+    )
+    with pytest.raises(FormatError):
+        register_format(fmt, "CSR")  # alias collides with a builtin
+    # the conflict left the registry untouched: not even fmt's own name
+    with pytest.raises(UnknownFormatError):
+        parse_format_spec("REGATOMIC")

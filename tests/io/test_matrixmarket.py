@@ -82,3 +82,27 @@ def test_errors(tmp_path):
     bad.write_text("%%MatrixMarket matrix coordinate real general\nnot numbers\n")
     with pytest.raises(MatrixMarketError):
         read_matrix_market(bad)
+
+
+def test_gzip_roundtrip(tmp_path):
+    """SuiteSparse distributes gzipped files; .mtx.gz reads and writes."""
+    path = tmp_path / "m.mtx.gz"
+    cells = [(0, 0), (1, 2), (3, 1)]
+    write_matrix_market(path, (4, 4), cells, [1.0, 2.5, -3.0])
+    import gzip
+
+    with gzip.open(path, "rt") as handle:  # really gzipped on disk
+        assert handle.readline().startswith("%%MatrixMarket")
+    dims, coords, vals = read_matrix_market(path)
+    assert dims == (4, 4)
+    assert coords == cells
+    assert vals == [1.0, 2.5, -3.0]
+
+
+def test_gzip_read_tensor_matches_plain(tmp_path):
+    cells = [(0, 1), (2, 2), (1, 0)]
+    vals = [4.0, 5.0, 6.0]
+    plain, gz = tmp_path / "t.mtx", tmp_path / "t.mtx.gz"
+    write_matrix_market(plain, (3, 3), cells, vals)
+    write_matrix_market(gz, (3, 3), cells, vals)
+    assert read_tensor(gz).to_coo() == read_tensor(plain).to_coo()

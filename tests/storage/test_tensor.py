@@ -94,3 +94,49 @@ def test_skip_zeros_override():
 def test_repr_mentions_format():
     tensor = reference_build(CSR, (4, 4), CELLS, VALS)
     assert "CSR" in repr(tensor)
+
+
+def test_tensor_to_converts_with_specs_and_engines():
+    from repro.convert import ConversionEngine
+
+    coo = reference_build(COO, (4, 4), [(0, 1), (2, 3)], [1.0, 2.0])
+    csr = coo.to("CSR")
+    assert csr.format is CSR
+    assert csr.to_coo() == coo.to_coo()
+    engine = ConversionEngine()
+    dia = coo.to(DIA, engine=engine)
+    assert dia.format is DIA
+    assert engine.cache_stats()["conversions"] == 1
+
+
+def test_tensor_to_chains():
+    coo = reference_build(COO, (4, 4), [(0, 0), (3, 2)], [1.0, 2.0])
+    assert coo.to("CSR").to("CSC").to("COO").to_coo() == coo.to_coo()
+
+
+def test_scipy_roundtrip():
+    scipy_sparse = pytest.importorskip("scipy.sparse")
+    dense = np.array([[0.0, 1.0, 0.0], [2.0, 0.0, 3.0], [0.0, 0.0, 4.0]])
+    tensor = Tensor.from_scipy(scipy_sparse.csr_matrix(dense))
+    assert tensor.format is COO
+    assert np.array_equal(tensor.to_dense(), dense)
+    back = tensor.to("CSR").to_scipy("csr")
+    assert back.format == "csr"
+    assert np.array_equal(back.toarray(), dense)
+
+
+def test_from_scipy_with_target_format():
+    scipy_sparse = pytest.importorskip("scipy.sparse")
+    dense = np.array([[1.0, 0.0], [0.0, 2.0]])
+    csr = Tensor.from_scipy(scipy_sparse.coo_matrix(dense), "CSR")
+    assert csr.format is CSR
+    assert np.array_equal(csr.to_dense(), dense)
+
+
+def test_to_scipy_rejects_higher_order_tensors():
+    pytest.importorskip("scipy.sparse")
+    from repro.formats.library import COO3
+
+    tensor = reference_build(COO3, (2, 2, 2), [(0, 1, 1)], [1.0])
+    with pytest.raises(FormatError):
+        tensor.to_scipy()

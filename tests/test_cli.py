@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.__main__ import _resolve_format, main
+from repro.__main__ import _format_arg, main
 from repro.io import write_matrix_market
 
 
@@ -15,13 +15,13 @@ def mtx(tmp_path):
 
 
 def test_resolve_builtin_formats():
-    assert _resolve_format("csr").name == "CSR"
-    assert _resolve_format("DIA").name == "DIA"
-    assert _resolve_format("BCSR2x3").params == {"M": 2, "N": 3}
-    assert _resolve_format("BCSR").params == {"M": 4, "N": 4}
-    assert _resolve_format("HICOO8").params == {"B": 8}
+    assert _format_arg("csr").name == "CSR"
+    assert _format_arg("DIA").name == "DIA"
+    assert _format_arg("BCSR2x3").params == {"M": 2, "N": 3}
+    assert _format_arg("BCSR").params == {"M": 4, "N": 4}
+    assert _format_arg("HICOO8").params == {"B": 8}
     with pytest.raises(SystemExit):
-        _resolve_format("NOPE")
+        _format_arg("NOPE")
 
 
 def test_formats_command(capsys):
@@ -52,6 +52,39 @@ def test_convert_from_format(mtx, capsys):
     main(["convert", mtx, "--from", "CSR", "--to", "CSC"])
     out = capsys.readouterr().out
     assert "CSR -> CSC" in out
+
+
+def test_convert_route_direct_option(mtx, capsys):
+    main(["convert", mtx, "--from", "CSR", "--to", "CSC", "--route", "direct"])
+    out = capsys.readouterr().out
+    assert "CSR -> CSC" in out and "routed:" not in out
+
+
+def test_route_command(capsys):
+    main(["route", "HASH", "CSR"])
+    out = capsys.readouterr().out
+    assert "HASH -> COO -> CSR" in out
+    assert "bridge" in out and "vector" in out
+
+
+def test_route_command_explain(capsys):
+    main(["route", "HASH", "CSR", "--explain"])
+    out = capsys.readouterr().out
+    assert "route HASH -> CSR" in out
+    assert "bulk extraction" in out
+    assert "direct scalar" in out
+
+
+def test_route_command_direct_pair(capsys):
+    main(["route", "COO", "CSR", "--explain"])
+    out = capsys.readouterr().out
+    assert "1 hop" in out and "direct conversion is the estimated optimum" in out
+
+
+def test_route_command_small_nnz_stays_direct(capsys):
+    main(["route", "HASH", "CSR", "--nnz", "10"])
+    out = capsys.readouterr().out
+    assert out.strip().startswith("HASH -> CSR")
 
 
 def test_stats_command(mtx, capsys):
