@@ -4,7 +4,9 @@ Usage::
 
     python -m repro formats                     # list registered formats
     python -m repro codegen CSR DIA             # print the generated routine
+    python -m repro codegen COO CSR --backend chunked   # chunk-parallel form
     python -m repro convert in.mtx --to DIA     # convert a Matrix Market file
+    python -m repro convert in.mtx --to CSR --parallel 8   # chunked executor
     python -m repro route HASH CSR --explain    # show the conversion route
     python -m repro stats in.mtx                # attribute-query statistics
     python -m repro verify COO CSR --trials 50  # differential verification
@@ -43,16 +45,40 @@ def _cmd_formats(_args) -> None:
 
 
 def _cmd_codegen(args) -> None:
-    print(
-        generated_source(
-            _format_arg(args.src), _format_arg(args.dst), backend=args.backend
-        )
-    )
+    src_fmt, dst_fmt = _format_arg(args.src), _format_arg(args.dst)
+    if args.backend == "chunked":
+        chunked = default_engine().make_chunked(src_fmt, dst_fmt)
+        if chunked is None:
+            raise SystemExit(
+                f"{src_fmt.name} -> {dst_fmt.name} has no chunked lowering "
+                "(the pair is not vectorizable)"
+            )
+        print(chunked.source)
+        return
+    print(generated_source(src_fmt, dst_fmt, backend=args.backend))
+
+
+def _parallel_arg(spec: str):
+    """Resolve a CLI ``--parallel`` value (auto/off/worker count)."""
+    if spec == "auto":
+        return "auto"
+    if spec == "off":
+        return None
+    try:
+        workers = int(spec)
+    except ValueError:
+        raise SystemExit(
+            f"--parallel expects 'auto', 'off' or a worker count, got {spec!r}"
+        ) from None
+    if workers < 1:
+        raise SystemExit(f"--parallel worker count must be >= 1, got {workers}")
+    return workers
 
 
 def _cmd_convert(args) -> None:
     src_fmt = _format_arg(args.source_format)
     dst_fmt = _format_arg(args.to)
+    parallel = _parallel_arg(args.parallel)
     tensor = read_tensor(args.input, src_fmt)
     engine = default_engine()
     # Routing engages only under the auto policies (mirrors engine.convert):
@@ -62,15 +88,20 @@ def _cmd_convert(args) -> None:
         found = engine.route(src_fmt, dst_fmt, nnz=tensor.nnz_stored)
         if found.beats_direct:
             route = found
+    parallel_before = engine.cache_stats()["parallel_conversions"]
     start = time.perf_counter()
-    out = engine.convert(tensor, dst_fmt, backend=args.backend, route=args.route)
+    out = engine.convert(tensor, dst_fmt, backend=args.backend,
+                         route=args.route, parallel=parallel)
     elapsed = (time.perf_counter() - start) * 1e3
+    parallel_ran = engine.cache_stats()["parallel_conversions"] > parallel_before
     out.check()
     print(
         f"{args.input}: {tensor.dims[0]}x{tensor.dims[1]}, {tensor.nnz} nonzeros"
     )
     print(f"{src_fmt.name} -> {dst_fmt.name} in {elapsed:.2f} ms (generated routine)")
-    if route is not None:
+    if parallel_ran:
+        print("  chunked executor: ran chunk-parallel")
+    elif route is not None:
         print(f"  routed: {route}")
     for (k, name), array in sorted(out.arrays.items()):
         print(f"  B{k + 1}_{name}: {len(array)} entries")
@@ -78,7 +109,9 @@ def _cmd_convert(args) -> None:
         print(f"  B{k + 1}_{name} = {value}")
     print(f"  B_vals: {len(out.vals)} entries ({out.nnz} nonzero)")
     if args.show_code:
-        if route is not None:
+        if parallel_ran:
+            print("\n" + engine.make_chunked(src_fmt, dst_fmt).source)
+        elif route is not None:
             # show what actually ran: the generated source of every
             # codegen hop (bridges are library calls, not generated code)
             for hop in route.hops:
@@ -147,7 +180,8 @@ def main(argv=None) -> None:
     codegen = sub.add_parser("codegen", help="print a generated routine")
     codegen.add_argument("src")
     codegen.add_argument("dst")
-    codegen.add_argument("--backend", choices=["auto", "scalar", "vector"],
+    codegen.add_argument("--backend",
+                         choices=["auto", "scalar", "vector", "chunked"],
                          default="scalar",
                          help="lowering backend (default: scalar, the paper's loops)")
 
@@ -160,6 +194,9 @@ def main(argv=None) -> None:
                          default="auto", help="lowering backend (default: auto)")
     convert.add_argument("--route", choices=["auto", "direct"], default="auto",
                          help="multi-hop routing policy (default: auto)")
+    convert.add_argument("--parallel", default="auto", metavar="auto|off|N",
+                         help="chunked executor: 'auto' (size threshold), "
+                              "'off', or a worker count (default: auto)")
 
     route = sub.add_parser("route", help="show the conversion route for a pair")
     route.add_argument("src")

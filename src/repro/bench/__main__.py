@@ -6,6 +6,7 @@ Usage::
     python -m repro.bench table3 [--scale S] [--repeats R] [--columns c1,c2]
     python -m repro.bench backends [--scale S] [--repeats R] [--pairs p1,p2]
                                    [--matrices m1,m2] [--json PATH]
+                                   [--workers N]
     python -m repro.bench ablations [--scale S] [--repeats R]
     python -m repro.bench compare BASELINE.json CURRENT.json [--threshold X]
 
@@ -13,11 +14,13 @@ Usage::
 backends, plus scipy where it implements the conversion; ``--pairs``
 selects which conversions run (including the extra BCSR/DCSR pairs that
 have no Table 3 baselines, and the routed ``hash_csr`` pair whose fast
-cell runs the engine's multi-hop route) and ``--json`` additionally
-writes the report as JSON (the CI smoke artifact).  ``compare`` diffs
-two such JSON reports and exits nonzero when any fast-path cell (vector
-or routed) regressed by more than ``--threshold`` (CI fails the build
-on >2x regressions).
+cell runs the engine's multi-hop route), ``--workers N`` adds a
+``parallel`` column timing the chunked executor on an N-worker pool
+against the serial vector kernel, and ``--json`` additionally writes the
+report as JSON (the CI smoke artifact).  ``compare`` diffs two such JSON
+reports and exits nonzero when any fast-path cell (vector, parallel or
+routed) regressed by more than ``--threshold`` (CI fails the build on
+>2x regressions).
 """
 
 import argparse
@@ -62,6 +65,9 @@ def main() -> None:
                         help="comma-separated suite matrix names to run")
     parser.add_argument("--json", type=str, default=None, metavar="PATH",
                         help="also write the backends report as JSON")
+    parser.add_argument("--workers", type=int, default=0, metavar="N",
+                        help="'backends': add a parallel column timing the "
+                             "chunked executor on an N-worker pool (0: off)")
     parser.add_argument("--threshold", type=float, default=2.0,
                         help="'compare': fail on vector times above "
                              "threshold x baseline (default 2.0)")
@@ -73,6 +79,10 @@ def main() -> None:
         parser.error("--json is only produced by the 'backends' report")
     if args.pairs and args.report != "backends":
         parser.error("--pairs only filters the 'backends' report")
+    if args.workers and args.report != "backends":
+        parser.error("--workers only applies to the 'backends' report")
+    if args.workers < 0:
+        parser.error("--workers must be >= 0")
 
     if args.report == "compare":
         if len(args.paths) != 2:
@@ -117,7 +127,8 @@ def main() -> None:
     elif args.report == "table3":
         print(render_table3(run_table3(matrices, columns, args.repeats)))
     elif args.report == "backends":
-        results = run_backends(matrices, columns, args.repeats)
+        results = run_backends(matrices, columns, args.repeats,
+                               workers=args.workers)
         print(render_backends(results))
         if args.json:
             with open(args.json, "w") as handle:

@@ -216,7 +216,9 @@ class BackendCellResult:
 
     ``route`` names the conversion path of the fast cell when the engine
     routed it (e.g. ``"HASH -> COO -> CSR"``); ``None`` for direct
-    vector-backend cells.
+    vector-backend cells.  ``parallel_seconds`` times the chunked
+    executor (``run_backends(..., workers=N)``); ``None`` when the
+    parallel column is off or the pair has no chunked form.
     """
 
     matrix: str
@@ -225,11 +227,19 @@ class BackendCellResult:
     vector_seconds: float
     scipy_seconds: Optional[float]
     route: Optional[str] = None
+    parallel_seconds: Optional[float] = None
 
     @property
     def speedup(self) -> float:
         """Scalar-over-vector time ratio (higher = vector wins)."""
         return self.scalar_seconds / self.vector_seconds
+
+    @property
+    def parallel_speedup(self) -> Optional[float]:
+        """Serial-vector-over-chunked time ratio (higher = chunked wins)."""
+        if not self.parallel_seconds:
+            return None
+        return self.vector_seconds / self.parallel_seconds
 
 
 def _routed(column: str, entry: SuiteMatrix):
@@ -249,17 +259,34 @@ def _routed(column: str, entry: SuiteMatrix):
     return (lambda: engine.convert_via(route, tensor)), str(route)
 
 
+def _ours_parallel(column: str, entry: SuiteMatrix, workers: int):
+    """The chunked-executor implementation of a cell, or ``None`` when
+    the pair has no chunked form (scalar-only pairs)."""
+    src, dst = _pair_formats(column, entry)
+    engine = default_engine()
+    chunked = engine.make_chunked(src, dst)
+    if chunked is None:
+        return None
+    args = chunked.arguments(entry.tensor(src))
+    pool = engine.worker_pool(workers)
+    return lambda: chunked.func(*args, _pool=pool)
+
+
 def run_backends(
     matrices: Optional[List[SuiteMatrix]] = None,
     columns: Optional[List[str]] = None,
     repeats: int = 3,
+    workers: int = 0,
 ) -> Dict[str, List[BackendCellResult]]:
     """Time the scalar vs. the vector backend (vs. scipy where it exists)
     for every applicable (column, matrix) cell.
 
     This is the report that turns the vector backend's advantage into a
     number: both backends run the *same* conversion plan, differing only
-    in lowering (per-nonzero loops vs. bulk numpy operations).
+    in lowering (per-nonzero loops vs. bulk numpy operations).  With
+    ``workers > 0`` a ``parallel`` column times the chunked executor on a
+    pool of that many workers against the serial vector kernel, so
+    ``compare`` gates chunked regressions alongside vector ones.
     """
     matrices = matrices if matrices is not None else suite()
     results: Dict[str, List[BackendCellResult]] = {}
@@ -276,11 +303,17 @@ def run_backends(
                 vector = time_call(routed_fn, repeats)
             else:
                 vector = time_call(_ours(column, entry, backend="vector"), repeats)
+            parallel_s = None
+            if workers:
+                parallel_fn = _ours_parallel(column, entry, workers)
+                if parallel_fn is not None:
+                    parallel_s = time_call(parallel_fn, repeats)
             scipy_fn = _baselines(column, entry).get("scipy")
             scipy_s = time_call(scipy_fn, repeats) if scipy_fn else None
             cells.append(
                 BackendCellResult(
-                    entry.name, entry.nnz, scalar, vector, scipy_s, route
+                    entry.name, entry.nnz, scalar, vector, scipy_s, route,
+                    parallel_s,
                 )
             )
         results[column] = cells
@@ -288,24 +321,49 @@ def run_backends(
 
 
 def render_backends(results: Dict[str, List[BackendCellResult]]) -> str:
-    """Text rendering of the backend comparison (times in ms)."""
+    """Text rendering of the backend comparison (times in ms).
+
+    The ``parallel`` columns (chunked-executor time and its speedup over
+    the serial vector kernel) appear when the run produced them
+    (``run_backends(..., workers=N)``).
+    """
+    has_parallel = any(
+        cell.parallel_seconds for cells in results.values() for cell in cells
+    )
     out = []
     for column, cells in results.items():
-        headers = ["matrix", "nnz", "scalar (ms)", "vector (ms)", "speedup",
-                   "scipy (ms)", "route"]
+        headers = ["matrix", "nnz", "scalar (ms)", "vector (ms)", "speedup"]
+        if has_parallel:
+            headers += ["parallel (ms)", "par"]
+        headers += ["scipy (ms)", "route"]
         rows = []
         for cell in cells:
-            rows.append([
+            row = [
                 cell.matrix,
                 str(cell.nnz),
                 f"{cell.scalar_seconds * 1e3:.2f}",
                 f"{cell.vector_seconds * 1e3:.2f}",
                 f"{cell.speedup:.1f}x",
+            ]
+            if has_parallel:
+                row += [
+                    f"{cell.parallel_seconds * 1e3:.2f}"
+                    if cell.parallel_seconds else "",
+                    f"{cell.parallel_speedup:.1f}x"
+                    if cell.parallel_speedup else "",
+                ]
+            row += [
                 f"{cell.scipy_seconds * 1e3:.2f}" if cell.scipy_seconds else "",
                 cell.route or "direct",
-            ])
+            ]
+            rows.append(row)
         mean = geomean([cell.speedup for cell in cells])
-        rows.append(["Geomean", "", "", "", f"{mean:.1f}x" if mean else "", "", ""])
+        means = ["Geomean", "", "", "", f"{mean:.1f}x" if mean else ""]
+        if has_parallel:
+            par_mean = geomean([cell.parallel_speedup for cell in cells])
+            means += ["", f"{par_mean:.1f}x" if par_mean else ""]
+        means += ["", ""]
+        rows.append(means)
         out.append(f"== {column} ==\n{format_table(headers, rows)}")
     return "\n\n".join(out)
 
@@ -325,6 +383,8 @@ def backends_json(results: Dict[str, List[BackendCellResult]]) -> Dict:
                     "speedup": cell.speedup,
                     "scipy_seconds": cell.scipy_seconds,
                     "route": cell.route,
+                    "parallel_seconds": cell.parallel_seconds,
+                    "parallel_speedup": cell.parallel_speedup,
                 }
                 for cell in cells
             ],
@@ -338,13 +398,14 @@ def compare_backend_reports(
 ) -> List[str]:
     """Diff two ``backends_json`` reports; returns regression descriptions.
 
-    A cell regresses when its vector-backend time exceeds ``threshold``
-    times the baseline's for the same (pair, matrix).  Cells present in
-    only one report are ignored (pairs/matrices may be added or removed
-    between runs), as are cells whose baseline is below ``min_seconds`` —
-    sub-millisecond smoke timings vary more than ``threshold`` across
-    shared CI runners on noise alone.  Only the vector path is gated —
-    scalar times are reference measurements.
+    A cell regresses when its vector-backend (or chunked-executor
+    ``parallel``) time exceeds ``threshold`` times the baseline's for the
+    same (pair, matrix).  Cells present in only one report are ignored
+    (pairs/matrices may be added or removed between runs), as are cells
+    whose baseline is below ``min_seconds`` — sub-millisecond smoke
+    timings vary more than ``threshold`` across shared CI runners on
+    noise alone.  Only the fast paths are gated — scalar times are
+    reference measurements.
     """
     regressions: List[str] = []
     for column, current_report in current.items():
@@ -354,17 +415,21 @@ def compare_backend_reports(
         baseline_cells = {c["matrix"]: c for c in baseline_report["cells"]}
         for cell in current_report["cells"]:
             base = baseline_cells.get(cell["matrix"])
-            if not base or not base.get("vector_seconds"):
+            if not base:
                 continue
-            if base["vector_seconds"] < min_seconds:
-                continue
-            if cell["vector_seconds"] > threshold * base["vector_seconds"]:
-                regressions.append(
-                    f"{column}/{cell['matrix']}: vector "
-                    f"{cell['vector_seconds'] * 1e3:.3f} ms vs baseline "
-                    f"{base['vector_seconds'] * 1e3:.3f} ms "
-                    f"(> {threshold:g}x)"
-                )
+            for field, label in (
+                ("vector_seconds", "vector"),
+                ("parallel_seconds", "parallel"),
+            ):
+                base_s, cur_s = base.get(field), cell.get(field)
+                if not base_s or not cur_s or base_s < min_seconds:
+                    continue
+                if cur_s > threshold * base_s:
+                    regressions.append(
+                        f"{column}/{cell['matrix']}: {label} "
+                        f"{cur_s * 1e3:.3f} ms vs baseline "
+                        f"{base_s * 1e3:.3f} ms (> {threshold:g}x)"
+                    )
     return regressions
 
 

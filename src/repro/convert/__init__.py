@@ -1,6 +1,7 @@
 """Conversion engine: planner, code generation, public API (Sections 3, 6)."""
 
 from .api import CompiledConversion, convert, generated_source, make_converter
+from .chunked import ChunkedConversion, chunkable, plan_chunked
 from .context import ConversionContext, PlanError, QueryResultHandle
 from .engine import ConversionEngine, default_engine, set_default_engine
 from .planner import (
@@ -24,6 +25,7 @@ from .verify import VerificationError, verify_all_pairs, verify_conversion
 
 __all__ = [
     "BACKENDS",
+    "ChunkedConversion",
     "CompiledConversion",
     "ConversionContext",
     "ConversionEngine",
@@ -37,11 +39,13 @@ __all__ = [
     "QueryResultHandle",
     "VerificationError",
     "bridge_for",
+    "chunkable",
     "convert",
     "default_engine",
     "find_route",
     "generated_source",
     "make_converter",
+    "plan_chunked",
     "plan_conversion",
     "rebind_endpoints",
     "register_bridge",

@@ -54,6 +54,12 @@ def make_converter(
     loop backend; ``"scalar"`` / ``"vector"`` request one explicitly
     (a ``"vector"`` request still falls back for non-vectorizable pairs,
     warning once per pair).
+
+    Example::
+
+        conv = make_converter("COO", "CSR")
+        csr = conv(coo_tensor)           # amortizes the cache lookup
+        print(conv.source)               # the generated routine
     """
     return default_engine().make_converter(src_format, dst_format, options, backend)
 
@@ -64,6 +70,7 @@ def convert(
     options: Optional[PlanOptions] = None,
     backend: str = "auto",
     route: Union[str, ConversionRoute, None] = "auto",
+    parallel: Union[str, int, None] = "auto",
 ) -> Tensor:
     """Convert ``tensor`` to ``dst_format`` with a generated routine.
 
@@ -72,8 +79,22 @@ def convert(
     ``HASH -> COO -> CSR`` at bulk sizes) — the result is bit-identical
     to the direct conversion.  ``route="direct"`` always converts in one
     hop, matching the pre-engine behaviour exactly.
+
+    ``parallel="auto"`` (default) runs huge conversions on the chunked
+    executor (:mod:`repro.convert.chunked`) once the tensor crosses
+    ``PlanOptions.parallel_threshold`` stored components on a multi-core
+    host; an ``int`` forces that many workers at any size, ``None`` stays
+    serial.  Chunked results are bit-identical to the serial vector
+    backend.
+
+    Example::
+
+        csr = convert(coo, "CSR")                  # auto backend + routing
+        csr = convert(coo, "CSR", parallel=8)      # force the chunked path
     """
-    return default_engine().convert(tensor, dst_format, options, backend, route)
+    return default_engine().convert(
+        tensor, dst_format, options, backend, route, parallel
+    )
 
 
 def generated_source(

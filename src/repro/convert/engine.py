@@ -12,6 +12,12 @@ It owns everything the old module-level functions kept in hidden globals:
 * **multi-hop routing** (:mod:`repro.convert.router`): ``route="auto"``
   conversions go through a cheaper intermediate when the direct pair only
   lowers to scalar loops (``HASH -> COO -> CSR``), bit-identically;
+* the **worker pools** behind the chunked executor
+  (:mod:`repro.convert.chunked`): ``convert(..., parallel="auto")``
+  splits huge conversions into stream chunks on an engine-owned
+  :class:`~repro.ir.runtime.WorkerPool` once they cross
+  ``PlanOptions.parallel_threshold``; ``parallel=<int>`` forces a worker
+  count, ``parallel=None`` stays serial;
 * **per-pair conversion counters** and :meth:`warmup` precompilation.
 
 The module-level :func:`repro.convert.convert` / ``make_converter`` /
@@ -23,14 +29,17 @@ Typical use::
     engine = ConversionEngine(capacity=256)
     engine.warmup([("COO", "CSR"), ("CSR", "CSC")])
     csr = engine.convert(tensor, "CSR")
+    big = engine.convert(huge, "CSR", parallel=8)   # chunked executor
     print(engine.route("HASH", "CSR").explain())
     print(engine.cache_stats())
 """
 
 from __future__ import annotations
 
+import os
 import threading
 import time
+import warnings
 from collections import OrderedDict
 from dataclasses import dataclass, replace
 from typing import Callable, Dict, Iterable, List, Optional, Tuple, Union
@@ -39,7 +48,7 @@ import numpy as np
 
 from ..formats.format import Format
 from ..formats.registry import FormatSpec, get_format
-from ..ir.runtime import compile_source
+from ..ir.runtime import WorkerPool, compile_source
 from ..storage.tensor import Tensor
 # Import order matters: .planner pulls in repro.cin, whose compiler module
 # in turn imports .context — importing .context first would hit it
@@ -65,6 +74,10 @@ from .router import (
 
 #: Accepted values of the ``route=`` option.
 ROUTE_MODES = ("auto", "direct")
+
+#: ``parallel=`` values besides worker counts: ``"auto"`` (threshold
+#: policy), ``None``/``"off"`` (serial).
+PARALLEL_MODES = ("auto", "off")
 
 
 @dataclass
@@ -105,13 +118,14 @@ class CompiledConversion:
                 args.append(tensor.dims[k])
         return args
 
-    def __call__(self, tensor: Tensor) -> Tensor:
-        """Convert ``tensor`` (must be structurally in the source format)."""
+    def _check_source(self, tensor: Tensor) -> None:
         if structural_key(tensor.format) != structural_key(self.src_format):
             raise ValueError(
                 f"converter expects {self.src_format.name}, got {tensor.format.name}"
             )
-        results = self.func(*self.arguments(tensor))
+
+    def _build_result(self, tensor: Tensor, results) -> Tensor:
+        """Assemble the destination tensor from the routine's return tuple."""
         if not isinstance(results, tuple):
             results = (results,)
         arrays: Dict[Tuple[int, str], np.ndarray] = {}
@@ -127,6 +141,11 @@ class CompiledConversion:
         if vals is None:
             raise RuntimeError("generated routine returned no values array")
         return Tensor(self.dst_format, tensor.dims, arrays, meta, vals)
+
+    def __call__(self, tensor: Tensor) -> Tensor:
+        """Convert ``tensor`` (must be structurally in the source format)."""
+        self._check_source(tensor)
+        return self._build_result(tensor, self.func(*self.arguments(tensor)))
 
 
 class ConversionEngine:
@@ -146,6 +165,10 @@ class ConversionEngine:
     cost_model:
         Routing :class:`~repro.convert.router.CostModel`; defaults to the
         bench-seeded constants.
+    workers:
+        Worker count of the default chunk pool (``parallel="auto"``);
+        defaults to the host CPU count.  Explicit ``parallel=<int>``
+        requests get a pool of exactly that size regardless.
     """
 
     def __init__(
@@ -154,6 +177,7 @@ class ConversionEngine:
         options: Optional[PlanOptions] = None,
         backend: str = "auto",
         cost_model: Optional[CostModel] = None,
+        workers: Optional[int] = None,
     ) -> None:
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
@@ -165,6 +189,14 @@ class ConversionEngine:
         self.options = options or PlanOptions()
         self.backend = backend
         self.cost_model = cost_model or CostModel()
+        self.workers = max(1, int(workers if workers is not None
+                                  else (os.cpu_count() or 1)))
+        #: chunk pools by worker count, created lazily (threads start on
+        #: first multi-chunk use); see :meth:`worker_pool`.
+        self._pools: Dict[int, WorkerPool] = {}
+        #: pairs an explicit ``parallel=<int>`` request already warned
+        #: about (non-chunkable pairs run the standard paths instead).
+        self._parallel_warned: set = set()
         self._lock = threading.RLock()
         #: kernel keys currently compiling (kernel_key -> done event):
         #: concurrent requests for the same pair wait on the event instead
@@ -187,6 +219,7 @@ class ConversionEngine:
             "converter_evictions": 0,
             "conversions": 0,
             "routed_conversions": 0,
+            "parallel_conversions": 0,
         }
 
     # -- policy helpers -------------------------------------------------
@@ -212,11 +245,57 @@ class ConversionEngine:
         happens *outside* the engine lock behind a per-kernel in-flight
         event: concurrent requests for the same pair never compile twice,
         and cache hits for other pairs never stall behind a compile.
+
+        Example::
+
+            conv = engine.make_converter("COO", "CSR")
+            csr = conv(coo_tensor)
         """
         src_format = get_format(src_format)
         dst_format = get_format(dst_format)
         options, backend = self._effective(options, backend)
         resolved = resolve_backend(src_format, dst_format, options, backend)
+        return self._lookup_or_build(
+            src_format, dst_format, options, resolved, CompiledConversion
+        )
+
+    def make_chunked(
+        self,
+        src_format: FormatSpec,
+        dst_format: FormatSpec,
+        options: Optional[PlanOptions] = None,
+    ) -> Optional["ChunkedConversion"]:
+        """The chunked (chunk-parallel) routine for a format pair, or
+        ``None`` when the pair has no chunked form (scalar-only pairs).
+
+        Chunked kernels are AST rewrites of the vector kernels
+        (:mod:`repro.convert.chunked`) and are cached exactly like them,
+        under the ``"chunked"`` backend tag.  The returned
+        :class:`~repro.convert.chunked.ChunkedConversion` takes the
+        tensor plus a :class:`~repro.ir.runtime.WorkerPool`::
+
+            conv = engine.make_chunked("COO", "CSR")
+            out = conv(tensor, engine.worker_pool(4))
+        """
+        from .chunked import ChunkedConversion, chunkable
+
+        src_format = get_format(src_format)
+        dst_format = get_format(dst_format)
+        options, _ = self._effective(options, None)
+        if not chunkable(src_format, dst_format, options):
+            return None
+        return self._lookup_or_build(
+            src_format, dst_format, options, "chunked", ChunkedConversion
+        )
+
+    def _lookup_or_build(
+        self,
+        src_format: Format,
+        dst_format: Format,
+        options: PlanOptions,
+        resolved: str,
+        cls: type,
+    ) -> CompiledConversion:
         key = (
             src_format.signature(),
             dst_format.signature(),
@@ -247,7 +326,7 @@ class ConversionEngine:
             generated = replace(
                 generated, src_format=src_format, dst_format=dst_format
             )
-        converter = CompiledConversion(generated, func)
+        converter = cls(generated, func)
         with self._lock:
             # another thread may have built the same converter while we
             # compiled; keep the first one so callers share the object
@@ -293,7 +372,19 @@ class ConversionEngine:
                 continue
             try:
                 started = time.perf_counter()
-                generated = plan_conversion(src_format, dst_format, options, resolved)
+                if resolved == "chunked":
+                    from .chunked import plan_chunked
+
+                    generated = plan_chunked(src_format, dst_format, options)
+                    if generated is None:
+                        raise PlanError(
+                            f"{src_format.name} -> {dst_format.name} has no "
+                            "chunked lowering (the pair is not vectorizable)"
+                        )
+                else:
+                    generated = plan_conversion(
+                        src_format, dst_format, options, resolved
+                    )
                 func = compile_source(generated.source, generated.func_name)
                 elapsed = time.perf_counter() - started
                 entry = (generated, func)
@@ -327,24 +418,97 @@ class ConversionEngine:
         options: Optional[PlanOptions] = None,
         backend: Optional[str] = None,
         routes: bool = True,
+        parallel: bool = False,
     ) -> int:
-        """Precompile the converters for ``pairs`` (specs or formats).
+        """Precompile the converters for ``pairs``.
+
+        Each pair is ``(src, dst)`` where either side is a
+        :class:`~repro.formats.format.Format` **or a registry spec
+        string** — ``warmup([("COO", "CSR"), ("BCSR8x8", "CSR")])`` works
+        like every other entry point; specs are resolved once up front so
+        an unknown name fails fast, before anything compiles.
 
         With ``routes=True`` (default) the auto-route of each pair is
         resolved too and its generated hops are compiled, so the first
-        routed conversion pays no compile either.  Returns the number of
+        routed conversion pays no compile either; ``parallel=True`` also
+        compiles the chunked kernels of chunkable pairs (the ones
+        ``convert(..., parallel=...)`` would run).  Returns the number of
         pairs warmed.
+
+        Example::
+
+            engine.warmup([("COO", "CSR"), ("HASH", "CSR")], parallel=True)
         """
-        count = 0
-        for src, dst in pairs:
+        resolved = [(get_format(src), get_format(dst)) for src, dst in pairs]
+        for src, dst in resolved:
             self.make_converter(src, dst, options, backend)
             if routes:
                 route = self.route(src, dst, options=options)
                 for hop in route.hops:
                     if hop.kind != "bridge":
                         self.make_converter(hop.src, hop.dst, options, hop.kind)
-            count += 1
-        return count
+            if parallel:
+                self.make_chunked(src, dst, options)
+        return len(resolved)
+
+    # -- parallel execution ---------------------------------------------
+    def worker_pool(self, workers: Optional[int] = None) -> WorkerPool:
+        """The engine-owned chunk pool for ``workers`` threads.
+
+        Pools are created lazily, cached per worker count (``None``: the
+        engine's default ``workers``), and shared by every conversion the
+        engine runs — the engine owns the threads, not the call sites.
+        :meth:`shutdown` joins them.
+        """
+        workers = self.workers if workers is None else max(1, int(workers))
+        with self._lock:
+            pool = self._pools.get(workers)
+            if pool is None:
+                pool = WorkerPool(workers)
+                self._pools[workers] = pool
+        return pool
+
+    def shutdown(self) -> None:
+        """Join all chunk-pool threads (pools restart lazily on reuse)."""
+        with self._lock:
+            pools = list(self._pools.values())
+        for pool in pools:
+            pool.shutdown()
+
+    def _parallel_workers(
+        self,
+        parallel: Union[str, int, None],
+        nnz: int,
+        options: PlanOptions,
+        backend: str,
+    ) -> int:
+        """Resolve a ``parallel=`` request to a worker count (0: serial).
+
+        ``"auto"`` engages the engine's default pool once the tensor
+        crosses ``options.parallel_threshold`` and the engine has a
+        multi-worker pool (``workers`` defaults to the host CPU count, so
+        single-core hosts never self-engage); an explicit int always
+        engages with exactly that many workers, even ``1`` (useful to
+        compare the chunked path against the serial kernel).
+        """
+        if parallel is None or parallel == "off":
+            return 0
+        if isinstance(parallel, bool):
+            raise ValueError("parallel expects 'auto', 'off', None or an int")
+        if isinstance(parallel, int):
+            if parallel < 1:
+                raise ValueError(f"parallel worker count must be >= 1, got {parallel}")
+            return parallel
+        if parallel != "auto":
+            raise ValueError(
+                f"unknown parallel mode {parallel!r}; expected one of "
+                f"{PARALLEL_MODES} or a worker count"
+            )
+        if backend not in ("auto", "vector"):
+            return 0  # an explicit scalar request keeps the scalar path
+        if nnz < options.parallel_threshold:
+            return 0
+        return self.workers if self.workers > 1 else 0
 
     # -- routing --------------------------------------------------------
     def route(
@@ -353,14 +517,22 @@ class ConversionEngine:
         dst_format: FormatSpec,
         options: Optional[PlanOptions] = None,
         nnz: Optional[int] = None,
+        workers: int = 0,
     ) -> ConversionRoute:
         """The cost-optimal conversion route for a pair.
 
         ``nnz`` is the expected stored-component count (defaults to
         ``DEFAULT_ROUTE_NNZ``); tiny tensors route direct because per-hop
-        overhead dominates.  Routes are cached per (structural pair,
-        options, nnz magnitude); a cache entry produced for a renamed
-        structural twin is re-tagged with the requested formats.
+        overhead dominates.  ``workers > 1`` plans for chunk-parallel
+        execution: vectorizable hops are costed at the cost model's
+        chunked throughput instead of the serial vector rate.  Routes are
+        cached per (structural pair, options, nnz magnitude, parallel
+        flag); a cache entry produced for a renamed structural twin is
+        re-tagged with the requested formats.
+
+        Example::
+
+            engine.route("HASH", "CSR").explain()
         """
         src_format = get_format(src_format)
         dst_format = get_format(dst_format)
@@ -371,6 +543,7 @@ class ConversionEngine:
             structural_key(dst_format),
             options.key(),
             max(nnz, 1).bit_length(),
+            workers > 1,
         )
         with self._lock:
             route = self._routes.get(key)
@@ -381,6 +554,7 @@ class ConversionEngine:
                 options=options,
                 cost_model=self.cost_model,
                 nnz=nnz,
+                workers=workers,
             )
             with self._lock:
                 self._routes[key] = route
@@ -391,8 +565,15 @@ class ConversionEngine:
             route = rebind_endpoints(route, src_format, dst_format)
         return route
 
-    def convert_via(self, route: ConversionRoute, tensor: Tensor) -> Tensor:
-        """Execute an explicit route on ``tensor``."""
+    def convert_via(self, route: ConversionRoute, tensor: Tensor,
+                    workers: int = 0) -> Tensor:
+        """Execute an explicit route on ``tensor``.
+
+        With ``workers > 0`` the generated hops that have a chunked form
+        run on the engine's chunk pool (bridges are single bulk passes
+        and stay as they are) — a routed huge conversion parallelizes hop
+        by hop.
+        """
         check_route(route)
         if structural_key(tensor.format) != structural_key(route.src):
             raise ValueError(
@@ -404,10 +585,15 @@ class ConversionEngine:
                 if bridge is None:
                     raise PlanError(f"no bridge registered for {hop.src.name}")
                 tensor = bridge[1](tensor)
-            else:
-                tensor = self.make_converter(
-                    hop.src, hop.dst, route.options, hop.kind
-                )(tensor)
+                continue
+            if workers and hop.kind == "vector":
+                chunked = self.make_chunked(hop.src, hop.dst, route.options)
+                if chunked is not None:
+                    tensor = chunked(tensor, self.worker_pool(workers))
+                    continue
+            tensor = self.make_converter(
+                hop.src, hop.dst, route.options, hop.kind
+            )(tensor)
         return tensor
 
     # -- conversion -----------------------------------------------------
@@ -418,6 +604,7 @@ class ConversionEngine:
         options: Optional[PlanOptions] = None,
         backend: Optional[str] = None,
         route: Union[str, ConversionRoute, None] = "auto",
+        parallel: Union[str, int, None] = "auto",
     ) -> Tensor:
         """Convert ``tensor`` to ``dst_format`` (object or spec string).
 
@@ -430,37 +617,69 @@ class ConversionEngine:
         checking it actually ends at ``dst_format`` (an explicit route
         carries its own per-hop backends and plan options, so the
         ``options``/``backend`` arguments do not apply to it).
+
+        ``parallel`` selects the chunked executor
+        (:mod:`repro.convert.chunked`) for vectorizable pairs:
+        ``"auto"`` (default) engages it once ``tensor`` has at least
+        ``PlanOptions.parallel_threshold`` stored components and the host
+        is multi-core; an ``int`` forces a worker count at any size;
+        ``None``/``"off"`` stays serial.  Chunked results are
+        bit-identical to the serial vector backend; pairs without a
+        chunked form (hashed levels, non-default options) fall back to
+        the standard paths — warning once per pair when the worker count
+        was explicit.
         """
         dst_format = get_format(dst_format)
         src_format = tensor.format
         options, backend = self._effective(options, backend)
         pair = (src_format.name, dst_format.name)
+        workers = self._parallel_workers(
+            parallel, tensor.nnz_stored, options, backend
+        )
         if isinstance(route, ConversionRoute):
             # validates both endpoints structurally and re-tags renamed
             # twins, so the result comes back in the requested format
             aligned = rebind_endpoints(route, src_format, dst_format)
             self._record_conversion(pair, routed=True)
-            return self.convert_via(aligned, tensor)
+            return self.convert_via(aligned, tensor, workers=workers)
         if route not in (None, *ROUTE_MODES):
             raise ValueError(
                 f"unknown route mode {route!r}; expected one of {ROUTE_MODES} "
                 "or a ConversionRoute"
             )
+        if workers:
+            chunked = self.make_chunked(src_format, dst_format, options)
+            if chunked is not None:
+                self._record_conversion(pair, routed=False, parallel=True)
+                return chunked(tensor, self.worker_pool(workers))
+            if isinstance(parallel, int) and pair not in self._parallel_warned:
+                self._parallel_warned.add(pair)
+                warnings.warn(
+                    f"no chunked lowering for {pair[0]}->{pair[1]} (the pair "
+                    "is not vectorizable); running the standard conversion "
+                    "paths",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
         if route == "auto" and backend == "auto":
             found = self.route(
-                src_format, dst_format, options=options, nnz=tensor.nnz_stored
+                src_format, dst_format, options=options,
+                nnz=tensor.nnz_stored, workers=workers,
             )
             if found.beats_direct:
                 self._record_conversion(pair, routed=True)
-                return self.convert_via(found, tensor)
+                return self.convert_via(found, tensor, workers=workers)
         self._record_conversion(pair, routed=False)
         return self.make_converter(src_format, dst_format, options, backend)(tensor)
 
-    def _record_conversion(self, pair: Tuple[str, str], routed: bool) -> None:
+    def _record_conversion(self, pair: Tuple[str, str], routed: bool,
+                           parallel: bool = False) -> None:
         with self._lock:
             self._stats["conversions"] += 1
             if routed:
                 self._stats["routed_conversions"] += 1
+            if parallel:
+                self._stats["parallel_conversions"] += 1
             self._pair_counts[pair] = self._pair_counts.get(pair, 0) + 1
 
     # -- telemetry ------------------------------------------------------
@@ -472,7 +691,8 @@ class ConversionEngine:
         a structurally-shared kernel; ``compiles`` are actual plan+compile
         runs with their total ``compile_seconds``; ``evictions`` /
         ``converter_evictions`` count LRU drops; ``conversions`` /
-        ``routed_conversions`` count executed conversions.
+        ``routed_conversions`` / ``parallel_conversions`` count executed
+        conversions (and how many ran routed / on the chunked executor).
         """
         with self._lock:
             stats = dict(self._stats)

@@ -72,14 +72,21 @@ class PlanOptions:
     optimization of Section 4.2 (ablation A1).
     ``disable_width_count`` turns off the simplify-width-count rewrite of
     Table 1, forcing analyses back to nonzero passes (ablation A2).
+    ``parallel_threshold`` is the stored-component count above which
+    ``convert(..., parallel="auto")`` engages the chunked executor
+    (:mod:`repro.convert.chunked`); it tunes *execution*, not code
+    generation, so it is deliberately **not** part of :meth:`key` — two
+    engines differing only in threshold share every cached kernel.
     """
 
     force_unsequenced_edges: bool = False
     skip_src_zeros: Optional[bool] = None
     force_counter_arrays: bool = False
     disable_width_count: bool = False
+    parallel_threshold: int = 1 << 20
 
     def key(self) -> Tuple:
+        """Cache-key tuple of the codegen-affecting options only."""
         return (
             self.force_unsequenced_edges,
             self.skip_src_zeros,

@@ -53,36 +53,49 @@ class CostModel:
 
     The defaults are seeded from the repository's CI ``BENCH_smoke.json``
     reports (scalar loops run ~1.5 µs per stored component on the GitHub
-    runners; the vector backend ~40 ns at 100k+ nnz).  ``hop_overhead``
-    charges each hop's fixed cost (dispatch, array allocation, tensor
-    marshalling) so short routes win ties and tiny tensors stay direct.
+    runners; the vector backend ~40 ns at 100k+ nnz; the chunked executor
+    ~20 ns at 1M+ nnz — sorted-run detection plus thread overlap).
+    ``hop_overhead`` charges each hop's fixed cost (dispatch, array
+    allocation, tensor marshalling) so short routes win ties and tiny
+    tensors stay direct.
     """
 
     scalar_per_nnz: float = 1.5e-6
     vector_per_nnz: float = 4.0e-8
     bridge_per_nnz: float = 2.0e-8
+    chunked_per_nnz: float = 2.0e-8
     hop_overhead: float = 5.0e-5
 
-    def cost(self, kind: str, nnz: int) -> float:
-        """Estimated seconds for one hop of ``kind`` over ``nnz`` components."""
-        per_nnz = {
-            "scalar": self.scalar_per_nnz,
-            "vector": self.vector_per_nnz,
-            "bridge": self.bridge_per_nnz,
-        }[kind]
+    def cost(self, kind: str, nnz: int, workers: int = 1) -> float:
+        """Estimated seconds for one hop of ``kind`` over ``nnz`` components.
+
+        ``workers > 1`` plans for chunk-parallel execution: vectorizable
+        hops (``"vector"`` or the explicit ``"chunked"`` kind) are costed
+        at the chunked throughput — this is how the router weighs routes
+        when the engine converts with ``parallel=`` engaged.
+        """
+        if kind == "chunked" or (kind == "vector" and workers > 1):
+            per_nnz = self.chunked_per_nnz
+        else:
+            per_nnz = {
+                "scalar": self.scalar_per_nnz,
+                "vector": self.vector_per_nnz,
+                "bridge": self.bridge_per_nnz,
+            }[kind]
         return per_nnz * max(int(nnz), 0) + self.hop_overhead
 
     @classmethod
     def from_bench_report(cls, report: Dict) -> "CostModel":
         """Seed a model from a ``backends_json`` report (``BENCH_*.json``).
 
-        Takes the median per-nonzero scalar and vector times over every
-        cell; bridge extraction is estimated at half the vector rate (it
-        is a single mask/gather pass).  Falls back to the defaults for
-        rates the report cannot support.
+        Takes the median per-nonzero scalar, vector and parallel (chunked)
+        times over every cell; bridge extraction is estimated at half the
+        vector rate (it is a single mask/gather pass).  Falls back to the
+        defaults for rates the report cannot support.
         """
         scalar_rates: List[float] = []
         vector_rates: List[float] = []
+        parallel_rates: List[float] = []
         for column in report.values():
             for cell in column.get("cells", ()):
                 nnz = cell.get("nnz") or 0
@@ -92,6 +105,8 @@ class CostModel:
                     scalar_rates.append(cell["scalar_seconds"] / nnz)
                 if cell.get("vector_seconds"):
                     vector_rates.append(cell["vector_seconds"] / nnz)
+                if cell.get("parallel_seconds"):
+                    parallel_rates.append(cell["parallel_seconds"] / nnz)
         model = cls()
         if scalar_rates:
             model = replace(model, scalar_per_nnz=median(scalar_rates))
@@ -100,6 +115,8 @@ class CostModel:
             model = replace(
                 model, vector_per_nnz=vector, bridge_per_nnz=vector / 2
             )
+        if parallel_rates:
+            model = replace(model, chunked_per_nnz=median(parallel_rates))
         return model
 
 
@@ -297,15 +314,19 @@ def find_route(
     nnz: Optional[int] = None,
     max_hops: int = 3,
     intermediates: Optional[Sequence[Format]] = None,
+    workers: int = 0,
 ) -> ConversionRoute:
     """Find the cheapest conversion path from ``src`` to ``dst``.
 
     Runs Dijkstra over the format graph — nodes are ``src``, ``dst`` and
     the registered same-order intermediates (or an explicit
     ``intermediates`` list); edge weights come from ``cost_model`` at
-    ``nnz`` stored components.  Non-default :class:`PlanOptions` pin the
-    route to the direct conversion: the options select scalar code shapes
-    that bridges and vector hops do not honour.
+    ``nnz`` stored components.  ``workers > 1`` plans for chunk-parallel
+    execution: vector edges are costed at the model's chunked throughput
+    (the engine executes those hops on its worker pool).  Non-default
+    :class:`PlanOptions` pin the route to the direct conversion: the
+    options select scalar code shapes that bridges and vector hops do not
+    honour.
 
     The direct route always exists, so the result is never empty; ties go
     to the direct conversion.
@@ -315,9 +336,10 @@ def find_route(
     options = options or PlanOptions()
     model = cost_model or CostModel()
     nnz = DEFAULT_ROUTE_NNZ if nnz is None else int(nnz)
+    workers = max(int(workers), 0)
 
     direct_kind = _edge_kind(src, dst, options)
-    direct_cost = model.cost(direct_kind, nnz)
+    direct_cost = model.cost(direct_kind, nnz, workers or 1)
     direct = ConversionRoute(
         hops=(Hop(src, dst, direct_kind),),
         cost=direct_cost,
@@ -365,7 +387,7 @@ def find_route(
             if nxt == node:
                 continue
             kind = _edge_kind(here, nodes[nxt], options)
-            step = cost + model.cost(kind, nnz)
+            step = cost + model.cost(kind, nnz, workers or 1)
             state = (nxt, hops_used + 1)
             if step < best.get(state, float("inf")):
                 best[state] = step

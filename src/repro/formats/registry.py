@@ -68,6 +68,12 @@ def register_format(fmt: Format, *aliases: str, overwrite: bool = False) -> Form
     Registration makes the format addressable as a spec string from every
     API.  Re-registering a name raises unless ``overwrite=True`` or the
     existing entry is the same object (idempotent re-registration).
+
+    Example::
+
+        fmt = make_format("MYFMT", "(i,j) -> (i,j)", levels, inverse_text=...)
+        register_format(fmt, "MYALIAS")
+        convert(tensor, "myfmt")         # specs are case-insensitive
     """
     with _LOCK:
         tokens = []
@@ -111,6 +117,12 @@ def parse_format_spec(spec: str) -> Format:
     repeated parses return the identical object without mutating the
     ``available_formats()`` listing.  Raises :class:`UnknownFormatError`
     otherwise.
+
+    Example::
+
+        parse_format_spec("CSR")                      # built-in
+        parse_format_spec("BCSR8x8").params           # {'M': 8, 'N': 8}
+        parse_format_spec("bcsr8x8") is parse_format_spec("BCSR8X8")  # True
     """
     if not isinstance(spec, str):
         raise TypeError(f"format spec must be a str, got {type(spec).__name__}")

@@ -132,21 +132,26 @@ class Tensor:
 
     # -- conversion convenience ------------------------------------------------
     def to(self, dst_format, options=None, backend=None, engine=None,
-           route="auto") -> "Tensor":
+           route="auto", parallel="auto") -> "Tensor":
         """Convert to ``dst_format`` (a :class:`Format` or a registry spec
         string like ``"CSR"`` / ``"BCSR8x8"``) with a generated routine.
 
         Uses the process-wide default engine unless ``engine`` (a
-        :class:`~repro.convert.engine.ConversionEngine`) is given::
+        :class:`~repro.convert.engine.ConversionEngine`) is given;
+        ``parallel`` selects the chunked executor for huge tensors (see
+        :meth:`ConversionEngine.convert
+        <repro.convert.engine.ConversionEngine.convert>`)::
 
             csr = tensor.to("CSR")
             dia = tensor.to(DIA, engine=my_engine)
+            csc = huge.to("CSC", parallel=8)     # chunked executor
         """
         if engine is None:
             from ..convert.engine import default_engine
 
             engine = default_engine()
-        return engine.convert(self, dst_format, options, backend, route)
+        return engine.convert(self, dst_format, options, backend, route,
+                              parallel)
 
     # -- scipy interop ---------------------------------------------------------
     @classmethod
@@ -186,7 +191,10 @@ class Tensor:
 
         Matrix formats only.  The tensor is brought to COO with a
         generated routine (a no-op for COO tensors) and handed to scipy,
-        which converts to any of its own formats from there.
+        which converts to any of its own formats from there::
+
+            sp = tensor.to_scipy("csr")      # scipy.sparse.csr_matrix
+            tensor.to("DIA").to_scipy("csc") # convert, then export
         """
         import scipy.sparse  # deliberately late: scipy is optional
 

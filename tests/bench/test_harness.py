@@ -112,7 +112,30 @@ def test_extra_backend_pairs_resolve_to_vector():
     assert resolve_backend(_FORMATS["dcsr"], _FORMATS["csr"]) == "vector"
 
 
-def _report(vector_seconds):
+def test_run_backends_parallel_column():
+    """``workers=N`` adds the chunked-executor column for chunkable pairs
+    and leaves it empty for routed/scalar-only ones."""
+    matrices = [get_matrix("jnlbrng1", scale=0.1)]
+    results = run_backends(
+        matrices, columns=["coo_csr", "hash_csr"], repeats=1, workers=2
+    )
+    (coo_cell,) = results["coo_csr"]
+    assert coo_cell.parallel_seconds and coo_cell.parallel_seconds > 0
+    assert coo_cell.parallel_speedup == (
+        coo_cell.vector_seconds / coo_cell.parallel_seconds
+    )
+    (hash_cell,) = results["hash_csr"]
+    assert hash_cell.parallel_seconds is None  # no chunked form for HASH
+    text = render_backends(results)
+    assert "parallel (ms)" in text
+    report = backends_json(results)
+    assert report["coo_csr"]["cells"][0]["parallel_seconds"] > 0
+    # without workers the column stays out of the rendering
+    plain = run_backends(matrices, columns=["coo_csr"], repeats=1)
+    assert "parallel (ms)" not in render_backends(plain)
+
+
+def _report(vector_seconds, parallel_seconds=None):
     return {
         "coo_csr": {
             "geomean_speedup": 10.0,
@@ -124,6 +147,7 @@ def _report(vector_seconds):
                     "vector_seconds": vector_seconds,
                     "speedup": 0.5 / vector_seconds,
                     "scipy_seconds": None,
+                    "parallel_seconds": parallel_seconds,
                 }
             ],
         }
@@ -144,6 +168,17 @@ def test_compare_backend_reports_flags_regressions():
     assert compare_backend_reports(_report(0.0004), _report(0.5), 2.0) == []
     assert compare_backend_reports(_report(0.0004), _report(0.5), 2.0,
                                    min_seconds=0.0001) != []
+
+
+def test_compare_backend_reports_gates_parallel_cells():
+    baseline = _report(0.010, parallel_seconds=0.005)
+    ok = _report(0.010, parallel_seconds=0.006)
+    assert compare_backend_reports(baseline, ok, 2.0) == []
+    bad = _report(0.010, parallel_seconds=0.050)
+    regressions = compare_backend_reports(baseline, bad, 2.0)
+    assert len(regressions) == 1 and "parallel" in regressions[0]
+    # reports without the parallel column (older baselines) never gate it
+    assert compare_backend_reports(_report(0.010), bad, 2.0) == []
 
 
 def test_render_table3_includes_geomean():

@@ -3,7 +3,20 @@
 import numpy as np
 import pytest
 
-from repro.ir.runtime import compile_source, fill, prefix_sum, trim
+from repro.ir.runtime import (
+    WorkerPool,
+    chunked_bincount,
+    chunked_group_ranks,
+    chunked_scatter,
+    chunked_unique_first,
+    chunked_yield_positions,
+    compile_source,
+    fill,
+    group_ranks,
+    prefix_sum,
+    trim,
+    unique_first,
+)
 
 
 def test_prefix_sum_matches_figure_11_semantics():
@@ -72,3 +85,120 @@ def test_compiled_functions_are_isolated():
     f1 = compile_source("def h():\n    return 1\n", "h")
     f2 = compile_source("def h():\n    return 2\n", "h")
     assert f1() == 1 and f2() == 2
+
+
+# ----------------------------------------------------------------------
+# chunk runtime (the helpers behind repro.convert.chunked)
+
+
+@pytest.fixture(scope="module", params=["serial", "one", "four", "fine"])
+def pool(request):
+    built = {
+        "serial": None,
+        "one": WorkerPool(workers=1, grain=4),
+        "four": WorkerPool(workers=4, grain=4),
+        "fine": WorkerPool(workers=3, grain=1),
+    }[request.param]
+    yield built
+    if built is not None:
+        built.shutdown()
+
+
+def _key_cases():
+    rng = np.random.default_rng(0)
+    return [
+        np.zeros(0, dtype=np.int64),
+        np.array([5], dtype=np.int64),
+        rng.integers(0, 7, 100).astype(np.int64),
+        np.sort(rng.integers(0, 7, 100)).astype(np.int64),
+        rng.integers(0, 10**12, 100).astype(np.int64),     # sparse key space
+        np.sort(rng.integers(0, 10**12, 57)).astype(np.int64),
+        np.concatenate(
+            [np.sort(rng.integers(0, 9, 50)), rng.integers(0, 9, 50)]
+        ).astype(np.int64),                                 # sorted prefix only
+    ]
+
+
+def test_chunked_group_ranks_matches_serial(pool):
+    for keys in _key_cases():
+        got = chunked_group_ranks(keys, pool)
+        want = group_ranks(keys)
+        assert got.dtype == want.dtype
+        np.testing.assert_array_equal(got, want)
+
+
+def test_chunked_unique_first_matches_serial(pool):
+    for keys in _key_cases():
+        np.testing.assert_array_equal(
+            chunked_unique_first(keys, pool), unique_first(keys)
+        )
+
+
+def test_chunked_bincount_matches_serial(pool):
+    for keys in _key_cases():
+        if keys.size and keys.max() > 10**6:
+            continue  # a bincount over a huge key space is never emitted
+        got = chunked_bincount(keys, minlength=13, pool=pool)
+        want = np.bincount(keys, minlength=13)
+        assert got.dtype == want.dtype
+        np.testing.assert_array_equal(got, want)
+
+
+def test_chunked_yield_positions_matches_bulk_yield_pos(pool):
+    rng = np.random.default_rng(1)
+    for trial in range(24):
+        n = int(rng.integers(0, 200))
+        space = int(rng.integers(1, 9))
+        parent = rng.integers(0, space, n).astype(np.int64)
+        if trial % 2:
+            parent.sort()  # the sorted-run fast path
+        pos = np.zeros(space + 1, dtype=np.int64)
+        np.cumsum(np.bincount(parent, minlength=space), out=pos[1:])
+        want = (
+            pos[parent] + group_ranks(parent)
+            if n else np.zeros(0, dtype=np.int64)
+        )
+        got = chunked_yield_positions(pos, parent, pool)
+        assert got.dtype == np.int64
+        np.testing.assert_array_equal(got, want)
+
+
+def test_chunked_yield_positions_identity_fast_path():
+    # source already in destination order: positions are literally arange
+    parent = np.sort(np.random.default_rng(2).integers(0, 50, 1000)).astype(
+        np.int64
+    )
+    pos = np.zeros(51, dtype=np.int64)
+    np.cumsum(np.bincount(parent, minlength=50), out=pos[1:])
+    pool = WorkerPool(workers=4, grain=8)
+    np.testing.assert_array_equal(
+        chunked_yield_positions(pos, parent, pool), np.arange(1000)
+    )
+    pool.shutdown()
+
+
+def test_chunked_scatter_matches_serial(pool):
+    rng = np.random.default_rng(3)
+    index = rng.permutation(40).astype(np.int64)
+    values = rng.random(40)
+    dst = np.zeros(40)
+    chunked_scatter(dst, index, values, pool)
+    want = np.zeros(40)
+    want[index] = values
+    np.testing.assert_array_equal(dst, want)
+    # scalar broadcast form
+    dst2 = np.zeros(40, dtype=np.int64)
+    chunked_scatter(dst2, index, 7, pool)
+    assert (dst2 == 7).all()
+
+
+def test_worker_pool_bounds_policy():
+    pool = WorkerPool(workers=4, grain=100)
+    assert pool.bounds(0) == []
+    assert pool.bounds(99) == [(0, 99)]        # below the grain: one chunk
+    assert pool.bounds(250) == [(0, 125), (125, 250)]
+    bounds = pool.bounds(1000)
+    assert len(bounds) == 4                    # capped at the worker count
+    assert bounds[0][0] == 0 and bounds[-1][1] == 1000
+    assert all(lo < hi for lo, hi in bounds)
+    pool.shutdown()
