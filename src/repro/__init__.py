@@ -26,7 +26,9 @@ Quickstart::
 from .convert import (
     CompiledConversion,
     ConversionEngine,
+    ConversionPlan,
     ConversionRoute,
+    CostModel,
     PlanError,
     PlanOptions,
     convert,
@@ -62,7 +64,9 @@ def build(format, dims, coords, vals):
 __all__ = [
     "CompiledConversion",
     "ConversionEngine",
+    "ConversionPlan",
     "ConversionRoute",
+    "CostModel",
     "Format",
     "FormatError",
     "PlanError",

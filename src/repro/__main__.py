@@ -5,8 +5,12 @@ Usage::
     python -m repro formats                     # list registered formats
     python -m repro codegen CSR DIA             # print the generated routine
     python -m repro codegen COO CSR --backend chunked   # chunk-parallel form
+    python -m repro plan HASH CSR               # show the conversion plan
+    python -m repro plan HASH CSR --json --save plan.json   # serialize it
+    python -m repro plan --load plan.json       # replay a saved plan
     python -m repro convert in.mtx --to DIA     # convert a Matrix Market file
     python -m repro convert in.mtx --to CSR --parallel 8   # chunked executor
+    python -m repro convert in.mtx --to CSR --cache-dir .kernels  # warm starts
     python -m repro route HASH CSR --explain    # show the conversion route
     python -m repro stats in.mtx                # attribute-query statistics
     python -m repro verify COO CSR --trials 50  # differential verification
@@ -21,7 +25,13 @@ from __future__ import annotations
 import argparse
 import time
 
-from .convert import default_engine, generated_source, make_converter
+from .convert import (
+    ConversionEngine,
+    ConversionPlan,
+    default_engine,
+    generated_source,
+)
+from .convert.context import PlanError
 from .convert.verify import verify_conversion
 from .formats import UnknownFormatError, available_formats, get_format
 from .io import read_tensor
@@ -75,12 +85,58 @@ def _parallel_arg(spec: str):
     return workers
 
 
+def _cmd_plan(args) -> None:
+    engine = (
+        ConversionEngine(cache_dir=args.cache_dir)
+        if args.cache_dir
+        else default_engine()
+    )
+    if args.load:
+        if args.src or args.dst or args.nnz is not None or args.backend:
+            raise SystemExit(
+                "--load replays the stored plan as-is; it cannot be "
+                "combined with SRC/DST, --nnz or --backend"
+            )
+        try:
+            with open(args.load) as handle:
+                plan = ConversionPlan.from_json(handle.read(), engine=engine)
+        except (OSError, PlanError) as exc:
+            raise SystemExit(f"cannot load plan: {exc}") from exc
+    else:
+        if not (args.src and args.dst):
+            raise SystemExit("plan needs SRC and DST (or --load FILE)")
+        plan = engine.plan(
+            _format_arg(args.src),
+            _format_arg(args.dst),
+            nnz=args.nnz,
+            backend=args.backend,
+        )
+    if args.save:
+        with open(args.save, "w") as handle:
+            handle.write(plan.to_json(indent=2) + "\n")
+        print(f"wrote {args.save}")
+    if args.json:
+        print(plan.to_json(indent=2))
+    else:
+        print(plan.explain())
+    if args.show_code:
+        for hop, source in zip(plan.hops, plan.sources()):
+            if source is None:
+                print(f"\n# {hop}: bulk extraction, no generated source")
+            else:
+                print("\n" + source)
+
+
 def _cmd_convert(args) -> None:
     src_fmt = _format_arg(args.source_format)
     dst_fmt = _format_arg(args.to)
     parallel = _parallel_arg(args.parallel)
     tensor = read_tensor(args.input, src_fmt)
-    engine = default_engine()
+    engine = (
+        ConversionEngine(cache_dir=args.cache_dir)
+        if args.cache_dir
+        else default_engine()
+    )
     # Routing engages only under the auto policies (mirrors engine.convert):
     # an explicit backend request always runs the direct conversion.
     route = None
@@ -108,6 +164,14 @@ def _cmd_convert(args) -> None:
     for (k, name), value in sorted(out.metadata.items()):
         print(f"  B{k + 1}_{name} = {value}")
     print(f"  B_vals: {len(out.vals)} entries ({out.nnz} nonzero)")
+    if args.cache_dir:
+        stats = engine.cache_stats()
+        print(
+            f"  kernel cache {args.cache_dir}: "
+            f"{stats['disk_hits']} disk hit(s), "
+            f"{stats['disk_writes']} write(s), "
+            f"{stats['compiles']} compile(s)"
+        )
     if args.show_code:
         if parallel_ran:
             print("\n" + engine.make_chunked(src_fmt, dst_fmt).source)
@@ -118,11 +182,11 @@ def _cmd_convert(args) -> None:
                 if hop.kind == "bridge":
                     print(f"\n# {hop}: bulk extraction, no generated source")
                 else:
-                    print("\n" + make_converter(
+                    print("\n" + engine.make_converter(
                         hop.src, hop.dst, backend=hop.kind
                     ).source)
         else:
-            print("\n" + make_converter(
+            print("\n" + engine.make_converter(
                 src_fmt, dst_fmt, backend=args.backend
             ).source)
 
@@ -185,6 +249,28 @@ def main(argv=None) -> None:
                          default="scalar",
                          help="lowering backend (default: scalar, the paper's loops)")
 
+    plan = sub.add_parser(
+        "plan", help="show, save or replay the conversion plan for a pair"
+    )
+    plan.add_argument("src", nargs="?", default=None)
+    plan.add_argument("dst", nargs="?", default=None)
+    plan.add_argument("--json", action="store_true",
+                      help="print the plan as JSON instead of the transcript")
+    plan.add_argument("--save", metavar="FILE", default=None,
+                      help="write the plan JSON to FILE")
+    plan.add_argument("--load", metavar="FILE", default=None,
+                      help="load a plan from FILE instead of planning SRC DST")
+    plan.add_argument("--nnz", type=int, default=None,
+                      help="stored-component count the plan is costed at "
+                           "(default: bulk sizes)")
+    plan.add_argument("--backend", choices=["auto", "scalar", "vector"],
+                      default=None, help="lowering backend policy")
+    plan.add_argument("--cache-dir", default=None, metavar="DIR",
+                      help="persistent kernel cache directory the plan's "
+                           "engine compiles into / loads from")
+    plan.add_argument("--show-code", action="store_true",
+                      help="also print the generated source of every hop")
+
     convert = sub.add_parser("convert", help="convert a Matrix Market file")
     convert.add_argument("input")
     convert.add_argument("--from", dest="source_format", default="COO")
@@ -197,6 +283,10 @@ def main(argv=None) -> None:
     convert.add_argument("--parallel", default="auto", metavar="auto|off|N",
                          help="chunked executor: 'auto' (size threshold), "
                               "'off', or a worker count (default: auto)")
+    convert.add_argument("--cache-dir", default=None, metavar="DIR",
+                         help="persistent kernel cache: compiled kernels are "
+                              "written here and loaded on the next run, so "
+                              "warm starts compile nothing")
 
     route = sub.add_parser("route", help="show the conversion route for a pair")
     route.add_argument("src")
@@ -223,6 +313,7 @@ def main(argv=None) -> None:
     {
         "formats": _cmd_formats,
         "codegen": _cmd_codegen,
+        "plan": _cmd_plan,
         "convert": _cmd_convert,
         "route": _cmd_route,
         "stats": _cmd_stats,

@@ -1,6 +1,7 @@
 """Benchmark harness reproducing the paper's evaluation (Section 7)."""
 
 from .ablations import run_ablations, render_ablations
+from .cache import cache_json, check_warm, render_cache, run_cache
 from .table2 import render_table2, run_table2
 from .table3 import (
     BACKEND_COLUMNS,
@@ -18,8 +19,8 @@ from .timing import format_table, geomean, time_call
 
 __all__ = [
     "BACKEND_COLUMNS", "COLUMNS", "applicable", "backends_json",
-    "compare_backend_reports", "format_table", "geomean",
-    "render_ablations", "render_backends", "render_table2", "render_table3",
-    "run_ablations", "run_backends", "run_column", "run_table2", "run_table3",
-    "time_call",
+    "cache_json", "check_warm", "compare_backend_reports", "format_table",
+    "geomean", "render_ablations", "render_backends", "render_cache",
+    "render_table2", "render_table3", "run_ablations", "run_backends",
+    "run_cache", "run_column", "run_table2", "run_table3", "time_call",
 ]

@@ -8,6 +8,8 @@ Usage::
                                    [--matrices m1,m2] [--json PATH]
                                    [--workers N]
     python -m repro.bench ablations [--scale S] [--repeats R]
+    python -m repro.bench cache [--pairs p1,p2] [--cache-dir DIR]
+                                [--check-warm] [--json PATH]
     python -m repro.bench compare BASELINE.json CURRENT.json [--threshold X]
 
 ``backends`` compares the scalar (loop) and vector (bulk numpy) lowering
@@ -20,7 +22,9 @@ against the serial vector kernel, and ``--json`` additionally writes the
 report as JSON (the CI smoke artifact).  ``compare`` diffs two such JSON
 reports and exits nonzero when any fast-path cell (vector, parallel or
 routed) regressed by more than ``--threshold`` (CI fails the build on
->2x regressions).
+>2x regressions).  ``cache`` measures the persistent kernel cache's
+warm-vs-cold start per pair (``--check-warm`` exits nonzero when a warm
+engine still compiled anything — the CI cold-vs-warm smoke step).
 """
 
 import argparse
@@ -32,13 +36,17 @@ from . import (
     BACKEND_COLUMNS,
     COLUMNS,
     backends_json,
+    cache_json,
+    check_warm,
     compare_backend_reports,
     render_ablations,
     render_backends,
+    render_cache,
     render_table2,
     render_table3,
     run_ablations,
     run_backends,
+    run_cache,
     run_table2,
     run_table3,
 )
@@ -47,7 +55,9 @@ from . import (
 def main() -> None:
     parser = argparse.ArgumentParser(prog="python -m repro.bench")
     parser.add_argument(
-        "report", choices=["table2", "table3", "backends", "ablations", "compare"]
+        "report",
+        choices=["table2", "table3", "backends", "ablations", "cache",
+                 "compare"],
     )
     parser.add_argument("paths", nargs="*", metavar="JSON",
                         help="for 'compare': baseline and current report files")
@@ -68,6 +78,12 @@ def main() -> None:
     parser.add_argument("--workers", type=int, default=0, metavar="N",
                         help="'backends': add a parallel column timing the "
                              "chunked executor on an N-worker pool (0: off)")
+    parser.add_argument("--cache-dir", type=str, default=None, metavar="DIR",
+                        help="'cache': kernel cache directory (default: a "
+                             "fresh temporary directory)")
+    parser.add_argument("--check-warm", action="store_true",
+                        help="'cache': exit nonzero when any warm engine "
+                             "still compiled (or loaded nothing from disk)")
     parser.add_argument("--threshold", type=float, default=2.0,
                         help="'compare': fail on vector times above "
                              "threshold x baseline (default 2.0)")
@@ -75,14 +91,40 @@ def main() -> None:
                         help="'compare': ignore cells whose baseline vector "
                              "time is below this (noise floor, default 1e-3)")
     args = parser.parse_args()
-    if args.json and args.report != "backends":
-        parser.error("--json is only produced by the 'backends' report")
-    if args.pairs and args.report != "backends":
-        parser.error("--pairs only filters the 'backends' report")
+    if args.json and args.report not in ("backends", "cache"):
+        parser.error("--json is only produced by 'backends' and 'cache'")
+    if args.pairs and args.report not in ("backends", "cache"):
+        parser.error("--pairs only filters the 'backends' and 'cache' reports")
     if args.workers and args.report != "backends":
         parser.error("--workers only applies to the 'backends' report")
     if args.workers < 0:
         parser.error("--workers must be >= 0")
+    if (args.cache_dir or args.check_warm) and args.report != "cache":
+        parser.error("--cache-dir/--check-warm only apply to 'cache'")
+
+    if args.report == "cache":
+        pairs = args.pairs.split(",") if args.pairs else None
+        unknown = [p for p in pairs or [] if p not in BACKEND_COLUMNS]
+        if unknown:
+            parser.error(
+                f"unknown pair(s) {', '.join(unknown)}; choose from "
+                f"{', '.join(BACKEND_COLUMNS)}"
+            )
+        results = run_cache(pairs, cache_dir=args.cache_dir)
+        print(render_cache(results))
+        if args.json:
+            with open(args.json, "w") as handle:
+                json.dump(cache_json(results), handle, indent=2)
+            print(f"\nwrote {args.json}")
+        if args.check_warm:
+            problems = check_warm(results)
+            if problems:
+                print(f"\n{len(problems)} warm-start violation(s):")
+                for line in problems:
+                    print(f"  {line}")
+                sys.exit(1)
+            print("\nwarm start clean: every warm engine compiled nothing")
+        return
 
     if args.report == "compare":
         if len(args.paths) != 2:

@@ -1,0 +1,145 @@
+"""Warm-vs-cold kernel-cache benchmark.
+
+The persistent kernel cache (``ConversionEngine(cache_dir=...)``) turns a
+process cold start — plan the conversion, generate code, compile — into a
+disk load.  This report measures exactly that seam, per conversion pair:
+
+* **cold**: a fresh engine on an empty cache directory warms the pair
+  (codegen + compile, including route hops), writing kernel records;
+* **warm**: a second fresh engine on the *same* directory warms the same
+  pair — every kernel loads from disk, so ``cache_stats()`` must show
+  ``compiles == 0`` and ``disk_hits > 0``.
+
+``python -m repro.bench cache [--pairs ...] [--check-warm]`` renders the
+columns; ``--check-warm`` exits nonzero when any warm engine compiled
+anything (the CI cold-vs-warm smoke step).
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..convert import ConversionEngine
+from .table3 import _FORMATS, BACKEND_COLUMNS
+from .timing import format_table
+
+
+@dataclass
+class CacheCellResult:
+    """One pair's cold/warm warmup timings and warm cache counters."""
+
+    pair: str
+    cold_seconds: float
+    warm_seconds: float
+    warm_compiles: int
+    warm_disk_hits: int
+
+    @property
+    def speedup(self) -> Optional[float]:
+        if self.warm_seconds <= 0:
+            return None
+        return self.cold_seconds / self.warm_seconds
+
+
+def _pair_formats(pair: str):
+    src_name, dst_name = pair.split("_", 1)
+    return _FORMATS[src_name], _FORMATS[dst_name]
+
+
+def run_cache(
+    pairs: Optional[List[str]] = None,
+    cache_dir: Optional[str] = None,
+) -> List[CacheCellResult]:
+    """Time the cold (codegen + compile) vs. warm (disk load) start of
+    every pair's kernels.
+
+    ``cache_dir`` defaults to a fresh temporary directory; pass an
+    existing one to measure a cache carried across CI runs (the warm row
+    is then warm on the *first* run too).  Each pair warms through
+    ``engine.warmup`` — the direct kernel plus its route hops, exactly
+    what the first conversion of a service process would compile.
+    """
+    pairs = pairs or BACKEND_COLUMNS
+    base = cache_dir or tempfile.mkdtemp(prefix="repro-kernel-cache-")
+    results: List[CacheCellResult] = []
+    for pair in pairs:
+        src, dst = _pair_formats(pair)
+        pair_dir = os.path.join(base, pair)
+        cold_engine = ConversionEngine(cache_dir=pair_dir)
+        started = time.perf_counter()
+        cold_engine.warmup([(src, dst)])
+        cold = time.perf_counter() - started
+
+        warm_engine = ConversionEngine(cache_dir=pair_dir)
+        started = time.perf_counter()
+        warm_engine.warmup([(src, dst)])
+        warm = time.perf_counter() - started
+        stats = warm_engine.cache_stats()
+        results.append(
+            CacheCellResult(
+                pair=pair,
+                cold_seconds=cold,
+                warm_seconds=warm,
+                warm_compiles=int(stats["compiles"]),
+                warm_disk_hits=int(stats["disk_hits"]),
+            )
+        )
+    return results
+
+
+def render_cache(results: List[CacheCellResult]) -> str:
+    """Text rendering: cold and warm warmup times, the warm speedup, and
+    the warm engine's compile/disk counters."""
+    headers = ["pair", "cold (ms)", "warm (ms)", "speedup",
+               "warm compiles", "disk hits"]
+    rows = []
+    for cell in results:
+        speedup = cell.speedup
+        rows.append([
+            cell.pair,
+            f"{cell.cold_seconds * 1e3:.2f}",
+            f"{cell.warm_seconds * 1e3:.2f}",
+            "-" if speedup is None else f"{speedup:.1f}x",
+            str(cell.warm_compiles),
+            str(cell.warm_disk_hits),
+        ])
+    lines = [format_table(headers, rows)]
+    lines.append(
+        "\ncold: fresh engine + empty cache dir (codegen + compile); "
+        "warm: fresh engine, same dir (disk load only)."
+    )
+    return "\n".join(lines)
+
+
+def check_warm(results: List[CacheCellResult]) -> List[str]:
+    """The warm-start violations in ``results`` (empty = all good): any
+    pair whose warm engine still compiled, or loaded nothing from disk."""
+    problems: List[str] = []
+    for cell in results:
+        if cell.warm_compiles:
+            problems.append(
+                f"{cell.pair}: warm engine compiled "
+                f"{cell.warm_compiles} kernel(s); expected 0"
+            )
+        if not cell.warm_disk_hits:
+            problems.append(
+                f"{cell.pair}: warm engine loaded nothing from disk"
+            )
+    return problems
+
+
+def cache_json(results: List[CacheCellResult]) -> Dict:
+    """JSON form of the report (CI artifact)."""
+    return {
+        cell.pair: {
+            "cold_seconds": cell.cold_seconds,
+            "warm_seconds": cell.warm_seconds,
+            "warm_compiles": cell.warm_compiles,
+            "warm_disk_hits": cell.warm_disk_hits,
+        }
+        for cell in results
+    }

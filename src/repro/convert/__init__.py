@@ -1,9 +1,10 @@
 """Conversion engine: planner, code generation, public API (Sections 3, 6)."""
 
-from .api import CompiledConversion, convert, generated_source, make_converter
+from .api import CompiledConversion, convert, generated_source, make_converter, plan
 from .chunked import ChunkedConversion, chunkable, plan_chunked
 from .context import ConversionContext, PlanError, QueryResultHandle
 from .engine import ConversionEngine, default_engine, set_default_engine
+from .plan import PLAN_SCHEMA, CompiledPlan, ConversionPlan
 from .planner import (
     BACKENDS,
     ConversionPlanner,
@@ -25,10 +26,13 @@ from .verify import VerificationError, verify_all_pairs, verify_conversion
 
 __all__ = [
     "BACKENDS",
+    "PLAN_SCHEMA",
     "ChunkedConversion",
     "CompiledConversion",
+    "CompiledPlan",
     "ConversionContext",
     "ConversionEngine",
+    "ConversionPlan",
     "ConversionPlanner",
     "ConversionRoute",
     "CostModel",
@@ -45,6 +49,7 @@ __all__ = [
     "find_route",
     "generated_source",
     "make_converter",
+    "plan",
     "plan_chunked",
     "plan_conversion",
     "rebind_endpoints",

@@ -24,6 +24,7 @@ from typing import Optional, Union
 from ..formats.registry import FormatSpec
 from ..storage.tensor import Tensor
 from .engine import CompiledConversion, default_engine
+from .plan import ConversionPlan
 from .planner import PlanOptions
 from .router import ConversionRoute
 
@@ -32,6 +33,7 @@ __all__ = [
     "convert",
     "generated_source",
     "make_converter",
+    "plan",
 ]
 
 
@@ -94,6 +96,36 @@ def convert(
     """
     return default_engine().convert(
         tensor, dst_format, options, backend, route, parallel
+    )
+
+
+def plan(
+    src_format: FormatSpec,
+    dst_format: FormatSpec,
+    *,
+    options: Optional[PlanOptions] = None,
+    backend: Optional[str] = None,
+    route: Union[str, ConversionRoute, None] = "auto",
+    parallel: Union[str, int, None] = "auto",
+    nnz: Optional[int] = None,
+) -> ConversionPlan:
+    """The default engine's conversion plan for a format pair.
+
+    The returned :class:`~repro.convert.plan.ConversionPlan` is the
+    reified decision ``convert()`` would make — inspect it
+    (``explain()``, ``sources()``, ``estimated_cost()``), compile it
+    ahead of time, run it, or serialize it (``to_json()``) and replay it
+    in another process with ``ConversionPlan.from_json``.
+
+    Example::
+
+        p = plan("HASH", "CSR", nnz=1_000_000)
+        print(p.explain())
+        csr = p.run(tensor)
+    """
+    return default_engine().plan(
+        src_format, dst_format, options=options, backend=backend,
+        route=route, parallel=parallel, nnz=nnz,
     )
 
 

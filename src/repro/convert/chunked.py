@@ -89,6 +89,7 @@ class _ChunkRewriter(ast.NodeTransformer):
     def __init__(self) -> None:
         self.sites: Dict[str, int] = {
             "bincount": 0, "yield": 0, "ranks": 0, "dedup": 0, "scatter": 0,
+            "add_at": 0, "maximum_at": 0,
         }
 
     # -- small matchers -------------------------------------------------
@@ -153,8 +154,32 @@ class _ChunkRewriter(ast.NodeTransformer):
             )
         return self.generic_visit(node)
 
+    @staticmethod
+    def _ufunc_at(node: ast.AST) -> Optional[str]:
+        """The ufunc name of an ``np.<ufunc>.at(...)`` call, if any."""
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "at"
+            and isinstance(node.func.value, ast.Attribute)
+            and isinstance(node.func.value.value, ast.Name)
+            and node.func.value.value.id == "np"
+        ):
+            return node.func.value.attr
+        return None
+
     def visit_Call(self, node: ast.Call) -> ast.AST:
         node = self.generic_visit(node)
+        # prefix passes: np.add.at / np.maximum.at over the gathered
+        # streams -> per-chunk partial reductions merged by key
+        ufunc = self._ufunc_at(node)
+        if ufunc in ("add", "maximum"):
+            self.sites[f"{ufunc}_at"] += 1
+            return ast.Call(
+                func=ast.Name(id=f"chunked_{ufunc}_at", ctx=ast.Load()),
+                args=list(node.args) + [self._pool_arg()],
+                keywords=list(node.keywords),
+            )
         if self._is_call_to(node, "group_ranks"):
             self.sites["ranks"] += 1
             return ast.Call(

@@ -28,7 +28,7 @@ block-column level, where many nonzeros share one block.
 from __future__ import annotations
 
 import warnings
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..cin.compile import QueryCompiler
@@ -93,6 +93,24 @@ class PlanOptions:
             self.force_counter_arrays,
             self.disable_width_count,
         )
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable snapshot (every option, including the
+        execution-only ``parallel_threshold``)."""
+        return {
+            "force_unsequenced_edges": self.force_unsequenced_edges,
+            "skip_src_zeros": self.skip_src_zeros,
+            "force_counter_arrays": self.force_counter_arrays,
+            "disable_width_count": self.disable_width_count,
+            "parallel_threshold": self.parallel_threshold,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "PlanOptions":
+        """Inverse of :meth:`to_dict`; unknown keys (from a newer schema)
+        are ignored so old readers can still replay new plans."""
+        known = {f.name for f in fields(cls)}
+        return cls(**{k: v for k, v in dict(data).items() if k in known})
 
 
 @dataclass

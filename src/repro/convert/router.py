@@ -25,9 +25,13 @@ suite asserts equality for every multi-hop pair.
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, replace
+import json
+import os
+import threading
+import warnings
+from dataclasses import dataclass, field, replace
 from statistics import median
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -47,17 +51,43 @@ HOP_KINDS = ("scalar", "vector", "bridge")
 DEFAULT_ROUTE_NNZ = 100_000
 
 
-@dataclass(frozen=True)
+#: Provenance labels of a cost estimate.
+SEEDED = "seeded"
+MEASURED = "measured"
+
+#: Schema version of persisted cost-model files (``CostModel.save``).
+COST_MODEL_SCHEMA = 1
+
+#: EWMA smoothing factor for measured per-nonzero rates: each observation
+#: contributes a quarter, so one outlier conversion cannot flip a route.
+EWMA_ALPHA = 0.25
+
+#: Relative drift of a measured rate that republishes it (bumping
+#: :attr:`CostModel.version` so engines drop their cached routes).
+PUBLISH_DRIFT = 0.25
+
+
+@dataclass
 class CostModel:
     """Per-hop conversion cost estimates, linear in the stored size.
 
-    The defaults are seeded from the repository's CI ``BENCH_smoke.json``
-    reports (scalar loops run ~1.5 µs per stored component on the GitHub
-    runners; the vector backend ~40 ns at 100k+ nnz; the chunked executor
-    ~20 ns at 1M+ nnz — sorted-run detection plus thread overlap).
-    ``hop_overhead`` charges each hop's fixed cost (dispatch, array
-    allocation, tensor marshalling) so short routes win ties and tiny
-    tensors stay direct.
+    The *seeded* defaults come from the repository's CI
+    ``BENCH_smoke.json`` reports (scalar loops run ~1.5 µs per stored
+    component on the GitHub runners; the vector backend ~40 ns at 100k+
+    nnz; the chunked executor ~20 ns at 1M+ nnz — sorted-run detection
+    plus thread overlap).  ``hop_overhead`` charges each hop's fixed cost
+    (dispatch, array allocation, tensor marshalling) so short routes win
+    ties and tiny tensors stay direct.
+
+    On top of the seeds the model keeps a **measured** table: the engine
+    records the wall time of every executed hop (:meth:`observe`) into a
+    per-kind EWMA of the per-nonzero rate.  Once a kind has at least
+    ``min_observations`` recordings, :meth:`cost` prefers the measured
+    rate over the seeded one — routing decisions then reflect *this*
+    host, not the CI runners — and ``ConversionRoute.explain()`` labels
+    each edge ``seeded`` or ``measured``.  Models persist to JSON
+    (:meth:`save` / :meth:`load`; ``load`` also accepts a ``BENCH_*.json``
+    backend report and seeds from it).
     """
 
     scalar_per_nnz: float = 1.5e-6
@@ -65,24 +95,222 @@ class CostModel:
     bridge_per_nnz: float = 2.0e-8
     chunked_per_nnz: float = 2.0e-8
     hop_overhead: float = 5.0e-5
+    #: Observations of a kind required before measured rates take over.
+    min_observations: int = 3
+    #: Smallest hop size (stored components) worth recording: below this,
+    #: fixed per-call overhead dominates and extrapolating a per-nonzero
+    #: rate from it would wildly misprice bulk conversions.
+    min_nnz: int = 4096
+    #: Measured per-kind state, restored by :meth:`load` — normally left
+    #: to default and filled through :meth:`observe`.
+    measured: Dict[str, Dict[str, float]] = field(default_factory=dict)
 
+    def __post_init__(self) -> None:
+        self._lock = threading.Lock()
+        #: rates as last seen by consumers; drift beyond PUBLISH_DRIFT
+        #: bumps ``version`` (route caches key on it).  Only entries that
+        #: already crossed ``min_observations`` count as published — a
+        #: restored sub-threshold entry must still bump the version when
+        #: it later reaches the threshold (cost_detail flips provenance
+        #: at that point, so cached routes must be re-planned).
+        self._published: Dict[str, float] = {
+            kind: entry["rate"]
+            for kind, entry in self.measured.items()
+            if entry.get("count", 0) >= self.min_observations
+        }
+        self._version = 0
+
+    # -- measured rates --------------------------------------------------
+    @property
+    def version(self) -> int:
+        """Monotonic counter of *meaningful* measured-rate changes.
+
+        Bumped when a kind first reaches ``min_observations`` and
+        whenever its EWMA rate drifts more than ``PUBLISH_DRIFT`` from
+        the last published value.  The engine keys its route cache on
+        this, so routes are re-planned exactly when measurements could
+        change them.
+        """
+        with self._lock:
+            return self._version
+
+    @staticmethod
+    def effective_kind(kind: str, workers: int = 1) -> str:
+        """The cost-table row a hop charges: ``vector`` hops executed
+        chunk-parallel charge (and record) the ``chunked`` rate."""
+        if kind == "chunked" or (kind == "vector" and workers > 1):
+            return "chunked"
+        return kind
+
+    def observe(self, kind: str, nnz: int, workers: int = 1,
+                seconds: float = 0.0) -> None:
+        """Record the measured wall time of one executed hop.
+
+        ``kind`` is the hop kind (``scalar``/``vector``/``bridge``/
+        ``chunked``); a ``vector`` hop that ran chunk-parallel
+        (``workers > 1``) records under ``chunked``.  The per-nonzero
+        rate (after subtracting the fixed ``hop_overhead``) feeds a
+        per-kind EWMA; degenerate observations are ignored — fewer than
+        ``min_nnz`` stored components, non-positive time, or a hop faster
+        than ``hop_overhead`` (such timings carry no throughput signal,
+        and recording them as a zero rate would pin the measured cost of
+        arbitrarily large hops at the fixed overhead).
+        """
+        if nnz < max(self.min_nnz, 1) or seconds <= self.hop_overhead:
+            return
+        rate = (seconds - self.hop_overhead) / nnz
+        key = self.effective_kind(kind, workers)
+        with self._lock:
+            entry = self.measured.get(key)
+            if entry is None:
+                entry = {"rate": rate, "count": 0}
+                self.measured[key] = entry
+            else:
+                entry["rate"] += EWMA_ALPHA * (rate - entry["rate"])
+            entry["count"] += 1
+            if entry["count"] < self.min_observations:
+                return
+            published = self._published.get(key)
+            drifted = (
+                published is None
+                or abs(entry["rate"] - published)
+                > PUBLISH_DRIFT * max(published, 1e-12)
+            )
+            if drifted:
+                self._published[key] = entry["rate"]
+                self._version += 1
+
+    def observation_count(self, kind: str) -> int:
+        """Recorded observations of ``kind`` (an effective kind)."""
+        with self._lock:
+            entry = self.measured.get(kind)
+            return int(entry["count"]) if entry else 0
+
+    def _measured_rate(self, kind: str) -> Optional[float]:
+        with self._lock:
+            entry = self.measured.get(kind)
+            if entry is None or entry["count"] < self.min_observations:
+                return None
+            return float(entry["rate"])
+
+    # -- estimates -------------------------------------------------------
     def cost(self, kind: str, nnz: int, workers: int = 1) -> float:
         """Estimated seconds for one hop of ``kind`` over ``nnz`` components.
 
         ``workers > 1`` plans for chunk-parallel execution: vectorizable
         hops (``"vector"`` or the explicit ``"chunked"`` kind) are costed
         at the chunked throughput — this is how the router weighs routes
-        when the engine converts with ``parallel=`` engaged.
+        when the engine converts with ``parallel=`` engaged.  Kinds with
+        at least ``min_observations`` recorded timings use the measured
+        rate (see :meth:`cost_detail` for the provenance).
         """
-        if kind == "chunked" or (kind == "vector" and workers > 1):
-            per_nnz = self.chunked_per_nnz
-        else:
-            per_nnz = {
-                "scalar": self.scalar_per_nnz,
-                "vector": self.vector_per_nnz,
-                "bridge": self.bridge_per_nnz,
-            }[kind]
-        return per_nnz * max(int(nnz), 0) + self.hop_overhead
+        return self.cost_detail(kind, nnz, workers)[0]
+
+    def cost_detail(self, kind: str, nnz: int,
+                    workers: int = 1) -> Tuple[float, str]:
+        """``(estimated seconds, provenance)`` for one hop — provenance is
+        ``"measured"`` when the kind's measured EWMA rate is trusted
+        (enough observations), ``"seeded"`` otherwise."""
+        key = self.effective_kind(kind, workers)
+        rate = self._measured_rate(key)
+        if rate is not None:
+            return rate * max(int(nnz), 0) + self.hop_overhead, MEASURED
+        per_nnz = {
+            "scalar": self.scalar_per_nnz,
+            "vector": self.vector_per_nnz,
+            "bridge": self.bridge_per_nnz,
+            "chunked": self.chunked_per_nnz,
+        }[key]
+        return per_nnz * max(int(nnz), 0) + self.hop_overhead, SEEDED
+
+    # -- persistence -----------------------------------------------------
+    def to_dict(self) -> Dict:
+        """JSON-serializable snapshot (seeds + measured table)."""
+        with self._lock:
+            measured = {
+                kind: dict(entry) for kind, entry in self.measured.items()
+            }
+        return {
+            "schema": COST_MODEL_SCHEMA,
+            "kind": "repro-cost-model",
+            "seeded": {
+                "scalar_per_nnz": self.scalar_per_nnz,
+                "vector_per_nnz": self.vector_per_nnz,
+                "bridge_per_nnz": self.bridge_per_nnz,
+                "chunked_per_nnz": self.chunked_per_nnz,
+                "hop_overhead": self.hop_overhead,
+            },
+            "min_observations": self.min_observations,
+            "min_nnz": self.min_nnz,
+            "measured": measured,
+        }
+
+    def save(self, path: Union[str, "os.PathLike"]) -> None:
+        """Persist the model (seeds **and** measured rates) as JSON, so a
+        warm process start routes with this host's measured costs."""
+        data = json.dumps(self.to_dict(), indent=2, sort_keys=True)
+        tmp = f"{os.fspath(path)}.tmp.{os.getpid()}"
+        with open(tmp, "w") as handle:
+            handle.write(data + "\n")
+        os.replace(tmp, path)
+
+    @classmethod
+    def load(cls, path: Union[str, "os.PathLike"]) -> "CostModel":
+        """Load a model from ``path``.
+
+        Accepts either a file written by :meth:`save` (seeds + measured
+        table restored exactly) or a ``BENCH_*.json`` backend report
+        (seeded through :meth:`from_bench_report`).  A file that is
+        neither degrades to the default model with a single warning.
+        """
+        try:
+            with open(path) as handle:
+                data = json.load(handle)
+        except (OSError, ValueError) as exc:
+            warnings.warn(
+                f"could not read cost model from {os.fspath(path)!r} "
+                f"({exc}); using the default seeds",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return cls()
+        if isinstance(data, dict) and data.get("kind") == "repro-cost-model":
+            return cls._from_saved(data, os.fspath(path))
+        return cls.from_bench_report(data)
+
+    @classmethod
+    def _from_saved(cls, data: Dict, origin: str) -> "CostModel":
+        try:
+            seeds = data.get("seeded", {})
+            model = cls(
+                **{
+                    name: float(seeds[name])
+                    for name in (
+                        "scalar_per_nnz", "vector_per_nnz", "bridge_per_nnz",
+                        "chunked_per_nnz", "hop_overhead",
+                    )
+                    if name in seeds
+                },
+                min_observations=int(
+                    data.get("min_observations", cls.min_observations)
+                ),
+                min_nnz=int(data.get("min_nnz", cls.min_nnz)),
+            )
+            for kind, entry in dict(data.get("measured", {})).items():
+                model.measured[str(kind)] = {
+                    "rate": float(entry["rate"]),
+                    "count": int(entry["count"]),
+                }
+            model.__post_init__()  # republish the restored measured rates
+            return model
+        except (KeyError, TypeError, ValueError) as exc:
+            warnings.warn(
+                f"malformed cost-model file {origin!r} ({exc}); "
+                "using the default seeds",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            return cls()
 
     @classmethod
     def from_bench_report(cls, report: Dict) -> "CostModel":
@@ -91,22 +319,52 @@ class CostModel:
         Takes the median per-nonzero scalar, vector and parallel (chunked)
         times over every cell; bridge extraction is estimated at half the
         vector rate (it is a single mask/gather pass).  Falls back to the
-        defaults for rates the report cannot support.
+        defaults for rates the report cannot support, and a malformed
+        report (wrong shapes, non-numeric cells) degrades to the default
+        model with a single warning instead of raising deep inside
+        routing.
         """
         scalar_rates: List[float] = []
         vector_rates: List[float] = []
         parallel_rates: List[float] = []
-        for column in report.values():
-            for cell in column.get("cells", ()):
-                nnz = cell.get("nnz") or 0
-                if nnz <= 0:
+        malformed = False
+        columns = report.values() if isinstance(report, dict) else ()
+        if not isinstance(report, dict):
+            malformed = True
+        for column in columns:
+            if not isinstance(column, dict):
+                malformed = True
+                continue
+            cells = column.get("cells", ())
+            if not isinstance(cells, (list, tuple)):
+                malformed = True
+                continue
+            for cell in cells:
+                if not isinstance(cell, dict):
+                    malformed = True
                     continue
-                if cell.get("scalar_seconds"):
-                    scalar_rates.append(cell["scalar_seconds"] / nnz)
-                if cell.get("vector_seconds"):
-                    vector_rates.append(cell["vector_seconds"] / nnz)
-                if cell.get("parallel_seconds"):
-                    parallel_rates.append(cell["parallel_seconds"] / nnz)
+                try:
+                    nnz = float(cell.get("nnz") or 0)
+                    if nnz <= 0:
+                        continue
+                    for field_name, rates in (
+                        ("scalar_seconds", scalar_rates),
+                        ("vector_seconds", vector_rates),
+                        ("parallel_seconds", parallel_rates),
+                    ):
+                        seconds = cell.get(field_name)
+                        if seconds:
+                            rates.append(float(seconds) / nnz)
+                except (TypeError, ValueError):
+                    malformed = True
+        if malformed:
+            warnings.warn(
+                "malformed BENCH report passed to CostModel.from_bench_report; "
+                "ignoring the unreadable cells and keeping default seeds for "
+                "any rate they would have supplied",
+                RuntimeWarning,
+                stacklevel=2,
+            )
         model = cls()
         if scalar_rates:
             model = replace(model, scalar_per_nnz=median(scalar_rates))
@@ -181,11 +439,19 @@ def _register_builtin_bridges() -> None:
 
 @dataclass(frozen=True)
 class Hop:
-    """One edge of a conversion route."""
+    """One edge of a conversion route.
+
+    ``cost`` is the estimated seconds of this hop at the route's planning
+    size, ``provenance`` whether the estimate came from the cost model's
+    bench seeds (``"seeded"``) or from this host's own measured hop
+    timings (``"measured"``).
+    """
 
     src: Format
     dst: Format
-    kind: str  # "scalar" | "vector" | "bridge"
+    kind: str  # "scalar" | "vector" | "bridge" | "chunked"
+    cost: float = 0.0
+    provenance: str = SEEDED
 
     def __str__(self) -> str:
         return f"{self.src.name} -> {self.dst.name} [{self.kind}]"
@@ -252,8 +518,12 @@ class ConversionRoute:
                 "scalar": "generated per-nonzero loop nest",
                 "vector": "generated bulk-numpy routine",
                 "bridge": "bulk extraction (mask/gather, no codegen)",
+                "chunked": "chunk-parallel rewrite of the vector routine",
             }[hop.kind]
-            lines.append(f"  {n}. {hop} {detail}")
+            lines.append(
+                f"  {n}. {hop} {detail} "
+                f"(est {hop.cost * 1e3:.3f} ms, {hop.provenance} cost)"
+            )
         if self.is_direct:
             lines.append(
                 "  direct conversion is the estimated optimum; no "
@@ -339,9 +609,9 @@ def find_route(
     workers = max(int(workers), 0)
 
     direct_kind = _edge_kind(src, dst, options)
-    direct_cost = model.cost(direct_kind, nnz, workers or 1)
+    direct_cost, direct_prov = model.cost_detail(direct_kind, nnz, workers or 1)
     direct = ConversionRoute(
-        hops=(Hop(src, dst, direct_kind),),
+        hops=(Hop(src, dst, direct_kind, direct_cost, direct_prov),),
         cost=direct_cost,
         direct_cost=direct_cost,
         nnz=nnz,
@@ -387,13 +657,19 @@ def find_route(
             if nxt == node:
                 continue
             kind = _edge_kind(here, nodes[nxt], options)
-            step = cost + model.cost(kind, nnz, workers or 1)
+            edge_cost, edge_prov = model.cost_detail(kind, nnz, workers or 1)
+            step = cost + edge_cost
             state = (nxt, hops_used + 1)
             if step < best.get(state, float("inf")):
                 best[state] = step
                 heapq.heappush(
                     heap,
-                    (step, nxt, hops_used + 1, hops + (Hop(here, nodes[nxt], kind),)),
+                    (
+                        step,
+                        nxt,
+                        hops_used + 1,
+                        hops + (Hop(here, nodes[nxt], kind, edge_cost, edge_prov),),
+                    ),
                 )
     return best_route
 
@@ -418,10 +694,9 @@ def rebind_endpoints(
         return route
     hops = list(route.hops)
     first = hops[0]
-    hops[0] = Hop(src, dst if len(hops) == 1 else first.dst, first.kind)
+    hops[0] = replace(first, src=src, dst=dst if len(hops) == 1 else first.dst)
     if len(hops) > 1:
-        last = hops[-1]
-        hops[-1] = Hop(last.src, dst, last.kind)
+        hops[-1] = replace(hops[-1], dst=dst)
     return replace(route, hops=tuple(hops))
 
 

@@ -400,6 +400,75 @@ def chunked_yield_positions(pos: np.ndarray, parent: np.ndarray,
     return pos[parent] + _group_ranks_unsorted(parent, pool, chunks)
 
 
+def _chunked_ufunc_at(ufunc, merge, dst: np.ndarray, index: np.ndarray,
+                      values, pool: WorkerPool,
+                      chunks: Sequence[Tuple[int, int]]) -> None:
+    """Shared core of ``chunked_add_at``/``chunked_maximum_at``: one
+    partial reduction array per chunk (initialized from ``dst`` so the
+    reduction identity is whatever the kernel allocated), merged by key
+    with ``merge`` — exact because the reduction is associative,
+    commutative and exact on the integer dtypes the generated analyses
+    use."""
+    aligned = (
+        isinstance(values, np.ndarray)
+        and values.ndim >= 1
+        and values.shape[0] == index.shape[0]
+    )
+
+    def partial(lo: int, hi: int) -> np.ndarray:
+        part = dst.copy()
+        ufunc.at(part, index[lo:hi], values[lo:hi] if aligned else values)
+        return part
+
+    parts = pool.map(partial, chunks)
+    base = dst.copy()
+    for part in parts:
+        # each partial already folded dst's initial contents once; undo
+        # the duplicate so the merge counts them exactly once
+        merge(dst, part, base, out=dst)
+
+
+def _merge_add(dst, part, base, out):
+    np.add(dst, part - base, out=out)
+
+
+def _merge_maximum(dst, part, base, out):
+    np.maximum(dst, part, out=out)
+
+
+def chunked_add_at(dst: np.ndarray, index: np.ndarray, values,
+                   pool: Optional[WorkerPool] = None) -> None:
+    """Exactly ``np.add.at(dst, index, values)`` — the serial prefix pass
+    of variable-width ``+=`` analyses — computed as per-chunk partial
+    histograms summed by key.  Only exact-sum integer destinations take
+    the parallel path: float accumulation depends on summation order, and
+    numpy forbids ``-`` (the merge's dedup step) on booleans — both run
+    the serial ufunc, so the chunked executor stays bit-identical by
+    construction."""
+    pool = _as_pool(pool)
+    chunks = pool.bounds(index.shape[0])
+    if len(chunks) <= 1 or dst.dtype.kind not in "iu":
+        np.add.at(dst, index, values)
+        return
+    _chunked_ufunc_at(np.add, _merge_add, dst, index, values, pool, chunks)
+
+
+def chunked_maximum_at(dst: np.ndarray, index: np.ndarray, values,
+                       pool: Optional[WorkerPool] = None) -> None:
+    """Exactly ``np.maximum.at(dst, index, values)`` — the serial prefix
+    pass of ``max=`` analyses (e.g. skyline row widths) — computed as
+    per-chunk partial maxima merged by key.  Maximum is exact on every
+    dtype, so every multi-chunk stream takes the parallel path."""
+    pool = _as_pool(pool)
+    chunks = pool.bounds(index.shape[0])
+    if len(chunks) <= 1:
+        np.maximum.at(dst, index, values)
+        return
+    _chunked_ufunc_at(
+        np.maximum, _merge_maximum, dst, index, values, pool, chunks
+    )
+
+
 def chunked_scatter(dst: np.ndarray, index: np.ndarray, values,
                     pool: Optional[WorkerPool] = None) -> None:
     """``dst[index] = values`` executed per chunk (the payload scatter of
@@ -456,6 +525,8 @@ def compile_source(
         "chunked_unique_first": chunked_unique_first,
         "chunked_yield_positions": chunked_yield_positions,
         "chunked_scatter": chunked_scatter,
+        "chunked_add_at": chunked_add_at,
+        "chunked_maximum_at": chunked_maximum_at,
     }
     if extra_globals:
         namespace.update(extra_globals)

@@ -215,3 +215,30 @@ def test_run_backends_routed_hash_column():
     # direct vector cells stay unrouted
     direct = run_backends(matrices, columns=["coo_csr"], repeats=1)
     assert direct["coo_csr"][0].route is None
+
+
+def test_run_cache_warm_vs_cold(tmp_path):
+    from repro.bench import cache_json, check_warm, render_cache, run_cache
+
+    results = run_cache(["coo_csr"], cache_dir=str(tmp_path / "kernels"))
+    (cell,) = results
+    assert cell.pair == "coo_csr"
+    assert cell.cold_seconds > 0 and cell.warm_seconds > 0
+    assert cell.warm_compiles == 0
+    assert cell.warm_disk_hits > 0
+    assert check_warm(results) == []
+    text = render_cache(results)
+    assert "coo_csr" in text and "warm" in text
+    report = cache_json(results)
+    assert report["coo_csr"]["warm_compiles"] == 0
+
+
+def test_check_warm_flags_violations():
+    from repro.bench import check_warm
+    from repro.bench.cache import CacheCellResult
+
+    dirty = CacheCellResult("coo_csr", 1.0, 0.5, warm_compiles=2,
+                            warm_disk_hits=0)
+    problems = check_warm([dirty])
+    assert len(problems) == 2
+    assert "compiled" in problems[0] and "disk" in problems[1]

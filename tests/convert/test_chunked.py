@@ -313,3 +313,108 @@ def test_warmup_accepts_format_spec_strings():
     with pytest.raises(Exception):
         eng.warmup([("COO", "NO_SUCH_FORMAT")])
     eng.shutdown()
+
+
+# ----------------------------------------------------------------------
+# chunked prefix passes: np.add.at / np.maximum.at (per-chunk partial
+# reductions merged by key)
+
+
+def test_maximum_at_prefix_pass_is_rewritten_for_sky():
+    from repro.formats.library import SKY
+
+    generated = plan_chunked(COO, SKY)
+    assert "chunked_maximum_at" in generated.source
+    assert "np.maximum.at" not in generated.source
+
+
+def test_add_at_rewrite_on_synthetic_kernel():
+    source = (
+        "def k(qi, width, n):\n"
+        "    import numpy as np\n"
+        "    out = np.zeros(n, dtype=np.int64)\n"
+        "    np.add.at(out, qi, width)\n"
+        "    return out\n"
+    )
+    rewritten, name, sites = rewrite_chunked(source, "k")
+    assert sites["add_at"] == 1
+    assert "chunked_add_at(out, qi, width, _pool)" in rewritten
+
+
+@pytest.mark.parametrize("scalar_values", [False, True],
+                         ids=["array-values", "scalar-values"])
+def test_chunked_ufunc_at_helpers_bit_identical(tiny_chunk_pool, scalar_values):
+    import numpy as np
+
+    from repro.ir.runtime import chunked_add_at, chunked_maximum_at
+
+    rng = np.random.default_rng(9)
+    for n in (0, 1, 5, 37, 200):
+        index = rng.integers(0, 17, n)
+        values = 3 if scalar_values else rng.integers(-4, 60, n)
+        serial_add = np.zeros(17, dtype=np.int64)
+        np.add.at(serial_add, index, values)
+        chunked_add = np.zeros(17, dtype=np.int64)
+        chunked_add_at(chunked_add, index, values, tiny_chunk_pool)
+        assert np.array_equal(serial_add, chunked_add)
+
+        serial_max = np.zeros(17, dtype=np.int64)
+        np.maximum.at(serial_max, index, values)
+        chunked_max = np.zeros(17, dtype=np.int64)
+        chunked_maximum_at(chunked_max, index, values, tiny_chunk_pool)
+        assert np.array_equal(serial_max, chunked_max)
+
+
+def test_chunked_add_at_float_destination_stays_serial(tiny_chunk_pool):
+    """Float accumulation depends on summation order; the helper must run
+    the serial ufunc there so results stay bit-identical."""
+    import numpy as np
+
+    from repro.ir.runtime import chunked_add_at
+
+    rng = np.random.default_rng(2)
+    index = rng.integers(0, 7, 100)
+    values = rng.uniform(-1, 1, 100)
+    serial = np.zeros(7, dtype=np.float64)
+    np.add.at(serial, index, values)
+    chunked = np.zeros(7, dtype=np.float64)
+    chunked_add_at(chunked, index, values, tiny_chunk_pool)
+    assert np.array_equal(serial, chunked)  # bit-identical, not approx
+
+
+@pytest.mark.parametrize("src", [COO, CSR, DCSR], ids=lambda f: f.name)
+def test_chunked_sky_bit_identical(src, engine, tiny_chunk_pool):
+    """* -> SKY exercises the chunked np.maximum.at prefix pass end to
+    end (skyline row widths are a max= analysis)."""
+    from repro.formats.library import SKY
+
+    rng = random.Random(13)
+    dims = (18, 18)
+    cells = sorted({
+        (max(i, j), min(i, j))  # lower-triangular: SKY's domain
+        for _ in range(160)
+        for i, j in [(rng.randrange(dims[0]), rng.randrange(dims[1]))]
+    })
+    vals = [round(rng.uniform(0.5, 9.5), 4) for _ in cells]
+    tensor = reference_build(src, dims, cells, vals)
+    vector = convert(tensor, SKY, backend="vector", parallel=None)
+    chunked = engine.make_chunked(src, SKY)
+    assert "chunked_maximum_at" in chunked.source
+    out = chunked(tensor, tiny_chunk_pool)
+    assert_tensors_bit_identical(vector, out)
+
+
+def test_chunked_add_at_bool_destination_stays_serial(tiny_chunk_pool):
+    """numpy forbids subtraction (the merge's dedup step) on booleans, so
+    bool destinations must take the serial ufunc path."""
+    import numpy as np
+
+    from repro.ir.runtime import chunked_add_at
+
+    rng = np.random.default_rng(4)
+    index = rng.integers(0, 9, 120)
+    serial = np.zeros(9, dtype=bool)
+    np.add.at(serial, index, True)
+    chunked = np.zeros(9, dtype=bool)
+    chunked_add_at(chunked, index, True, tiny_chunk_pool)
+    assert np.array_equal(serial, chunked)

@@ -302,3 +302,144 @@ def test_failed_route_validation_leaves_counters_untouched():
     stats = engine.cache_stats()
     assert stats["conversions"] == 0
     assert engine.pair_counts() == {}
+
+
+# ----------------------------------------------------------------------
+# the persistent (on-disk) kernel cache
+
+
+def test_engine_without_cache_dir_reports_zero_disk_stats():
+    engine = ConversionEngine()
+    engine.make_converter(COO, CSR)
+    stats = engine.cache_stats()
+    assert stats["disk_hits"] == 0 and stats["disk_writes"] == 0
+
+
+def test_disk_cache_writes_then_serves_a_warm_engine(tmp_path):
+    cache = str(tmp_path / "kernels")
+    cold = ConversionEngine(cache_dir=cache)
+    cold.make_converter(COO, CSR)
+    cold.make_converter(CSR, CSC)
+    cold_stats = cold.cache_stats()
+    assert cold_stats["compiles"] == 2
+    assert cold_stats["disk_writes"] == 2
+    assert cold_stats["disk_hits"] == 0
+
+    warm = ConversionEngine(cache_dir=cache)
+    out = warm.convert(small_coo(), CSR)
+    assert out.to_coo() == small_coo().to_coo()
+    warm.make_converter(CSR, CSC)
+    warm_stats = warm.cache_stats()
+    assert warm_stats["compiles"] == 0
+    assert warm_stats["disk_hits"] == 2
+    assert warm_stats["disk_writes"] == 0
+
+
+def test_disk_cache_results_bit_identical_to_fresh_compile(tmp_path):
+    cache = str(tmp_path / "kernels")
+    tensor = small_coo()
+    cold = ConversionEngine(cache_dir=cache)
+    a = cold.convert(tensor, DIA)
+    warm = ConversionEngine(cache_dir=cache)
+    b = warm.convert(tensor, DIA)
+    assert warm.cache_stats()["compiles"] == 0
+    for key in a.arrays:
+        assert np.array_equal(a.arrays[key], b.arrays[key])
+    assert np.array_equal(a.vals, b.vals)
+    assert a.metadata == b.metadata
+
+
+def test_disk_cache_keyed_by_options_and_backend(tmp_path):
+    cache = str(tmp_path / "kernels")
+    cold = ConversionEngine(cache_dir=cache)
+    cold.make_converter(COO, CSR, backend="scalar")
+    warm = ConversionEngine(cache_dir=cache)
+    warm.make_converter(COO, CSR, backend="vector")  # different record
+    assert warm.cache_stats()["compiles"] == 1
+    warm.make_converter(
+        COO, CSR, options=PlanOptions(force_unsequenced_edges=True),
+        backend="scalar",
+    )  # different options: also a fresh compile
+    assert warm.cache_stats()["compiles"] == 2
+    warm.make_converter(COO, CSR, backend="scalar")  # the cold record
+    stats = warm.cache_stats()
+    assert stats["compiles"] == 2 and stats["disk_hits"] == 1
+
+
+def test_corrupt_disk_records_are_ignored_and_rewritten(tmp_path):
+    import os
+
+    cache = str(tmp_path / "kernels")
+    cold = ConversionEngine(cache_dir=cache)
+    cold.make_converter(COO, CSR)
+    (record,) = [
+        os.path.join(cache, name) for name in os.listdir(cache)
+        if name.endswith(".json")
+    ]
+    with open(record, "w") as handle:
+        handle.write("{ definitely not a kernel record")
+    warm = ConversionEngine(cache_dir=cache)
+    out = warm.convert(small_coo(), CSR)
+    assert out.to_coo() == small_coo().to_coo()
+    stats = warm.cache_stats()
+    assert stats["compiles"] == 1  # recompiled past the corrupt record
+    assert stats["disk_writes"] == 1  # and healed the cache
+
+
+def test_structural_twins_share_disk_records(tmp_path):
+    cache = str(tmp_path / "kernels")
+    cold = ConversionEngine(cache_dir=cache)
+    cold.make_converter(COO, CSR)
+    twin = make_format(
+        "DISKTWIN_CSR",
+        "(i,j) -> (i, j)",
+        [DenseLevel(), CompressedLevel(ordered=False)],
+        inverse_text="(i,j) -> (i, j)",
+    )
+    warm = ConversionEngine(cache_dir=cache)
+    converter = warm.make_converter(COO, twin)
+    assert warm.cache_stats()["compiles"] == 0
+    assert warm.cache_stats()["disk_hits"] == 1
+    assert converter.dst_format is twin  # re-tagged to the requested twin
+    out = warm.convert(small_coo(), twin)
+    assert out.format is twin
+
+
+# ----------------------------------------------------------------------
+# shutdown and interpreter-exit hygiene
+
+
+def test_shutdown_is_idempotent_and_engine_stays_usable():
+    engine = ConversionEngine(workers=2)
+    pool = engine.worker_pool(2)
+    pool.map(lambda lo, hi: hi - lo, pool.bounds(4))
+    engine.shutdown()
+    engine.shutdown()  # second call is a no-op, not an error
+    # pools restart lazily: the engine still converts (chunked included)
+    out = engine.convert(small_coo(), CSR, parallel=2)
+    assert out.format is CSR
+    engine.shutdown()
+
+
+def test_concurrent_shutdowns_do_not_race():
+    engine = ConversionEngine(workers=2)
+    pool = engine.worker_pool(2)
+    pool.map(lambda lo, hi: hi - lo, pool.bounds(1 << 18))
+    with ThreadPoolExecutor(max_workers=4) as pool_:
+        for future in [pool_.submit(engine.shutdown) for _ in range(8)]:
+            future.result()
+
+
+def test_default_engine_registers_atexit_shutdown():
+    import atexit
+
+    from repro.convert import engine as engine_module
+
+    default_engine()  # ensure the default engine exists
+    assert engine_module._ATEXIT_REGISTERED
+    # the hook targets whatever engine is default at exit time, and
+    # running it now must be harmless (idempotent shutdown)
+    engine_module._shutdown_default_engine()
+    assert default_engine().convert(small_coo(), CSR).format is CSR
+    atexit.unregister(engine_module._shutdown_default_engine)
+    atexit.register(engine_module._shutdown_default_engine)

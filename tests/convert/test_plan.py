@@ -1,0 +1,314 @@
+"""First-class ConversionPlans: inspection, execution, JSON roundtrip and
+the persistent kernel cache.
+
+The core contract (the PR's acceptance bar): ``plan.to_json()`` → a fresh
+engine with the same ``cache_dir`` → ``ConversionPlan.from_json(...).run(t)``
+is bit-identical to a direct ``convert(t, ...)`` for every vectorizable
+pair and every routed pair, and the warm engine's ``cache_stats()`` shows
+``compiles == 0`` with ``disk_hits > 0``.
+"""
+
+import json
+import random
+
+import pytest
+
+from repro.convert import (
+    ConversionEngine,
+    ConversionPlan,
+    PlanOptions,
+    convert,
+)
+from repro.convert.context import PlanError
+from repro.convert.plan import CompiledPlan, key_to_json
+from repro.convert.planner import structural_key
+from repro.formats import BCSR, COO, CSC, CSR, DCSR, DIA, ELL, HASH, make_format
+from repro.levels.compressed import CompressedLevel
+from repro.levels.dense import DenseLevel
+from repro.storage.build import reference_build
+
+from .test_backends import VECTOR_FORMATS, assert_tensors_bit_identical
+
+EXTENDED = [BCSR(2, 2), DCSR]
+HASH_TARGETS = [CSR, CSC, DIA, ELL, COO]
+
+
+def _problem(src, seed=5, dims=(9, 11), count=40):
+    rng = random.Random(seed)
+    cells = sorted({
+        (rng.randrange(dims[0]), rng.randrange(dims[1])) for _ in range(count)
+    })
+    vals = [round(rng.uniform(0.5, 9.5), 4) for _ in cells]
+    return reference_build(src, dims, cells, vals)
+
+
+def _roundtrip(src, dst, tmp_path):
+    """The acceptance roundtrip for one pair; returns the warm stats."""
+    cache = str(tmp_path / "kernels")
+    tensor = _problem(src)
+
+    cold = ConversionEngine(cache_dir=cache)
+    plan = cold.plan(src, dst, nnz=tensor.nnz_stored)
+    out_cold = plan.run(tensor)  # compiles + writes the kernel records
+    text = plan.to_json()
+
+    warm = ConversionEngine(cache_dir=cache)
+    replay = ConversionPlan.from_json(text, engine=warm)
+    out_warm = replay.run(tensor)
+
+    direct = convert(tensor, dst)
+    assert_tensors_bit_identical(out_cold, direct)
+    assert_tensors_bit_identical(out_warm, direct)
+    return plan, warm.cache_stats()
+
+
+@pytest.mark.parametrize("src", VECTOR_FORMATS + EXTENDED, ids=lambda f: f.name)
+@pytest.mark.parametrize("dst", VECTOR_FORMATS + EXTENDED, ids=lambda f: f.name)
+def test_plan_roundtrip_every_vectorizable_pair(src, dst, tmp_path):
+    if src is dst:
+        pytest.skip("identity pair")
+    plan, stats = _roundtrip(src, dst, tmp_path)
+    assert stats["compiles"] == 0
+    assert stats["disk_hits"] > 0
+
+
+@pytest.mark.parametrize("dst", HASH_TARGETS, ids=lambda f: f.name)
+def test_plan_roundtrip_every_routed_pair(dst, tmp_path):
+    plan, stats = _roundtrip(HASH, dst, tmp_path)
+    assert plan.routed and "bridge" in plan.backend_per_hop
+    assert stats["compiles"] == 0
+    generated_hops = [hop for hop in plan.hops if hop.kind != "bridge"]
+    if generated_hops:
+        assert stats["disk_hits"] > 0
+
+
+# ----------------------------------------------------------------------
+# plan structure and inspection
+
+
+def test_plan_exposes_hops_and_backends():
+    engine = ConversionEngine()
+    plan = engine.plan(HASH, CSR)
+    assert plan.src is HASH and plan.dst is CSR
+    assert [f.name for f in plan.formats] == ["HASH", "COO", "CSR"]
+    assert plan.backend_per_hop == ("bridge", "vector")
+    assert not plan.is_direct
+    assert plan.routed
+    assert str(plan) == "HASH -> COO -> CSR"
+
+
+def test_plan_estimated_cost_scales_with_nnz():
+    engine = ConversionEngine()
+    plan = engine.plan(COO, CSR)
+    assert plan.estimated_cost(10_000) < plan.estimated_cost(10_000_000)
+
+
+def test_plan_sources_per_hop():
+    engine = ConversionEngine()
+    plan = engine.plan(HASH, CSR)
+    sources = plan.sources()
+    assert sources[0] is None  # bridge: no generated code
+    assert "def convert_COO_to_CSR" in sources[1]
+
+
+def test_plan_explain_mentions_every_hop_and_provenance():
+    engine = ConversionEngine()
+    text = engine.plan(HASH, CSR).explain()
+    assert "plan HASH -> CSR" in text
+    assert "bulk extraction" in text and "bulk-numpy" in text
+    assert "seeded cost" in text
+
+
+def test_plan_compile_returns_ready_runner():
+    engine = ConversionEngine()
+    runner = engine.plan(COO, CSR).compile()
+    assert isinstance(runner, CompiledPlan)
+    compiles = engine.cache_stats()["compiles"]
+    tensor = _problem(COO)
+    out = runner(tensor)
+    assert out.format is CSR
+    assert engine.cache_stats()["compiles"] == compiles  # nothing left to do
+    assert runner.src_format is COO and runner.dst_format is CSR
+
+
+def test_plan_run_rejects_wrong_source_format():
+    engine = ConversionEngine()
+    plan = engine.plan(COO, CSR)
+    with pytest.raises(ValueError):
+        plan.run(_problem(CSR))
+
+
+def test_plan_counts_as_conversion_in_engine_stats():
+    engine = ConversionEngine()
+    engine.plan(COO, CSR).run(_problem(COO))
+    stats = engine.cache_stats()
+    assert stats["conversions"] == 1
+    assert stats["routed_conversions"] == 0
+    assert engine.pair_counts() == {("COO", "CSR"): 1}
+
+
+def test_chunked_plan_roundtrips_with_workers(tmp_path):
+    cache = str(tmp_path / "kernels")
+    tensor = _problem(COO)
+    cold = ConversionEngine(cache_dir=cache, workers=2)
+    plan = cold.plan(COO, CSR, parallel=2, nnz=tensor.nnz_stored)
+    assert plan.backend_per_hop == ("chunked",)
+    assert plan.workers == 2
+    out = plan.run(tensor)
+    cold.shutdown()
+
+    warm = ConversionEngine(cache_dir=cache, workers=2)
+    replay = ConversionPlan.from_json(plan.to_json(), engine=warm)
+    assert replay.workers == 2
+    out_warm = replay.run(tensor)
+    assert_tensors_bit_identical(out, out_warm)
+    stats = warm.cache_stats()
+    assert stats["compiles"] == 0 and stats["disk_hits"] > 0
+    warm.shutdown()
+
+
+def test_plan_options_roundtrip():
+    options = PlanOptions(force_unsequenced_edges=True, parallel_threshold=17)
+    engine = ConversionEngine()
+    plan = engine.plan(COO, CSR, options=options, backend="scalar")
+    replay = ConversionPlan.from_json(plan.to_json())
+    assert replay.options == options
+    assert replay.backend_per_hop == ("scalar",)
+
+
+# ----------------------------------------------------------------------
+# serialization schema
+
+
+def test_plan_json_schema_fields():
+    data = json.loads(ConversionEngine().plan(HASH, CSR).to_json())
+    assert data["schema"] == 1
+    assert data["kind"] == "repro-conversion-plan"
+    assert [hop["kind"] for hop in data["hops"]] == ["bridge", "vector"]
+    first = data["hops"][0]["src"]
+    assert first["name"] == "HASH"
+    assert first["structural_key"] == key_to_json(structural_key(HASH))
+
+
+def test_plan_from_json_rejects_newer_schema():
+    data = json.loads(ConversionEngine().plan(COO, CSR).to_json())
+    data["schema"] = 999
+    with pytest.raises(PlanError):
+        ConversionPlan.from_dict(data)
+
+
+def test_plan_from_json_rejects_unknown_format():
+    data = json.loads(ConversionEngine().plan(COO, CSR).to_json())
+    data["hops"][0]["src"]["name"] = "NO_SUCH_FORMAT"
+    with pytest.raises(PlanError):
+        ConversionPlan.from_dict(data)
+
+
+def test_plan_from_json_rejects_diverged_structure():
+    data = json.loads(ConversionEngine().plan(COO, CSR).to_json())
+    # same name on this host, different recorded structure
+    data["hops"][0]["src"]["structural_key"] = ["something", "else", [], []]
+    with pytest.raises(PlanError):
+        ConversionPlan.from_dict(data)
+
+
+def test_plan_from_json_rejects_broken_chain_and_bad_kind():
+    engine = ConversionEngine()
+    data = json.loads(engine.plan(HASH, CSR).to_json())
+    bad_kind = json.loads(json.dumps(data))
+    bad_kind["hops"][0]["kind"] = "teleport"
+    with pytest.raises(PlanError):
+        ConversionPlan.from_dict(bad_kind)
+    broken = json.loads(json.dumps(data))
+    broken["hops"][1]["src"] = broken["hops"][0]["src"]  # HASH != COO
+    with pytest.raises(PlanError):
+        ConversionPlan.from_dict(broken)
+    with pytest.raises(PlanError):
+        ConversionPlan.from_json("this is not json {")
+    with pytest.raises(PlanError):
+        ConversionPlan.from_json("{\"not\": \"a plan\"}")
+
+
+def test_plan_replays_for_renamed_structural_twin():
+    """A plan made for a registered twin resolves by *name*; structural
+    verification accepts it because the structure matches."""
+    twin = make_format(
+        "PLANTWIN_CSR",
+        "(i,j) -> (i, j)",
+        [DenseLevel(), CompressedLevel()],
+        inverse_text="(i,j) -> (i, j)",
+    )
+    from repro.formats import register_format
+
+    register_format(twin)
+    engine = ConversionEngine()
+    plan = engine.plan(COO, twin)
+    replay = ConversionPlan.from_json(plan.to_json(), engine=engine)
+    assert replay.dst.name == "PLANTWIN_CSR"
+    out = replay.run(_problem(COO))
+    assert out.format is twin
+
+
+# ----------------------------------------------------------------------
+# module-level shim
+
+
+def test_module_level_plan_shim():
+    from repro.convert import plan as plan_fn
+
+    p = plan_fn("HASH", "CSR")
+    assert isinstance(p, ConversionPlan)
+    assert p.backend_per_hop == ("bridge", "vector")
+
+
+def test_convert_is_a_plan_shim():
+    """convert() builds and runs a plan: same result, same counters."""
+    engine = ConversionEngine()
+    tensor = _problem(COO)
+    out = engine.convert(tensor, CSR)
+    plan_out = engine.plan(COO, CSR, nnz=tensor.nnz_stored).run(tensor)
+    assert_tensors_bit_identical(out, plan_out)
+    assert engine.cache_stats()["conversions"] == 2
+
+
+def test_plan_from_dict_malformed_records_raise_planerror():
+    """Hand-edited or truncated plan files must fail with PlanError (the
+    CLI catches it), never a raw AttributeError/ValueError."""
+    engine = ConversionEngine()
+    base = json.loads(engine.plan(COO, CSR).to_json())
+    for mutate in (
+        lambda d: d.update(hops="not a list"),
+        lambda d: d.update(hops=["not a record"]),
+        lambda d: d["hops"][0].update(src="not a format record"),
+        lambda d: d["hops"][0].pop("src"),
+        lambda d: d.update(workers="lots"),
+        lambda d: d.update(nnz=[1, 2]),
+        lambda d: d.update(options="not options"),
+    ):
+        data = json.loads(json.dumps(base))
+        mutate(data)
+        with pytest.raises(PlanError):
+            ConversionPlan.from_dict(data)
+
+
+def test_chunked_plan_degrades_gracefully_without_chunked_form():
+    """A replayed plan carrying a 'chunked' hop for a pair with no
+    chunked form on this host falls back to the serial vector kernel —
+    consistently across sources()/compile()/run()."""
+    from repro.convert.plan import _PLAN_HOP_KINDS
+    from repro.convert.router import Hop
+
+    assert "chunked" in _PLAN_HOP_KINDS
+    engine = ConversionEngine()
+    plan = ConversionPlan(
+        hops=(Hop(COO, CSR, "chunked"),),
+        options=PlanOptions(),
+        workers=0,  # replaying host decided to run serial
+        nnz=100,
+        engine=engine,
+    )
+    (source,) = plan.sources()
+    assert "def convert_COO_to_CSR" in source
+    runner = plan.compile()
+    out = runner(_problem(COO))
+    assert out.format is CSR

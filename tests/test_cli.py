@@ -124,3 +124,56 @@ def test_verify_command(capsys):
     main(["verify", "COO", "CSR", "--trials", "5", "--max-dim", "5"])
     out = capsys.readouterr().out
     assert "OK on" in out
+
+
+def test_plan_command(capsys):
+    main(["plan", "HASH", "CSR"])
+    out = capsys.readouterr().out
+    assert "plan HASH -> CSR" in out
+    assert "bulk extraction" in out
+    assert "seeded cost" in out or "measured cost" in out
+
+
+def test_plan_command_json_save_load(tmp_path, capsys):
+    path = str(tmp_path / "plan.json")
+    main(["plan", "HASH", "CSR", "--json", "--save", path])
+    out = capsys.readouterr().out
+    assert '"repro-conversion-plan"' in out and f"wrote {path}" in out
+    main(["plan", "--load", path])
+    out = capsys.readouterr().out
+    assert "plan HASH -> CSR" in out and "2 hops" in out
+
+
+def test_plan_command_show_code(capsys):
+    main(["plan", "COO", "CSR", "--show-code"])
+    out = capsys.readouterr().out
+    assert "def convert_COO_to_CSR" in out
+
+
+def test_plan_command_requires_pair_or_load():
+    with pytest.raises(SystemExit):
+        main(["plan"])
+    with pytest.raises(SystemExit):
+        main(["plan", "--load", "/no/such/plan.json"])
+
+
+def test_convert_cache_dir_warm_start(mtx, tmp_path, capsys):
+    cache = str(tmp_path / "kernels")
+    main(["convert", mtx, "--to", "CSR", "--cache-dir", cache])
+    cold = capsys.readouterr().out
+    assert "0 disk hit(s)" in cold
+    main(["convert", mtx, "--to", "CSR", "--cache-dir", cache])
+    warm = capsys.readouterr().out
+    assert "0 compile(s)" in warm and "1 disk hit(s)" in warm
+
+
+def test_plan_load_rejects_conflicting_arguments(tmp_path, capsys):
+    path = str(tmp_path / "plan.json")
+    main(["plan", "COO", "CSR", "--save", path])
+    capsys.readouterr()
+    with pytest.raises(SystemExit, match="cannot be combined"):
+        main(["plan", "HASH", "CSR", "--load", path])
+    with pytest.raises(SystemExit, match="cannot be combined"):
+        main(["plan", "--load", path, "--nnz", "5000000"])
+    with pytest.raises(SystemExit, match="cannot be combined"):
+        main(["plan", "--load", path, "--backend", "vector"])
