@@ -121,10 +121,13 @@ def _cmd_plan(args) -> None:
         print(plan.explain())
     if args.show_code:
         for hop, source in zip(plan.hops, plan.sources()):
-            if source is None:
-                print(f"\n# {hop}: bulk extraction, no generated source")
-            else:
+            if source is not None:
                 print("\n" + source)
+            elif hop.kind == "external":
+                print(f"\n# {hop}: registered converter "
+                      f"{hop.converter!r}, no generated source")
+            else:
+                print(f"\n# {hop}: bulk extraction, no generated source")
 
 
 def _cmd_convert(args) -> None:
@@ -140,14 +143,17 @@ def _cmd_convert(args) -> None:
     # Routing engages only under the auto policies (mirrors engine.convert):
     # an explicit backend request always runs the direct conversion.
     route = None
-    if args.route == "auto" and args.backend == "auto":
+    if args.route in (None, "auto") and args.backend == "auto":
         found = engine.route(src_fmt, dst_fmt, nnz=tensor.nnz_stored)
         if found.beats_direct:
             route = found
     parallel_before = engine.cache_stats()["parallel_conversions"]
     start = time.perf_counter()
-    out = engine.convert(tensor, dst_fmt, backend=args.backend,
-                         route=args.route, parallel=parallel)
+    try:
+        out = engine.convert(tensor, dst_fmt, backend=args.backend,
+                             route=args.route, parallel=parallel)
+    except (ValueError, PlanError) as exc:
+        raise SystemExit(str(exc)) from exc
     elapsed = (time.perf_counter() - start) * 1e3
     parallel_ran = engine.cache_stats()["parallel_conversions"] > parallel_before
     out.check()
@@ -177,10 +183,14 @@ def _cmd_convert(args) -> None:
             print("\n" + engine.make_chunked(src_fmt, dst_fmt).source)
         elif route is not None:
             # show what actually ran: the generated source of every
-            # codegen hop (bridges are library calls, not generated code)
+            # codegen hop (bridges and registered converters are library
+            # calls, not generated code)
             for hop in route.hops:
                 if hop.kind == "bridge":
                     print(f"\n# {hop}: bulk extraction, no generated source")
+                elif hop.kind == "external":
+                    print(f"\n# {hop}: registered converter "
+                          f"{hop.converter!r}, no generated source")
                 else:
                     print("\n" + engine.make_converter(
                         hop.src, hop.dst, backend=hop.kind
@@ -194,9 +204,16 @@ def _cmd_convert(args) -> None:
 def _cmd_route(args) -> None:
     src_fmt = _format_arg(args.src)
     dst_fmt = _format_arg(args.dst)
-    route = default_engine().route(src_fmt, dst_fmt, nnz=args.nnz)
+    engine = default_engine()
+    route = engine.route(src_fmt, dst_fmt, nnz=args.nnz)
     if args.explain:
         print(route.explain())
+        # competitor table: every implementation that was priced for each
+        # hop's edge, best rank first, with its admission verdict
+        for hop in route.hops:
+            print(f"competitors for {hop.src.name} -> {hop.dst.name}:")
+            for cand in engine.converters(hop.src, hop.dst, nnz=route.nnz):
+                print(f"  {cand.describe()}")
     else:
         hops = ", ".join(route.backend_per_hop)
         print(f"{route} ({hops})")
@@ -278,8 +295,10 @@ def main(argv=None) -> None:
     convert.add_argument("--show-code", action="store_true")
     convert.add_argument("--backend", choices=["auto", "scalar", "vector"],
                          default="auto", help="lowering backend (default: auto)")
-    convert.add_argument("--route", choices=["auto", "direct"], default="auto",
-                         help="multi-hop routing policy (default: auto)")
+    convert.add_argument("--route", choices=["auto", "direct"], default=None,
+                         help="multi-hop routing policy (default: auto; an "
+                              "explicit --route auto conflicts with an "
+                              "explicit non-auto --backend)")
     convert.add_argument("--parallel", default="auto", metavar="auto|off|N",
                          help="chunked executor: 'auto' (size threshold), "
                               "'off', or a worker count (default: auto)")

@@ -8,6 +8,7 @@ from .table3 import (
     COLUMNS,
     applicable,
     backends_json,
+    check_auto,
     compare_backend_reports,
     render_backends,
     render_table3,
@@ -19,8 +20,9 @@ from .timing import format_table, geomean, time_call
 
 __all__ = [
     "BACKEND_COLUMNS", "COLUMNS", "applicable", "backends_json",
-    "cache_json", "check_warm", "compare_backend_reports", "format_table",
-    "geomean", "render_ablations", "render_backends", "render_cache",
-    "render_table2", "render_table3", "run_ablations", "run_backends",
-    "run_cache", "run_column", "run_table2", "run_table3", "time_call",
+    "cache_json", "check_auto", "check_warm", "compare_backend_reports",
+    "format_table", "geomean", "render_ablations", "render_backends",
+    "render_cache", "render_table2", "render_table3", "run_ablations",
+    "run_backends", "run_cache", "run_column", "run_table2", "run_table3",
+    "time_call",
 ]

@@ -18,8 +18,10 @@ selects which conversions run (including the extra BCSR/DCSR pairs that
 have no Table 3 baselines, and the routed ``hash_csr`` pair whose fast
 cell runs the engine's multi-hop route), ``--workers N`` adds a
 ``parallel`` column timing the chunked executor on an N-worker pool
-against the serial vector kernel, and ``--json`` additionally writes the
-report as JSON (the CI smoke artifact).  ``compare`` diffs two such JSON
+against the serial vector kernel, ``--check-auto`` exits nonzero when
+the engine's auto-selected converter is more than ``--auto-tolerance``
+times slower than the best fixed cell for any pair, and ``--json``
+additionally writes the report as JSON (the CI smoke artifact).  ``compare`` diffs two such JSON
 reports and exits nonzero when any fast-path cell (vector, parallel or
 routed) regressed by more than ``--threshold`` (CI fails the build on
 >2x regressions).  ``cache`` measures the persistent kernel cache's
@@ -37,6 +39,7 @@ from . import (
     COLUMNS,
     backends_json,
     cache_json,
+    check_auto,
     check_warm,
     compare_backend_reports,
     render_ablations,
@@ -84,6 +87,13 @@ def main() -> None:
     parser.add_argument("--check-warm", action="store_true",
                         help="'cache': exit nonzero when any warm engine "
                              "still compiled (or loaded nothing from disk)")
+    parser.add_argument("--check-auto", action="store_true",
+                        help="'backends': exit nonzero when the auto-selected "
+                             "converter is more than --auto-tolerance x "
+                             "slower than the best fixed cell")
+    parser.add_argument("--auto-tolerance", type=float, default=1.1,
+                        help="'backends': allowed auto/best slowdown for "
+                             "--check-auto (default 1.1)")
     parser.add_argument("--threshold", type=float, default=2.0,
                         help="'compare': fail on vector times above "
                              "threshold x baseline (default 2.0)")
@@ -101,6 +111,8 @@ def main() -> None:
         parser.error("--workers must be >= 0")
     if (args.cache_dir or args.check_warm) and args.report != "cache":
         parser.error("--cache-dir/--check-warm only apply to 'cache'")
+    if args.check_auto and args.report != "backends":
+        parser.error("--check-auto only applies to the 'backends' report")
 
     if args.report == "cache":
         pairs = args.pairs.split(",") if args.pairs else None
@@ -176,6 +188,15 @@ def main() -> None:
             with open(args.json, "w") as handle:
                 json.dump(backends_json(results), handle, indent=2)
             print(f"\nwrote {args.json}")
+        if args.check_auto:
+            problems = check_auto(results, tolerance=args.auto_tolerance)
+            if problems:
+                print(f"\n{len(problems)} auto-selection violation(s):")
+                for line in problems:
+                    print(f"  {line}")
+                sys.exit(1)
+            print(f"\nauto selection clean: every auto cell within "
+                  f"{args.auto_tolerance:g}x of the best fixed converter")
     else:
         print(render_ablations(run_ablations(matrices, args.repeats)))
 

@@ -27,7 +27,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
 from ..baselines import mkl_like, scipy_ref, sparskit, taco_legacy
-from ..convert import default_engine, make_converter
+from ..convert import default_engine, make_converter, sample_features
 from ..formats.library import BCSR, COO, CSC, CSR, DCSR, DIA, ELL, HASH
 from ..matrices.suite import SuiteMatrix, suite
 from .timing import format_table, geomean, time_call
@@ -219,6 +219,13 @@ class BackendCellResult:
     vector-backend cells.  ``parallel_seconds`` times the chunked
     executor (``run_backends(..., workers=N)``); ``None`` when the
     parallel column is off or the pair has no chunked form.
+
+    ``auto_seconds`` times the engine's fully automatic tensor-to-tensor
+    conversion (``route="auto"``: competing converters, structural
+    features, routing) and ``auto_impl`` names the implementation it
+    picked; ``best_seconds``/``best_impl`` is the fastest *fixed* choice
+    among the timed cells (scalar/vector/parallel/scipy) — the ``best``
+    column the auto policy is gated against.
     """
 
     matrix: str
@@ -228,6 +235,8 @@ class BackendCellResult:
     scipy_seconds: Optional[float]
     route: Optional[str] = None
     parallel_seconds: Optional[float] = None
+    auto_seconds: Optional[float] = None
+    auto_impl: Optional[str] = None
 
     @property
     def speedup(self) -> float:
@@ -240,6 +249,35 @@ class BackendCellResult:
         if not self.parallel_seconds:
             return None
         return self.vector_seconds / self.parallel_seconds
+
+    @property
+    def fixed_cells(self) -> Dict[str, float]:
+        """The timed fixed-choice cells (label -> seconds)."""
+        cells = {"scalar": self.scalar_seconds, "vector": self.vector_seconds}
+        if self.parallel_seconds:
+            cells["parallel"] = self.parallel_seconds
+        if self.scipy_seconds:
+            cells["scipy"] = self.scipy_seconds
+        return cells
+
+    @property
+    def best_seconds(self) -> float:
+        """The fastest fixed choice's time."""
+        return min(self.fixed_cells.values())
+
+    @property
+    def best_impl(self) -> str:
+        """The fastest fixed choice's label (ties: scalar/vector/... order)."""
+        cells = self.fixed_cells
+        return min(cells, key=lambda label: cells[label])
+
+    @property
+    def auto_ratio(self) -> Optional[float]:
+        """Auto-over-best time ratio (1.0 = the auto policy matched the
+        best fixed choice; ``None`` when the auto cell was not timed)."""
+        if not self.auto_seconds:
+            return None
+        return self.auto_seconds / self.best_seconds
 
 
 def _routed(column: str, entry: SuiteMatrix):
@@ -257,6 +295,24 @@ def _routed(column: str, entry: SuiteMatrix):
     if not route.beats_direct:
         return None, None
     return (lambda: engine.convert_via(route, tensor)), str(route)
+
+
+def _ours_auto(column: str, entry: SuiteMatrix):
+    """The engine's fully automatic conversion for a cell: ``(callable,
+    implementation label)``.  Tensor-to-tensor through ``engine.convert``
+    with the default auto policies — exactly what a library user gets —
+    so the timing includes plan lookup and marshalling."""
+    src, dst = _pair_formats(column, entry)
+    engine = default_engine()
+    tensor = entry.tensor(src)
+    plan = engine.plan(
+        src, dst, nnz=tensor.nnz_stored, features=sample_features(tensor)
+    )
+    impl = "+".join(
+        f"external:{hop.converter}" if hop.kind == "external" else hop.kind
+        for hop in plan.hops
+    )
+    return (lambda: engine.run_plan(plan, tensor)), impl
 
 
 def _ours_parallel(column: str, entry: SuiteMatrix, workers: int):
@@ -286,7 +342,10 @@ def run_backends(
     in lowering (per-nonzero loops vs. bulk numpy operations).  With
     ``workers > 0`` a ``parallel`` column times the chunked executor on a
     pool of that many workers against the serial vector kernel, so
-    ``compare`` gates chunked regressions alongside vector ones.
+    ``compare`` gates chunked regressions alongside vector ones.  Every
+    cell also times the engine's fully automatic conversion (``auto``)
+    and reports the fastest fixed choice (``best``) it competes against
+    (see :func:`check_auto`).
     """
     matrices = matrices if matrices is not None else suite()
     results: Dict[str, List[BackendCellResult]] = {}
@@ -310,14 +369,65 @@ def run_backends(
                     parallel_s = time_call(parallel_fn, repeats)
             scipy_fn = _baselines(column, entry).get("scipy")
             scipy_s = time_call(scipy_fn, repeats) if scipy_fn else None
+            auto_fn, auto_impl = _ours_auto(column, entry)
+            auto_s = time_call(auto_fn, repeats)
             cells.append(
                 BackendCellResult(
                     entry.name, entry.nnz, scalar, vector, scipy_s, route,
-                    parallel_s,
+                    parallel_s, auto_s, auto_impl,
                 )
             )
         results[column] = cells
     return results
+
+
+def check_auto(
+    results: Dict[str, List[BackendCellResult]],
+    tolerance: float = 1.1,
+    min_seconds: float = 1e-3,
+) -> List[str]:
+    """The auto-policy acceptance gate: for every cell, the automatically
+    selected conversion must not be slower than ``tolerance`` times the
+    best fixed choice *available to the auto policy* at that size.
+    Returns violation descriptions (empty = the gate holds).
+
+    Two exclusions keep the gate about the routing decision:
+
+    * cells whose best fixed time is under ``min_seconds`` are skipped —
+      sub-millisecond smoke cells measure call overhead and runner
+      jitter, not converter selection;
+    * the forced-workers ``parallel`` cell only counts once the tensor
+      crosses ``PlanOptions.parallel_threshold`` — below it the auto
+      policy deliberately stays serial (worker pools are not free on
+      arbitrary shapes), so the chunked executor is not in its choice
+      set and "auto lost to a knob it refuses by design" is not a
+      selection failure.  At the 1M-nnz reference sizes the threshold
+      is crossed and the parallel cell gates normally.
+    """
+    from ..convert import PlanOptions
+
+    threshold = PlanOptions().parallel_threshold
+    problems: List[str] = []
+    for column, cells in results.items():
+        for cell in cells:
+            if cell.auto_seconds is None:
+                continue
+            eligible = dict(cell.fixed_cells)
+            if cell.nnz < threshold:
+                eligible.pop("parallel", None)
+            best_impl = min(eligible, key=lambda label: eligible[label])
+            best = eligible[best_impl]
+            if best < min_seconds:
+                continue
+            ratio = cell.auto_seconds / best
+            if ratio > tolerance:
+                problems.append(
+                    f"{column}/{cell.matrix}: auto ({cell.auto_impl}) "
+                    f"{cell.auto_seconds * 1e3:.3f} ms vs best fixed "
+                    f"({best_impl}) {best * 1e3:.3f} ms "
+                    f"({ratio:.2f}x > {tolerance:g}x)"
+                )
+    return problems
 
 
 def render_backends(results: Dict[str, List[BackendCellResult]]) -> str:
@@ -330,12 +440,18 @@ def render_backends(results: Dict[str, List[BackendCellResult]]) -> str:
     has_parallel = any(
         cell.parallel_seconds for cells in results.values() for cell in cells
     )
+    has_auto = any(
+        cell.auto_seconds for cells in results.values() for cell in cells
+    )
     out = []
     for column, cells in results.items():
         headers = ["matrix", "nnz", "scalar (ms)", "vector (ms)", "speedup"]
         if has_parallel:
             headers += ["parallel (ms)", "par"]
-        headers += ["scipy (ms)", "route"]
+        headers += ["scipy (ms)"]
+        if has_auto:
+            headers += ["auto (ms)", "best"]
+        headers += ["route"]
         rows = []
         for cell in cells:
             row = [
@@ -354,15 +470,25 @@ def render_backends(results: Dict[str, List[BackendCellResult]]) -> str:
                 ]
             row += [
                 f"{cell.scipy_seconds * 1e3:.2f}" if cell.scipy_seconds else "",
-                cell.route or "direct",
             ]
+            if has_auto:
+                row += [
+                    f"{cell.auto_seconds * 1e3:.2f}"
+                    if cell.auto_seconds else "",
+                    f"{cell.best_impl} ({cell.best_seconds * 1e3:.2f})",
+                ]
+            row += [cell.route or "direct"]
             rows.append(row)
         mean = geomean([cell.speedup for cell in cells])
         means = ["Geomean", "", "", "", f"{mean:.1f}x" if mean else ""]
         if has_parallel:
             par_mean = geomean([cell.parallel_speedup for cell in cells])
             means += ["", f"{par_mean:.1f}x" if par_mean else ""]
-        means += ["", ""]
+        means += [""]
+        if has_auto:
+            auto_mean = geomean([cell.auto_ratio for cell in cells])
+            means += [f"{auto_mean:.2f}x of best" if auto_mean else "", ""]
+        means += [""]
         rows.append(means)
         out.append(f"== {column} ==\n{format_table(headers, rows)}")
     return "\n\n".join(out)
@@ -385,6 +511,14 @@ def backends_json(results: Dict[str, List[BackendCellResult]]) -> Dict:
                     "route": cell.route,
                     "parallel_seconds": cell.parallel_seconds,
                     "parallel_speedup": cell.parallel_speedup,
+                    "auto_seconds": cell.auto_seconds,
+                    "auto_impl": cell.auto_impl,
+                    "best_seconds": (
+                        cell.best_seconds if cell.auto_seconds else None
+                    ),
+                    "best_impl": (
+                        cell.best_impl if cell.auto_seconds else None
+                    ),
                 }
                 for cell in cells
             ],
@@ -420,6 +554,7 @@ def compare_backend_reports(
             for field, label in (
                 ("vector_seconds", "vector"),
                 ("parallel_seconds", "parallel"),
+                ("auto_seconds", "auto"),
             ):
                 base_s, cur_s = base.get(field), cell.get(field)
                 if not base_s or not cur_s or base_s < min_seconds:

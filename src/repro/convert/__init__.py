@@ -3,7 +3,17 @@
 from .api import CompiledConversion, convert, generated_source, make_converter, plan
 from .chunked import ChunkedConversion, chunkable, plan_chunked
 from .context import ConversionContext, PlanError, QueryResultHandle
+from .converters import (
+    Converter,
+    converter_named,
+    converters_for,
+    register_converter,
+    run_converter,
+    scipy_available,
+    unregister_converter,
+)
 from .engine import ConversionEngine, default_engine, set_default_engine
+from .features import StructuralFeatures, default_features, sample_features
 from .plan import PLAN_SCHEMA, CompiledPlan, ConversionPlan
 from .planner import (
     BACKENDS,
@@ -13,11 +23,14 @@ from .planner import (
     plan_conversion,
     resolve_backend,
 )
+from .request import ConversionRequest
 from .router import (
     ConversionRoute,
     CostModel,
+    EdgeCandidate,
     Hop,
     bridge_for,
+    edge_candidates,
     find_route,
     rebind_endpoints,
     register_bridge,
@@ -34,18 +47,26 @@ __all__ = [
     "ConversionEngine",
     "ConversionPlan",
     "ConversionPlanner",
+    "ConversionRequest",
     "ConversionRoute",
+    "Converter",
     "CostModel",
+    "EdgeCandidate",
     "GeneratedConversion",
     "Hop",
     "PlanError",
     "PlanOptions",
     "QueryResultHandle",
+    "StructuralFeatures",
     "VerificationError",
     "bridge_for",
     "chunkable",
     "convert",
+    "converter_named",
+    "converters_for",
     "default_engine",
+    "default_features",
+    "edge_candidates",
     "find_route",
     "generated_source",
     "make_converter",
@@ -54,8 +75,13 @@ __all__ = [
     "plan_conversion",
     "rebind_endpoints",
     "register_bridge",
+    "register_converter",
     "resolve_backend",
+    "run_converter",
+    "sample_features",
+    "scipy_available",
     "set_default_engine",
+    "unregister_converter",
     "verify_all_pairs",
     "verify_conversion",
 ]

@@ -71,16 +71,21 @@ def convert(
     dst_format: FormatSpec,
     options: Optional[PlanOptions] = None,
     backend: str = "auto",
-    route: Union[str, ConversionRoute, None] = "auto",
+    route: Union[str, ConversionRoute, None] = None,
     parallel: Union[str, int, None] = "auto",
 ) -> Tensor:
     """Convert ``tensor`` to ``dst_format`` with a generated routine.
 
-    ``route="auto"`` (default) lets the engine take a cheaper multi-hop
-    path when the direct pair only lowers to scalar loops (e.g.
-    ``HASH -> COO -> CSR`` at bulk sizes) — the result is bit-identical
-    to the direct conversion.  ``route="direct"`` always converts in one
-    hop, matching the pre-engine behaviour exactly.
+    ``route=None`` (default) applies the auto policy: the engine lets
+    registered converters compete for each edge on the tensor's sampled
+    structural features and takes a cheaper multi-hop path when the
+    direct pair only lowers to scalar loops (e.g. ``HASH -> COO -> CSR``
+    at bulk sizes) — the result is bit-identical to the direct scalar
+    conversion.  ``route="direct"`` always converts in one hop, matching
+    the pre-engine behaviour exactly.  Passing ``route="auto"``
+    *explicitly* together with an explicit non-auto ``backend`` raises
+    ``ValueError`` (the backend pins the direct conversion, so there is
+    nothing for routing to decide).
 
     ``parallel="auto"`` (default) runs huge conversions on the chunked
     executor (:mod:`repro.convert.chunked`) once the tensor crosses
@@ -105,7 +110,7 @@ def plan(
     *,
     options: Optional[PlanOptions] = None,
     backend: Optional[str] = None,
-    route: Union[str, ConversionRoute, None] = "auto",
+    route: Union[str, ConversionRoute, None] = None,
     parallel: Union[str, int, None] = "auto",
     nnz: Optional[int] = None,
 ) -> ConversionPlan:

@@ -43,15 +43,21 @@ from ..formats.format import Format
 from ..formats.registry import UnknownFormatError, get_format
 from ..storage.tensor import Tensor
 from .context import PlanError
+from .converters import converter_named
+from .features import StructuralFeatures
 from .planner import PlanOptions, structural_key
 from .router import Hop
 
 #: Version of the plan JSON schema.  Bump when the layout changes;
 #: loaders reject plans from a newer schema with a clear error.
-PLAN_SCHEMA = 1
+#: Schema 2 (competing converters): hop records may carry ``kind:
+#: "external"`` plus a ``converter`` name pinning the registered
+#: implementation, and plans may record the structural ``features`` the
+#: decision was made against.  Schema-1 documents still load.
+PLAN_SCHEMA = 2
 
 #: Hop kinds a serialized plan may carry.
-_PLAN_HOP_KINDS = ("scalar", "vector", "bridge", "chunked")
+_PLAN_HOP_KINDS = ("scalar", "vector", "bridge", "chunked", "external")
 
 
 def key_to_json(key) -> List:
@@ -99,6 +105,11 @@ def resolve_format_record(record: Dict) -> Format:
     return fmt
 
 
+def _hop_cost_kind(hop: Hop) -> str:
+    """The cost-model row a hop charges (per-converter for externals)."""
+    return f"external:{hop.converter}" if hop.kind == "external" else hop.kind
+
+
 @dataclass(frozen=True)
 class ConversionPlan:
     """A complete, replayable conversion decision.
@@ -118,6 +129,9 @@ class ConversionPlan:
     workers: int = 0
     nnz: int = 0
     routed: bool = False
+    #: Structural features of the tensor the plan was decided against
+    #: (None when planned from a bare nnz).
+    features: Optional[StructuralFeatures] = None
     engine: Optional[object] = field(default=None, repr=False, compare=False)
 
     # -- structure -------------------------------------------------------
@@ -161,24 +175,26 @@ class ConversionPlan:
         workers = self.workers if workers is None else int(workers)
         model = self._engine().cost_model
         return sum(
-            model.cost(hop.kind, nnz, workers or 1) for hop in self.hops
+            model.cost(_hop_cost_kind(hop), nnz, workers or 1, self.features)
+            for hop in self.hops
         )
 
     def sources(self) -> List[Optional[str]]:
         """The generated Python source per hop, in execution order.
 
-        Bridge hops are library bulk extractions, not generated code —
-        their entry is ``None``.  Looking up a source compiles (or
-        disk-loads) the hop's kernel through the engine cache, so a plan
-        whose sources were inspected is already warm.  A ``chunked`` hop
-        whose pair has no chunked form on this host (a replayed plan from
+        Bridge hops are library bulk extractions and ``external`` hops
+        are registered converters — neither is generated code, so their
+        entry is ``None``.  Looking up a source compiles (or disk-loads)
+        the hop's kernel through the engine cache, so a plan whose
+        sources were inspected is already warm.  A ``chunked`` hop whose
+        pair has no chunked form on this host (a replayed plan from
         elsewhere) shows the serial vector kernel — the same fallback
         :meth:`run` executes.
         """
         engine = self._engine()
         out: List[Optional[str]] = []
         for hop in self.hops:
-            if hop.kind == "bridge":
+            if hop.kind in ("bridge", "external"):
                 out.append(None)
                 continue
             if hop.kind == "chunked":
@@ -204,6 +220,8 @@ class ConversionPlan:
             "stored components"
             + (f", {self.workers} chunk workers)" if self.workers else ")")
         ]
+        if self.features is not None:
+            lines.append(f"  structural features: {self.features.describe()}")
         detail = {
             "scalar": "generated per-nonzero loop nest",
             "vector": "generated bulk-numpy routine",
@@ -213,10 +231,17 @@ class ConversionPlan:
         model = self._engine().cost_model
         for n, hop in enumerate(self.hops, 1):
             cost, provenance = model.cost_detail(
-                hop.kind, self.nnz, self.workers or 1
+                _hop_cost_kind(hop), self.nnz, self.workers or 1,
+                self.features,
             )
+            if hop.kind == "external":
+                what = (
+                    f"registered converter {hop.converter!r} won this edge"
+                )
+            else:
+                what = detail[hop.kind]
             lines.append(
-                f"  {n}. {hop} {detail[hop.kind]} "
+                f"  {n}. {hop} {what} "
                 f"(est {cost * 1e3:.3f} ms, {provenance} cost)"
             )
         return "\n".join(lines)
@@ -230,7 +255,10 @@ class ConversionPlan:
         form on this host."""
         engine = self._engine()
         for hop in self.hops:
-            if hop.kind == "bridge":
+            if hop.kind in ("bridge", "external"):
+                # library code, nothing to compile; an external hop whose
+                # predicate refuses the tensor at run time compiles its
+                # generated fallback lazily
                 continue
             if hop.kind == "chunked" or (hop.kind == "vector" and self.workers):
                 chunked = engine.make_chunked(hop.src, hop.dst, self.options)
@@ -254,22 +282,28 @@ class ConversionPlan:
     # -- serialization ---------------------------------------------------
     def to_dict(self) -> Dict:
         """JSON-serializable snapshot (versioned; see :data:`PLAN_SCHEMA`)."""
-        return {
+        hops = []
+        for hop in self.hops:
+            record = {
+                "src": format_record(hop.src),
+                "dst": format_record(hop.dst),
+                "kind": hop.kind,
+            }
+            if hop.converter is not None:
+                record["converter"] = hop.converter
+            hops.append(record)
+        data = {
             "schema": PLAN_SCHEMA,
             "kind": "repro-conversion-plan",
-            "hops": [
-                {
-                    "src": format_record(hop.src),
-                    "dst": format_record(hop.dst),
-                    "kind": hop.kind,
-                }
-                for hop in self.hops
-            ],
+            "hops": hops,
             "options": self.options.to_dict(),
             "workers": self.workers,
             "nnz": self.nnz,
             "routed": self.routed,
         }
+        if self.features is not None:
+            data["features"] = self.features.to_dict()
+        return data
 
     def to_json(self, indent: Optional[int] = None) -> str:
         """The plan as a JSON document (see the module docstring)."""
@@ -282,7 +316,11 @@ class ConversionPlan:
         Formats resolve through this host's registry and are verified
         against the recorded structural keys; an unknown name, diverged
         structure, unknown hop kind or newer schema raises
-        :class:`~repro.convert.context.PlanError`.
+        :class:`~repro.convert.context.PlanError`.  An ``external`` hop
+        pins the registered converter that won the edge by name: loading
+        fails loudly when that converter is not registered on this host
+        (e.g. a scipy-delegated plan replayed where scipy is absent),
+        rather than silently running a different implementation.
         """
         if not isinstance(data, dict) or "hops" not in data:
             raise PlanError("not a serialized ConversionPlan")
@@ -302,11 +340,28 @@ class ConversionPlan:
             kind = record.get("kind")
             if kind not in _PLAN_HOP_KINDS:
                 raise PlanError(f"unknown plan hop kind {kind!r}")
+            src = resolve_format_record(record.get("src", {}))
+            dst = resolve_format_record(record.get("dst", {}))
+            converter = record.get("converter")
+            if kind == "external":
+                if not isinstance(converter, str):
+                    raise PlanError(
+                        f"external plan hop {src.name} -> {dst.name} does "
+                        "not name its converter"
+                    )
+                if converter_named(src, dst, converter) is None:
+                    raise PlanError(
+                        f"plan pins converter {converter!r} for "
+                        f"{src.name} -> {dst.name}, which is not registered "
+                        "on this host; register it (repro.convert."
+                        "register_converter) before loading the plan"
+                    )
             hops.append(
                 Hop(
-                    src=resolve_format_record(record.get("src", {})),
-                    dst=resolve_format_record(record.get("dst", {})),
+                    src=src,
+                    dst=dst,
                     kind=kind,
+                    converter=converter if kind == "external" else None,
                 )
             )
         if not hops:
@@ -318,7 +373,13 @@ class ConversionPlan:
             options = PlanOptions.from_dict(data.get("options", {}))
             workers = int(data.get("workers", 0))
             nnz = int(data.get("nnz", 0))
-        except (TypeError, ValueError) as exc:
+            recorded = data.get("features")
+            features = (
+                StructuralFeatures.from_dict(recorded)
+                if isinstance(recorded, dict)
+                else None
+            )
+        except (TypeError, ValueError, KeyError) as exc:
             raise PlanError(f"malformed plan fields: {exc}") from exc
         return cls(
             hops=tuple(hops),
@@ -326,6 +387,7 @@ class ConversionPlan:
             workers=workers,
             nnz=nnz,
             routed=bool(data.get("routed", len(hops) > 1)),
+            features=features,
             engine=engine,
         )
 

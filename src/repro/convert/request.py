@@ -1,0 +1,162 @@
+"""One validated request object behind ``convert(...)``'s knobs.
+
+``convert``/``plan`` historically validated ``backend=``, ``route=`` and
+``parallel=`` in three different places with three different error
+styles, and silently preferred the backend when a caller pinned both a
+backend and ``route="auto"``.  :class:`ConversionRequest` normalizes the
+overlapping knobs once, with one documented message per mistake:
+
+* ``backend`` — ``None`` (engine default), ``"auto"``, ``"scalar"``,
+  ``"vector"``; anything else raises
+  :class:`~repro.convert.context.PlanError`.
+* ``route`` — ``None`` (unspecified: the engine's auto policy),
+  ``"auto"``, ``"direct"``, or an explicit
+  :class:`~repro.convert.router.ConversionRoute`; anything else raises
+  ``ValueError``.  An **explicit** ``route="auto"`` together with an
+  explicit non-auto backend is a contradiction (the backend pins the
+  direct conversion, so there is nothing for routing to decide) and now
+  raises ``ValueError`` instead of silently preferring one; omit either
+  knob, or pass ``route="direct"`` to keep the pinned backend.
+* ``parallel`` — ``"auto"``, ``"off"``/``None`` (serial), or a worker
+  count ``>= 1``; anything else raises ``ValueError``.
+
+Every public entry point (``engine.convert``/``engine.plan``, the
+module-level shims, ``Tensor.to``, the CLI) funnels through
+:meth:`ConversionRequest.build`, so the messages are consistent
+everywhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from ..formats.format import Format
+from ..formats.registry import FormatSpec, get_format
+from .context import PlanError
+from .features import StructuralFeatures
+from .planner import BACKENDS, PlanOptions
+from .router import DEFAULT_ROUTE_NNZ, ConversionRoute
+
+__all__ = ["ConversionRequest"]
+
+#: Accepted string values of the ``route=`` option (besides ``None`` and
+#: an explicit :class:`ConversionRoute`).
+ROUTE_MODES = ("auto", "direct")
+
+#: ``parallel=`` values besides worker counts: ``"auto"`` (threshold
+#: policy), ``None``/``"off"`` (serial).
+PARALLEL_MODES = ("auto", "off")
+
+
+@dataclass(frozen=True)
+class ConversionRequest:
+    """A fully validated, normalized conversion request.
+
+    ``route`` is normalized (``None`` becomes ``"auto"``) with
+    ``route_explicit`` recording whether the caller actually asked;
+    ``parallel`` is ``"auto"``, ``0`` (serial) or a worker count.
+    """
+
+    src: Format
+    dst: Format
+    options: PlanOptions
+    backend: str
+    route: Union[str, ConversionRoute]
+    route_explicit: bool
+    parallel: Union[str, int]
+    nnz: int
+    features: Optional[StructuralFeatures] = None
+
+    @classmethod
+    def build(
+        cls,
+        src: FormatSpec,
+        dst: FormatSpec,
+        *,
+        options: Optional[PlanOptions] = None,
+        backend: Optional[str] = None,
+        route: Union[str, ConversionRoute, None] = None,
+        parallel: Union[str, int, None] = "auto",
+        nnz: Optional[int] = None,
+        features: Optional[StructuralFeatures] = None,
+        default_options: Optional[PlanOptions] = None,
+        default_backend: str = "auto",
+    ) -> "ConversionRequest":
+        """Validate and normalize one conversion request.
+
+        ``default_options``/``default_backend`` are the engine's policy,
+        applied when the caller passes ``None``.  See the module
+        docstring for the accepted values and the error they raise.
+        """
+        src = get_format(src)
+        dst = get_format(dst)
+
+        backend_explicit = backend is not None
+        if backend is None:
+            backend = default_backend
+        if backend not in BACKENDS:
+            raise PlanError(
+                f"unknown backend {backend!r}; expected one of {BACKENDS}"
+            )
+
+        route_explicit = route is not None
+        if route is None:
+            route = "auto"
+        elif not isinstance(route, ConversionRoute) and route not in ROUTE_MODES:
+            raise ValueError(
+                f"unknown route mode {route!r}; expected one of "
+                f"{ROUTE_MODES} or a ConversionRoute"
+            )
+        if (
+            route_explicit
+            and route == "auto"
+            and backend_explicit
+            and backend != "auto"
+        ):
+            raise ValueError(
+                f"backend={backend!r} conflicts with route='auto': an "
+                "explicit backend pins the direct conversion, so there is "
+                "nothing for routing to decide; pass route='direct' to "
+                "keep the pinned backend, or omit backend to let routing "
+                "choose"
+            )
+
+        if parallel is None or parallel == "off":
+            parallel = 0
+        elif isinstance(parallel, bool):
+            raise ValueError(
+                f"parallel expects one of {PARALLEL_MODES}, None or a "
+                f"worker count, got {parallel!r}"
+            )
+        elif isinstance(parallel, int):
+            if parallel < 1:
+                raise ValueError(
+                    f"parallel worker count must be >= 1, got {parallel}"
+                )
+        elif parallel != "auto":
+            raise ValueError(
+                f"unknown parallel mode {parallel!r}; expected one of "
+                f"{PARALLEL_MODES}, None or a worker count"
+            )
+
+        if nnz is None:
+            nnz = (
+                features.nnz if features is not None else DEFAULT_ROUTE_NNZ
+            )
+        try:
+            nnz = int(nnz)
+        except (TypeError, ValueError):
+            raise ValueError(f"nnz must be an integer, got {nnz!r}")
+
+        return cls(
+            src=src,
+            dst=dst,
+            options=options or default_options or PlanOptions(),
+            backend=backend,
+            route=route,
+            route_explicit=route_explicit,
+            parallel=parallel,
+            nnz=nnz,
+            features=features,
+        )

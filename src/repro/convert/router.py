@@ -38,12 +38,16 @@ import numpy as np
 from ..formats.format import Format, FormatError
 from ..formats.registry import FormatSpec, available_formats, get_format
 from ..storage.tensor import Tensor
+from .converters import converters_for
+from .features import StructuralFeatures
 from .planner import PlanOptions, resolve_backend, structural_key
 
 #: Hop kinds, in the cost model's vocabulary.  ``scalar`` and ``vector``
 #: are the generated-code backends; ``bridge`` is a registered bulk
-#: extraction (below).
-HOP_KINDS = ("scalar", "vector", "bridge")
+#: extraction (below); ``external`` is a registered competing converter
+#: (see :mod:`repro.convert.converters`) — its cost-table rows are keyed
+#: ``"external:<name>"`` per converter.
+HOP_KINDS = ("scalar", "vector", "bridge", "external")
 
 #: Reference nonzero count used when no tensor is at hand (``engine.route``
 #: without ``nnz``): large enough that throughput, not per-hop overhead,
@@ -95,6 +99,15 @@ class CostModel:
     bridge_per_nnz: float = 2.0e-8
     chunked_per_nnz: float = 2.0e-8
     hop_overhead: float = 5.0e-5
+    #: Seeded rate/overhead of registered external converters (the scipy
+    #: delegates, or user registrations without measured history).  The
+    #: rate sits between chunked and vector — external implementations
+    #: beat the serial vector kernel on bulk streams but not the
+    #: chunk-parallel executor — and the overhead charges the tensor
+    #: marshalling at the library boundary, which keeps tiny tensors on
+    #: the generated kernels.
+    external_per_nnz: float = 2.2e-8
+    external_overhead: float = 2.0e-4
     #: Observations of a kind required before measured rates take over.
     min_observations: int = 3
     #: Smallest hop size (stored components) worth recording: below this,
@@ -142,6 +155,15 @@ class CostModel:
             return "chunked"
         return kind
 
+    def _overhead(self, key: str) -> float:
+        """Fixed per-hop cost of an effective kind: external converters
+        pay the marshalling overhead, everything else the hop overhead."""
+        return (
+            self.external_overhead
+            if key.startswith("external")
+            else self.hop_overhead
+        )
+
     def observe(self, kind: str, nnz: int, workers: int = 1,
                 seconds: float = 0.0) -> None:
         """Record the measured wall time of one executed hop.
@@ -156,10 +178,11 @@ class CostModel:
         and recording them as a zero rate would pin the measured cost of
         arbitrarily large hops at the fixed overhead).
         """
-        if nnz < max(self.min_nnz, 1) or seconds <= self.hop_overhead:
-            return
-        rate = (seconds - self.hop_overhead) / nnz
         key = self.effective_kind(kind, workers)
+        overhead = self._overhead(key)
+        if nnz < max(self.min_nnz, 1) or seconds <= overhead:
+            return
+        rate = (seconds - overhead) / nnz
         with self._lock:
             entry = self.measured.get(key)
             if entry is None:
@@ -194,7 +217,8 @@ class CostModel:
             return float(entry["rate"])
 
     # -- estimates -------------------------------------------------------
-    def cost(self, kind: str, nnz: int, workers: int = 1) -> float:
+    def cost(self, kind: str, nnz: int, workers: int = 1,
+             features: Optional[StructuralFeatures] = None) -> float:
         """Estimated seconds for one hop of ``kind`` over ``nnz`` components.
 
         ``workers > 1`` plans for chunk-parallel execution: vectorizable
@@ -202,26 +226,40 @@ class CostModel:
         at the chunked throughput — this is how the router weighs routes
         when the engine converts with ``parallel=`` engaged.  Kinds with
         at least ``min_observations`` recorded timings use the measured
-        rate (see :meth:`cost_detail` for the provenance).
+        rate (see :meth:`cost_detail` for the provenance).  ``kind`` may
+        be ``"external:<name>"`` for a registered converter (seeded at
+        the shared external rate, measured per converter).
         """
-        return self.cost_detail(kind, nnz, workers)[0]
+        return self.cost_detail(kind, nnz, workers, features)[0]
 
-    def cost_detail(self, kind: str, nnz: int,
-                    workers: int = 1) -> Tuple[float, str]:
+    def cost_detail(self, kind: str, nnz: int, workers: int = 1,
+                    features: Optional[StructuralFeatures] = None,
+                    ) -> Tuple[float, str]:
         """``(estimated seconds, provenance)`` for one hop — provenance is
         ``"measured"`` when the kind's measured EWMA rate is trusted
-        (enough observations), ``"seeded"`` otherwise."""
+        (enough observations), ``"seeded"`` otherwise.  ``features``
+        refines seeded estimates with structural facts about the tensor:
+        the chunked executor's sorted-run fast path degrades on shuffled
+        streams, so its seeded rate is penalized as sortedness drops.
+        """
         key = self.effective_kind(kind, workers)
+        overhead = self._overhead(key)
         rate = self._measured_rate(key)
         if rate is not None:
-            return rate * max(int(nnz), 0) + self.hop_overhead, MEASURED
-        per_nnz = {
-            "scalar": self.scalar_per_nnz,
-            "vector": self.vector_per_nnz,
-            "bridge": self.bridge_per_nnz,
-            "chunked": self.chunked_per_nnz,
-        }[key]
-        return per_nnz * max(int(nnz), 0) + self.hop_overhead, SEEDED
+            return rate * max(int(nnz), 0) + overhead, MEASURED
+        if key.startswith("external"):
+            per_nnz = self.external_per_nnz
+        else:
+            per_nnz = {
+                "scalar": self.scalar_per_nnz,
+                "vector": self.vector_per_nnz,
+                "bridge": self.bridge_per_nnz,
+                "chunked": self.chunked_per_nnz,
+            }[key]
+        if key == "chunked" and features is not None:
+            sortedness = min(max(features.sortedness, 0.0), 1.0)
+            per_nnz *= 1.0 + 1.7 * (1.0 - sortedness)
+        return per_nnz * max(int(nnz), 0) + overhead, SEEDED
 
     # -- persistence -----------------------------------------------------
     def to_dict(self) -> Dict:
@@ -239,6 +277,8 @@ class CostModel:
                 "bridge_per_nnz": self.bridge_per_nnz,
                 "chunked_per_nnz": self.chunked_per_nnz,
                 "hop_overhead": self.hop_overhead,
+                "external_per_nnz": self.external_per_nnz,
+                "external_overhead": self.external_overhead,
             },
             "min_observations": self.min_observations,
             "min_nnz": self.min_nnz,
@@ -288,6 +328,7 @@ class CostModel:
                     for name in (
                         "scalar_per_nnz", "vector_per_nnz", "bridge_per_nnz",
                         "chunked_per_nnz", "hop_overhead",
+                        "external_per_nnz", "external_overhead",
                     )
                     if name in seeds
                 },
@@ -327,6 +368,7 @@ class CostModel:
         scalar_rates: List[float] = []
         vector_rates: List[float] = []
         parallel_rates: List[float] = []
+        scipy_rates: List[float] = []
         malformed = False
         columns = report.values() if isinstance(report, dict) else ()
         if not isinstance(report, dict):
@@ -351,6 +393,7 @@ class CostModel:
                         ("scalar_seconds", scalar_rates),
                         ("vector_seconds", vector_rates),
                         ("parallel_seconds", parallel_rates),
+                        ("scipy_seconds", scipy_rates),
                     ):
                         seconds = cell.get(field_name)
                         if seconds:
@@ -375,6 +418,11 @@ class CostModel:
             )
         if parallel_rates:
             model = replace(model, chunked_per_nnz=median(parallel_rates))
+        if scipy_rates:
+            # the bench's scipy baseline times the raw scipy call; the
+            # registered converters additionally marshal tensors across
+            # the library boundary, worth roughly 3x on bulk streams
+            model = replace(model, external_per_nnz=median(scipy_rates) * 3)
         return model
 
 
@@ -444,17 +492,23 @@ class Hop:
     ``cost`` is the estimated seconds of this hop at the route's planning
     size, ``provenance`` whether the estimate came from the cost model's
     bench seeds (``"seeded"``) or from this host's own measured hop
-    timings (``"measured"``).
+    timings (``"measured"``).  ``converter`` names the registered
+    converter that won the hop when ``kind`` is ``"external"`` — the
+    plan schema pins it, so replays run the same implementation.
     """
 
     src: Format
     dst: Format
-    kind: str  # "scalar" | "vector" | "bridge" | "chunked"
+    kind: str  # "scalar" | "vector" | "bridge" | "chunked" | "external"
     cost: float = 0.0
     provenance: str = SEEDED
+    converter: Optional[str] = None
 
     def __str__(self) -> str:
-        return f"{self.src.name} -> {self.dst.name} [{self.kind}]"
+        label = self.kind if not self.converter else (
+            f"{self.kind}:{self.converter}"
+        )
+        return f"{self.src.name} -> {self.dst.name} [{label}]"
 
 
 @dataclass(frozen=True)
@@ -473,6 +527,9 @@ class ConversionRoute:
     direct_cost: float
     nnz: int
     options: PlanOptions
+    #: Structural features the route was planned against (None when the
+    #: route was planned from a bare nnz, without a tensor in hand).
+    features: Optional[StructuralFeatures] = None
 
     @property
     def src(self) -> Format:
@@ -489,11 +546,13 @@ class ConversionRoute:
     @property
     def beats_direct(self) -> bool:
         """True when executing this route is preferable to the plain
-        direct conversion: a multi-hop path, or a direct bridge
-        extraction (which beats the scalar loop at any size).  This is
-        *the* engage-routing predicate — the engine, the CLI display and
-        the bench all consult it."""
-        return not self.is_direct or "bridge" in self.backend_per_hop
+        direct conversion: a multi-hop path, a direct bridge extraction,
+        or a direct registered converter that beat the generated kernel.
+        This is *the* engage-routing predicate — the engine, the CLI
+        display and the bench all consult it."""
+        return not self.is_direct or self.hops[0].kind in (
+            "bridge", "external"
+        )
 
     @property
     def formats(self) -> Tuple[Format, ...]:
@@ -513,12 +572,15 @@ class ConversionRoute:
             f"({len(self.hops)} hop{'s' if len(self.hops) != 1 else ''}, "
             f"est {self.cost * 1e3:.3f} ms at {self.nnz} stored components)"
         ]
+        if self.features is not None:
+            lines.append(f"  structural features: {self.features.describe()}")
         for n, hop in enumerate(self.hops, 1):
             detail = {
                 "scalar": "generated per-nonzero loop nest",
                 "vector": "generated bulk-numpy routine",
                 "bridge": "bulk extraction (mask/gather, no codegen)",
                 "chunked": "chunk-parallel rewrite of the vector routine",
+                "external": "registered converter (external implementation)",
             }[hop.kind]
             lines.append(
                 f"  {n}. {hop} {detail} "
@@ -566,14 +628,116 @@ def _candidate_intermediates(src: Format, dst: Format) -> List[Format]:
     return out
 
 
-def _edge_kind(src: Format, dst: Format, options: PlanOptions) -> str:
-    # Bridges replay the *default* code shapes; non-default options must
-    # take the generated routine that honours them.
+@dataclass(frozen=True)
+class EdgeCandidate:
+    """One priced competitor for a single conversion edge.
+
+    ``rank`` is the deterministic selection key: estimated cost scaled
+    by the competitor's weight, with ties broken by lower weight and
+    then name, so equal-cost competitors always resolve the same way.
+    Rejected candidates (``admitted=False``: their runtime predicate
+    refused the tensor's features) are kept for introspection but never
+    selected.
+    """
+
+    name: str
+    kind: str  # "scalar" | "vector" | "bridge" | "external"
+    cost: float
+    provenance: str
+    weight: float = 1.0
+    admitted: bool = True
+    converter: Optional[str] = None
+
+    @property
+    def rank(self) -> Tuple[float, float, str]:
+        return (self.cost * self.weight, self.weight, self.name)
+
+    def describe(self) -> str:
+        verdict = "" if self.admitted else " (rejected by predicate)"
+        return (
+            f"{self.name} [{self.kind}] est {self.cost * 1e3:.3f} ms "
+            f"weight {self.weight:g} ({self.provenance}){verdict}"
+        )
+
+
+def edge_candidates(
+    src: FormatSpec,
+    dst: FormatSpec,
+    options: Optional[PlanOptions] = None,
+    cost_model: Optional[CostModel] = None,
+    nnz: Optional[int] = None,
+    workers: int = 1,
+    features: Optional[StructuralFeatures] = None,
+) -> List[EdgeCandidate]:
+    """Every competitor for the single edge ``src -> dst``, priced at
+    ``nnz`` stored components and sorted best rank first (admitted
+    candidates before rejected ones).
+
+    The generated kernel is always present and always admitted — it is
+    the fallback when every registered competitor's predicate refuses.
+    Bridges and registered converters replay the *default* code shapes,
+    so non-default :class:`PlanOptions` leave only the generated kernel.
+    """
+    src = get_format(src)
+    dst = get_format(dst)
+    options = options or PlanOptions()
+    model = cost_model or CostModel()
+    nnz = DEFAULT_ROUTE_NNZ if nnz is None else int(nnz)
+    workers = max(int(workers), 1)
+
+    generated = resolve_backend(src, dst, options, "auto")
+    cost, provenance = model.cost_detail(generated, nnz, workers, features)
+    out = [
+        EdgeCandidate(
+            name=f"generated-{generated}", kind=generated,
+            cost=cost, provenance=provenance,
+        )
+    ]
     if options.key() == PlanOptions().key():
         bridge = bridge_for(src)
         if bridge is not None and structural_key(bridge[0]) == structural_key(dst):
-            return "bridge"
-    return resolve_backend(src, dst, options, "auto")
+            cost, provenance = model.cost_detail(
+                "bridge", nnz, workers, features
+            )
+            out.append(
+                EdgeCandidate(
+                    name="bridge", kind="bridge",
+                    cost=cost, provenance=provenance,
+                )
+            )
+        for conv in converters_for(src, dst):
+            cost, provenance = model.cost_detail(
+                f"external:{conv.name}", nnz, workers, features
+            )
+            out.append(
+                EdgeCandidate(
+                    name=conv.name, kind="external",
+                    cost=cost, provenance=provenance,
+                    weight=conv.weight, admitted=conv.admits(features),
+                    converter=conv.name,
+                )
+            )
+    out.sort(key=lambda cand: (not cand.admitted,) + cand.rank)
+    return out
+
+
+def _edge_choice(
+    src: Format,
+    dst: Format,
+    options: PlanOptions,
+    model: CostModel,
+    nnz: int,
+    workers: int,
+    features: Optional[StructuralFeatures],
+) -> EdgeCandidate:
+    """The winning competitor for one edge (the generated kernel is
+    always admitted, so a winner always exists)."""
+    for candidate in edge_candidates(
+        src, dst, options, model, nnz, workers, features
+    ):
+        if candidate.admitted:
+            return candidate
+    raise AssertionError("edge_candidates lost the generated kernel")
 
 
 def find_route(
@@ -585,18 +749,24 @@ def find_route(
     max_hops: int = 3,
     intermediates: Optional[Sequence[Format]] = None,
     workers: int = 0,
+    features: Optional[StructuralFeatures] = None,
 ) -> ConversionRoute:
     """Find the cheapest conversion path from ``src`` to ``dst``.
 
     Runs Dijkstra over the format graph — nodes are ``src``, ``dst`` and
     the registered same-order intermediates (or an explicit
     ``intermediates`` list); edge weights come from ``cost_model`` at
-    ``nnz`` stored components.  ``workers > 1`` plans for chunk-parallel
+    ``nnz`` stored components, each edge taking its cheapest admitted
+    competitor (generated kernel, bridge, or registered converter — see
+    :func:`edge_candidates`).  ``workers > 1`` plans for chunk-parallel
     execution: vector edges are costed at the model's chunked throughput
-    (the engine executes those hops on its worker pool).  Non-default
-    :class:`PlanOptions` pin the route to the direct conversion: the
-    options select scalar code shapes that bridges and vector hops do not
-    honour.
+    (the engine executes those hops on its worker pool).  ``features``
+    are the source tensor's structural facts: they gate predicated
+    converters on the first hop and refine its cost; hops out of
+    intermediate formats are judged optimistically (their predicates are
+    re-checked at execution time).  Non-default :class:`PlanOptions` pin
+    the route to the direct conversion: the options select scalar code
+    shapes that bridges and competing converters do not honour.
 
     The direct route always exists, so the result is never empty; ties go
     to the direct conversion.
@@ -608,14 +778,18 @@ def find_route(
     nnz = DEFAULT_ROUTE_NNZ if nnz is None else int(nnz)
     workers = max(int(workers), 0)
 
-    direct_kind = _edge_kind(src, dst, options)
-    direct_cost, direct_prov = model.cost_detail(direct_kind, nnz, workers or 1)
+    choice = _edge_choice(src, dst, options, model, nnz, workers or 1, features)
+    direct_cost = choice.cost
     direct = ConversionRoute(
-        hops=(Hop(src, dst, direct_kind, direct_cost, direct_prov),),
+        hops=(
+            Hop(src, dst, choice.kind, choice.cost, choice.provenance,
+                choice.converter),
+        ),
         cost=direct_cost,
         direct_cost=direct_cost,
         nnz=nnz,
         options=options,
+        features=features,
     )
     if (
         src.order != dst.order
@@ -646,6 +820,7 @@ def find_route(
                     direct_cost=direct_cost,
                     nnz=nnz,
                     options=options,
+                    features=features,
                 )
             continue
         if hops_used == max_hops:
@@ -653,12 +828,19 @@ def find_route(
         here = nodes[node]
         if here.inverse is None:
             continue  # cannot be a conversion source
+        # Only the first hop sees the source tensor's features; later
+        # hops read intermediate tensors whose structure is unknown at
+        # planning time, so their predicates are judged optimistically
+        # and re-checked against the actual intermediate at run time.
+        hop_features = features if node == 0 else None
         for nxt in range(1, len(nodes)):
             if nxt == node:
                 continue
-            kind = _edge_kind(here, nodes[nxt], options)
-            edge_cost, edge_prov = model.cost_detail(kind, nnz, workers or 1)
-            step = cost + edge_cost
+            edge = _edge_choice(
+                here, nodes[nxt], options, model, nnz, workers or 1,
+                hop_features,
+            )
+            step = cost + edge.cost
             state = (nxt, hops_used + 1)
             if step < best.get(state, float("inf")):
                 best[state] = step
@@ -668,7 +850,10 @@ def find_route(
                         step,
                         nxt,
                         hops_used + 1,
-                        hops + (Hop(here, nodes[nxt], kind, edge_cost, edge_prov),),
+                        hops + (
+                            Hop(here, nodes[nxt], edge.kind, edge.cost,
+                                edge.provenance, edge.converter),
+                        ),
                     ),
                 )
     return best_route

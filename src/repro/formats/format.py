@@ -120,26 +120,49 @@ class Format:
         sizes = tuple(dim_sizes) if dim_sizes is not None else dim_size_vars(self.order)
         return remapped_dim_intervals(self.remap, sizes, self.param_exprs())
 
+    def _concrete_dims(self, dims: Tuple[int, ...]):
+        """Memoized (extents, lows) per concrete ``dims``.
+
+        Evaluating the symbolic intervals costs a symbolic-simplification
+        pass; every :class:`~repro.storage.tensor.Tensor` construction
+        needs the result, so conversions would otherwise pay it per call.
+        Formats are immutable and interned, making the memo safe; it is
+        bounded so unbounded distinct shapes cannot grow it without limit.
+        """
+        memo = self.__dict__.get("_concrete_dims_memo")
+        if memo is None:
+            memo = {}
+            object.__setattr__(self, "_concrete_dims_memo", memo)
+        entry = memo.get(dims)
+        if entry is None:
+            env = {f"N{d + 1}": size for d, size in enumerate(dims)}
+            extents = []
+            lows = []
+            for interval in self.dim_intervals():
+                extent = interval.extent()
+                extents.append(
+                    None if extent is None else int(evaluate_expr(extent, env))
+                )
+                lo = interval.lo
+                lows.append(
+                    None if lo is None else int(evaluate_expr(lo, env))
+                )
+            if len(memo) >= 256:
+                memo.clear()
+            entry = memo[dims] = (tuple(extents), tuple(lows))
+        return entry
+
     def concrete_dim_extents(self, dims: Sequence[int]):
         """Numeric extents of remapped dimensions for concrete ``dims``.
 
         Counter dimensions have no static extent and yield ``None`` (their
         runtime extent lives in tensor metadata, e.g. ELL's ``K``).
         """
-        env = {f"N{d + 1}": size for d, size in enumerate(dims)}
-        extents = []
-        for interval in self.dim_intervals():
-            extent = interval.extent()
-            extents.append(None if extent is None else int(evaluate_expr(extent, env)))
-        return tuple(extents)
+        return self._concrete_dims(tuple(int(d) for d in dims))[0]
 
     def concrete_dim_lo(self, dims: Sequence[int]):
         """Numeric lower bounds of remapped dimensions (e.g. ``-(N-1)``)."""
-        env = {f"N{d + 1}": size for d, size in enumerate(dims)}
-        lows = []
-        for interval in self.dim_intervals():
-            lows.append(None if interval.lo is None else int(evaluate_expr(interval.lo, env)))
-        return tuple(lows)
+        return self._concrete_dims(tuple(int(d) for d in dims))[1]
 
     # ------------------------------------------------------------------
     def signature(self) -> str:

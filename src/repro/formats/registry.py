@@ -25,6 +25,7 @@ so downstream exact-identity caches (the engine's converter cache) hit.
 
 from __future__ import annotations
 
+import difflib
 import re
 from collections import OrderedDict
 from threading import RLock
@@ -144,9 +145,19 @@ def parse_format_spec(spec: str) -> Format:
                     while len(_PARSED) > _PARSED_CAPACITY:
                         _PARSED.popitem(last=False)
                     return fmt
+    suggestion = _nearest_spec(token)
+    hint = f" (did you mean {suggestion!r}?)" if suggestion else ""
     raise UnknownFormatError(
-        f"unknown format {spec!r}; known: {spec_help()}"
+        f"unknown format {spec!r}{hint}; known: {spec_help()}"
     )
+
+
+def _nearest_spec(token: str) -> Optional[str]:
+    """The closest registered name/family prefix to ``token``, if any."""
+    with _LOCK:
+        candidates = sorted(_FORMATS) + sorted(_FACTORIES)
+    matches = difflib.get_close_matches(token, candidates, n=1, cutoff=0.6)
+    return matches[0] if matches else None
 
 
 def get_format(spec: FormatSpec) -> Format:

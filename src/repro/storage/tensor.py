@@ -132,7 +132,7 @@ class Tensor:
 
     # -- conversion convenience ------------------------------------------------
     def to(self, dst_format, options=None, backend=None, engine=None,
-           route="auto", parallel="auto") -> "Tensor":
+           route=None, parallel="auto") -> "Tensor":
         """Convert to ``dst_format`` (a :class:`Format` or a registry spec
         string like ``"CSR"`` / ``"BCSR8x8"``) with a generated routine.
 

@@ -6,6 +6,7 @@ from repro.bench import (
     COLUMNS,
     applicable,
     backends_json,
+    check_auto,
     compare_backend_reports,
     format_table,
     geomean,
@@ -18,7 +19,12 @@ from repro.bench import (
     time_call,
 )
 from repro.bench.ablations import AblationResult
-from repro.bench.table3 import CellResult, _baselines, _ours
+from repro.bench.table3 import (
+    BackendCellResult,
+    CellResult,
+    _baselines,
+    _ours,
+)
 from repro.matrices.suite import get_matrix, suite
 
 
@@ -135,7 +141,41 @@ def test_run_backends_parallel_column():
     assert "parallel (ms)" not in render_backends(plain)
 
 
-def _report(vector_seconds, parallel_seconds=None):
+def test_run_backends_times_auto_cell():
+    matrices = [get_matrix("jnlbrng1", scale=0.1)]
+    results = run_backends(matrices, columns=["coo_csr"], repeats=1)
+    (cell,) = results["coo_csr"]
+    assert cell.auto_seconds and cell.auto_seconds > 0
+    assert cell.auto_impl  # names the implementation the engine picked
+    assert cell.best_impl in cell.fixed_cells
+    assert cell.best_seconds == min(cell.fixed_cells.values())
+    assert cell.auto_ratio == cell.auto_seconds / cell.best_seconds
+    text = render_backends(results)
+    assert "auto (ms)" in text and "best" in text
+    report = backends_json(results)
+    recorded = report["coo_csr"]["cells"][0]
+    assert recorded["auto_seconds"] > 0
+    assert recorded["auto_impl"] == cell.auto_impl
+    assert recorded["best_impl"] == cell.best_impl
+    assert recorded["best_seconds"] == cell.best_seconds
+
+
+def test_check_auto_flags_slow_auto_cells():
+    fast = BackendCellResult("m", 100, 0.5, 0.010, None,
+                             auto_seconds=0.0105, auto_impl="vector")
+    slow = BackendCellResult("m", 100, 0.5, 0.010, None,
+                             auto_seconds=0.020, auto_impl="vector")
+    assert check_auto({"coo_csr": [fast]}) == []
+    problems = check_auto({"coo_csr": [slow]})
+    assert len(problems) == 1
+    assert "coo_csr/m" in problems[0] and "2.00x" in problems[0]
+    # sub-noise-floor cells never gate; cells without an auto time either
+    assert check_auto({"coo_csr": [slow]}, min_seconds=1.0) == []
+    bare = BackendCellResult("m", 100, 0.5, 0.010, None)
+    assert check_auto({"coo_csr": [bare]}) == []
+
+
+def _report(vector_seconds, parallel_seconds=None, auto_seconds=None):
     return {
         "coo_csr": {
             "geomean_speedup": 10.0,
@@ -148,6 +188,7 @@ def _report(vector_seconds, parallel_seconds=None):
                     "speedup": 0.5 / vector_seconds,
                     "scipy_seconds": None,
                     "parallel_seconds": parallel_seconds,
+                    "auto_seconds": auto_seconds,
                 }
             ],
         }
@@ -178,6 +219,17 @@ def test_compare_backend_reports_gates_parallel_cells():
     regressions = compare_backend_reports(baseline, bad, 2.0)
     assert len(regressions) == 1 and "parallel" in regressions[0]
     # reports without the parallel column (older baselines) never gate it
+    assert compare_backend_reports(_report(0.010), bad, 2.0) == []
+
+
+def test_compare_backend_reports_gates_auto_cells():
+    baseline = _report(0.010, auto_seconds=0.010)
+    ok = _report(0.010, auto_seconds=0.012)
+    assert compare_backend_reports(baseline, ok, 2.0) == []
+    bad = _report(0.010, auto_seconds=0.050)
+    regressions = compare_backend_reports(baseline, bad, 2.0)
+    assert len(regressions) == 1 and "auto" in regressions[0]
+    # schema-1 reports without the auto cell (older baselines) never gate it
     assert compare_backend_reports(_report(0.010), bad, 2.0) == []
 
 

@@ -1,0 +1,307 @@
+"""Competing converters: the registration API, the scipy-delegated
+builtins, predicate admission, runtime fallback, and plan pinning."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.convert import (
+    ConversionEngine,
+    ConversionPlan,
+    PlanError,
+    converter_named,
+    converters_for,
+    default_features,
+    register_converter,
+    run_converter,
+    sample_features,
+    scipy_available,
+    unregister_converter,
+)
+from repro.formats import COO, CSC, CSR, FormatError
+from repro.storage.build import reference_build
+
+needs_scipy = pytest.mark.skipif(
+    not scipy_available(), reason="scipy is not installed"
+)
+
+
+def _sorted_coo(count=80, dims=(24, 24), seed=5):
+    rng = random.Random(seed)
+    cells = sorted({
+        (rng.randrange(dims[0]), rng.randrange(dims[1])) for _ in range(count)
+    })
+    return reference_build(
+        COO, dims, cells, [1.0 + i for i in range(len(cells))]
+    )
+
+
+def _unsorted_coo(count=80, dims=(24, 24), seed=5):
+    rng = random.Random(seed)
+    cells = sorted({
+        (rng.randrange(dims[0]), rng.randrange(dims[1])) for _ in range(count)
+    })
+    rng.shuffle(cells)  # COO keeps the given stream order
+    return reference_build(
+        COO, dims, cells, [1.0 + i for i in range(len(cells))]
+    )
+
+
+def _assert_bit_identical(out, ref):
+    """Same arrays, same dtypes, same values — not just the same to_coo."""
+    assert out.format is ref.format and out.dims == ref.dims
+    assert set(out.arrays) == set(ref.arrays)
+    for key, arr in ref.arrays.items():
+        assert out.arrays[key].dtype == arr.dtype, key
+        assert np.array_equal(out.arrays[key], arr), key
+    assert out.vals.dtype == ref.vals.dtype
+    assert np.array_equal(out.vals, ref.vals)
+
+
+@pytest.fixture
+def engine():
+    return ConversionEngine()
+
+
+# ----------------------------------------------------------------------
+# the scipy-delegated builtins
+
+
+def test_builtin_registration_matches_scipy_availability():
+    names = [c.name for c in converters_for(COO, CSR)]
+    if scipy_available():
+        assert "scipy-coo-csr" in names
+    else:
+        assert not any(n.startswith("scipy-") for n in names)
+
+
+@needs_scipy
+@pytest.mark.parametrize(
+    "src,dst,name",
+    [
+        (COO, CSR, "scipy-coo-csr"),
+        (COO, CSC, "scipy-coo-csc"),
+        (CSR, CSC, "scipy-csr-csc"),
+        (CSC, CSR, "scipy-csc-csr"),
+    ],
+)
+def test_scipy_builtins_bit_identical_on_admitted_streams(
+    engine, src, dst, name
+):
+    coo = _sorted_coo()
+    tensor = coo if src is COO else engine.convert(
+        coo, src, backend="scalar", route="direct"
+    )
+    converter = converter_named(src, dst, name)
+    assert converter is not None
+    assert converter.admits(sample_features(tensor))
+    out = run_converter(converter, tensor, dst)
+    ref = engine.convert(tensor, dst, backend="scalar", route="direct")
+    _assert_bit_identical(out, ref)
+
+
+@needs_scipy
+def test_scipy_coo_compressors_refuse_unsorted_streams(engine):
+    unsorted = _unsorted_coo()
+    features = sample_features(unsorted)
+    assert features.sortedness < 1.0
+    for name in ("scipy-coo-csr", "scipy-coo-csc"):
+        converter = converter_named(COO, CSR if "csr" in name else CSC, name)
+        assert not converter.admits(features)
+    # the engine still converts it — via the generated kernels — and the
+    # result stays bit-identical to the direct scalar conversion
+    out = engine.convert(unsorted, CSR)
+    ref = engine.convert(unsorted, CSR, backend="scalar", route="direct")
+    _assert_bit_identical(out, ref)
+
+
+@needs_scipy
+def test_csr_csc_builtins_unpredicated():
+    for src, dst, name in (
+        (CSR, CSC, "scipy-csr-csc"),
+        (CSC, CSR, "scipy-csc-csr"),
+    ):
+        assert converter_named(src, dst, name).filter is None
+
+
+# ----------------------------------------------------------------------
+# the registration API
+
+
+def test_register_validates_arguments():
+    with pytest.raises(TypeError, match="must be callable"):
+        register_converter(COO, CSR, "not-a-function")
+    with pytest.raises(TypeError, match="filter must be callable"):
+        register_converter(COO, CSR, lambda t, d: t, filter="nope")
+    for bad_weight in (0, -1.0, "heavy"):
+        with pytest.raises(ValueError, match="weight"):
+            register_converter(COO, CSR, lambda t, d: t, weight=bad_weight)
+
+
+def test_register_duplicate_name_raises():
+    register_converter(COO, CSR, lambda t, d: t, name="dup-test")
+    try:
+        with pytest.raises(ValueError, match="already"):
+            register_converter(COO, CSR, lambda t, d: t, name="dup-test")
+    finally:
+        assert unregister_converter(COO, CSR, "dup-test")
+
+
+def test_unregister_reports_whether_it_existed():
+    assert not unregister_converter(COO, CSR, "never-registered")
+    register_converter(COO, CSR, lambda t, d: t, name="ephemeral")
+    assert unregister_converter(COO, CSR, "ephemeral")
+    assert not unregister_converter(COO, CSR, "ephemeral")
+    assert converter_named(COO, CSR, "ephemeral") is None
+
+
+def test_registration_invalidates_cached_routes(engine):
+    # an engine that already routed a pair must pick up converters
+    # registered afterwards: the registry version is part of the
+    # route-cache staleness check.  The tensor is large enough that the
+    # external candidate's fixed overhead does not price the direct edge
+    # above a multi-hop vector detour.
+    coo = _sorted_coo(count=12000, dims=(128, 128))
+    before = engine.plan(COO, CSR, route="auto")
+    calls = []
+
+    def fast(tensor, dst):
+        calls.append(1)
+        return ConversionEngine().convert(
+            tensor, dst, backend="vector", route="direct"
+        )
+
+    register_converter(COO, CSR, fast, weight=1e-9, name="late-arrival")
+    try:
+        plan = engine.plan(COO, CSR, route="auto")
+        assert plan.hops[0].converter == "late-arrival"
+        out = engine.convert(coo, CSR, route="auto")
+        assert calls
+        ref = engine.convert(coo, CSR, backend="scalar", route="direct")
+        _assert_bit_identical(out, ref)
+    finally:
+        unregister_converter(COO, CSR, "late-arrival")
+    after = engine.plan(COO, CSR, route="auto")
+    assert [h.converter for h in after.hops] == [
+        h.converter for h in before.hops
+    ]
+
+
+def test_run_converter_rejects_bad_results(engine):
+    coo = _sorted_coo()
+    bad = register_converter(
+        COO, CSR, lambda t, d: "oops", name="bad-return"
+    )
+    wrong = register_converter(
+        COO, CSR, lambda t, d: t, name="wrong-format"
+    )
+    try:
+        with pytest.raises(FormatError, match="not a Tensor"):
+            run_converter(bad, coo, CSR)
+        with pytest.raises(FormatError, match="not structurally"):
+            run_converter(wrong, coo, CSR)  # returns the COO input
+    finally:
+        unregister_converter(COO, CSR, "bad-return")
+        unregister_converter(COO, CSR, "wrong-format")
+
+
+# ----------------------------------------------------------------------
+# admission and selection
+
+
+def test_predicate_rejecting_all_falls_back_to_generated(engine):
+    calls = []
+
+    def never(tensor, dst):  # pragma: no cover - must not run
+        calls.append(1)
+        raise AssertionError("predicate-rejected converter ran")
+
+    register_converter(
+        COO, CSR, never, filter=lambda f: False, weight=1e-9,
+        name="rejects-all",
+    )
+    try:
+        coo = _sorted_coo()
+        features = sample_features(coo)
+        cands = engine.converters(COO, CSR, nnz=1_000_000, features=features)
+        rejected = [c for c in cands if c.name == "rejects-all"]
+        assert rejected and not rejected[0].admitted
+        # rejected candidates sort after every admitted one
+        assert all(c.admitted for c in cands[: cands.index(rejected[0])])
+        out = engine.convert(coo, CSR)
+        ref = engine.convert(coo, CSR, backend="scalar", route="direct")
+        _assert_bit_identical(out, ref)
+        assert not calls
+    finally:
+        unregister_converter(COO, CSR, "rejects-all")
+
+
+def test_weight_ties_break_deterministically_on_name(engine):
+    def ident(tensor, dst):
+        return ConversionEngine().convert(
+            tensor, dst, backend="vector", route="direct"
+        )
+
+    register_converter(COO, CSR, ident, weight=1e-6, name="zz-tied")
+    register_converter(COO, CSR, ident, weight=1e-6, name="aa-tied")
+    try:
+        features = default_features(1_000_000)
+        cands = engine.converters(
+            COO, CSR, nnz=1_000_000, features=features
+        )
+        tied = [c for c in cands if c.name.endswith("-tied")]
+        assert [c.name for c in tied] == ["aa-tied", "zz-tied"]
+        assert tied[0].rank < tied[1].rank  # name is the final tiebreak
+        plan = engine.plan(
+            COO, CSR, nnz=1_000_000, features=features
+        )
+        assert plan.hops[0].kind == "external"
+        assert plan.hops[0].converter == "aa-tied"
+    finally:
+        unregister_converter(COO, CSR, "zz-tied")
+        unregister_converter(COO, CSR, "aa-tied")
+
+
+def test_runtime_recheck_falls_back_when_predicate_refuses(engine):
+    def sorted_only(tensor, dst):  # pragma: no cover - must not run
+        raise AssertionError("ran on a stream its predicate refuses")
+
+    register_converter(
+        COO, CSR, sorted_only, filter=lambda f: f.sortedness >= 1.0,
+        weight=1e-9, name="sorted-only",
+    )
+    try:
+        # plan optimistically, without a tensor: default features admit
+        plan = engine.plan(COO, CSR, nnz=1_000_000)
+        assert plan.hops[0].converter == "sorted-only"
+        unsorted = _unsorted_coo()
+        out = plan.run(unsorted)  # recheck refuses -> generated kernel
+        ref = engine.convert(unsorted, CSR, backend="scalar", route="direct")
+        _assert_bit_identical(out, ref)
+    finally:
+        unregister_converter(COO, CSR, "sorted-only")
+
+
+# ----------------------------------------------------------------------
+# plan pinning (schema 2)
+
+
+def test_replayed_plan_requires_the_pinned_converter(engine):
+    def ident(tensor, dst):
+        return ConversionEngine().convert(
+            tensor, dst, backend="vector", route="direct"
+        )
+
+    register_converter(COO, CSR, ident, weight=1e-9, name="pin-me")
+    try:
+        plan = engine.plan(
+            COO, CSR, nnz=1_000_000, features=default_features(1_000_000)
+        )
+        assert plan.hops[0].converter == "pin-me"
+        payload = plan.to_json()
+    finally:
+        unregister_converter(COO, CSR, "pin-me")
+    # the diverged host fails at load time, before anything runs
+    with pytest.raises(PlanError, match="pin-me.*not registered"):
+        ConversionPlan.from_json(payload, engine=engine)

@@ -7,10 +7,36 @@ import warnings
 
 import pytest
 
-from repro.convert import ConversionEngine, CostModel, find_route
+from repro.convert import ConversionEngine, CostModel, find_route, scipy_available
 from repro.convert.router import MEASURED, SEEDED
 from repro.formats import COO, CSR, HASH
 from repro.storage.build import reference_build
+
+# With scipy importable, the scipy-delegated converter wins the COO->CSR
+# edge for sorted bulk streams and timings record under its own key; the
+# no-scipy leg exercises the generated vector kernel instead.
+COO_CSR_KEY = "external:scipy-coo-csr" if scipy_available() else "vector"
+
+
+@pytest.fixture
+def only_generated_coo_csr():
+    """Temporarily unregister COO->CSR competitors so the generated
+    kernels win deterministically (scipy-present and -absent legs)."""
+    from repro.convert import (
+        converters_for,
+        register_converter,
+        unregister_converter,
+    )
+
+    removed = list(converters_for(COO, CSR))
+    for conv in removed:
+        unregister_converter(COO, CSR, conv.name)
+    yield
+    for conv in removed:
+        register_converter(
+            conv.src, conv.dst, conv.func,
+            filter=conv.filter, weight=conv.weight, name=conv.name,
+        )
 
 
 def _tensor(src, count=60, dims=(12, 12), seed=3):
@@ -97,7 +123,9 @@ def test_injected_slow_bridge_flips_the_route():
     assert flipped.hops[0].kind == "scalar"
 
 
-def test_engine_route_explains_measured_after_enough_conversions():
+def test_engine_route_explains_measured_after_enough_conversions(
+    only_generated_coo_csr,
+):
     """After >= K recorded conversions of a pair at bulk sizes, the
     engine's route explanation labels that pair's hop costs as measured
     (this exercises the default ``min_nnz`` gate end to end)."""
@@ -124,15 +152,15 @@ def test_engine_route_cache_invalidated_by_new_measurements():
 
 
 def test_convert_via_records_hop_timings():
-    # hop_overhead=0 so even microsecond hops register (observations
-    # faster than the fixed overhead are otherwise discarded)
-    model = CostModel(min_nnz=1, hop_overhead=0.0)
+    # zero both overheads so even microsecond hops register (observations
+    # faster than the fixed per-kind overhead are otherwise discarded)
+    model = CostModel(min_nnz=1, hop_overhead=0.0, external_overhead=0.0)
     engine = ConversionEngine(cost_model=model)
     tensor = _tensor(HASH)
     route = engine.route(HASH, CSR)
     engine.convert_via(route, tensor)
     assert model.observation_count("bridge") == 1
-    assert model.observation_count("vector") == 1
+    assert model.observation_count(COO_CSR_KEY) == 1
 
 
 # ----------------------------------------------------------------------

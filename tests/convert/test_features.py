@@ -1,0 +1,132 @@
+"""Structural feature sampling: exactness, degenerate streams, memoing."""
+
+import random
+
+import numpy as np
+
+from repro.convert import StructuralFeatures, default_features, sample_features
+from repro.convert.features import _CACHE_ATTR
+from repro.formats import COO, CSR, HASH
+from repro.storage.build import reference_build
+from repro.storage.tensor import Tensor
+
+
+def _coo(cells, dims=(8, 8)):
+    return reference_build(
+        COO, dims, cells, [1.0 + i for i in range(len(cells))]
+    )
+
+
+# ----------------------------------------------------------------------
+# degenerate streams
+
+
+def test_empty_tensor_samples_cleanly():
+    features = sample_features(_coo([]))
+    assert features.nnz == 0
+    assert features.sortedness == 1.0  # vacuously sorted
+    assert features.density == 0.0
+
+
+def test_single_nonzero_samples_cleanly():
+    features = sample_features(_coo([(3, 4)]))
+    assert features.nnz == 1
+    assert features.sortedness == 1.0  # no adjacent pair to disagree
+    assert features.density == 1.0 / 64
+
+
+# ----------------------------------------------------------------------
+# exact sortedness
+
+
+def test_sortedness_is_exact_not_sampled():
+    assert sample_features(_coo([(0, 0), (0, 1), (2, 3)])).sortedness == 1.0
+    # pairs: (0,2) up, (2,1) down, (1,3) up -> exactly 2/3
+    features = sample_features(_coo([(0, 0), (2, 0), (1, 0), (3, 0)]))
+    assert features.sortedness == 2.0 / 3.0
+    # one out-of-order element in a long stream still registers
+    cells = [(0, j) for j in range(100)]
+    cells[50], cells[51] = cells[51], cells[50]
+    assert sample_features(_coo(cells, dims=(8, 128))).sortedness < 1.0
+
+
+def test_sortedness_ties_break_on_inner_level():
+    # equal rows: the column stream decides the pair's order
+    assert sample_features(_coo([(1, 5), (1, 2)])).sortedness == 0.0
+    assert sample_features(_coo([(1, 2), (1, 5)])).sortedness == 1.0
+
+
+def test_pos_segment_boundaries_reset_the_comparison():
+    # CSR rows restart the column stream: (0,7) -> (1,0) is not disorder
+    csr = reference_build(
+        CSR, (2, 8), [(0, 3), (0, 7), (1, 0), (1, 4)], [1.0, 2.0, 3.0, 4.0]
+    )
+    assert sample_features(csr).sortedness == 1.0
+
+
+def test_hash_sentinels_count_as_unsorted():
+    tensor = reference_build(
+        HASH, (8, 8), [(0, 1), (2, 3), (5, 5)], [1.0, 2.0, 3.0]
+    )
+    crd = np.asarray(tensor.arrays[(1, "crd")])
+    assert (crd < 0).any()  # hashed layouts keep -1 empty slots
+    # pairs touching an empty slot are conservatively counted unsorted
+    assert sample_features(tensor).sortedness < 1.0
+
+
+# ----------------------------------------------------------------------
+# density and skew
+
+
+def test_density_and_row_skew():
+    # row 0 holds 3 of 4 components: skew = 3 / (4/2) = 1.5
+    features = sample_features(_coo([(0, 0), (0, 1), (0, 2), (1, 0)]))
+    assert features.density == 4 / 64
+    assert features.row_skew == 1.5
+
+
+# ----------------------------------------------------------------------
+# memoization
+
+
+def test_features_memoized_on_the_tensor_instance():
+    tensor = _coo([(0, 1), (2, 3)])
+    first = sample_features(tensor)
+    assert sample_features(tensor) is first
+    assert getattr(tensor, _CACHE_ATTR)[1] is first
+    # rebinding a component array invalidates the memo
+    rebound = Tensor(
+        tensor.format, tensor.dims,
+        {key: np.array(arr) for key, arr in tensor.arrays.items()},
+        dict(tensor.metadata), np.array(tensor.vals),
+    )
+    assert sample_features(rebound) is not first
+    assert sample_features(rebound) == first  # same facts, fresh sample
+
+
+# ----------------------------------------------------------------------
+# route-cache keys and planning defaults
+
+
+def test_key_quantizes_into_coarse_buckets():
+    exact = StructuralFeatures(100, 1.0, 0.1, 1.0)
+    near = StructuralFeatures(100, 0.999, 0.1, 1.0)
+    assert exact.key() != near.key()  # the bit-identity guard is exact
+    jitter_a = StructuralFeatures(100, 0.51, 0.10, 2.0)
+    jitter_b = StructuralFeatures(100, 0.52, 0.99, 3.0)
+    assert jitter_a.key() == jitter_b.key()  # jitter cannot fragment
+    skewed = StructuralFeatures(100, 0.51, 0.10, 1000.0)
+    assert jitter_a.key() != skewed.key()
+
+
+def test_default_features_are_optimistic():
+    features = default_features(12_345)
+    assert features.nnz == 12_345
+    assert features.sortedness == 1.0
+    assert features.row_skew == 1.0
+
+
+def test_roundtrip_dict():
+    features = sample_features(_coo([(0, 0), (2, 1), (1, 7)]))
+    assert StructuralFeatures.from_dict(features.to_dict()) == features
+    assert "sortedness" in features.describe()

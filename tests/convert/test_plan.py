@@ -18,6 +18,7 @@ from repro.convert import (
     ConversionPlan,
     PlanOptions,
     convert,
+    scipy_available,
 )
 from repro.convert.context import PlanError
 from repro.convert.plan import CompiledPlan, key_to_json
@@ -31,6 +32,10 @@ from .test_backends import VECTOR_FORMATS, assert_tensors_bit_identical
 
 EXTENDED = [BCSR(2, 2), DCSR]
 HASH_TARGETS = [CSR, CSC, DIA, ELL, COO]
+
+# With scipy importable its registered converter wins the bulk COO->CSR
+# edge; the no-scipy leg keeps the generated vector kernel.
+EXT = "external" if scipy_available() else "vector"
 
 
 def _problem(src, seed=5, dims=(9, 11), count=40):
@@ -91,7 +96,7 @@ def test_plan_exposes_hops_and_backends():
     plan = engine.plan(HASH, CSR)
     assert plan.src is HASH and plan.dst is CSR
     assert [f.name for f in plan.formats] == ["HASH", "COO", "CSR"]
-    assert plan.backend_per_hop == ("bridge", "vector")
+    assert plan.backend_per_hop == ("bridge", EXT)
     assert not plan.is_direct
     assert plan.routed
     assert str(plan) == "HASH -> COO -> CSR"
@@ -108,14 +113,23 @@ def test_plan_sources_per_hop():
     plan = engine.plan(HASH, CSR)
     sources = plan.sources()
     assert sources[0] is None  # bridge: no generated code
-    assert "def convert_COO_to_CSR" in sources[1]
+    if plan.hops[1].kind == "external":
+        assert sources[1] is None  # registered converter: no generated code
+    else:
+        assert "def convert_COO_to_CSR" in sources[1]
+    # a pinned generated backend always has a source
+    direct = engine.plan(COO, CSR, backend="vector")
+    assert "def convert_COO_to_CSR" in direct.sources()[0]
 
 
 def test_plan_explain_mentions_every_hop_and_provenance():
     engine = ConversionEngine()
     text = engine.plan(HASH, CSR).explain()
     assert "plan HASH -> CSR" in text
-    assert "bulk extraction" in text and "bulk-numpy" in text
+    second_hop = (
+        "registered converter" if EXT == "external" else "bulk-numpy"
+    )
+    assert "bulk extraction" in text and second_hop in text
     assert "seeded cost" in text
 
 
@@ -182,9 +196,11 @@ def test_plan_options_roundtrip():
 
 def test_plan_json_schema_fields():
     data = json.loads(ConversionEngine().plan(HASH, CSR).to_json())
-    assert data["schema"] == 1
+    assert data["schema"] == 2
     assert data["kind"] == "repro-conversion-plan"
-    assert [hop["kind"] for hop in data["hops"]] == ["bridge", "vector"]
+    assert [hop["kind"] for hop in data["hops"]] == ["bridge", EXT]
+    if EXT == "external":
+        assert data["hops"][1]["converter"] == "scipy-coo-csr"
     first = data["hops"][0]["src"]
     assert first["name"] == "HASH"
     assert first["structural_key"] == key_to_json(structural_key(HASH))
@@ -258,7 +274,7 @@ def test_module_level_plan_shim():
 
     p = plan_fn("HASH", "CSR")
     assert isinstance(p, ConversionPlan)
-    assert p.backend_per_hop == ("bridge", "vector")
+    assert p.backend_per_hop == ("bridge", EXT)
 
 
 def test_convert_is_a_plan_shim():

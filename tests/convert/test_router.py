@@ -14,6 +14,7 @@ from repro.convert import (
     PlanOptions,
     find_route,
     make_converter,
+    scipy_available,
 )
 from repro.convert.router import (
     DEFAULT_ROUTE_NNZ,
@@ -39,6 +40,10 @@ from repro.levels.compressed import CompressedLevel
 from repro.levels.dense import DenseLevel
 from repro.levels.hashed import HashedLevel
 from repro.storage.build import reference_build
+
+# With scipy importable its registered converter wins the bulk COO->CSR /
+# CSR->CSC edges; the no-scipy leg keeps the generated vector kernel.
+EXT = "external" if scipy_available() else "vector"
 
 
 def random_cells(rng, dims, count, lower_triangular=False):
@@ -70,7 +75,7 @@ def test_hash_to_csr_routes_through_coo():
     route = find_route(HASH, CSR)
     assert not route.is_direct
     assert [fmt.name for fmt in route.formats] == ["HASH", "COO", "CSR"]
-    assert route.backend_per_hop == ("bridge", "vector")
+    assert route.backend_per_hop == ("bridge", EXT)
     assert route.cost < route.direct_cost
 
 
@@ -83,7 +88,10 @@ def test_vectorizable_pairs_stay_direct():
     for src, dst in [(COO, CSR), (CSR, CSC), (COO, DIA), (BCSR(4, 4), CSR)]:
         route = find_route(src, dst)
         assert route.is_direct
-        assert route.backend_per_hop == ("vector",)
+        assert route.backend_per_hop[0] in ("vector", "external")
+    # pairs with no registered competitor always stay on the generated kernel
+    for src, dst in [(COO, DIA), (BCSR(4, 4), CSR)]:
+        assert find_route(src, dst).backend_per_hop == ("vector",)
 
 
 def test_hash_to_coo_is_a_direct_bridge():
@@ -107,7 +115,7 @@ def test_route_explain_transcript():
     text = find_route(HASH, CSR).explain()
     assert "route HASH -> CSR" in text
     assert "HASH -> COO -> CSR" in text
-    assert "[bridge]" in text and "[vector]" in text
+    assert "[bridge]" in text and f"[{EXT}" in text
     assert "direct scalar" in text
     direct_text = find_route(COO, CSR).explain()
     assert "direct conversion is the estimated optimum" in direct_text
@@ -206,7 +214,7 @@ def test_structural_hash_twins_share_the_bridge():
     assert bridge_for(twin) is not None
     route = find_route(twin, CSR)
     assert not route.is_direct
-    assert route.backend_per_hop == ("bridge", "vector")
+    assert route.backend_per_hop == ("bridge", EXT)
     rng = random.Random(3)
     cells, vals = random_cells(rng, (24, 24), 150)
     tensor = reference_build(HASH, (24, 24), cells, vals)
@@ -324,4 +332,8 @@ def test_rebind_endpoints_validates_structure():
 def test_beats_direct_predicate():
     assert find_route(HASH, CSR).beats_direct  # multi-hop
     assert find_route(HASH, COO).beats_direct  # direct bridge
-    assert not find_route(COO, CSR).beats_direct  # direct vector
+    assert not find_route(COO, DIA).beats_direct  # direct generated kernel
+    if scipy_available():
+        # a registered converter winning the direct edge beats the
+        # generated kernel even though the route stays single-hop
+        assert find_route(COO, CSR).beats_direct

@@ -48,6 +48,16 @@ def test_unknown_specs_raise():
             parse_format_spec(bad)
 
 
+def test_unknown_spec_error_lists_names_and_nearest_match():
+    with pytest.raises(UnknownFormatError, match="did you mean 'CSR'"):
+        parse_format_spec("CSRR")
+    with pytest.raises(UnknownFormatError) as exc:
+        parse_format_spec("totally-wrong")
+    message = str(exc.value)
+    assert "known:" in message and "CSR" in message and "HASH" in message
+    assert "did you mean" not in message  # nothing is close enough
+
+
 def test_spec_must_be_a_string():
     with pytest.raises(TypeError):
         parse_format_spec(42)

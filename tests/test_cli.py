@@ -3,7 +3,12 @@
 import pytest
 
 from repro.__main__ import _format_arg, main
+from repro.convert import scipy_available
 from repro.io import write_matrix_market
+
+# With scipy importable its registered converter wins the bulk COO->CSR
+# edge; the no-scipy leg keeps the generated vector kernel.
+EXT = "external" if scipy_available() else "vector"
 
 
 @pytest.fixture()
@@ -91,7 +96,7 @@ def test_route_command(capsys):
     main(["route", "HASH", "CSR"])
     out = capsys.readouterr().out
     assert "HASH -> COO -> CSR" in out
-    assert "bridge" in out and "vector" in out
+    assert "bridge" in out and EXT in out
 
 
 def test_route_command_explain(capsys):
@@ -100,6 +105,11 @@ def test_route_command_explain(capsys):
     assert "route HASH -> CSR" in out
     assert "bulk extraction" in out
     assert "direct scalar" in out
+    # the competitor table lists every priced implementation per hop
+    assert "competitors for COO -> CSR:" in out
+    assert "generated-" in out
+    if EXT == "external":
+        assert "scipy-coo-csr" in out
 
 
 def test_route_command_direct_pair(capsys):
@@ -145,9 +155,19 @@ def test_plan_command_json_save_load(tmp_path, capsys):
 
 
 def test_plan_command_show_code(capsys):
-    main(["plan", "COO", "CSR", "--show-code"])
+    main(["plan", "COO", "CSR", "--backend", "vector", "--show-code"])
     out = capsys.readouterr().out
     assert "def convert_COO_to_CSR" in out
+    main(["plan", "COO", "CSR", "--show-code"])
+    out = capsys.readouterr().out
+    # the auto plan may pick a registered converter (no generated code)
+    assert "def convert_COO_to_CSR" in out or "registered converter" in out
+
+
+def test_convert_explicit_route_auto_with_backend_conflicts(mtx):
+    with pytest.raises(SystemExit, match="conflicts with route='auto'"):
+        main(["convert", mtx, "--to", "CSR", "--route", "auto",
+              "--backend", "scalar"])
 
 
 def test_plan_command_requires_pair_or_load():
