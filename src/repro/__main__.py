@@ -5,6 +5,7 @@ Usage::
     python -m repro formats                     # list registered formats
     python -m repro codegen CSR DIA             # print the generated routine
     python -m repro codegen COO CSR --backend chunked   # chunk-parallel form
+    python -m repro codegen COO CSR --backend native    # compiled-C form
     python -m repro plan HASH CSR               # show the conversion plan
     python -m repro plan HASH CSR --json --save plan.json   # serialize it
     python -m repro plan --load plan.json       # replay a saved plan
@@ -56,6 +57,20 @@ def _cmd_formats(_args) -> None:
 
 def _cmd_codegen(args) -> None:
     src_fmt, dst_fmt = _format_arg(args.src), _format_arg(args.dst)
+    if args.backend == "native":
+        # print the C translation unit directly — emission is pure, so
+        # this works on hosts without a C toolchain
+        from .convert.native import plan_native
+        from .ir.native import NativeUnsupported
+
+        try:
+            print(plan_native(src_fmt, dst_fmt).source)
+        except NativeUnsupported as exc:
+            raise SystemExit(
+                f"{src_fmt.name} -> {dst_fmt.name} has no native lowering: "
+                f"{exc}"
+            ) from exc
+        return
     if args.backend == "chunked":
         chunked = default_engine().make_chunked(src_fmt, dst_fmt)
         if chunked is None:
@@ -262,7 +277,8 @@ def main(argv=None) -> None:
     codegen.add_argument("src")
     codegen.add_argument("dst")
     codegen.add_argument("--backend",
-                         choices=["auto", "scalar", "vector", "chunked"],
+                         choices=["auto", "scalar", "vector", "chunked",
+                                  "native"],
                          default="scalar",
                          help="lowering backend (default: scalar, the paper's loops)")
 
@@ -280,7 +296,8 @@ def main(argv=None) -> None:
     plan.add_argument("--nnz", type=int, default=None,
                       help="stored-component count the plan is costed at "
                            "(default: bulk sizes)")
-    plan.add_argument("--backend", choices=["auto", "scalar", "vector"],
+    plan.add_argument("--backend",
+                      choices=["auto", "scalar", "vector", "native"],
                       default=None, help="lowering backend policy")
     plan.add_argument("--cache-dir", default=None, metavar="DIR",
                       help="persistent kernel cache directory the plan's "
@@ -293,8 +310,10 @@ def main(argv=None) -> None:
     convert.add_argument("--from", dest="source_format", default="COO")
     convert.add_argument("--to", required=True)
     convert.add_argument("--show-code", action="store_true")
-    convert.add_argument("--backend", choices=["auto", "scalar", "vector"],
-                         default="auto", help="lowering backend (default: auto)")
+    convert.add_argument("--backend",
+                         choices=["auto", "scalar", "vector", "native"],
+                         default="auto",
+                         help="lowering backend (default: auto)")
     convert.add_argument("--route", choices=["auto", "direct"], default=None,
                          help="multi-hop routing policy (default: auto; an "
                               "explicit --route auto conflicts with an "
@@ -325,7 +344,8 @@ def main(argv=None) -> None:
     verify.add_argument("--trials", type=int, default=25)
     verify.add_argument("--max-dim", type=int, default=10)
     verify.add_argument("--seed", type=int, default=0)
-    verify.add_argument("--backend", choices=["auto", "scalar", "vector"],
+    verify.add_argument("--backend",
+                        choices=["auto", "scalar", "vector", "native"],
                         default="auto", help="lowering backend under test")
 
     args = parser.parse_args(argv)

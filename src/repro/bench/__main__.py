@@ -6,7 +6,7 @@ Usage::
     python -m repro.bench table3 [--scale S] [--repeats R] [--columns c1,c2]
     python -m repro.bench backends [--scale S] [--repeats R] [--pairs p1,p2]
                                    [--matrices m1,m2] [--json PATH]
-                                   [--workers N]
+                                   [--workers N] [--native]
     python -m repro.bench ablations [--scale S] [--repeats R]
     python -m repro.bench cache [--pairs p1,p2] [--cache-dir DIR]
                                 [--check-warm] [--json PATH]
@@ -18,7 +18,10 @@ selects which conversions run (including the extra BCSR/DCSR pairs that
 have no Table 3 baselines, and the routed ``hash_csr`` pair whose fast
 cell runs the engine's multi-hop route), ``--workers N`` adds a
 ``parallel`` column timing the chunked executor on an N-worker pool
-against the serial vector kernel, ``--check-auto`` exits nonzero when
+against the serial vector kernel, ``--native`` adds a ``native`` column
+timing the compiled-C backend (skipped on hosts without a C toolchain;
+``--workers`` also sets its OpenMP team size), ``--check-auto`` exits
+nonzero when
 the engine's auto-selected converter is more than ``--auto-tolerance``
 times slower than the best fixed cell for any pair, and ``--json``
 additionally writes the report as JSON (the CI smoke artifact).  ``compare`` diffs two such JSON
@@ -81,6 +84,9 @@ def main() -> None:
     parser.add_argument("--workers", type=int, default=0, metavar="N",
                         help="'backends': add a parallel column timing the "
                              "chunked executor on an N-worker pool (0: off)")
+    parser.add_argument("--native", action="store_true",
+                        help="'backends'/'cache': add the compiled-C native "
+                             "backend (skipped without a C toolchain)")
     parser.add_argument("--cache-dir", type=str, default=None, metavar="DIR",
                         help="'cache': kernel cache directory (default: a "
                              "fresh temporary directory)")
@@ -107,6 +113,8 @@ def main() -> None:
         parser.error("--pairs only filters the 'backends' and 'cache' reports")
     if args.workers and args.report != "backends":
         parser.error("--workers only applies to the 'backends' report")
+    if args.native and args.report not in ("backends", "cache"):
+        parser.error("--native only applies to 'backends' and 'cache'")
     if args.workers < 0:
         parser.error("--workers must be >= 0")
     if (args.cache_dir or args.check_warm) and args.report != "cache":
@@ -122,7 +130,8 @@ def main() -> None:
                 f"unknown pair(s) {', '.join(unknown)}; choose from "
                 f"{', '.join(BACKEND_COLUMNS)}"
             )
-        results = run_cache(pairs, cache_dir=args.cache_dir)
+        results = run_cache(pairs, cache_dir=args.cache_dir,
+                            native=args.native)
         print(render_cache(results))
         if args.json:
             with open(args.json, "w") as handle:
@@ -182,7 +191,7 @@ def main() -> None:
         print(render_table3(run_table3(matrices, columns, args.repeats)))
     elif args.report == "backends":
         results = run_backends(matrices, columns, args.repeats,
-                               workers=args.workers)
+                               workers=args.workers, native=args.native)
         print(render_backends(results))
         if args.json:
             with open(args.json, "w") as handle:

@@ -30,13 +30,22 @@ from .timing import format_table
 
 @dataclass
 class CacheCellResult:
-    """One pair's cold/warm warmup timings and warm cache counters."""
+    """One pair's cold/warm warmup timings and warm cache counters.
+
+    The ``native`` counters are ``None`` unless the run also warmed the
+    compiled-C kernel (``run_cache(..., native=True)`` on a host with a
+    C toolchain); a warm native start must show zero compiler
+    invocations (``warm_native_compiles == 0``) and at least one built
+    ``.so`` loaded from the cache directory.
+    """
 
     pair: str
     cold_seconds: float
     warm_seconds: float
     warm_compiles: int
     warm_disk_hits: int
+    warm_native_compiles: Optional[int] = None
+    warm_native_disk_hits: Optional[int] = None
 
     @property
     def speedup(self) -> Optional[float]:
@@ -53,6 +62,7 @@ def _pair_formats(pair: str):
 def run_cache(
     pairs: Optional[List[str]] = None,
     cache_dir: Optional[str] = None,
+    native: bool = False,
 ) -> List[CacheCellResult]:
     """Time the cold (codegen + compile) vs. warm (disk load) start of
     every pair's kernels.
@@ -61,7 +71,12 @@ def run_cache(
     existing one to measure a cache carried across CI runs (the warm row
     is then warm on the *first* run too).  Each pair warms through
     ``engine.warmup`` — the direct kernel plus its route hops, exactly
-    what the first conversion of a service process would compile.
+    what the first conversion of a service process would compile.  With
+    ``native=True`` each pair also builds its compiled-C kernel (when
+    the host has a toolchain and the pair lowers to C): the cold engine
+    runs the C compiler and persists both the ``.c`` source and the
+    built ``.so``; the warm engine must load the ``.so`` with **zero**
+    compiler invocations (``warm_native_compiles``).
     """
     pairs = pairs or BACKEND_COLUMNS
     base = cache_dir or tempfile.mkdtemp(prefix="repro-kernel-cache-")
@@ -70,13 +85,22 @@ def run_cache(
         src, dst = _pair_formats(pair)
         pair_dir = os.path.join(base, pair)
         cold_engine = ConversionEngine(cache_dir=pair_dir)
+        want_native = native and cold_engine.toolchain() is not None
         started = time.perf_counter()
         cold_engine.warmup([(src, dst)])
+        if want_native:
+            want_native = (
+                cold_engine.make_converter(
+                    src, dst, backend="native"
+                ).backend == "native"
+            )
         cold = time.perf_counter() - started
 
         warm_engine = ConversionEngine(cache_dir=pair_dir)
         started = time.perf_counter()
         warm_engine.warmup([(src, dst)])
+        if want_native:
+            warm_engine.make_converter(src, dst, backend="native")
         warm = time.perf_counter() - started
         stats = warm_engine.cache_stats()
         results.append(
@@ -86,6 +110,12 @@ def run_cache(
                 warm_seconds=warm,
                 warm_compiles=int(stats["compiles"]),
                 warm_disk_hits=int(stats["disk_hits"]),
+                warm_native_compiles=(
+                    int(stats["native_compiles"]) if want_native else None
+                ),
+                warm_native_disk_hits=(
+                    int(stats["native_disk_hits"]) if want_native else None
+                ),
             )
         )
     return results
@@ -94,19 +124,32 @@ def run_cache(
 def render_cache(results: List[CacheCellResult]) -> str:
     """Text rendering: cold and warm warmup times, the warm speedup, and
     the warm engine's compile/disk counters."""
+    has_native = any(
+        cell.warm_native_compiles is not None for cell in results
+    )
     headers = ["pair", "cold (ms)", "warm (ms)", "speedup",
                "warm compiles", "disk hits"]
+    if has_native:
+        headers += ["native compiles", "native hits"]
     rows = []
     for cell in results:
         speedup = cell.speedup
-        rows.append([
+        row = [
             cell.pair,
             f"{cell.cold_seconds * 1e3:.2f}",
             f"{cell.warm_seconds * 1e3:.2f}",
             "-" if speedup is None else f"{speedup:.1f}x",
             str(cell.warm_compiles),
             str(cell.warm_disk_hits),
-        ])
+        ]
+        if has_native:
+            row += [
+                "-" if cell.warm_native_compiles is None
+                else str(cell.warm_native_compiles),
+                "-" if cell.warm_native_disk_hits is None
+                else str(cell.warm_native_disk_hits),
+            ]
+        rows.append(row)
     lines = [format_table(headers, rows)]
     lines.append(
         "\ncold: fresh engine + empty cache dir (codegen + compile); "
@@ -117,7 +160,9 @@ def render_cache(results: List[CacheCellResult]) -> str:
 
 def check_warm(results: List[CacheCellResult]) -> List[str]:
     """The warm-start violations in ``results`` (empty = all good): any
-    pair whose warm engine still compiled, or loaded nothing from disk."""
+    pair whose warm engine still compiled, or loaded nothing from disk.
+    Pairs that warmed the native kernel additionally require zero C
+    compiler invocations and at least one built ``.so`` loaded back."""
     problems: List[str] = []
     for cell in results:
         if cell.warm_compiles:
@@ -128,6 +173,18 @@ def check_warm(results: List[CacheCellResult]) -> List[str]:
         if not cell.warm_disk_hits:
             problems.append(
                 f"{cell.pair}: warm engine loaded nothing from disk"
+            )
+        if cell.warm_native_compiles:
+            problems.append(
+                f"{cell.pair}: warm engine invoked the C compiler "
+                f"{cell.warm_native_compiles} time(s); expected 0"
+            )
+        if cell.warm_native_compiles is not None and (
+            not cell.warm_native_disk_hits
+        ):
+            problems.append(
+                f"{cell.pair}: warm engine loaded no built .so from the "
+                "cache directory"
             )
     return problems
 
@@ -140,6 +197,8 @@ def cache_json(results: List[CacheCellResult]) -> Dict:
             "warm_seconds": cell.warm_seconds,
             "warm_compiles": cell.warm_compiles,
             "warm_disk_hits": cell.warm_disk_hits,
+            "warm_native_compiles": cell.warm_native_compiles,
+            "warm_native_disk_hits": cell.warm_native_disk_hits,
         }
         for cell in results
     }

@@ -237,6 +237,7 @@ class BackendCellResult:
     parallel_seconds: Optional[float] = None
     auto_seconds: Optional[float] = None
     auto_impl: Optional[str] = None
+    native_seconds: Optional[float] = None
 
     @property
     def speedup(self) -> float:
@@ -251,11 +252,20 @@ class BackendCellResult:
         return self.vector_seconds / self.parallel_seconds
 
     @property
+    def native_speedup(self) -> Optional[float]:
+        """Serial-vector-over-native time ratio (higher = native wins)."""
+        if not self.native_seconds:
+            return None
+        return self.vector_seconds / self.native_seconds
+
+    @property
     def fixed_cells(self) -> Dict[str, float]:
         """The timed fixed-choice cells (label -> seconds)."""
         cells = {"scalar": self.scalar_seconds, "vector": self.vector_seconds}
         if self.parallel_seconds:
             cells["parallel"] = self.parallel_seconds
+        if self.native_seconds:
+            cells["native"] = self.native_seconds
         if self.scipy_seconds:
             cells["scipy"] = self.scipy_seconds
         return cells
@@ -315,6 +325,21 @@ def _ours_auto(column: str, entry: SuiteMatrix):
     return (lambda: engine.run_plan(plan, tensor)), impl
 
 
+def _ours_native(column: str, entry: SuiteMatrix, workers: int = 0):
+    """The compiled-C implementation of a cell, or ``None`` when the host
+    has no working C toolchain or the pair has no native lowering.
+    ``workers`` sets the OpenMP team size (0: the runtime default)."""
+    src, dst = _pair_formats(column, entry)
+    engine = default_engine()
+    if engine.toolchain() is None:
+        return None
+    converter = engine.make_converter(src, dst, backend="native")
+    if converter.backend != "native":
+        return None
+    args = converter.arguments(entry.tensor(src))
+    return lambda: converter.func(*args, n_workers=workers)
+
+
 def _ours_parallel(column: str, entry: SuiteMatrix, workers: int):
     """The chunked-executor implementation of a cell, or ``None`` when
     the pair has no chunked form (scalar-only pairs)."""
@@ -333,6 +358,7 @@ def run_backends(
     columns: Optional[List[str]] = None,
     repeats: int = 3,
     workers: int = 0,
+    native: bool = False,
 ) -> Dict[str, List[BackendCellResult]]:
     """Time the scalar vs. the vector backend (vs. scipy where it exists)
     for every applicable (column, matrix) cell.
@@ -342,10 +368,12 @@ def run_backends(
     in lowering (per-nonzero loops vs. bulk numpy operations).  With
     ``workers > 0`` a ``parallel`` column times the chunked executor on a
     pool of that many workers against the serial vector kernel, so
-    ``compare`` gates chunked regressions alongside vector ones.  Every
-    cell also times the engine's fully automatic conversion (``auto``)
-    and reports the fastest fixed choice (``best``) it competes against
-    (see :func:`check_auto`).
+    ``compare`` gates chunked regressions alongside vector ones.  With
+    ``native=True`` a ``native`` column times the compiled-C backend
+    (skipped silently on hosts without a C toolchain; ``workers`` also
+    sets its OpenMP team size).  Every cell also times the engine's fully
+    automatic conversion (``auto``) and reports the fastest fixed choice
+    (``best``) it competes against (see :func:`check_auto`).
     """
     matrices = matrices if matrices is not None else suite()
     results: Dict[str, List[BackendCellResult]] = {}
@@ -367,6 +395,11 @@ def run_backends(
                 parallel_fn = _ours_parallel(column, entry, workers)
                 if parallel_fn is not None:
                     parallel_s = time_call(parallel_fn, repeats)
+            native_s = None
+            if native:
+                native_fn = _ours_native(column, entry, workers)
+                if native_fn is not None:
+                    native_s = time_call(native_fn, repeats)
             scipy_fn = _baselines(column, entry).get("scipy")
             scipy_s = time_call(scipy_fn, repeats) if scipy_fn else None
             auto_fn, auto_impl = _ours_auto(column, entry)
@@ -374,7 +407,7 @@ def run_backends(
             cells.append(
                 BackendCellResult(
                     entry.name, entry.nnz, scalar, vector, scipy_s, route,
-                    parallel_s, auto_s, auto_impl,
+                    parallel_s, auto_s, auto_impl, native_seconds=native_s,
                 )
             )
         results[column] = cells
@@ -402,11 +435,20 @@ def check_auto(
       arbitrary shapes), so the chunked executor is not in its choice
       set and "auto lost to a knob it refuses by design" is not a
       selection failure.  At the 1M-nnz reference sizes the threshold
-      is crossed and the parallel cell gates normally.
+      is crossed and the parallel cell gates normally;
+    * the forced ``native`` cell only counts once the engine's cost
+      model has *measured* native timings (``min_observations``
+      recordings) — until then the auto policy refuses to invoke the C
+      compiler by design, so the compiled kernel is not in its choice
+      set either.
     """
     from ..convert import PlanOptions
 
     threshold = PlanOptions().parallel_threshold
+    model = default_engine().cost_model
+    native_eligible = (
+        model.observation_count("native") >= model.min_observations
+    )
     problems: List[str] = []
     for column, cells in results.items():
         for cell in cells:
@@ -415,6 +457,8 @@ def check_auto(
             eligible = dict(cell.fixed_cells)
             if cell.nnz < threshold:
                 eligible.pop("parallel", None)
+            if not native_eligible:
+                eligible.pop("native", None)
             best_impl = min(eligible, key=lambda label: eligible[label])
             best = eligible[best_impl]
             if best < min_seconds:
@@ -440,6 +484,9 @@ def render_backends(results: Dict[str, List[BackendCellResult]]) -> str:
     has_parallel = any(
         cell.parallel_seconds for cells in results.values() for cell in cells
     )
+    has_native = any(
+        cell.native_seconds for cells in results.values() for cell in cells
+    )
     has_auto = any(
         cell.auto_seconds for cells in results.values() for cell in cells
     )
@@ -448,6 +495,8 @@ def render_backends(results: Dict[str, List[BackendCellResult]]) -> str:
         headers = ["matrix", "nnz", "scalar (ms)", "vector (ms)", "speedup"]
         if has_parallel:
             headers += ["parallel (ms)", "par"]
+        if has_native:
+            headers += ["native (ms)", "nat"]
         headers += ["scipy (ms)"]
         if has_auto:
             headers += ["auto (ms)", "best"]
@@ -468,6 +517,13 @@ def render_backends(results: Dict[str, List[BackendCellResult]]) -> str:
                     f"{cell.parallel_speedup:.1f}x"
                     if cell.parallel_speedup else "",
                 ]
+            if has_native:
+                row += [
+                    f"{cell.native_seconds * 1e3:.2f}"
+                    if cell.native_seconds else "",
+                    f"{cell.native_speedup:.1f}x"
+                    if cell.native_speedup else "",
+                ]
             row += [
                 f"{cell.scipy_seconds * 1e3:.2f}" if cell.scipy_seconds else "",
             ]
@@ -484,6 +540,9 @@ def render_backends(results: Dict[str, List[BackendCellResult]]) -> str:
         if has_parallel:
             par_mean = geomean([cell.parallel_speedup for cell in cells])
             means += ["", f"{par_mean:.1f}x" if par_mean else ""]
+        if has_native:
+            nat_mean = geomean([cell.native_speedup for cell in cells])
+            means += ["", f"{nat_mean:.1f}x" if nat_mean else ""]
         means += [""]
         if has_auto:
             auto_mean = geomean([cell.auto_ratio for cell in cells])
@@ -511,6 +570,8 @@ def backends_json(results: Dict[str, List[BackendCellResult]]) -> Dict:
                     "route": cell.route,
                     "parallel_seconds": cell.parallel_seconds,
                     "parallel_speedup": cell.parallel_speedup,
+                    "native_seconds": cell.native_seconds,
+                    "native_speedup": cell.native_speedup,
                     "auto_seconds": cell.auto_seconds,
                     "auto_impl": cell.auto_impl,
                     "best_seconds": (
@@ -554,6 +615,7 @@ def compare_backend_reports(
             for field, label in (
                 ("vector_seconds", "vector"),
                 ("parallel_seconds", "parallel"),
+                ("native_seconds", "native"),
                 ("auto_seconds", "auto"),
             ):
                 base_s, cur_s = base.get(field), cell.get(field)

@@ -53,11 +53,16 @@ from .router import Hop
 #: Schema 2 (competing converters): hop records may carry ``kind:
 #: "external"`` plus a ``converter`` name pinning the registered
 #: implementation, and plans may record the structural ``features`` the
-#: decision was made against.  Schema-1 documents still load.
+#: decision was made against.  Schema-1 documents still load.  ``native``
+#: hops ride on schema 2: they add an enum value, not a layout change, so
+#: plans without native hops stay interchangeable with older readers
+#: (which reject a native hop loudly as an unknown kind).
 PLAN_SCHEMA = 2
 
 #: Hop kinds a serialized plan may carry.
-_PLAN_HOP_KINDS = ("scalar", "vector", "bridge", "chunked", "external")
+_PLAN_HOP_KINDS = (
+    "scalar", "vector", "native", "bridge", "chunked", "external"
+)
 
 
 def key_to_json(key) -> List:
@@ -180,22 +185,31 @@ class ConversionPlan:
         )
 
     def sources(self) -> List[Optional[str]]:
-        """The generated Python source per hop, in execution order.
+        """The generated source per hop, in execution order.
 
         Bridge hops are library bulk extractions and ``external`` hops
         are registered converters — neither is generated code, so their
-        entry is ``None``.  Looking up a source compiles (or disk-loads)
-        the hop's kernel through the engine cache, so a plan whose
-        sources were inspected is already warm.  A ``chunked`` hop whose
-        pair has no chunked form on this host (a replayed plan from
-        elsewhere) shows the serial vector kernel — the same fallback
-        :meth:`run` executes.
+        entry is ``None``.  A ``native`` hop shows the generated C
+        translation unit (printing needs no toolchain — only executing
+        does).  Looking up a Python source compiles (or disk-loads) the
+        hop's kernel through the engine cache, so a plan whose sources
+        were inspected is already warm.  A ``chunked`` hop whose pair has
+        no chunked form on this host (a replayed plan from elsewhere)
+        shows the serial vector kernel — the same fallback :meth:`run`
+        executes.
         """
         engine = self._engine()
         out: List[Optional[str]] = []
         for hop in self.hops:
             if hop.kind in ("bridge", "external"):
                 out.append(None)
+                continue
+            if hop.kind == "native":
+                from .native import plan_native
+
+                out.append(
+                    plan_native(hop.src, hop.dst, self.options).source
+                )
                 continue
             if hop.kind == "chunked":
                 chunked = engine.make_chunked(hop.src, hop.dst, self.options)
@@ -225,6 +239,7 @@ class ConversionPlan:
         detail = {
             "scalar": "generated per-nonzero loop nest",
             "vector": "generated bulk-numpy routine",
+            "native": "generated native (compiled C) routine",
             "bridge": "bulk extraction (mask/gather, no codegen)",
             "chunked": "chunk-parallel rewrite of the vector routine",
         }

@@ -135,7 +135,7 @@ class GeneratedConversion:
 
 
 #: Valid values of the public ``backend=`` option.
-BACKENDS = ("auto", "scalar", "vector")
+BACKENDS = ("auto", "scalar", "vector", "native")
 
 
 def _validate_backend(backend: str) -> str:
@@ -205,12 +205,34 @@ def resolve_backend(
     to ``"scalar"`` otherwise — there is no per-format allowlist.  An
     explicit ``"vector"`` request also falls back for non-vectorizable
     pairs (every pair stays convertible), warning once per pair;
-    ``"scalar"`` always lowers to loops.
+    ``"scalar"`` always lowers to loops.  ``"native"`` resolves to the
+    compiled C backend when the pair's scalar plan lowers to C
+    (:func:`repro.convert.native.native_capable`) and falls back to the
+    auto resolution otherwise, warning once per pair.  (Toolchain
+    availability is the *engine's* concern — resolution here is pure so
+    ``codegen --backend native`` works on compiler-less hosts.)
     """
     if _validate_backend(backend) == "scalar":
         return "scalar"
     options = options or PlanOptions()
     key = (structural_key(src_format), structural_key(dst_format), options.key())
+    if backend == "native":
+        from .native import native_capable
+
+        if native_capable(src_format, dst_format, options):
+            return "native"
+        native_key = key + ("native",)
+        if native_key not in _FALLBACK_WARNED:
+            _FALLBACK_WARNED.add(native_key)
+            warnings.warn(
+                f"native backend unavailable for {src_format.name}->"
+                f"{dst_format.name} (the scalar plan uses a construct the "
+                "C emitter cannot translate); falling back to "
+                "auto resolution",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+        backend = "auto"
     if key not in _CAPABLE_CACHE:
         from ..ir.vector import vectorizable
 
@@ -243,8 +265,16 @@ def plan_conversion(
     ``plan_vector`` itself reports non-vectorizable pairs by returning
     ``None``, so resolution is not repeated here — callers that already
     ran :func:`resolve_backend` (the kernel cache) pay for it once.
+    ``"native"`` requests must already be resolved (the engine resolves
+    before planning); an incapable pair raises ``NativeUnsupported``
+    rather than silently changing backend.
     """
-    if _validate_backend(backend) != "scalar":
+    backend = _validate_backend(backend)
+    if backend == "native":
+        from .native import plan_native
+
+        return plan_native(src_format, dst_format, options)
+    if backend != "scalar":
         from ..ir.vector import plan_vector
 
         generated = plan_vector(src_format, dst_format, options)

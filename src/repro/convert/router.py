@@ -42,12 +42,13 @@ from .converters import converters_for
 from .features import StructuralFeatures
 from .planner import PlanOptions, resolve_backend, structural_key
 
-#: Hop kinds, in the cost model's vocabulary.  ``scalar`` and ``vector``
-#: are the generated-code backends; ``bridge`` is a registered bulk
-#: extraction (below); ``external`` is a registered competing converter
-#: (see :mod:`repro.convert.converters`) — its cost-table rows are keyed
+#: Hop kinds, in the cost model's vocabulary.  ``scalar``, ``vector``
+#: and ``native`` are the generated-code backends (``native`` is the
+#: compiled-C backend); ``bridge`` is a registered bulk extraction
+#: (below); ``external`` is a registered competing converter (see
+#: :mod:`repro.convert.converters`) — its cost-table rows are keyed
 #: ``"external:<name>"`` per converter.
-HOP_KINDS = ("scalar", "vector", "bridge", "external")
+HOP_KINDS = ("scalar", "vector", "native", "bridge", "external")
 
 #: Reference nonzero count used when no tensor is at hand (``engine.route``
 #: without ``nnz``): large enough that throughput, not per-hop overhead,
@@ -98,6 +99,11 @@ class CostModel:
     vector_per_nnz: float = 4.0e-8
     bridge_per_nnz: float = 2.0e-8
     chunked_per_nnz: float = 2.0e-8
+    #: The compiled-C backend streams nonzeros with no interpreter or
+    #: numpy dispatch in the loop; the seed sits below chunked (one
+    #: compiled pass beats thread-overlapped numpy at the reference
+    #: sizes — see ``BENCH_native.json``).
+    native_per_nnz: float = 1.2e-8
     hop_overhead: float = 5.0e-5
     #: Seeded rate/overhead of registered external converters (the scipy
     #: delegates, or user registrations without measured history).  The
@@ -255,6 +261,7 @@ class CostModel:
                 "vector": self.vector_per_nnz,
                 "bridge": self.bridge_per_nnz,
                 "chunked": self.chunked_per_nnz,
+                "native": self.native_per_nnz,
             }[key]
         if key == "chunked" and features is not None:
             sortedness = min(max(features.sortedness, 0.0), 1.0)
@@ -276,6 +283,7 @@ class CostModel:
                 "vector_per_nnz": self.vector_per_nnz,
                 "bridge_per_nnz": self.bridge_per_nnz,
                 "chunked_per_nnz": self.chunked_per_nnz,
+                "native_per_nnz": self.native_per_nnz,
                 "hop_overhead": self.hop_overhead,
                 "external_per_nnz": self.external_per_nnz,
                 "external_overhead": self.external_overhead,
@@ -327,7 +335,7 @@ class CostModel:
                     name: float(seeds[name])
                     for name in (
                         "scalar_per_nnz", "vector_per_nnz", "bridge_per_nnz",
-                        "chunked_per_nnz", "hop_overhead",
+                        "chunked_per_nnz", "native_per_nnz", "hop_overhead",
                         "external_per_nnz", "external_overhead",
                     )
                     if name in seeds
@@ -368,6 +376,7 @@ class CostModel:
         scalar_rates: List[float] = []
         vector_rates: List[float] = []
         parallel_rates: List[float] = []
+        native_rates: List[float] = []
         scipy_rates: List[float] = []
         malformed = False
         columns = report.values() if isinstance(report, dict) else ()
@@ -393,6 +402,7 @@ class CostModel:
                         ("scalar_seconds", scalar_rates),
                         ("vector_seconds", vector_rates),
                         ("parallel_seconds", parallel_rates),
+                        ("native_seconds", native_rates),
                         ("scipy_seconds", scipy_rates),
                     ):
                         seconds = cell.get(field_name)
@@ -418,6 +428,8 @@ class CostModel:
             )
         if parallel_rates:
             model = replace(model, chunked_per_nnz=median(parallel_rates))
+        if native_rates:
+            model = replace(model, native_per_nnz=median(native_rates))
         if scipy_rates:
             # the bench's scipy baseline times the raw scipy call; the
             # registered converters additionally marshal tensors across
@@ -499,7 +511,7 @@ class Hop:
 
     src: Format
     dst: Format
-    kind: str  # "scalar" | "vector" | "bridge" | "chunked" | "external"
+    kind: str  # "scalar" | "vector" | "native" | "bridge" | "chunked" | "external"
     cost: float = 0.0
     provenance: str = SEEDED
     converter: Optional[str] = None
@@ -578,6 +590,7 @@ class ConversionRoute:
             detail = {
                 "scalar": "generated per-nonzero loop nest",
                 "vector": "generated bulk-numpy routine",
+                "native": "generated native (compiled C) routine",
                 "bridge": "bulk extraction (mask/gather, no codegen)",
                 "chunked": "chunk-parallel rewrite of the vector routine",
                 "external": "registered converter (external implementation)",
@@ -641,7 +654,7 @@ class EdgeCandidate:
     """
 
     name: str
-    kind: str  # "scalar" | "vector" | "bridge" | "external"
+    kind: str  # "scalar" | "vector" | "native" | "bridge" | "external"
     cost: float
     provenance: str
     weight: float = 1.0
@@ -668,6 +681,7 @@ def edge_candidates(
     nnz: Optional[int] = None,
     workers: int = 1,
     features: Optional[StructuralFeatures] = None,
+    native_ok: bool = False,
 ) -> List[EdgeCandidate]:
     """Every competitor for the single edge ``src -> dst``, priced at
     ``nnz`` stored components and sorted best rank first (admitted
@@ -677,6 +691,10 @@ def edge_candidates(
     the fallback when every registered competitor's predicate refuses.
     Bridges and registered converters replay the *default* code shapes,
     so non-default :class:`PlanOptions` leave only the generated kernel.
+    ``native_ok`` adds the compiled-C kernel as a competitor for pairs it
+    supports, but only once the host has *measured* native timings
+    (``min_observations`` recordings) — an automatic route never invokes
+    the C compiler on the strength of a seed alone.
     """
     src = get_format(src)
     dst = get_format(dst)
@@ -693,6 +711,22 @@ def edge_candidates(
             cost=cost, provenance=provenance,
         )
     ]
+    if (
+        native_ok
+        and model.observation_count("native") >= model.min_observations
+    ):
+        from .native import native_capable
+
+        if native_capable(src, dst, options):
+            cost, provenance = model.cost_detail(
+                "native", nnz, workers, features
+            )
+            out.append(
+                EdgeCandidate(
+                    name="generated-native", kind="native",
+                    cost=cost, provenance=provenance,
+                )
+            )
     if options.key() == PlanOptions().key():
         bridge = bridge_for(src)
         if bridge is not None and structural_key(bridge[0]) == structural_key(dst):
@@ -729,11 +763,12 @@ def _edge_choice(
     nnz: int,
     workers: int,
     features: Optional[StructuralFeatures],
+    native_ok: bool = False,
 ) -> EdgeCandidate:
     """The winning competitor for one edge (the generated kernel is
     always admitted, so a winner always exists)."""
     for candidate in edge_candidates(
-        src, dst, options, model, nnz, workers, features
+        src, dst, options, model, nnz, workers, features, native_ok
     ):
         if candidate.admitted:
             return candidate
@@ -750,6 +785,7 @@ def find_route(
     intermediates: Optional[Sequence[Format]] = None,
     workers: int = 0,
     features: Optional[StructuralFeatures] = None,
+    native_ok: bool = False,
 ) -> ConversionRoute:
     """Find the cheapest conversion path from ``src`` to ``dst``.
 
@@ -768,6 +804,10 @@ def find_route(
     the route to the direct conversion: the options select scalar code
     shapes that bridges and competing converters do not honour.
 
+    ``native_ok`` (set by the engine when a working C toolchain was
+    detected) lets edges take the compiled-C kernel, subject to the
+    measured-gating described in :func:`edge_candidates`.
+
     The direct route always exists, so the result is never empty; ties go
     to the direct conversion.
     """
@@ -778,7 +818,9 @@ def find_route(
     nnz = DEFAULT_ROUTE_NNZ if nnz is None else int(nnz)
     workers = max(int(workers), 0)
 
-    choice = _edge_choice(src, dst, options, model, nnz, workers or 1, features)
+    choice = _edge_choice(
+        src, dst, options, model, nnz, workers or 1, features, native_ok
+    )
     direct_cost = choice.cost
     direct = ConversionRoute(
         hops=(
@@ -838,7 +880,7 @@ def find_route(
                 continue
             edge = _edge_choice(
                 here, nodes[nxt], options, model, nnz, workers or 1,
-                hop_features,
+                hop_features, native_ok,
             )
             step = cost + edge.cost
             state = (nxt, hops_used + 1)

@@ -1,0 +1,1155 @@
+"""Native (C) lowering of the conversion IR: emit, build, bind.
+
+The third lowering backend.  Where :mod:`repro.ir.printer` prints the
+per-level conversion IR as Python loops and :mod:`repro.ir.vector`
+re-derives it as bulk numpy, this module walks the *same* scalar
+:class:`~repro.ir.nodes.FuncDef` — attribute-query passes, coordinate
+remapping, the two-pass count/scatter shape — and prints it as a
+self-contained C translation unit, then compiles it with the host
+compiler into a shared object loaded through :mod:`ctypes`.
+
+Three pieces live here, deliberately independent of the planner so the
+IR layer stays self-contained:
+
+* :func:`emit_c` — the C printer.  Fixed calling convention (every
+  scalar is ``int64_t``, every values array ``double``)::
+
+      int64_t <name>(int64_t n_workers,
+                     void **in_arrays, const int64_t *in_scalars,
+                     void **out_arrays, int64_t *out_lens,
+                     int64_t *out_scalars);
+
+  Input arrays/scalars arrive in the kernel's existing parameter order,
+  outputs leave in its ``Return`` order (arrays and metadata each
+  packed densely).  The routine returns non-zero only on allocation
+  failure; output arrays are malloc'd by the kernel and owned by the
+  caller, who releases them through the exported ``repro_native_free``.
+  Embarrassingly parallel loops — analysis counting passes and
+  injective init/scatter loops — get ``#pragma omp parallel for`` (with
+  ``omp atomic`` on commutative integer count bumps, so results stay
+  bit-identical at any worker count); loops with loop-carried state
+  (prefix sums, sequenced scatters) stay serial.  Constructs the
+  printer cannot translate raise :class:`NativeUnsupported`.
+
+* :func:`detect_toolchain` — memoized compiler probe (honours ``$CC``),
+  returning a :class:`Toolchain` whose ``fingerprint`` keys the kernel
+  cache: a record built by one compiler is never loaded under another.
+
+* :func:`build_shared` / :func:`load_kernel` — compile to a ``.so``
+  (atomically: the compiler writes a unique temp name which is
+  ``os.replace``d into place, so concurrent builds of the same kernel
+  never clobber each other) and bind the entry point through ctypes
+  behind a wrapper with the same calling convention as the generated
+  Python kernels (``func(*args) -> value or tuple``), plus an
+  ``n_workers=`` keyword that sets the OpenMP team size.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import shutil
+import subprocess
+import tempfile
+import threading
+import weakref
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from .nodes import (
+    Alloc,
+    Assign,
+    AugAssign,
+    AugStore,
+    BinOp,
+    Block,
+    Call,
+    Comment,
+    Const,
+    Expr,
+    ExprStmt,
+    For,
+    FuncDef,
+    If,
+    Load,
+    Pass,
+    Return,
+    Stmt,
+    Store,
+    Ternary,
+    UnOp,
+    Var,
+    While,
+    free_vars,
+)
+
+
+class NativeUnsupported(Exception):
+    """The scalar plan uses a construct the C emitter cannot translate."""
+
+
+class NativeBuildError(RuntimeError):
+    """The host compiler failed to build a generated translation unit."""
+
+
+#: Loop trip count below which a parallel region is not worth forking
+#: (the ``if()`` clause on every emitted ``parallel for``).
+_OMP_MIN_TRIP = 4096
+
+#: C type spellings of the two-letter internal type codes.
+_CTYPE = {"i": "int64_t", "f": "double"}
+
+#: Names the generated kernel may not use for its own variables (they
+#: would shadow the ABI parameters or the runtime helpers).
+_RESERVED = frozenset(
+    {
+        "n_workers", "in_arrays", "in_scalars", "out_arrays", "out_lens",
+        "out_scalars", "repro_par", "repro_alloc", "repro_native_free",
+        "repro_floordiv",
+        "repro_floormod", "repro_min_i", "repro_max_i", "repro_min_f",
+        "repro_max_f", "repro_next_pow2",
+        # C keywords a sanitized IR name could collide with
+        "auto", "break", "case", "char", "const", "continue", "default",
+        "do", "double", "else", "enum", "extern", "float", "for", "goto",
+        "if", "inline", "int", "long", "register", "restrict", "return",
+        "short", "signed", "sizeof", "static", "struct", "switch",
+        "typedef", "union", "unsigned", "void", "volatile", "while",
+    }
+)
+
+_PREAMBLE = """\
+#include <stdint.h>
+#include <stdlib.h>
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+#define REPRO_EXPORT __attribute__((visibility("default")))
+
+static void *repro_alloc(int64_t count, size_t width, int zero) {
+    size_t n = (size_t)(count > 0 ? count : 1) * width;
+    return zero ? calloc(1, n) : malloc(n);
+}
+
+REPRO_EXPORT void repro_native_free(void *p) { free(p); }
+
+/* Python floor semantics for // and % on signed operands. */
+static inline int64_t repro_floordiv(int64_t a, int64_t b) {
+    int64_t q = a / b;
+    if ((a % b != 0) && ((a < 0) != (b < 0))) q -= 1;
+    return q;
+}
+
+static inline int64_t repro_floormod(int64_t a, int64_t b) {
+    int64_t r = a % b;
+    if (r != 0 && ((r < 0) != (b < 0))) r += b;
+    return r;
+}
+
+static inline int64_t repro_min_i(int64_t a, int64_t b) { return a < b ? a : b; }
+static inline int64_t repro_max_i(int64_t a, int64_t b) { return a > b ? a : b; }
+static inline double repro_min_f(double a, double b) { return a < b ? a : b; }
+static inline double repro_max_f(double a, double b) { return a > b ? a : b; }
+
+static inline int64_t repro_next_pow2(int64_t n) {
+    int64_t width = 2;
+    while (width < n) width *= 2;
+    return width;
+}
+"""
+
+
+# ---------------------------------------------------------------------------
+# the C printer
+# ---------------------------------------------------------------------------
+
+
+class _CEmitter:
+    """Prints one scalar-IR :class:`FuncDef` as a C translation unit.
+
+    ``params`` / ``outputs`` are the kernel's calling convention as the
+    planner records it: ``(side, level, name)`` triples aligned with
+    ``func.params`` and the final ``Return``'s values respectively
+    (``level == -1`` marks the float64 values array; everything else is
+    ``int64``).
+    """
+
+    def __init__(
+        self,
+        func: FuncDef,
+        params: Sequence[Tuple[str, int, str]],
+        outputs: Sequence[Tuple[str, int, str]],
+    ) -> None:
+        if len(params) != len(func.params):
+            raise NativeUnsupported("calling convention does not match params")
+        self.func = func
+        self.params = list(params)
+        self.outputs = list(outputs)
+        self.lines: List[str] = []
+        self.indent = 1
+        #: array name -> element type code ("i" / "f")
+        self.arrays: Dict[str, str] = {}
+        #: scalar name -> type code
+        self.scalars: Dict[str, str] = {}
+        #: Alloc'd array name -> its length variable name
+        self.lengths: Dict[str, str] = {}
+        #: trim-alias name -> owning Alloc'd array name
+        self.alias_root: Dict[str, str] = {}
+        #: Alloc targets, in first-allocation order (for cleanup)
+        self.alloc_order: List[str] = []
+        self._alloc_counts: Dict[str, int] = {}
+        #: loop vars that are also plain assignment targets: they must be
+        #: declared at function scope (Python loop vars outlive the loop)
+        self.shared_loop_vars: Set[str] = set()
+        self._tmp = 0
+        self._returned = False
+
+    # -- small helpers --------------------------------------------------
+    def emit(self, text: str) -> None:
+        self.lines.append("    " * self.indent + text)
+
+    def fresh(self, stem: str) -> str:
+        self._tmp += 1
+        return f"_{stem}{self._tmp}"
+
+    def _root(self, name: str) -> str:
+        while name in self.alias_root:
+            name = self.alias_root[name]
+        return name
+
+    def _length_of(self, name: str) -> str:
+        length = self.lengths.get(name)
+        if length is None:
+            raise NativeUnsupported(
+                f"array {name!r} has no tracked length (runtime call on a "
+                "parameter array)"
+            )
+        return length
+
+    # -- pre-pass: classify every name ----------------------------------
+    def _prepass(self) -> None:
+        for (side, level, _), name in zip(self.params, self.func.params):
+            if name in _RESERVED:
+                raise NativeUnsupported(f"parameter name {name!r} is reserved")
+            if side == "src_array":
+                self.arrays[name] = "f" if level == -1 else "i"
+            else:  # src_meta / dim
+                self.scalars[name] = "i"
+        assigned: Set[str] = set()
+        loop_vars: Set[str] = set()
+
+        def scan(stmt: Stmt) -> None:
+            if isinstance(stmt, Block):
+                for child in stmt.stmts:
+                    scan(child)
+            elif isinstance(stmt, Alloc):
+                name = stmt.target.name
+                if name in _RESERVED:
+                    raise NativeUnsupported(f"name {name!r} is reserved")
+                if stmt.dtype not in ("int64", "float64", "bool"):
+                    raise NativeUnsupported(f"alloc dtype {stmt.dtype!r}")
+                self.arrays[name] = "f" if stmt.dtype == "float64" else "i"
+                self.lengths[name] = f"{name}_len"
+                self._alloc_counts[name] = self._alloc_counts.get(name, 0) + 1
+                if name not in self.alloc_order:
+                    self.alloc_order.append(name)
+            elif isinstance(stmt, Assign):
+                name = stmt.target.name
+                if name in _RESERVED:
+                    raise NativeUnsupported(f"name {name!r} is reserved")
+                if isinstance(stmt.value, Call) and stmt.value.func == "trim":
+                    src = stmt.value.args[0]
+                    if not isinstance(src, Var) or src.name not in self.arrays:
+                        raise NativeUnsupported("trim of a non-array value")
+                    self.arrays[name] = self.arrays[src.name]
+                    self.lengths[name] = f"{name}_len"
+                    if name != src.name:
+                        self.alias_root[name] = src.name
+                else:
+                    assigned.add(name)
+                    if name not in self.scalars:
+                        self.scalars[name] = self._expr_type(stmt.value)
+            elif isinstance(stmt, AugAssign):
+                name = stmt.target.name
+                assigned.add(name)
+                if name not in self.scalars:
+                    self.scalars[name] = self._expr_type(stmt.value)
+            elif isinstance(stmt, For):
+                name = stmt.var.name
+                if name in _RESERVED:
+                    raise NativeUnsupported(f"name {name!r} is reserved")
+                loop_vars.add(name)
+                self.scalars.setdefault(name, "i")
+                scan(stmt.body)
+            elif isinstance(stmt, (While,)):
+                scan(stmt.body)
+            elif isinstance(stmt, If):
+                scan(stmt.then)
+                if stmt.orelse is not None:
+                    scan(stmt.orelse)
+            # Store/AugStore/Comment/Pass/ExprStmt/Return bind no names
+
+        scan(self.func.body)
+        self.shared_loop_vars = loop_vars & assigned
+        overlap = set(self.arrays) & set(self.scalars)
+        if overlap:
+            raise NativeUnsupported(f"names used as array and scalar: {overlap}")
+
+    def _expr_type(self, expr: Expr) -> str:
+        """Infer "i" (int64) or "f" (double) for a value expression."""
+        if isinstance(expr, Var):
+            if expr.name in self.arrays:
+                raise NativeUnsupported(f"array {expr.name!r} used as a value")
+            return self.scalars.get(expr.name, "i")
+        if isinstance(expr, Const):
+            return "f" if isinstance(expr.value, float) else "i"
+        if isinstance(expr, BinOp):
+            if expr.op in ("<", "<=", ">", ">=", "==", "!="):
+                return "i"
+            lhs, rhs = self._expr_type(expr.lhs), self._expr_type(expr.rhs)
+            if expr.op in ("//", "%", "<<", ">>", "&", "|", "^"):
+                if "f" in (lhs, rhs):
+                    raise NativeUnsupported(f"float operand to {expr.op!r}")
+                return "i"
+            if expr.op == "/":
+                raise NativeUnsupported("true division has no int64 lowering")
+            return "f" if "f" in (lhs, rhs) else "i"
+        if isinstance(expr, UnOp):
+            return "i" if expr.op == "not" else self._expr_type(expr.operand)
+        if isinstance(expr, Load):
+            if not isinstance(expr.array, Var):
+                raise NativeUnsupported("computed array expressions")
+            if expr.array.name not in self.arrays:
+                raise NativeUnsupported(f"load from unknown array {expr.array}")
+            return self.arrays[expr.array.name]
+        if isinstance(expr, Call):
+            if expr.func in ("min", "max"):
+                types = {self._expr_type(a) for a in expr.args}
+                return "f" if "f" in types else "i"
+            if expr.func == "next_pow2":
+                return "i"
+            raise NativeUnsupported(f"call to {expr.func!r} in value position")
+        if isinstance(expr, Ternary):
+            types = {
+                self._expr_type(expr.if_true), self._expr_type(expr.if_false)
+            }
+            return "f" if "f" in types else "i"
+        raise NativeUnsupported(f"cannot type {expr!r}")
+
+    # -- expression printing --------------------------------------------
+    def cexpr(self, expr: Expr, as_bool: bool = False) -> str:
+        """Print an expression; ``as_bool`` marks condition context, where
+        ``and``/``or`` lower to ``&&``/``||`` instead of Python's
+        value-returning short-circuit forms."""
+        if isinstance(expr, Var):
+            if expr.name in self.arrays:
+                raise NativeUnsupported(f"array {expr.name!r} used as a value")
+            return expr.name
+        if isinstance(expr, Const):
+            value = expr.value
+            if isinstance(value, bool):
+                return "1" if value else "0"
+            if isinstance(value, int):
+                return f"{value}LL" if abs(value) > 2**31 else str(value)
+            text = repr(float(value))
+            return text if ("." in text or "e" in text or "n" in text) else text + ".0"
+        if isinstance(expr, BinOp):
+            if expr.op in ("and", "or"):
+                lhs = self.cexpr(expr.lhs, as_bool)
+                rhs = self.cexpr(expr.rhs, as_bool)
+                if as_bool:
+                    c_op = "&&" if expr.op == "and" else "||"
+                    return f"(({lhs}) {c_op} ({rhs}))"
+                # Python's value semantics: `a or b` is a if truthy else b
+                if expr.op == "or":
+                    return f"(({lhs}) ? ({lhs}) : ({rhs}))"
+                return f"(({lhs}) ? ({rhs}) : ({lhs}))"
+            lhs = self.cexpr(expr.lhs)
+            rhs = self.cexpr(expr.rhs)
+            if expr.op == "//":
+                self._expr_type(expr)  # reject float operands
+                return f"repro_floordiv({lhs}, {rhs})"
+            if expr.op == "%":
+                self._expr_type(expr)
+                return f"repro_floormod({lhs}, {rhs})"
+            if expr.op == "/":
+                raise NativeUnsupported("true division has no int64 lowering")
+            return f"({lhs} {expr.op} {rhs})"
+        if isinstance(expr, UnOp):
+            operand = self.cexpr(expr.operand, as_bool and expr.op == "not")
+            op = "!" if expr.op == "not" else expr.op
+            return f"({op}({operand}))"
+        if isinstance(expr, Load):
+            array = expr.array
+            if not isinstance(array, Var) or array.name not in self.arrays:
+                raise NativeUnsupported(f"load from unknown array {array!r}")
+            return f"{array.name}[{self.cexpr(expr.index)}]"
+        if isinstance(expr, Call):
+            if expr.func in ("min", "max"):
+                suffix = "f" if self._expr_type(expr) == "f" else "i"
+                printed = [self.cexpr(a) for a in expr.args]
+                out = printed[0]
+                for arg in printed[1:]:  # fold n-ary min/max pairwise
+                    out = f"repro_{expr.func}_{suffix}({out}, {arg})"
+                return out
+            if expr.func == "next_pow2":
+                return f"repro_next_pow2({self.cexpr(expr.args[0])})"
+            raise NativeUnsupported(f"call to {expr.func!r} in value position")
+        if isinstance(expr, Ternary):
+            return (
+                f"(({self.cexpr(expr.cond, as_bool=True)}) ? "
+                f"({self.cexpr(expr.if_true)}) : "
+                f"({self.cexpr(expr.if_false)}))"
+            )
+        raise NativeUnsupported(f"cannot print {expr!r}")
+
+    # -- parallelism analysis -------------------------------------------
+    def _simple_affine(self, index: Expr, var: str) -> bool:
+        """True when ``index`` is injective in ``var`` by construction:
+        the loop variable itself, optionally offset by a var-free term.
+        (Deliberately conservative — a scaled index could collapse when
+        the runtime scale is zero, so only offsets qualify.)"""
+        if isinstance(index, Var):
+            return index.name == var
+        if isinstance(index, BinOp) and index.op in ("+", "-"):
+            in_lhs = var in free_vars(index.lhs)
+            in_rhs = var in free_vars(index.rhs)
+            if in_lhs and not in_rhs:
+                return self._simple_affine(index.lhs, var)
+            if in_rhs and not in_lhs and index.op == "+":
+                return self._simple_affine(index.rhs, var)
+        return False
+
+    def _parallel_info(self, loop: For) -> Optional[List[str]]:
+        """If ``loop`` is safely parallelizable, return the scalars its
+        body assigns (the OpenMP ``private`` list); else ``None``.
+
+        Sound by construction: every statement must be a pure scalar
+        assignment whose reads are assigned-before-read within the
+        iteration, a store through an index injective in the loop
+        variable, a commutative integer ``+=`` bump (emitted atomic), or
+        a nested counted loop of the same shape.  Anything else —
+        loop-carried scalars, prefix sums, sequenced scatters, while
+        loops, allocation — keeps the loop serial.
+        """
+        body_assigned: Set[str] = set()
+        loaded: Set[str] = set()
+        stored: Dict[str, List[Expr]] = {}
+        atomics: Set[str] = set()
+
+        def collect(stmt: Stmt) -> bool:
+            if isinstance(stmt, Block):
+                return all(collect(child) for child in stmt.stmts)
+            if isinstance(stmt, (Comment, Pass)):
+                return True
+            if isinstance(stmt, Assign):
+                if isinstance(stmt.value, Call):
+                    return False
+                body_assigned.add(stmt.target.name)
+                self._collect_loads(stmt.value, loaded)
+                return True
+            if isinstance(stmt, Store):
+                if not isinstance(stmt.array, Var):
+                    return False
+                stored.setdefault(stmt.array.name, []).append(stmt.index)
+                self._collect_loads(stmt.index, loaded)
+                self._collect_loads(stmt.value, loaded)
+                return True
+            if isinstance(stmt, AugStore):
+                if (
+                    stmt.op != "+"
+                    or not isinstance(stmt.array, Var)
+                    or self.arrays.get(stmt.array.name) != "i"
+                ):
+                    return False
+                atomics.add(stmt.array.name)
+                self._collect_loads(stmt.index, loaded)
+                self._collect_loads(stmt.value, loaded)
+                return True
+            if isinstance(stmt, If):
+                self._collect_loads(stmt.cond, loaded)
+                if not collect(stmt.then):
+                    return False
+                return stmt.orelse is None or collect(stmt.orelse)
+            if isinstance(stmt, For):
+                body_assigned.add(stmt.var.name)
+                self._collect_loads(stmt.lo, loaded)
+                self._collect_loads(stmt.hi, loaded)
+                return collect(stmt.body)
+            return False  # While, Alloc, AugAssign, ExprStmt, Return
+
+        if not collect(loop.body):
+            return None
+        # array role separation: a written array is never read, a plain
+        # store never mixes with an atomic bump
+        if (set(stored) | atomics) & loaded or set(stored) & atomics:
+            return None
+        for name, indices in stored.items():
+            if not all(self._simple_affine(idx, loop.var.name) for idx in indices):
+                return None
+        # every scalar read inside an iteration must have been assigned
+        # earlier in that same iteration (no loop-carried values)
+        if not self._reads_follow_writes(loop.body, {loop.var.name},
+                                         body_assigned):
+            return None
+        # only function-scope scalars need an explicit private() entry;
+        # nested loop variables are declared in their for-init and are
+        # automatically private
+        privates = sorted(
+            name for name in body_assigned if not self._is_loop_only(name)
+        )
+        if loop.var.name in self.shared_loop_vars:
+            privates.append(loop.var.name)
+        return privates
+
+    def _collect_loads(self, expr: Expr, out: Set[str]) -> None:
+        if isinstance(expr, Load) and isinstance(expr.array, Var):
+            out.add(expr.array.name)
+            self._collect_loads(expr.index, out)
+            return
+        from .nodes import expr_children
+
+        for child in expr_children(expr):
+            self._collect_loads(child, out)
+
+    def _reads_follow_writes(
+        self, stmt: Stmt, assigned: Set[str], body_assigned: Set[str]
+    ) -> bool:
+        """Linear walk: every read of a body-assigned scalar must be
+        preceded (in the same iteration) by its assignment."""
+
+        def reads_ok(expr: Expr, assigned: Set[str]) -> bool:
+            for name in free_vars(expr):
+                if name in body_assigned and name not in assigned:
+                    return False
+            return True
+
+        def walk(stmt: Stmt, assigned: Set[str]) -> Optional[Set[str]]:
+            if isinstance(stmt, Block):
+                for child in stmt.stmts:
+                    result = walk(child, assigned)
+                    if result is None:
+                        return None
+                    assigned = result
+                return assigned
+            if isinstance(stmt, (Comment, Pass)):
+                return assigned
+            if isinstance(stmt, Assign):
+                if not reads_ok(stmt.value, assigned):
+                    return None
+                return assigned | {stmt.target.name}
+            if isinstance(stmt, (Store, AugStore)):
+                if reads_ok(stmt.index, assigned) and reads_ok(
+                    stmt.value, assigned
+                ):
+                    return assigned
+                return None
+            if isinstance(stmt, If):
+                if not reads_ok(stmt.cond, assigned):
+                    return None
+                then = walk(stmt.then, set(assigned))
+                if then is None:
+                    return None
+                if stmt.orelse is None:
+                    return assigned
+                orelse = walk(stmt.orelse, set(assigned))
+                if orelse is None:
+                    return None
+                return then & orelse
+            if isinstance(stmt, For):
+                if not (reads_ok(stmt.lo, assigned) and reads_ok(stmt.hi, assigned)):
+                    return None
+                inner = walk(stmt.body, assigned | {stmt.var.name})
+                if inner is None:
+                    return None
+                return assigned  # zero-trip loops assign nothing
+            return None
+
+        return walk(stmt, set(assigned)) is not None
+
+    # -- statement printing ---------------------------------------------
+    def cstmt(self, stmt: Stmt, mode: str) -> None:
+        """Print one statement.  ``mode`` is ``"auto"`` (may open new
+        parallel regions), ``"par"`` (inside a parallel region: count
+        bumps need ``omp atomic``) or ``"ser"`` (the serial twin of a
+        parallelized loop: no atomics, no nested regions)."""
+        if isinstance(stmt, Block):
+            for child in stmt.stmts:
+                self.cstmt(child, mode)
+        elif isinstance(stmt, Comment):
+            for line in stmt.text.splitlines():
+                self.emit(f"/* {line} */")
+        elif isinstance(stmt, Pass):
+            self.emit(";")
+        elif isinstance(stmt, Assign):
+            if isinstance(stmt.value, Call) and stmt.value.func == "trim":
+                src = stmt.value.args[0]
+                length = self.cexpr(stmt.value.args[1])
+                assert isinstance(src, Var)
+                self._length_of(src.name)  # trim requires a tracked length
+                if stmt.target.name != src.name:
+                    self.emit(f"{stmt.target.name} = {src.name};")
+                self.emit(f"{stmt.target.name}_len = {length};")
+            else:
+                self.emit(f"{stmt.target.name} = {self.cexpr(stmt.value)};")
+        elif isinstance(stmt, AugAssign):
+            name = stmt.target.name
+            if stmt.op in ("max", "min"):
+                suffix = "f" if self.scalars.get(name) == "f" else "i"
+                self.emit(
+                    f"{name} = repro_{stmt.op}_{suffix}"
+                    f"({name}, {self.cexpr(stmt.value)});"
+                )
+            elif stmt.op == "or":
+                value = self.cexpr(stmt.value)
+                self.emit(f"{name} = ({name}) ? ({name}) : ({value});")
+            elif stmt.op in ("//", "%"):
+                helper = "repro_floordiv" if stmt.op == "//" else "repro_floormod"
+                self.emit(f"{name} = {helper}({name}, {self.cexpr(stmt.value)});")
+            elif stmt.op in ("+", "-", "*", "&", "|", "^", "<<", ">>"):
+                self.emit(f"{name} {stmt.op}= {self.cexpr(stmt.value)};")
+            else:
+                raise NativeUnsupported(f"augmented op {stmt.op!r}")
+        elif isinstance(stmt, Store):
+            target = self._store_target(stmt.array, stmt.index)
+            self.emit(f"{target} = {self.cexpr(stmt.value)};")
+        elif isinstance(stmt, AugStore):
+            target = self._store_target(stmt.array, stmt.index)
+            if stmt.op in ("max", "min"):
+                assert isinstance(stmt.array, Var)
+                suffix = "f" if self.arrays[stmt.array.name] == "f" else "i"
+                self.emit(
+                    f"{target} = repro_{stmt.op}_{suffix}"
+                    f"({target}, {self.cexpr(stmt.value)});"
+                )
+            elif stmt.op == "or":
+                value = self.cexpr(stmt.value)
+                self.emit(f"{target} = ({target}) ? ({target}) : ({value});")
+            elif stmt.op in ("+", "-", "*"):
+                if mode == "par" and stmt.op == "+":
+                    self.emit("#pragma omp atomic")
+                self.emit(f"{target} {stmt.op}= {self.cexpr(stmt.value)};")
+            else:
+                raise NativeUnsupported(f"augmented store op {stmt.op!r}")
+        elif isinstance(stmt, For):
+            self._emit_for(stmt, mode)
+        elif isinstance(stmt, While):
+            self.emit(f"while ({self.cexpr(stmt.cond, as_bool=True)}) {{")
+            self.indent += 1
+            self.cstmt(stmt.body, mode)
+            self.indent -= 1
+            self.emit("}")
+        elif isinstance(stmt, If):
+            self.emit(f"if ({self.cexpr(stmt.cond, as_bool=True)}) {{")
+            self.indent += 1
+            self.cstmt(stmt.then, mode)
+            self.indent -= 1
+            if stmt.orelse is not None:
+                self.emit("} else {")
+                self.indent += 1
+                self.cstmt(stmt.orelse, mode)
+                self.indent -= 1
+            self.emit("}")
+        elif isinstance(stmt, Alloc):
+            self._emit_alloc(stmt, mode)
+        elif isinstance(stmt, ExprStmt):
+            self._emit_effect_call(stmt.expr)
+        elif isinstance(stmt, Return):
+            self._emit_return(stmt)
+        else:
+            raise NativeUnsupported(f"cannot print {stmt!r}")
+
+    def _store_target(self, array: Expr, index: Expr) -> str:
+        if not isinstance(array, Var) or array.name not in self.arrays:
+            raise NativeUnsupported(f"store into unknown array {array!r}")
+        return f"{array.name}[{self.cexpr(index)}]"
+
+    def _emit_for(self, loop: For, mode: str) -> None:
+        var = loop.var.name
+        lo, hi = self.cexpr(loop.lo), self.cexpr(loop.hi)
+        privates = self._parallel_info(loop) if mode == "auto" else None
+        decl = "" if var in self.shared_loop_vars else "int64_t "
+        header = f"for ({decl}{var} = {lo}; {var} < {hi}; ++{var}) {{"
+        if privates is None:
+            self.emit(header)
+            self.indent += 1
+            self.cstmt(loop.body, mode)
+            self.indent -= 1
+            self.emit("}")
+            return
+        # Two copies of the loop, chosen by the runtime team size: the
+        # OpenMP version pays for atomics only when threads can actually
+        # race; the serial twin is the plain loop (an unconditional
+        # `omp atomic` would cost a locked add per nonzero even on one
+        # thread, which is exactly the scipy-vs-us margin).
+        clause = f" private({', '.join(privates)})" if privates else ""
+        self.emit("#ifdef _OPENMP")
+        self.emit(f"if (repro_par && ({hi}) - ({lo}) >= {_OMP_MIN_TRIP}) {{")
+        self.indent += 1
+        self.emit(f"#pragma omp parallel for{clause}")
+        self.emit(header)
+        self.indent += 1
+        self.cstmt(loop.body, "par")
+        self.indent -= 1
+        self.emit("}")
+        self.indent -= 1
+        self.emit("} else")
+        self.emit("#endif")
+        self.emit("{")
+        self.indent += 1
+        self.emit(header)
+        self.indent += 1
+        self.cstmt(loop.body, "ser")
+        self.indent -= 1
+        self.emit("}")
+        self.indent -= 1
+        self.emit("}")
+
+    def _emit_alloc(self, stmt: Alloc, mode: str) -> None:
+        if mode == "par":
+            raise NativeUnsupported("allocation inside a parallel region")
+        name = stmt.target.name
+        ctype = _CTYPE[self.arrays[name]]
+        zero = 1 if stmt.init == "zeros" else 0
+        if self._alloc_counts.get(name, 0) > 1:
+            self.emit(f"if ({name}) {{ free({name}); {name} = NULL; }}")
+        self.emit(f"{name}_len = {self.cexpr(stmt.size)};")
+        self.emit(
+            f"{name} = ({ctype} *)repro_alloc({name}_len, "
+            f"sizeof({ctype}), {zero});"
+        )
+        self.emit(f"if (!{name}) goto fail;")
+
+    def _emit_effect_call(self, expr: Expr) -> None:
+        if not isinstance(expr, Call):
+            raise NativeUnsupported(f"expression statement {expr!r}")
+        if expr.func == "fill":
+            array = expr.args[0]
+            if not isinstance(array, Var):
+                raise NativeUnsupported("fill of a computed array")
+            length = self._length_of(array.name)
+            value = self.cexpr(expr.args[1])
+            counter = self.fresh("i")
+            self.emit(
+                f"for (int64_t {counter} = 0; {counter} < {length}; "
+                f"++{counter}) {array.name}[{counter}] = {value};"
+            )
+            return
+        if expr.func == "prefix_sum":
+            array = expr.args[0]
+            if not isinstance(array, Var) or array.name not in self.arrays:
+                raise NativeUnsupported("prefix_sum of a computed array")
+            length = self.cexpr(expr.args[1])
+            counter = self.fresh("i")
+            self.emit(
+                f"for (int64_t {counter} = 1; {counter} < ({length}); "
+                f"++{counter}) {array.name}[{counter}] += "
+                f"{array.name}[{counter} - 1];"
+            )
+            return
+        raise NativeUnsupported(f"runtime call {expr.func!r}")
+
+    def _emit_return(self, stmt: Return) -> None:
+        if len(stmt.values) != len(self.outputs):
+            raise NativeUnsupported("return arity does not match outputs")
+        kept: Set[str] = set()
+        array_slot = 0
+        scalar_slot = 0
+        for (side, _, _), value in zip(self.outputs, stmt.values):
+            if side == "dst_array":
+                if not isinstance(value, Var) or value.name not in self.arrays:
+                    raise NativeUnsupported(f"returned array {value!r}")
+                name = value.name
+                self.emit(f"out_arrays[{array_slot}] = (void *){name};")
+                self.emit(f"out_lens[{array_slot}] = {self._length_of(name)};")
+                kept.add(self._root(name))
+                array_slot += 1
+            else:
+                self.emit(f"out_scalars[{scalar_slot}] = {self.cexpr(value)};")
+                scalar_slot += 1
+        for name in self.alloc_order:
+            if name not in kept:
+                self.emit(f"free({name});")
+        self.emit("return 0;")
+        self._returned = True
+
+    # -- whole translation unit -----------------------------------------
+    def translation_unit(self) -> str:
+        self._prepass()
+        out: List[str] = [_PREAMBLE]
+        if self.func.docstring:
+            out.append("/*")
+            for line in self.func.docstring.splitlines() or [""]:
+                out.append(f" * {line}".rstrip())
+            out.append(" */")
+        out.append(
+            f"REPRO_EXPORT int64_t {self.func.name}(\n"
+            "    int64_t n_workers, void **in_arrays,\n"
+            "    const int64_t *in_scalars, void **out_arrays,\n"
+            "    int64_t *out_lens, int64_t *out_scalars)\n{"
+        )
+        self.lines = []
+        self.emit("int repro_par = 0;")
+        self.emit("#ifdef _OPENMP")
+        self.emit("if (n_workers > 0) omp_set_num_threads((int)n_workers);")
+        self.emit("repro_par = (n_workers != 1) && (omp_get_max_threads() > 1);")
+        self.emit("#else")
+        self.emit("(void)n_workers;")
+        self.emit("#endif")
+        self.emit("(void)repro_par;")
+        self.emit("(void)out_scalars;")
+        array_slot = 0
+        scalar_slot = 0
+        for (side, level, _), name in zip(self.params, self.func.params):
+            if side == "src_array":
+                ctype = _CTYPE["f" if level == -1 else "i"]
+                self.emit(
+                    f"{ctype} *{name} = ({ctype} *)in_arrays[{array_slot}];"
+                )
+                array_slot += 1
+            else:
+                self.emit(f"int64_t {name} = in_scalars[{scalar_slot}];")
+                scalar_slot += 1
+        if array_slot == 0:
+            self.emit("(void)in_arrays;")
+        if scalar_slot == 0:
+            self.emit("(void)in_scalars;")
+        for name in self.alloc_order:
+            ctype = _CTYPE[self.arrays[name]]
+            self.emit(f"{ctype} *{name} = NULL;")
+            self.emit(f"int64_t {name}_len = 0;")
+        for name in sorted(self.alias_root):
+            ctype = _CTYPE[self.arrays[name]]
+            self.emit(f"{ctype} *{name} = NULL;")
+            self.emit(f"int64_t {name}_len = 0;")
+            self.emit(f"(void){name}; (void){name}_len;")
+        declared_scalars = sorted(
+            name
+            for name, code in self.scalars.items()
+            if name not in set(self.func.params)
+            and (name in self.shared_loop_vars or not self._is_loop_only(name))
+        )
+        for name in declared_scalars:
+            ctype = _CTYPE[self.scalars[name]]
+            init = "0.0" if self.scalars[name] == "f" else "0"
+            self.emit(f"{ctype} {name} = {init};")
+        self.cstmt(self.func.body, mode="auto")
+        if not self._returned:
+            raise NativeUnsupported("kernel body has no return")
+        if self.alloc_order:
+            self.lines.append("fail:")
+            for name in self.alloc_order:
+                self.emit(f"free({name});")
+            self.emit("return 1;")
+        out.extend(self.lines)
+        out.append("}")
+        return "\n".join(out) + "\n"
+
+    def _is_loop_only(self, name: str) -> bool:
+        """Scalars that only ever appear as For variables are declared in
+        their for-init (making them OpenMP-private for free)."""
+        loop_only = getattr(self, "_loop_only_memo", None)
+        if loop_only is None:
+            loop_vars: Set[str] = set()
+            assigned: Set[str] = set()
+
+            def scan(stmt: Stmt) -> None:
+                if isinstance(stmt, Block):
+                    for child in stmt.stmts:
+                        scan(child)
+                elif isinstance(stmt, For):
+                    loop_vars.add(stmt.var.name)
+                    scan(stmt.body)
+                elif isinstance(stmt, (Assign, AugAssign)):
+                    assigned.add(stmt.target.name)
+                elif isinstance(stmt, While):
+                    scan(stmt.body)
+                elif isinstance(stmt, If):
+                    scan(stmt.then)
+                    if stmt.orelse is not None:
+                        scan(stmt.orelse)
+
+            scan(self.func.body)
+            loop_only = loop_vars - assigned
+            self._loop_only_memo = loop_only
+        return name in loop_only
+
+
+def emit_c(
+    func: FuncDef,
+    params: Sequence[Tuple[str, int, str]],
+    outputs: Sequence[Tuple[str, int, str]],
+) -> str:
+    """Print a scalar-IR kernel as a self-contained C translation unit.
+
+    Raises :class:`NativeUnsupported` when the kernel uses a construct
+    the C printer cannot translate (callers treat that pair as not
+    native-capable and fall back to the Python backends).
+    """
+    return _CEmitter(func, params, outputs).translation_unit()
+
+
+# ---------------------------------------------------------------------------
+# toolchain detection
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Toolchain:
+    """A working host C compiler and the flags the backend builds with.
+
+    ``fingerprint`` digests the resolved compiler path, its version
+    banner and the OpenMP verdict; it joins every native kernel-cache
+    key so records built by one compiler are never loaded under another
+    (a stale-ABI ``.so`` is a cache miss, not a crash).
+    """
+
+    cc: str
+    flags: Tuple[str, ...]
+    openmp: bool
+    fingerprint: str
+
+
+_BASE_FLAGS = ("-O2", "-fPIC", "-shared", "-w")
+
+_TOOLCHAINS: Dict[Optional[str], Optional[Toolchain]] = {}
+_TOOLCHAIN_LOCK = threading.Lock()
+
+_PROBE_SOURCE = "int repro_probe(int x) { return x + 1; }\n"
+_OMP_PROBE_SOURCE = (
+    "#include <omp.h>\n"
+    "int repro_probe(void) { return omp_get_max_threads(); }\n"
+)
+
+
+def _try_compile(cc: str, flags: Sequence[str], source: str,
+                 workdir: str, stem: str) -> bool:
+    c_path = os.path.join(workdir, f"{stem}.c")
+    so_path = os.path.join(workdir, f"{stem}.so")
+    with open(c_path, "w") as handle:
+        handle.write(source)
+    try:
+        result = subprocess.run(
+            [cc, *flags, "-o", so_path, c_path],
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+            timeout=60,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return False
+    return result.returncode == 0 and os.path.exists(so_path)
+
+
+def detect_toolchain() -> Optional[Toolchain]:
+    """Probe for a working C compiler (memoized per ``$CC`` value).
+
+    ``$CC`` pins the compiler when set (``CC=/bin/false`` is the
+    supported way to simulate a host without one); otherwise ``cc``,
+    ``gcc`` and ``clang`` are tried in order.  Returns ``None`` when no
+    candidate can build a shared object — callers degrade to the Python
+    backends.
+    """
+    env_cc = os.environ.get("CC") or None
+    with _TOOLCHAIN_LOCK:
+        if env_cc in _TOOLCHAINS:
+            return _TOOLCHAINS[env_cc]
+    candidates = [env_cc] if env_cc else ["cc", "gcc", "clang"]
+    toolchain: Optional[Toolchain] = None
+    for cc in candidates:
+        resolved = shutil.which(cc)
+        if resolved is None:
+            continue
+        with tempfile.TemporaryDirectory(prefix="repro-cc-probe-") as workdir:
+            if not _try_compile(resolved, _BASE_FLAGS, _PROBE_SOURCE,
+                                workdir, "probe"):
+                continue
+            openmp = _try_compile(
+                resolved, (*_BASE_FLAGS, "-fopenmp"), _OMP_PROBE_SOURCE,
+                workdir, "omp",
+            )
+        flags = _BASE_FLAGS + (("-fopenmp",) if openmp else ())
+        try:
+            banner = subprocess.run(
+                [resolved, "--version"],
+                stdout=subprocess.PIPE,
+                stderr=subprocess.DEVNULL,
+                timeout=15,
+            ).stdout.splitlines()[:1]
+        except (OSError, subprocess.SubprocessError, IndexError):
+            banner = []
+        version = banner[0].decode("utf-8", "replace") if banner else "?"
+        fingerprint = hashlib.sha256(
+            repr((resolved, version, flags)).encode()
+        ).hexdigest()[:16]
+        toolchain = Toolchain(
+            cc=resolved, flags=flags, openmp=openmp, fingerprint=fingerprint
+        )
+        break
+    with _TOOLCHAIN_LOCK:
+        _TOOLCHAINS[env_cc] = toolchain
+    return toolchain
+
+
+def _clear_toolchain_cache() -> None:
+    """Drop memoized probes (tests that flip ``$CC`` mid-process)."""
+    with _TOOLCHAIN_LOCK:
+        _TOOLCHAINS.clear()
+
+
+# ---------------------------------------------------------------------------
+# building and binding
+# ---------------------------------------------------------------------------
+
+
+def build_shared(source: str, so_path: str, toolchain: Toolchain) -> None:
+    """Compile ``source`` into ``so_path``, atomically.
+
+    The compiler writes to unique temporary names (pid + thread id) in
+    the destination directory, and the finished ``.so`` (and its ``.c``
+    sibling, kept for inspection) are moved into place with
+    ``os.replace`` — concurrent builds of the same kernel from two
+    engines or threads each produce a complete artifact and the last
+    rename wins, mirroring the kernel-cache record writes.
+    """
+    directory = os.path.dirname(so_path) or "."
+    stem = f"{so_path}.tmp.{os.getpid()}.{threading.get_ident()}"
+    tmp_c = f"{stem}.c"
+    tmp_so = f"{stem}.so"
+    os.makedirs(directory, exist_ok=True)
+    try:
+        with open(tmp_c, "w") as handle:
+            handle.write(source)
+        result = subprocess.run(
+            [toolchain.cc, *toolchain.flags, "-o", tmp_so, tmp_c],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            timeout=300,
+        )
+        if result.returncode != 0 or not os.path.exists(tmp_so):
+            detail = result.stdout.decode("utf-8", "replace").strip()
+            raise NativeBuildError(
+                f"{toolchain.cc} failed to build the native kernel "
+                f"(exit {result.returncode}):\n{detail[:2000]}"
+            )
+        base = so_path[:-3] if so_path.endswith(".so") else so_path
+        os.replace(tmp_c, base + ".c")
+        os.replace(tmp_so, so_path)
+    except (OSError, subprocess.SubprocessError) as exc:
+        raise NativeBuildError(f"native build failed: {exc}") from exc
+    finally:
+        for leftover in (tmp_c, tmp_so):
+            try:
+                os.unlink(leftover)
+            except OSError:
+                pass
+
+
+_ENTRY_ARGTYPES = [
+    ctypes.c_int64,
+    ctypes.POINTER(ctypes.c_void_p),
+    ctypes.POINTER(ctypes.c_int64),
+    ctypes.POINTER(ctypes.c_void_p),
+    ctypes.POINTER(ctypes.c_int64),
+    ctypes.POINTER(ctypes.c_int64),
+]
+
+
+def load_kernel(
+    so_path: str,
+    entry_name: str,
+    params: Sequence[Tuple[str, int, str]],
+    outputs: Sequence[Tuple[str, int, str]],
+):
+    """Bind a built kernel; returns ``func(*args, n_workers=0)``.
+
+    The wrapper speaks the generated-Python calling convention — one
+    positional argument per kernel parameter, returning the kernel's
+    value (or tuple of values) in ``Return`` order — so the engine's
+    :class:`~repro.convert.engine.CompiledConversion` machinery runs it
+    unchanged.  Output arrays are wrapped zero-copy over the C-malloc'd
+    buffers; a finalizer hands each buffer back to the library's
+    ``repro_native_free`` when the last numpy view dies.
+
+    Raises ``OSError`` when the shared object cannot be loaded (e.g. a
+    truncated cache file) — callers rebuild from source.
+    """
+    lib = ctypes.CDLL(so_path)
+    entry = getattr(lib, entry_name)
+    entry.restype = ctypes.c_int64
+    entry.argtypes = _ENTRY_ARGTYPES
+    release = lib.repro_native_free
+    release.restype = None
+    release.argtypes = [ctypes.c_void_p]
+
+    param_kinds = [
+        ("array", np.float64 if level == -1 else np.int64)
+        if side == "src_array"
+        else ("scalar", None)
+        for side, level, _ in params
+    ]
+    output_kinds = [
+        ("array", np.float64 if level == -1 else np.int64)
+        if side == "dst_array"
+        else ("scalar", None)
+        for side, level, _ in outputs
+    ]
+    n_in_arrays = sum(1 for kind, _ in param_kinds if kind == "array")
+    n_in_scalars = len(param_kinds) - n_in_arrays
+    n_out_arrays = sum(1 for kind, _ in output_kinds if kind == "array")
+    n_out_scalars = len(output_kinds) - n_out_arrays
+
+    def func(*args, n_workers: int = 0):
+        if len(args) != len(param_kinds):
+            raise TypeError(
+                f"{entry_name} takes {len(param_kinds)} arguments, "
+                f"got {len(args)}"
+            )
+        in_arrays = (ctypes.c_void_p * max(n_in_arrays, 1))()
+        in_scalars = (ctypes.c_int64 * max(n_in_scalars, 1))()
+        keepalive = []
+        array_slot = 0
+        scalar_slot = 0
+        for (kind, dtype), value in zip(param_kinds, args):
+            if kind == "array":
+                array = np.ascontiguousarray(value, dtype=dtype)
+                keepalive.append(array)
+                in_arrays[array_slot] = array.ctypes.data
+                array_slot += 1
+            else:
+                in_scalars[scalar_slot] = int(value)
+                scalar_slot += 1
+        out_arrays = (ctypes.c_void_p * max(n_out_arrays, 1))()
+        out_lens = (ctypes.c_int64 * max(n_out_arrays, 1))()
+        out_scalars = (ctypes.c_int64 * max(n_out_scalars, 1))()
+        status = entry(
+            ctypes.c_int64(int(n_workers)), in_arrays, in_scalars,
+            out_arrays, out_lens, out_scalars,
+        )
+        if status != 0:
+            raise MemoryError(
+                f"native kernel {entry_name} failed to allocate"
+            )
+        results = []
+        array_slot = 0
+        scalar_slot = 0
+        for kind, dtype in output_kinds:
+            if kind == "array":
+                ptr = out_arrays[array_slot]
+                length = int(out_lens[array_slot])
+                array_slot += 1
+                nbytes = length * np.dtype(dtype).itemsize
+                buffer = (ctypes.c_byte * nbytes).from_address(ptr)
+                weakref.finalize(buffer, release, ptr)
+                results.append(np.frombuffer(buffer, dtype=dtype))
+            else:
+                results.append(int(out_scalars[scalar_slot]))
+                scalar_slot += 1
+        del keepalive
+        return tuple(results) if len(results) != 1 else results[0]
+
+    func.__name__ = entry_name
+    func._native_lib = lib  # keep the dlopen handle alive with the wrapper
+    return func

@@ -1,0 +1,432 @@
+"""Native (compiled C) backend: bit-identity, toolchain handling and the
+persistent ``.so`` cache.
+
+The native backend emits a C translation unit from the same per-level
+conversion plan the scalar printer walks, builds it with the host
+compiler and binds it through ctypes.  Its contract mirrors the vector
+backend's: **bit-identical** output arrays to the direct scalar
+conversion for every pair it lowers — plus the operational guarantees
+this file pins: graceful warn-once fallback when the host has no
+compiler, recompile-not-crash on a corrupt cached ``.so``, a cache miss
+(not a stale-ABI load) on a compiler-fingerprint mismatch, and zero
+compiler invocations on a warm cache directory.
+"""
+
+import json
+import os
+import random
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.convert import convert
+from repro.convert.engine import ConversionEngine
+from repro.convert.native import native_capable, plan_native
+from repro.convert.plan import ConversionPlan
+from repro.convert.planner import PlanOptions
+from repro.convert.context import PlanError
+from repro.convert.router import CostModel
+from repro.formats.library import (
+    BCSR,
+    COO,
+    COO3,
+    CSC,
+    CSF,
+    CSR,
+    DCSR,
+    DIA,
+    ELL,
+    HASH,
+    HICOO,
+)
+from repro.ir.native import _clear_toolchain_cache, detect_toolchain
+from repro.matrices.suite import get_matrix
+from repro.storage.build import reference_build
+
+from .test_backends import VECTOR_FORMATS, assert_tensors_bit_identical
+
+EXTENDED = [BCSR(2, 2), DCSR, HICOO(2), HASH]
+
+HAVE_CC = detect_toolchain() is not None
+needs_cc = pytest.mark.skipif(not HAVE_CC, reason="no C toolchain")
+
+
+@pytest.fixture(scope="module")
+def engine():
+    eng = ConversionEngine()
+    yield eng
+    eng.shutdown()
+
+
+@pytest.fixture
+def no_compiler(monkeypatch):
+    """A host with no working C compiler, restored afterwards."""
+    monkeypatch.setenv("CC", "/bin/false")
+    _clear_toolchain_cache()
+    yield
+    monkeypatch.delenv("CC", raising=False)
+    _clear_toolchain_cache()
+
+
+def _random_problem(seed, m, n, style):
+    rng = random.Random(seed)
+    capacity = m * n
+    count = {"empty": 0, "dense": capacity, "sparse": rng.randint(1, capacity)}[style]
+    cells = rng.sample([(i, j) for i in range(m) for j in range(n)], count)
+    vals = [round(rng.uniform(0.5, 9.5), 4) for _ in cells]
+    return cells, vals
+
+
+# ----------------------------------------------------------------------
+# bit-identity
+
+
+@needs_cc
+@pytest.mark.parametrize("src", VECTOR_FORMATS + EXTENDED, ids=lambda f: f.name)
+@pytest.mark.parametrize("dst", VECTOR_FORMATS + EXTENDED, ids=lambda f: f.name)
+def test_native_bit_identical_all_pairs(src, dst, engine):
+    assert native_capable(src, dst)
+    native = engine.make_converter(src, dst, backend="native")
+    assert native.backend == "native"
+    for seed, (m, n) in enumerate([(7, 11), (1, 9), (8, 8)]):
+        for style in ("empty", "dense", "sparse"):
+            cells, vals = _random_problem(seed, m, n, style)
+            tensor = reference_build(src, (m, n), cells, vals)
+            scalar = convert(tensor, dst, backend="scalar")
+            out = native(tensor)
+            assert out.to_coo() == dict(zip(cells, vals))
+            assert_tensors_bit_identical(scalar, out)
+
+
+@needs_cc
+@pytest.mark.parametrize(
+    "pair",
+    [(COO3, CSF), (CSF, COO3), (CSF, CSF)],
+    ids=lambda p: f"{p[0].name}_{p[1].name}",
+)
+def test_native_bit_identical_third_order(pair, engine):
+    src, dst = pair
+    rng = random.Random(11)
+    cells = rng.sample(
+        [(i, j, k) for i in range(4) for j in range(5) for k in range(6)], 37
+    )
+    vals = [round(rng.uniform(0.5, 9.5), 4) for _ in cells]
+    tensor = reference_build(src, (4, 5, 6), cells, vals)
+    scalar = convert(tensor, dst, backend="scalar")
+    out = engine.make_converter(src, dst, backend="native")(tensor)
+    assert_tensors_bit_identical(scalar, out)
+
+
+@needs_cc
+@pytest.mark.parametrize(
+    "pair",
+    [(COO, CSR), (CSR, CSC), (COO, DIA)],
+    ids=lambda p: f"{p[0].name}_{p[1].name}",
+)
+def test_native_bit_identical_on_suite_matrix(pair, engine):
+    """Suite-size inputs cross the OpenMP trip threshold, so the
+    parallel twins of the emitted loops run and must stay bit-identical
+    at every team size (1 worker runs the serial twins)."""
+    src, dst = pair
+    entry = get_matrix("chem_master1", scale=2.0)
+    tensor = entry.tensor(src)
+    scalar = convert(tensor, dst, backend="scalar")
+    native = engine.make_converter(src, dst, backend="native")
+    for workers in (0, 1, 4):
+        assert_tensors_bit_identical(scalar, native(tensor, workers))
+
+
+# ----------------------------------------------------------------------
+# toolchain failure paths
+
+
+def test_missing_compiler_falls_back_to_vector_with_one_warning(no_compiler):
+    eng = ConversionEngine()
+    try:
+        assert eng.toolchain() is None
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            conv = eng.make_converter(COO, CSR, backend="native")
+        assert conv.backend == "vector"
+        native_warnings = [
+            w for w in caught if "no working C compiler" in str(w.message)
+        ]
+        assert len(native_warnings) == 1
+        # warn-once: the second degraded request is silent
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            conv2 = eng.make_converter(CSR, CSC, backend="native")
+        assert conv2.backend == "vector"
+        assert not [
+            w for w in caught if "no working C compiler" in str(w.message)
+        ]
+        # the fallback converts correctly
+        tensor = reference_build(COO, (4, 5), [(1, 2), (3, 0)], [2.5, 1.5])
+        ref = convert(tensor, CSR, backend="scalar")
+        assert_tensors_bit_identical(ref, conv(tensor))
+    finally:
+        eng.shutdown()
+
+
+def test_missing_compiler_plan_degrades_and_convert_runs(no_compiler):
+    eng = ConversionEngine()
+    try:
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            plan = eng.plan(COO, CSR, backend="native")
+        assert "native" not in plan.backend_per_hop
+        tensor = reference_build(COO, (4, 5), [(1, 2), (3, 0)], [2.5, 1.5])
+        ref = convert(tensor, CSR, backend="scalar")
+        assert_tensors_bit_identical(ref, plan.run(tensor))
+    finally:
+        eng.shutdown()
+
+
+@needs_cc
+def test_pinned_native_plan_replays_loudly_without_toolchain(monkeypatch):
+    eng = ConversionEngine()
+    text = eng.plan(COO, CSR, backend="native").to_json()
+    eng.shutdown()
+
+    monkeypatch.setenv("CC", "/bin/false")
+    _clear_toolchain_cache()
+    try:
+        bare = ConversionEngine()
+        replay = ConversionPlan.from_json(text, engine=bare)
+        assert replay.backend_per_hop == ("native",)
+        tensor = reference_build(COO, (4, 5), [(1, 2), (3, 0)], [2.5, 1.5])
+        with pytest.raises(PlanError, match="no working C compiler"):
+            replay.run(tensor)
+        bare.shutdown()
+    finally:
+        monkeypatch.delenv("CC", raising=False)
+        _clear_toolchain_cache()
+
+
+def test_codegen_is_pure_and_needs_no_toolchain(no_compiler, capsys):
+    from repro.__main__ import main
+
+    main(["codegen", "COO", "CSR", "--backend", "native"])
+    out = capsys.readouterr().out
+    assert "#include <stdint.h>" in out
+    assert "int64_t n_workers" in out
+
+
+# ----------------------------------------------------------------------
+# the persistent .so cache
+
+
+def _native_cache_files(cache_dir):
+    names = sorted(os.listdir(cache_dir))
+    return (
+        [n for n in names if n.endswith(".json")],
+        [n for n in names if n.endswith(".so")],
+    )
+
+
+@needs_cc
+def test_warm_cache_invokes_no_compiler(tmp_path):
+    cache = str(tmp_path)
+    tensor = reference_build(COO, (6, 6), [(0, 1), (2, 3), (5, 5)], [1, 2, 3])
+    ref = convert(tensor, CSR, backend="scalar")
+
+    cold = ConversionEngine(cache_dir=cache)
+    out = cold.make_converter(COO, CSR, backend="native")(tensor)
+    assert_tensors_bit_identical(ref, out)
+    stats = cold.cache_stats()
+    assert stats["native_compiles"] == 1 and stats["native_disk_hits"] == 0
+    records, shared = _native_cache_files(cache)
+    assert len(records) == 1 and len(shared) == 1
+    cold.shutdown()
+
+    warm = ConversionEngine(cache_dir=cache)
+    out = warm.make_converter(COO, CSR, backend="native")(tensor)
+    assert_tensors_bit_identical(ref, out)
+    stats = warm.cache_stats()
+    assert stats["native_compiles"] == 0
+    assert stats["native_disk_hits"] == 1
+    warm.shutdown()
+
+
+@needs_cc
+def test_corrupt_cached_so_recompiles_instead_of_crashing(tmp_path):
+    cache = str(tmp_path)
+    tensor = reference_build(COO, (6, 6), [(0, 1), (2, 3)], [1.0, 2.0])
+    ref = convert(tensor, CSR, backend="scalar")
+
+    cold = ConversionEngine(cache_dir=cache)
+    cold.make_converter(COO, CSR, backend="native")
+    cold.shutdown()
+    _, shared = _native_cache_files(cache)
+    so_path = os.path.join(cache, shared[0])
+    with open(so_path, "wb") as handle:
+        handle.write(b"\x7fELF not really")
+
+    eng = ConversionEngine(cache_dir=cache)
+    out = eng.make_converter(COO, CSR, backend="native")(tensor)
+    assert_tensors_bit_identical(ref, out)
+    stats = eng.cache_stats()
+    assert stats["native_compiles"] == 1 and stats["native_disk_hits"] == 0
+    eng.shutdown()
+
+
+@needs_cc
+def test_compiler_fingerprint_mismatch_is_a_cache_miss(tmp_path):
+    cache = str(tmp_path)
+    cold = ConversionEngine(cache_dir=cache)
+    cold.make_converter(COO, CSR, backend="native")
+    cold.shutdown()
+    records, _ = _native_cache_files(cache)
+    record_path = os.path.join(cache, records[0])
+    with open(record_path) as handle:
+        record = json.load(handle)
+    record["compiler"] = "0" * 16  # a different toolchain built this .so
+    with open(record_path, "w") as handle:
+        json.dump(record, handle)
+
+    eng = ConversionEngine(cache_dir=cache)
+    eng.make_converter(COO, CSR, backend="native")
+    stats = eng.cache_stats()
+    assert stats["native_compiles"] == 1, "stale-ABI record must not load"
+    assert stats["native_disk_hits"] == 0
+    eng.shutdown()
+
+
+# ----------------------------------------------------------------------
+# cost model & routing
+
+
+def test_cost_model_native_seed_roundtrips(tmp_path):
+    model = CostModel(native_per_nnz=3.3e-8)
+    path = tmp_path / "model.json"
+    model.save(path)
+    loaded = CostModel.load(path)
+    assert loaded.native_per_nnz == 3.3e-8
+    assert loaded.cost_detail("native", 10_000)[1] == "seeded"
+
+
+def test_cost_model_seeds_native_from_bench_report():
+    report = {
+        "coo_csr": {
+            "cells": [
+                {"nnz": 1_000_000, "native_seconds": 0.004,
+                 "scalar_seconds": 1.5, "vector_seconds": 0.04},
+            ]
+        }
+    }
+    model = CostModel.from_bench_report(report)
+    assert model.native_per_nnz == pytest.approx(4e-9)
+
+
+@needs_cc
+def test_auto_routing_gates_native_on_measured_observations(engine):
+    nnz = 2_000_000
+    fresh = ConversionEngine()
+    try:
+        names = [c.name for c in fresh.converters(COO, CSR, nnz=nnz)]
+        assert "generated-native" not in names, (
+            "auto must not offer the compiler before native is measured"
+        )
+        for _ in range(fresh.cost_model.min_observations):
+            fresh.cost_model.observe("native", nnz, seconds=0.004)
+        candidates = {
+            c.name: c for c in fresh.converters(COO, CSR, nnz=nnz)
+        }
+        native = candidates["generated-native"]
+        assert native.kind == "native"
+        assert native.provenance == "measured"
+    finally:
+        fresh.shutdown()
+
+
+def test_no_toolchain_hosts_never_offer_native(no_compiler):
+    eng = ConversionEngine()
+    try:
+        for _ in range(eng.cost_model.min_observations):
+            eng.cost_model.observe("native", 2_000_000, seconds=0.004)
+        names = [c.name for c in eng.converters(COO, CSR, nnz=2_000_000)]
+        assert "generated-native" not in names
+    finally:
+        eng.shutdown()
+
+
+# ----------------------------------------------------------------------
+# satellite: measured non-winning chunked falls back to serial
+
+
+def test_measured_slow_chunked_auto_prefers_serial():
+    nnz = 2_000_000
+    eng = ConversionEngine(workers=4)
+    try:
+        for _ in range(eng.cost_model.min_observations):
+            # measured: the chunked executor does NOT beat the serial
+            # vector kernel for this kind (the 0.997x CSR->CSC cell)
+            eng.cost_model.observe("chunked", nnz, workers=4, seconds=0.08)
+            eng.cost_model.observe("vector", nnz, workers=1, seconds=0.06)
+        plan = eng.plan(CSR, CSC, nnz=nnz, parallel="auto")
+        assert plan.workers == 0
+        assert "chunked" not in plan.backend_per_hop
+        # an explicit worker count still pins the chunked executor
+        pinned = eng.plan(CSR, CSC, nnz=nnz, parallel=4)
+        assert pinned.workers == 4
+        assert pinned.backend_per_hop == ("chunked",)
+    finally:
+        eng.shutdown()
+
+
+def test_measured_fast_chunked_auto_still_engages():
+    nnz = 2_000_000
+    eng = ConversionEngine(workers=4)
+    try:
+        for _ in range(eng.cost_model.min_observations):
+            eng.cost_model.observe("chunked", nnz, workers=4, seconds=0.02)
+            eng.cost_model.observe("vector", nnz, workers=1, seconds=0.06)
+        plan = eng.plan(CSR, CSC, nnz=nnz, parallel="auto")
+        assert plan.workers == 4
+        assert plan.backend_per_hop == ("chunked",)
+    finally:
+        eng.shutdown()
+
+
+def test_seeded_chunked_auto_still_engages():
+    """Without measurements the seeds still say chunked wins at bulk
+    sizes — the fallback only fires on *measured* non-wins."""
+    eng = ConversionEngine(workers=4)
+    try:
+        plan = eng.plan(CSR, CSC, nnz=2_000_000, parallel="auto")
+        assert plan.workers == 4
+        assert plan.backend_per_hop == ("chunked",)
+    finally:
+        eng.shutdown()
+
+
+# ----------------------------------------------------------------------
+# emission details
+
+
+def test_emitted_c_declares_the_fixed_abi():
+    source = plan_native(COO, CSR).source
+    assert "REPRO_EXPORT int64_t" in source
+    assert "int64_t n_workers" in source
+    assert "void **in_arrays" in source
+    assert "int64_t *out_lens" in source
+    assert "repro_native_free" in source
+
+
+def test_parallel_pairs_emit_openmp_guarded_twins():
+    source = plan_native(COO, CSR).source
+    assert "#ifdef _OPENMP" in source
+    assert "#pragma omp parallel for" in source
+    # the serial twin must exist for single-threaded hosts/builds
+    assert "repro_par" in source
+
+
+def test_plan_options_reach_the_emitted_c():
+    default = plan_native(CSR, CSC).source
+    unsequenced = plan_native(
+        CSR, CSC, PlanOptions(force_unsequenced_edges=True)
+    ).source
+    # the ablation toggle changes the emitted C, so options must be part
+    # of the native plan cache key
+    assert default != unsequenced
