@@ -15,6 +15,7 @@ Usage::
     python -m repro route HASH CSR --explain    # show the conversion route
     python -m repro stats in.mtx                # attribute-query statistics
     python -m repro verify COO CSR --trials 50  # differential verification
+    python -m repro serve-bench --requests 48   # drive the HTTP service
 
 Formats are given as registry spec strings — any registered name
 (``CSR``, ``HASH``...) or a parameterized family instance (``BCSR8x8``,
@@ -267,6 +268,133 @@ def _cmd_verify(args) -> None:
     print(f"{src_fmt.name} -> {dst_fmt.name}: OK on {checked} randomized inputs")
 
 
+def _cmd_serve_bench(args) -> None:
+    """Drive a :mod:`repro.serve` HTTP server with concurrent mixed-pair
+    load, reporting data-cache hit rate and p50/p99 request latency.
+
+    With ``--check`` this doubles as the CI service smoke: it exits
+    nonzero unless ``/healthz`` reports ok, repeated payloads produced a
+    nonzero data-cache hit rate, and **every** response is bit-identical
+    to a direct ``engine.convert`` of the same payload.
+    """
+    import json as jsonlib
+    import urllib.request
+    from concurrent.futures import ThreadPoolExecutor
+
+    from .bench.table3 import _FORMATS
+    from .matrices.synthetic import scattered
+    from .serve import ServiceServer
+    from .serve.wire import tensor_from_wire, tensor_to_wire
+    from .storage.build import reference_build
+
+    pairs = []
+    for pair in args.pairs.split(","):
+        src_name, _, dst_name = pair.partition("_")
+        if not dst_name or src_name not in _FORMATS or dst_name not in _FORMATS:
+            raise SystemExit(
+                f"unknown pair {pair!r}; use src_dst with formats from "
+                f"{', '.join(sorted(_FORMATS))}"
+            )
+        pairs.append((pair, _FORMATS[src_name], _FORMATS[dst_name]))
+
+    # a few distinct payloads per pair, cycled so repeats hit the cache
+    payloads = []
+    for index, (pair, src, dst) in enumerate(pairs):
+        for variant in range(args.distinct):
+            dims, coords, vals = scattered(
+                args.size, 4.0, 16, seed=args.seed + 31 * index + variant
+            )
+            tensor = reference_build(src, dims, coords, vals)
+            payloads.append((pair, dst, tensor))
+
+    with ServiceServer(port=0, batch_window=0.0) as server:
+        base = f"http://127.0.0.1:{server.port}"
+
+        def fire(shot):
+            _, dst, tensor = shot
+            body = jsonlib.dumps({
+                "to": dst.name, "tensor": tensor_to_wire(tensor),
+            }).encode()
+            request = urllib.request.Request(
+                base + "/convert", data=body,
+                headers={"Content-Type": "application/json"},
+            )
+            started = time.perf_counter()
+            with urllib.request.urlopen(request, timeout=120) as response:
+                payload = jsonlib.loads(response.read())
+            return time.perf_counter() - started, payload
+
+        shots = [payloads[i % len(payloads)] for i in range(args.requests)]
+        with ThreadPoolExecutor(max_workers=args.concurrency) as pool:
+            outcomes = list(pool.map(fire, shots))
+
+        health = jsonlib.loads(
+            urllib.request.urlopen(base + "/healthz", timeout=30).read()
+        )
+        metrics = jsonlib.loads(
+            urllib.request.urlopen(
+                base + "/metrics?format=json", timeout=30
+            ).read()
+        )
+
+    latencies = sorted(seconds for seconds, _ in outcomes)
+    statuses: dict = {}
+    for _, payload in outcomes:
+        statuses[payload["status"]] = statuses.get(payload["status"], 0) + 1
+    counters = metrics["counters"]
+    served_cheap = (counters["data_hits"] + counters["coalesced"]
+                    + counters["prefix_hits"])
+    hit_rate = served_cheap / max(counters["responses"], 1)
+
+    def quantile(q: float) -> float:
+        return latencies[min(int(q * len(latencies)), len(latencies) - 1)]
+
+    print(f"{len(outcomes)} requests over {len(pairs)} pair(s), "
+          f"{args.concurrency} concurrent")
+    print("statuses          : "
+          + ", ".join(f"{k}={v}" for k, v in sorted(statuses.items())))
+    print(f"cache hit rate    : {hit_rate:.1%} "
+          f"(data {counters['data_hits']}, coalesced {counters['coalesced']}, "
+          f"prefix {counters['prefix_hits']})")
+    print(f"engine conversions: {counters['full_conversions']}")
+    print(f"latency p50/p99   : {quantile(0.50) * 1e3:.2f} / "
+          f"{quantile(0.99) * 1e3:.2f} ms")
+
+    if not args.check:
+        return
+    problems = []
+    if not health.get("ok"):
+        problems.append("healthz did not report ok")
+    if counters["data_hits"] == 0:
+        problems.append("no data-cache hits despite repeated payloads")
+    # bit-identity: every response must match a direct engine conversion
+    direct_engine = ConversionEngine()
+    expected = {}
+    for _, payload in outcomes:
+        digest = payload["digest"]
+        out = tensor_from_wire(payload["tensor"])
+        key = (digest, out.format.name)
+        if key not in expected:
+            source = next(
+                tensor for _, _, tensor in payloads
+                if tensor.content_digest() == digest
+            )
+            expected[key] = direct_engine.convert(
+                source, out.format
+            ).content_digest()
+        if out.content_digest() != expected[key]:
+            problems.append(
+                f"response for {key} differs from direct convert()"
+            )
+    if problems:
+        print(f"\n{len(problems)} service smoke violation(s):")
+        for line in problems:
+            print(f"  {line}")
+        raise SystemExit(1)
+    print("\nservice smoke clean: healthy, cache hits observed, every "
+          "response bit-identical to direct convert()")
+
+
 def main(argv=None) -> None:
     parser = argparse.ArgumentParser(prog="python -m repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -348,6 +476,29 @@ def main(argv=None) -> None:
                         choices=["auto", "scalar", "vector", "native"],
                         default="auto", help="lowering backend under test")
 
+    serve_bench = sub.add_parser(
+        "serve-bench",
+        help="drive the HTTP conversion service with concurrent load",
+    )
+    serve_bench.add_argument("--requests", type=int, default=48,
+                             help="total requests to fire (default 48)")
+    serve_bench.add_argument("--concurrency", type=int, default=8,
+                             help="concurrent client threads (default 8)")
+    serve_bench.add_argument("--pairs", default="coo_csr,coo_dia,hash_csr",
+                             help="comma-separated src_dst conversion pairs")
+    serve_bench.add_argument("--distinct", type=int, default=3,
+                             help="distinct payloads per pair (default 3; "
+                                  "requests cycle over them, so repeats "
+                                  "exercise the data cache)")
+    serve_bench.add_argument("--size", type=int, default=150,
+                             help="payload matrix dimension (default 150)")
+    serve_bench.add_argument("--seed", type=int, default=0)
+    serve_bench.add_argument("--check", action="store_true",
+                             help="exit nonzero unless the service is "
+                                  "healthy, the data cache hit, and every "
+                                  "response is bit-identical to a direct "
+                                  "convert()")
+
     args = parser.parse_args(argv)
     {
         "formats": _cmd_formats,
@@ -357,6 +508,7 @@ def main(argv=None) -> None:
         "route": _cmd_route,
         "stats": _cmd_stats,
         "verify": _cmd_verify,
+        "serve-bench": _cmd_serve_bench,
     }[args.command](args)
 
 

@@ -2,6 +2,7 @@
 
 from .ablations import run_ablations, render_ablations
 from .cache import cache_json, check_warm, render_cache, run_cache
+from .serve import render_serve, run_serve, serve_json
 from .table2 import render_table2, run_table2
 from .table3 import (
     BACKEND_COLUMNS,
@@ -22,7 +23,7 @@ __all__ = [
     "BACKEND_COLUMNS", "COLUMNS", "applicable", "backends_json",
     "cache_json", "check_auto", "check_warm", "compare_backend_reports",
     "format_table", "geomean", "render_ablations", "render_backends",
-    "render_cache", "render_table2", "render_table3", "run_ablations",
-    "run_backends", "run_cache", "run_column", "run_table2", "run_table3",
-    "time_call",
+    "render_cache", "render_serve", "render_table2", "render_table3",
+    "run_ablations", "run_backends", "run_cache", "run_column", "run_serve",
+    "run_table2", "run_table3", "serve_json", "time_call",
 ]

@@ -10,6 +10,8 @@ Usage::
     python -m repro.bench ablations [--scale S] [--repeats R]
     python -m repro.bench cache [--pairs p1,p2] [--cache-dir DIR]
                                 [--check-warm] [--json PATH]
+    python -m repro.bench serve [--scale S] [--repeats R] [--pairs p1,p2]
+                                [--matrices m1,m2] [--json PATH]
     python -m repro.bench compare BASELINE.json CURRENT.json [--threshold X]
 
 ``backends`` compares the scalar (loop) and vector (bulk numpy) lowering
@@ -30,6 +32,11 @@ routed) regressed by more than ``--threshold`` (CI fails the build on
 >2x regressions).  ``cache`` measures the persistent kernel cache's
 warm-vs-cold start per pair (``--check-warm`` exits nonzero when a warm
 engine still compiled anything — the CI cold-vs-warm smoke step).
+``serve`` measures the serving layer's cold (full conversion) vs warm
+(data-cache hit) request latency per pair; its JSON shares the backends
+cell layout, so ``compare`` gates the warm latency between two serve
+reports (the committed ``BENCH_serve.json`` is the ~1M-nnz reference
+run).
 """
 
 import argparse
@@ -48,13 +55,16 @@ from . import (
     render_ablations,
     render_backends,
     render_cache,
+    render_serve,
     render_table2,
     render_table3,
     run_ablations,
     run_backends,
     run_cache,
+    run_serve,
     run_table2,
     run_table3,
+    serve_json,
 )
 
 
@@ -63,7 +73,7 @@ def main() -> None:
     parser.add_argument(
         "report",
         choices=["table2", "table3", "backends", "ablations", "cache",
-                 "compare"],
+                 "serve", "compare"],
     )
     parser.add_argument("paths", nargs="*", metavar="JSON",
                         help="for 'compare': baseline and current report files")
@@ -107,10 +117,12 @@ def main() -> None:
                         help="'compare': ignore cells whose baseline vector "
                              "time is below this (noise floor, default 1e-3)")
     args = parser.parse_args()
-    if args.json and args.report not in ("backends", "cache"):
-        parser.error("--json is only produced by 'backends' and 'cache'")
-    if args.pairs and args.report not in ("backends", "cache"):
-        parser.error("--pairs only filters the 'backends' and 'cache' reports")
+    if args.json and args.report not in ("backends", "cache", "serve"):
+        parser.error("--json is only produced by 'backends', 'cache' and "
+                     "'serve'")
+    if args.pairs and args.report not in ("backends", "cache", "serve"):
+        parser.error("--pairs only filters the 'backends', 'cache' and "
+                     "'serve' reports")
     if args.workers and args.report != "backends":
         parser.error("--workers only applies to the 'backends' report")
     if args.native and args.report not in ("backends", "cache"):
@@ -176,6 +188,8 @@ def main() -> None:
 
     if args.report == "backends":
         valid, requested = BACKEND_COLUMNS, args.pairs or args.columns
+    elif args.report == "serve":
+        valid, requested = BACKEND_COLUMNS, args.pairs
     else:
         valid, requested = COLUMNS, args.columns
     columns = requested.split(",") if requested else valid
@@ -184,6 +198,15 @@ def main() -> None:
         parser.error(
             f"unknown column(s) {', '.join(unknown)}; choose from {', '.join(valid)}"
         )
+
+    if args.report == "serve":
+        results = run_serve(matrices, columns, args.repeats)
+        print(render_serve(results))
+        if args.json:
+            with open(args.json, "w") as handle:
+                json.dump(serve_json(results), handle, indent=2)
+            print(f"\nwrote {args.json}")
+        return
 
     if args.report == "table2":
         print(render_table2(run_table2(matrices)))

@@ -1,0 +1,151 @@
+"""Serving benchmark: cold vs. warm (data-cache hit) request latency.
+
+``python -m repro.bench serve`` submits each pair's conversion through a
+:class:`~repro.serve.service.ConversionService` twice over — once with
+the data cache emptied (the request executes the full plan) and once
+against the warm cache (the request is answered with zero engine work) —
+and reports the medians.  Kernels are compiled before timing starts, so
+the cold number is the engine actually converting, not the compiler.
+
+The JSON report (``serve_json``) uses the backends-report cell layout,
+so ``python -m repro.bench compare`` diffs two serve reports directly:
+the ``warm_seconds`` field is gated exactly like the other fast paths
+(the committed ``BENCH_serve.json`` is the reference run at the ~1M-nnz
+chem_master1 shape).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import statistics
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..convert.engine import ConversionEngine
+from ..matrices.suite import SuiteMatrix
+from .table3 import _FORMATS, BACKEND_COLUMNS
+from .timing import format_table
+
+__all__ = ["ServeCellResult", "render_serve", "run_serve", "serve_json"]
+
+
+@dataclass
+class ServeCellResult:
+    """Cold/warm service latency for one (pair, matrix) cell."""
+
+    pair: str
+    matrix: str
+    nnz: int
+    cold_seconds: float
+    warm_seconds: float
+    cold_status: str
+    warm_status: str
+    hops: int
+
+    @property
+    def speedup(self) -> Optional[float]:
+        if self.warm_seconds <= 0:
+            return None
+        return self.cold_seconds / self.warm_seconds
+
+
+def _measure(matrix: SuiteMatrix, pair: str, repeats: int) -> ServeCellResult:
+    src_name, dst_name = pair.split("_", 1)
+    src, dst = _FORMATS[src_name], _FORMATS[dst_name]
+    tensor = matrix.tensor(src)
+
+    async def drive() -> ServeCellResult:
+        from ..serve.service import ConversionService
+
+        engine = ConversionEngine()
+        service = ConversionService(engine=engine, batch_window=0.0)
+        try:
+            # compile the pair's kernels outside the timed region
+            first = await service.submit(tensor, dst)
+            hops = max(first.hops_executed, 1)
+            cold_times: List[float] = []
+            for _ in range(repeats):
+                service.cache.clear()
+                started = time.perf_counter()
+                result = await service.submit(tensor, dst)
+                cold_times.append(time.perf_counter() - started)
+                cold_status = result.status
+            warm_times: List[float] = []
+            for _ in range(repeats):
+                started = time.perf_counter()
+                result = await service.submit(tensor, dst)
+                warm_times.append(time.perf_counter() - started)
+                warm_status = result.status
+            return ServeCellResult(
+                pair=pair,
+                matrix=matrix.name,
+                nnz=tensor.nnz_stored,
+                cold_seconds=statistics.median(cold_times),
+                warm_seconds=statistics.median(warm_times),
+                cold_status=cold_status,
+                warm_status=warm_status,
+                hops=hops,
+            )
+        finally:
+            await service.close()
+
+    return asyncio.run(drive())
+
+
+def run_serve(
+    matrices: List[SuiteMatrix],
+    pairs: Optional[List[str]] = None,
+    repeats: int = 3,
+) -> Dict[str, List[ServeCellResult]]:
+    """Cold/warm service latency for every (pair, matrix) cell."""
+    pairs = pairs or BACKEND_COLUMNS
+    results: Dict[str, List[ServeCellResult]] = {}
+    for pair in pairs:
+        results[pair] = [
+            _measure(matrix, pair, repeats) for matrix in matrices
+        ]
+    return results
+
+
+def render_serve(results: Dict[str, List[ServeCellResult]]) -> str:
+    """Text table: one row per (pair, matrix) cell."""
+    headers = ["pair", "matrix", "nnz", "cold (ms)", "warm (ms)",
+               "speedup", "warm status"]
+    rows = []
+    for pair, cells in results.items():
+        for cell in cells:
+            speedup = cell.speedup
+            rows.append([
+                pair,
+                cell.matrix,
+                str(cell.nnz),
+                f"{cell.cold_seconds * 1e3:.3f}",
+                f"{cell.warm_seconds * 1e3:.3f}",
+                f"{speedup:.1f}x" if speedup is not None else "-",
+                cell.warm_status,
+            ])
+    return format_table(headers, rows)
+
+
+def serve_json(results: Dict[str, List[ServeCellResult]]) -> Dict:
+    """The report in the backends-JSON cell layout, so ``bench compare``
+    gates ``warm_seconds`` between two serve reports."""
+    return {
+        pair: {
+            "cells": [
+                {
+                    "matrix": cell.matrix,
+                    "nnz": cell.nnz,
+                    "cold_seconds": cell.cold_seconds,
+                    "warm_seconds": cell.warm_seconds,
+                    "speedup": cell.speedup,
+                    "cold_status": cell.cold_status,
+                    "warm_status": cell.warm_status,
+                    "hops": cell.hops,
+                }
+                for cell in cells
+            ]
+        }
+        for pair, cells in results.items()
+    }

@@ -600,7 +600,10 @@ def compare_backend_reports(
     whose baseline is below ``min_seconds`` — sub-millisecond smoke
     timings vary more than ``threshold`` across shared CI runners on
     noise alone.  Only the fast paths are gated — scalar times are
-    reference measurements.
+    reference measurements.  Serve reports (``serve_json``) share the
+    cell layout, so their ``warm_seconds`` (the data-cache-hit latency)
+    is gated here too; cold serve times include one full conversion and
+    are reference-only.
     """
     regressions: List[str] = []
     for column, current_report in current.items():
@@ -617,6 +620,7 @@ def compare_backend_reports(
                 ("parallel_seconds", "parallel"),
                 ("native_seconds", "native"),
                 ("auto_seconds", "auto"),
+                ("warm_seconds", "serve-warm"),
             ):
                 base_s, cur_s = base.get(field), cell.get(field)
                 if not base_s or not cur_s or base_s < min_seconds:

@@ -32,8 +32,10 @@ from .router import (
     bridge_for,
     edge_candidates,
     find_route,
+    longest_cached_prefix,
     rebind_endpoints,
     register_bridge,
+    route_checkpoints,
 )
 from .verify import VerificationError, verify_all_pairs, verify_conversion
 
@@ -69,6 +71,7 @@ __all__ = [
     "edge_candidates",
     "find_route",
     "generated_source",
+    "longest_cached_prefix",
     "make_converter",
     "plan",
     "plan_chunked",
@@ -77,6 +80,7 @@ __all__ = [
     "register_bridge",
     "register_converter",
     "resolve_backend",
+    "route_checkpoints",
     "run_converter",
     "sample_features",
     "scipy_available",

@@ -295,8 +295,13 @@ class CostModel:
 
     def save(self, path: Union[str, "os.PathLike"]) -> None:
         """Persist the model (seeds **and** measured rates) as JSON, so a
-        warm process start routes with this host's measured costs."""
+        warm process start routes with this host's measured costs.
+        Missing parent directories are created (``mkdir -p`` semantics),
+        so saving into a fresh state directory just works."""
         data = json.dumps(self.to_dict(), indent=2, sort_keys=True)
+        parent = os.path.dirname(os.fspath(path))
+        if parent:
+            os.makedirs(parent, exist_ok=True)
         tmp = f"{os.fspath(path)}.tmp.{os.getpid()}"
         with open(tmp, "w") as handle:
             handle.write(data + "\n")
@@ -936,6 +941,46 @@ def check_route(route: ConversionRoute) -> None:
             raise FormatError(
                 f"route hops do not chain: {prev} then {nxt}"
             )
+
+
+# ----------------------------------------------------------------------
+# route prefixes
+#
+# Two routes out of the same source tensor often share their leading
+# hops: HASH -> COO -> CSR and HASH -> COO -> DIA both pay the HASH ->
+# COO extraction.  A layer that caches hop outputs (the serving data
+# cache) can resume the second conversion at COO.  These helpers name
+# the resumable boundaries of a hop sequence and find the deepest one a
+# cache already holds.
+
+
+def route_checkpoints(hops: Sequence[Hop]) -> Tuple[Format, ...]:
+    """The formats a hop sequence materializes, in execution order.
+
+    ``checkpoints[i]`` is the tensor format after executing ``i + 1``
+    hops; the last entry is the route's destination.  Each one is a
+    point another conversion sharing this prefix can resume from.
+    """
+    return tuple(hop.dst for hop in hops)
+
+
+def longest_cached_prefix(
+    hops: Sequence[Hop], is_cached: Callable[[Format], bool]
+) -> int:
+    """The number of leading hops a cache makes skippable.
+
+    ``is_cached(fmt)`` answers whether the conversion's tensor is
+    already materialized in ``fmt``.  Checkpoints are probed deepest
+    first, so the return value ``k`` is the largest hop count whose
+    output is cached: ``k == len(hops)`` means the final result is
+    cached (nothing to execute), ``0 < k < len(hops)`` means execution
+    can resume at ``hops[k]`` from the cached intermediate, and ``0``
+    means no shared prefix — run the route in full.
+    """
+    for k in range(len(hops), 0, -1):
+        if is_cached(hops[k - 1].dst):
+            return k
+    return 0
 
 
 _register_builtin_bridges()

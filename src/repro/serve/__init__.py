@@ -1,0 +1,44 @@
+"""Conversion serving: cache, admission, batching, metrics, HTTP.
+
+The library converts one tensor at a time; this package turns that into
+a long-lived, multi-tenant **service**.  The moving parts:
+
+- :class:`~repro.serve.datacache.DataCache` — a content-hash LRU over
+  converted tensors; routed conversions insert every hop's output, so
+  requests sharing a route *prefix* reuse the common hops.
+- :class:`~repro.serve.service.ConversionService` — asyncio admission
+  (per-tenant quotas), single-flight coalescing of identical in-flight
+  conversions, same-pair batching, and cache-aware plan execution.
+- :mod:`~repro.serve.metrics` — counters + latency histograms, exported
+  as JSON and Prometheus text.
+- :mod:`~repro.serve.wire` — the JSON wire encoding for tensors (plans
+  already have one: the plan JSON of :mod:`repro.convert.plan`).
+- :class:`~repro.serve.http.ServiceServer` — the stdlib HTTP front end;
+  ``python -m repro.serve`` runs it.
+
+See ``docs/serve.md`` for the lifecycle walk-through.
+"""
+
+from .datacache import DataCache, origin_digest, tensor_nbytes
+from .http import ServiceServer
+from .metrics import Histogram, Metrics, render_prometheus
+from .service import ConversionService, QuotaError, ServeResult, TenantPolicy
+from .wire import WIRE_SCHEMA, WireError, tensor_from_wire, tensor_to_wire
+
+__all__ = [
+    "ConversionService",
+    "DataCache",
+    "Histogram",
+    "Metrics",
+    "QuotaError",
+    "ServeResult",
+    "ServiceServer",
+    "TenantPolicy",
+    "WIRE_SCHEMA",
+    "WireError",
+    "origin_digest",
+    "render_prometheus",
+    "tensor_from_wire",
+    "tensor_nbytes",
+    "tensor_to_wire",
+]

@@ -1,0 +1,63 @@
+"""``python -m repro.serve`` — run the conversion service over HTTP.
+
+Example::
+
+    python -m repro.serve --port 8742 --cache-bytes 268435456
+
+Endpoints are documented in :mod:`repro.serve.http` and docs/serve.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="serve sparse tensor format conversions over HTTP",
+    )
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="bind address (default: 127.0.0.1)")
+    parser.add_argument("--port", type=int, default=8742,
+                        help="bind port; 0 picks an ephemeral one")
+    parser.add_argument("--cache-bytes", type=int, default=None,
+                        help="data-cache budget in bytes (default: 256 MiB)")
+    parser.add_argument("--cache-dir", default=None,
+                        help="persistent kernel cache directory for the "
+                             "service's engine")
+    parser.add_argument("--batch-window", type=float, default=0.002,
+                        help="seconds a batch waits for same-pair company")
+    parser.add_argument("--workers", type=int, default=4,
+                        help="conversion worker threads")
+    args = parser.parse_args(argv)
+
+    from .http import ServiceServer
+
+    kwargs = {
+        "batch_window": args.batch_window,
+        "executor_workers": args.workers,
+    }
+    if args.cache_bytes is not None:
+        kwargs["cache_bytes"] = args.cache_bytes
+    if args.cache_dir is not None:
+        from ..convert.engine import ConversionEngine
+
+        kwargs["engine"] = ConversionEngine(cache_dir=args.cache_dir)
+
+    server = ServiceServer(host=args.host, port=args.port, **kwargs)
+    server.start()
+    print(f"repro serve: http://{args.host}:{server.port} "
+          f"(/convert /plan /metrics /healthz)", flush=True)
+    try:
+        server._http_thread.join()
+    except KeyboardInterrupt:
+        print("repro serve: shutting down", flush=True)
+    finally:
+        server.stop()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,124 @@
+"""Wire format for tensors crossing the service boundary.
+
+A tensor travels as a JSON object — schema-versioned, with every numpy
+array carried as base64-encoded **little-endian** bytes plus its dtype,
+and the format identified the same way serialized plans identify
+formats (registry name + structural key, via
+:func:`~repro.convert.plan.format_record`).  Plans themselves need no
+new encoding: the PR 5 plan JSON (:meth:`ConversionPlan.to_dict
+<repro.convert.plan.ConversionPlan.to_dict>`) **is** the wire format
+for ``/plan`` responses.
+
+The encoding is exact — raw bytes, not decimal strings — so a tensor
+round-trips bit-identically::
+
+    blob = tensor_to_wire(t)
+    again = tensor_from_wire(blob)
+    assert again.content_digest() == t.content_digest()
+"""
+
+from __future__ import annotations
+
+import base64
+from typing import Dict
+
+import numpy as np
+
+from ..convert.plan import PlanError, format_record, resolve_format_record
+from ..storage.tensor import Tensor
+
+__all__ = ["WIRE_SCHEMA", "WireError", "tensor_from_wire", "tensor_to_wire"]
+
+WIRE_SCHEMA = 1
+
+
+class WireError(ValueError):
+    """A malformed wire payload."""
+
+
+def _encode_array(arr: np.ndarray) -> Dict:
+    arr = np.ascontiguousarray(arr)
+    if arr.dtype.byteorder == ">":  # wire bytes are little-endian
+        arr = arr.astype(arr.dtype.newbyteorder("<"))
+    return {
+        "dtype": arr.dtype.str,
+        "data": base64.b64encode(arr.tobytes()).decode("ascii"),
+    }
+
+
+def _decode_array(record, where: str) -> np.ndarray:
+    if not isinstance(record, dict) or "dtype" not in record or "data" not in record:
+        raise WireError(f"malformed array record for {where}: {record!r}")
+    try:
+        dtype = np.dtype(record["dtype"])
+        raw = base64.b64decode(record["data"])
+    except (TypeError, ValueError) as exc:
+        raise WireError(f"undecodable array for {where}: {exc}") from exc
+    if dtype.itemsize and len(raw) % dtype.itemsize:
+        raise WireError(
+            f"array bytes for {where} are not a multiple of {dtype} items"
+        )
+    return np.frombuffer(raw, dtype=dtype).copy()  # writable, owned
+
+
+def tensor_to_wire(tensor: Tensor) -> Dict:
+    """Serialize a tensor to a JSON-compatible dict."""
+    return {
+        "schema": WIRE_SCHEMA,
+        "format": format_record(tensor.format),
+        "dims": list(tensor.dims),
+        "arrays": [
+            {"level": level, "name": name, **_encode_array(arr)}
+            for (level, name), arr in sorted(tensor.arrays.items())
+        ],
+        "meta": [
+            {"level": level, "name": name, "value": int(value)}
+            for (level, name), value in sorted(tensor.metadata.items())
+        ],
+        "vals": _encode_array(tensor.vals),
+    }
+
+
+def tensor_from_wire(blob: Dict) -> Tensor:
+    """Rebuild a tensor from its wire dict; raises :class:`WireError`.
+
+    The format resolves through the registry with a structural-key check
+    (exactly like loading a serialized plan), so a payload built against
+    a divergent format registry fails loudly rather than misinterpreting
+    the arrays.
+    """
+    if not isinstance(blob, dict):
+        raise WireError(f"wire tensor must be an object, got {type(blob).__name__}")
+    schema = blob.get("schema")
+    if schema != WIRE_SCHEMA:
+        raise WireError(f"unsupported wire schema {schema!r} (this host: {WIRE_SCHEMA})")
+    try:
+        fmt = resolve_format_record(blob.get("format"))
+    except PlanError as exc:
+        raise WireError(str(exc)) from exc
+    dims = blob.get("dims")
+    if not isinstance(dims, list) or not all(isinstance(d, int) for d in dims):
+        raise WireError(f"malformed dims: {dims!r}")
+    arrays = {}
+    for record in blob.get("arrays", ()):
+        if not isinstance(record, dict):
+            raise WireError(f"malformed array record: {record!r}")
+        level, name = record.get("level"), record.get("name")
+        if not isinstance(level, int) or not isinstance(name, str):
+            raise WireError(f"array record missing level/name: {record!r}")
+        arrays[(level, name)] = _decode_array(record, f"level {level} {name}")
+    meta = {}
+    for record in blob.get("meta", ()):
+        if not isinstance(record, dict):
+            raise WireError(f"malformed meta record: {record!r}")
+        level, name = record.get("level"), record.get("name")
+        if not isinstance(level, int) or not isinstance(name, str):
+            raise WireError(f"meta record missing level/name: {record!r}")
+        meta[(level, name)] = int(record.get("value", 0))
+    if "vals" not in blob:
+        raise WireError("wire tensor has no vals")
+    vals = _decode_array(blob["vals"], "vals")
+    try:
+        return Tensor(fmt, dims, arrays, meta, vals)
+    except Exception as exc:
+        raise WireError(f"wire tensor does not assemble: {exc}") from exc

@@ -10,12 +10,18 @@ independent reference for every generated routine.
 
 from __future__ import annotations
 
+import hashlib
 from typing import Dict, Iterator, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..formats.format import Format, FormatError
 from ..remap.evaluate import apply_remap_once, CounterState
+
+#: Instance attribute holding the memoized :meth:`Tensor.content_digest`
+#: (same rebind-invalidation pattern as the structural-feature cache in
+#: :mod:`repro.convert.features`).
+_DIGEST_ATTR = "_repro_content_digest"
 
 
 class Tensor:
@@ -76,6 +82,52 @@ class Tensor:
     def nnz(self) -> int:
         """Number of stored nonzero values."""
         return int(np.count_nonzero(self.vals))
+
+    def content_digest(self) -> str:
+        """Stable sha256 hex digest of this tensor's stored content.
+
+        Hashes the shape plus every level array (name, dtype and raw
+        little-endian bytes), the scalar metadata, and the values array —
+        so two tensors holding bit-identical storage share a digest, and
+        any differing byte changes it.  The digest is the tensor half of
+        the serving layer's data-cache key (the other half is the
+        structural format key).
+
+        The result is memoized on the instance, keyed by the identities
+        of the component arrays (the same rebind-invalidation pattern as
+        the structural-feature cache): rebinding different arrays
+        invalidates the memo, but mutating an array *in place* does not
+        — callers that rewrite arrays in place should drop the
+        ``_repro_content_digest`` attribute.
+        """
+        token = (
+            tuple(id(arr) for _, arr in sorted(self.arrays.items())),
+            id(self.vals),
+        )
+        cached = getattr(self, _DIGEST_ATTR, None)
+        if cached is not None and cached[0] == token:
+            return cached[1]
+        digest = hashlib.sha256()
+        digest.update(repr(self.dims).encode())
+        for (level, name), arr in sorted(self.arrays.items()):
+            arr = np.ascontiguousarray(arr)
+            if arr.dtype.byteorder == ">":  # big-endian never hashes raw
+                arr = arr.astype(arr.dtype.newbyteorder("<"))
+            digest.update(f"|{level}:{name}:{arr.dtype.str}|".encode())
+            digest.update(arr.tobytes())
+        for (level, name), value in sorted(self.metadata.items()):
+            digest.update(f"|{level}:{name}={int(value)}|".encode())
+        vals = np.ascontiguousarray(self.vals)
+        if vals.dtype.byteorder == ">":
+            vals = vals.astype(vals.dtype.newbyteorder("<"))
+        digest.update(f"|vals:{vals.dtype.str}|".encode())
+        digest.update(vals.tobytes())
+        result = digest.hexdigest()
+        try:
+            setattr(self, _DIGEST_ATTR, (token, result))
+        except AttributeError:  # pragma: no cover - exotic subclasses
+            pass
+        return result
 
     # -- oracle traversal ------------------------------------------------------
     def paths(self) -> Iterator[Tuple[Tuple[int, ...], int]]:

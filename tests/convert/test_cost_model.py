@@ -307,3 +307,25 @@ def test_restored_subthreshold_entries_bump_version_at_threshold(tmp_path):
     restored.observe("vector", 100_000, 1, 0.5)  # same rate, crosses K
     assert restored.cost_detail("vector", 100_000)[1] == MEASURED
     assert restored.version == v0 + 1
+
+
+def test_save_creates_missing_parent_directories(tmp_path):
+    """Regression: saving into a directory that doesn't exist yet must
+    create it (mkdir -p semantics) instead of failing the persist."""
+    model = CostModel(min_nnz=1)
+    for _ in range(5):
+        model.observe("vector", 100_000, 1, 0.5)
+    path = tmp_path / "state" / "nested" / "costs.json"
+    model.save(path)
+    restored = CostModel.load(path)
+    assert restored.observation_count("vector") == 5
+    # a bare filename (no directory component) still saves fine
+    import os
+
+    cwd = os.getcwd()
+    os.chdir(tmp_path)
+    try:
+        model.save("flat.json")
+        assert CostModel.load("flat.json").observation_count("vector") == 5
+    finally:
+        os.chdir(cwd)

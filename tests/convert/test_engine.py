@@ -1,6 +1,7 @@
 """Tests for the ConversionEngine: caching, LRU bounds, thread safety,
 policy, telemetry and the stable module-level shims."""
 
+import warnings
 import threading
 from concurrent.futures import ThreadPoolExecutor
 
@@ -443,3 +444,80 @@ def test_default_engine_registers_atexit_shutdown():
     assert default_engine().convert(small_coo(), CSR).format is CSR
     atexit.unregister(engine_module._shutdown_default_engine)
     atexit.register(engine_module._shutdown_default_engine)
+
+
+# ----------------------------------------------------------------------
+# hop observation (the serving layer's data-cache seam)
+
+
+def test_hop_observer_sees_every_hop_with_timings():
+    engine = ConversionEngine()
+    seen = []
+    engine.add_hop_observer(
+        lambda hop, src, dst, options, seconds: seen.append(
+            (hop.src.name, hop.dst.name, src, dst, seconds)
+        )
+    )
+    tensor = small_coo()
+    out = engine.convert(tensor, CSR)
+    assert len(seen) == 1
+    src_name, dst_name, src, dst, seconds = seen[0]
+    assert (src_name, dst_name) == ("COO", "CSR")
+    assert src is tensor and dst is out
+    assert seconds >= 0.0
+
+
+def test_hop_observer_sees_routed_intermediates():
+    from repro.formats import HASH
+
+    engine = ConversionEngine()
+    seen = []
+    engine.add_hop_observer(
+        lambda hop, src, dst, options, seconds: seen.append(
+            (hop.src.name, hop.dst.name)
+        )
+    )
+    tensor = reference_build(
+        HASH, (30, 30),
+        [(i, (i * 7) % 30) for i in range(30)], [float(i) for i in range(30)],
+    )
+    engine.convert(tensor, CSR, route="auto")
+    plan = engine.plan(HASH, CSR, nnz=tensor.nnz_stored)
+    assert len(seen) == len(plan.hops)
+    assert [pair for pair in seen] == [
+        (hop.src.name, hop.dst.name) for hop in plan.hops
+    ]
+
+
+def test_hop_observer_remove_and_exception_isolation():
+    engine = ConversionEngine()
+    calls = []
+
+    def bad_observer(hop, src, dst, options, seconds):
+        raise RuntimeError("observer boom")
+
+    engine.add_hop_observer(bad_observer)
+    engine.add_hop_observer(
+        lambda hop, src, dst, options, seconds: calls.append(hop)
+    )
+    with pytest.warns(RuntimeWarning, match="observer"):
+        engine.convert(small_coo(), CSR)
+    assert len(calls) == 1  # the broken observer did not block the next
+    # a second failure warns no more (warn-once), conversion still works
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        engine.convert(small_coo(), DIA)
+    assert len(calls) == 2
+    engine.remove_hop_observer(bad_observer)
+    engine.remove_hop_observer(bad_observer)  # removing twice is a no-op
+
+
+def test_engine_cache_dir_creates_nested_parents(tmp_path):
+    """Regression: a cache_dir whose parents don't exist yet must be
+    created (mkdir -p semantics), not crash the first compile."""
+    deep = tmp_path / "a" / "b" / "c" / "kernels"
+    engine = ConversionEngine(cache_dir=str(deep))
+    out = engine.convert(small_coo(), CSR)
+    assert out.format is CSR
+    assert deep.is_dir()
+    assert engine.cache_stats()["disk_writes"] >= 1

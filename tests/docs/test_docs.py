@@ -28,7 +28,7 @@ def _python_blocks(path: Path):
 def test_docs_tree_exists():
     names = {path.name for path in DOCS}
     assert {"architecture.md", "formats.md", "routing.md",
-            "performance.md", "plans.md"} <= names
+            "performance.md", "plans.md", "serve.md"} <= names
 
 
 @pytest.mark.parametrize("path", DOCS, ids=lambda p: p.name)

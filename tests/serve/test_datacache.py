@@ -1,0 +1,176 @@
+"""Data cache: keying, LRU byte budget, origin stamping, the engine seam."""
+
+import random
+import threading
+
+import pytest
+
+from repro.convert import ConversionEngine, PlanOptions
+from repro.formats import COO, CSR, DIA, HASH
+from repro.serve.datacache import (
+    DataCache,
+    origin_digest,
+    stamp_origin,
+    tensor_nbytes,
+)
+from repro.storage.build import reference_build
+
+
+def _tensor(fmt=COO, count=40, dims=(12, 12), seed=0):
+    rng = random.Random(seed)
+    cells = sorted({
+        (rng.randrange(dims[0]), rng.randrange(dims[1])) for _ in range(count)
+    })
+    return reference_build(
+        fmt, dims, cells, [1.0 + i for i in range(len(cells))]
+    )
+
+
+def test_put_get_roundtrip():
+    cache = DataCache()
+    tensor = _tensor()
+    digest = tensor.content_digest()
+    assert cache.get(digest, COO) is None
+    assert cache.put(digest, COO, tensor)
+    assert cache.get(digest, COO) is tensor
+    stats = cache.stats()
+    assert stats["hits"] == 1 and stats["misses"] == 1
+    assert stats["entries"] == 1
+    assert stats["bytes"] == tensor_nbytes(tensor)
+
+
+def test_key_distinguishes_format_and_payload():
+    cache = DataCache()
+    a, b = _tensor(seed=1), _tensor(seed=2)
+    cache.put(a.content_digest(), COO, a)
+    assert cache.get(a.content_digest(), CSR) is None
+    assert cache.get(b.content_digest(), COO) is None
+
+
+def test_non_default_options_get_their_own_entries():
+    cache = DataCache()
+    tensor = _tensor()
+    digest = tensor.content_digest()
+    custom = PlanOptions(force_counter_arrays=True)
+    assert custom.key() != PlanOptions().key()
+    cache.put(digest, COO, tensor, options=custom)
+    assert cache.get(digest, COO) is None  # default variant is separate
+    assert cache.get(digest, COO, options=custom) is tensor
+    # explicitly-passed default options share the None variant
+    cache.put(digest, CSR, tensor, options=PlanOptions())
+    assert cache.get(digest, CSR) is tensor
+
+
+def test_lru_eviction_respects_byte_budget():
+    tensors = [_tensor(seed=i) for i in range(4)]
+    sizes = [tensor_nbytes(t) for t in tensors]
+    budget = sizes[0] + sizes[1] + sizes[2]
+    cache = DataCache(max_bytes=budget)
+    for i, tensor in enumerate(tensors[:3]):
+        cache.put(f"d{i}", COO, tensor)
+    assert len(cache) == 3
+    cache.get("d0", COO)  # refresh d0 so d1 is the LRU victim
+    cache.put("d3", COO, tensors[3])
+    assert cache.get("d1", COO) is None
+    assert cache.get("d0", COO) is not None
+    assert cache.current_bytes <= budget
+    assert cache.stats()["evictions"] >= 1
+
+
+def test_oversize_entry_is_refused():
+    tensor = _tensor()
+    cache = DataCache(max_bytes=tensor_nbytes(tensor) - 1)
+    assert not cache.put("d", COO, tensor)
+    assert len(cache) == 0
+    assert cache.stats()["rejected_oversize"] == 1
+
+
+def test_replacement_keeps_byte_accounting_exact():
+    small, large = _tensor(count=10, seed=3), _tensor(count=80, seed=4)
+    cache = DataCache()
+    cache.put("d", COO, small)
+    cache.put("d", COO, large)
+    assert cache.current_bytes == tensor_nbytes(large)
+    assert cache.stats()["replacements"] == 1
+    assert len(cache) == 1
+
+
+def test_discard_and_clear():
+    cache = DataCache()
+    tensor = _tensor()
+    cache.put("d", COO, tensor)
+    assert cache.discard("d", COO)
+    assert not cache.discard("d", COO)
+    assert cache.current_bytes == 0
+    cache.put("d", COO, tensor)
+    cache.clear()
+    assert len(cache) == 0 and cache.current_bytes == 0
+
+
+def test_origin_digest_stamping():
+    tensor = _tensor()
+    assert origin_digest(tensor) == tensor.content_digest()
+    other = _tensor(seed=9)
+    stamp_origin(other, "someone-elses-digest")
+    assert origin_digest(other) == "someone-elses-digest"
+
+
+def test_hop_observer_inserts_every_intermediate():
+    engine = ConversionEngine()
+    cache = DataCache()
+    engine.add_hop_observer(cache.hop_observer())
+    try:
+        tensor = _tensor(HASH, count=60, dims=(16, 16), seed=5)
+        digest = tensor.content_digest()
+        out = engine.convert(tensor, CSR)
+        # the final output is cached...
+        assert cache.get(digest, CSR) is out
+        # ...and when the route went through COO, so is the intermediate
+        plan = engine.plan(HASH, CSR, nnz=tensor.nnz_stored)
+        if len(plan.hops) > 1:
+            checkpoint = cache.get(digest, plan.hops[0].dst)
+            assert checkpoint is not None
+            assert origin_digest(checkpoint) == digest
+    finally:
+        engine.shutdown()
+
+
+def test_eviction_under_concurrent_load():
+    """Hammer one small cache from many threads; accounting stays exact."""
+    tensors = [_tensor(seed=i, count=30 + i) for i in range(8)]
+    budget = max(tensor_nbytes(t) for t in tensors) * 3
+    cache = DataCache(max_bytes=budget)
+    errors = []
+
+    def worker(worker_id):
+        rng = random.Random(worker_id)
+        try:
+            for _ in range(200):
+                i = rng.randrange(len(tensors))
+                if rng.random() < 0.5:
+                    cache.put(f"d{i}", COO, tensors[i])
+                else:
+                    hit = cache.get(f"d{i}", COO)
+                    if hit is not None:
+                        assert hit is tensors[i]
+        except Exception as exc:  # pragma: no cover - failure reporting
+            errors.append(exc)
+
+    threads = [threading.Thread(target=worker, args=(w,)) for w in range(8)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert not errors
+    assert cache.current_bytes <= budget
+    # recompute occupancy from scratch: counters must agree with contents
+    stats = cache.stats()
+    live = sum(
+        tensor_nbytes(entry[0]) for entry in cache._entries.values()
+    )
+    assert stats["bytes"] == live == cache.current_bytes
+
+
+def test_rejects_nonpositive_budget():
+    with pytest.raises(ValueError):
+        DataCache(max_bytes=0)

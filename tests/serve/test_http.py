@@ -1,0 +1,144 @@
+"""End-to-end HTTP front end: endpoints, status codes, bit-identity."""
+
+import json
+import random
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.convert import ConversionEngine, ConversionPlan
+from repro.formats import COO, HASH
+from repro.serve import ServiceServer
+from repro.serve.wire import tensor_from_wire, tensor_to_wire
+from repro.storage.build import reference_build
+
+
+def _tensor(fmt=COO, count=50, dims=(14, 14), seed=0):
+    rng = random.Random(seed)
+    cells = sorted({
+        (rng.randrange(dims[0]), rng.randrange(dims[1])) for _ in range(count)
+    })
+    return reference_build(
+        fmt, dims, cells, [1.0 + i for i in range(len(cells))]
+    )
+
+
+@pytest.fixture(scope="module")
+def server():
+    with ServiceServer(port=0, batch_window=0.0) as running:
+        yield running
+
+
+def _post(server, path, payload):
+    request = urllib.request.Request(
+        f"http://127.0.0.1:{server.port}{path}",
+        data=json.dumps(payload).encode(),
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request, timeout=60) as response:
+        return json.loads(response.read())
+
+
+def _get(server, path):
+    with urllib.request.urlopen(
+        f"http://127.0.0.1:{server.port}{path}", timeout=60
+    ) as response:
+        return response.read()
+
+
+def test_healthz(server):
+    doc = json.loads(_get(server, "/healthz"))
+    assert doc["ok"] is True
+    assert "data_cache" in doc
+
+
+def test_convert_roundtrip_and_cache(server):
+    tensor = _tensor(seed=1)
+    body = _post(server, "/convert",
+                 {"to": "CSR", "tensor": tensor_to_wire(tensor)})
+    assert body["status"] == "converted"
+    assert body["pair"] == ["COO", "CSR"]
+    out = tensor_from_wire(body["tensor"])
+    engine = ConversionEngine()
+    try:
+        direct = engine.convert(tensor, "CSR")
+    finally:
+        engine.shutdown()
+    assert out.content_digest() == direct.content_digest()
+
+    again = _post(server, "/convert",
+                  {"to": "CSR", "tensor": tensor_to_wire(tensor)})
+    assert again["status"] == "cached"
+    assert (tensor_from_wire(again["tensor"]).content_digest()
+            == direct.content_digest())
+
+
+def test_plan_endpoint_serves_replayable_plan_json(server):
+    body = _post(server, "/plan", {"src": "HASH", "dst": "CSR"})
+    plan = ConversionPlan.from_dict(body)
+    assert plan.src.name == "HASH" and plan.dst.name == "CSR"
+    via_get = json.loads(_get(server, "/plan?src=COO&dst=CSR"))
+    assert via_get["hops"]
+
+
+def test_metrics_both_renderings(server):
+    _post(server, "/convert",
+          {"to": "DIA", "tensor": tensor_to_wire(_tensor(seed=2))})
+    text = _get(server, "/metrics").decode()
+    assert "repro_requests" in text
+    doc = json.loads(_get(server, "/metrics?format=json"))
+    assert doc["counters"]["responses"] >= 1
+    assert "engine" in doc and "data_cache" in doc
+
+
+def test_tenant_rides_the_request(server):
+    body = _post(server, "/convert", {
+        "to": "ELL", "tenant": "acme",
+        "tensor": tensor_to_wire(_tensor(seed=3)),
+    })
+    assert body["tenant"] == "acme"
+    doc = json.loads(_get(server, "/metrics?format=json"))
+    assert doc["tenants"].get("acme", 0) >= 1
+
+
+def _status_of(server, path, payload=None):
+    try:
+        if payload is None:
+            _get(server, path)
+        else:
+            _post(server, path, payload)
+    except urllib.error.HTTPError as exc:
+        body = json.loads(exc.read())
+        assert "error" in body
+        return exc.code
+    return 200
+
+
+def test_error_status_codes(server):
+    assert _status_of(server, "/nope") == 404
+    assert _status_of(server, "/convert", {"to": "CSR"}) == 400
+    assert _status_of(server, "/convert", {
+        "tensor": tensor_to_wire(_tensor()),
+    }) == 400
+    assert _status_of(server, "/plan", {"src": "COO"}) == 400
+    assert _status_of(server, "/convert", {
+        "to": "NOPE", "tensor": tensor_to_wire(_tensor()),
+    }) in (400, 500)
+    bad = tensor_to_wire(_tensor())
+    bad["vals"]["data"] = "%%%"
+    assert _status_of(server, "/convert", {"to": "CSR", "tensor": bad}) == 400
+
+
+def test_routed_conversion_over_http(server):
+    tensor = _tensor(HASH, count=300, dims=(50, 50), seed=4)
+    body = _post(server, "/convert",
+                 {"to": "CSR", "tensor": tensor_to_wire(tensor)})
+    assert body["status"] in ("converted", "cached", "prefix")
+    out = tensor_from_wire(body["tensor"])
+    engine = ConversionEngine()
+    try:
+        direct = engine.convert(tensor, "CSR")
+    finally:
+        engine.shutdown()
+    assert out.content_digest() == direct.content_digest()

@@ -1,0 +1,109 @@
+"""Wire encoding: exact roundtrips, registry verification, malformed input."""
+
+import json
+import random
+
+import numpy as np
+import pytest
+
+from repro.formats import BCSR, COO, CSR, DIA, ELL, HASH
+from repro.serve.wire import (
+    WIRE_SCHEMA,
+    WireError,
+    tensor_from_wire,
+    tensor_to_wire,
+)
+from repro.storage.build import reference_build
+
+
+def _tensor(fmt=COO, count=40, dims=(12, 12), seed=0):
+    rng = random.Random(seed)
+    cells = sorted({
+        (rng.randrange(dims[0]), rng.randrange(dims[1])) for _ in range(count)
+    })
+    return reference_build(
+        fmt, dims, cells, [1.0 + i for i in range(len(cells))]
+    )
+
+
+@pytest.mark.parametrize("fmt", [COO, CSR, DIA, ELL, HASH, BCSR(2, 2)],
+                         ids=lambda f: f.name)
+def test_roundtrip_is_bit_exact(fmt):
+    tensor = _tensor(fmt)
+    blob = json.loads(json.dumps(tensor_to_wire(tensor)))  # through real JSON
+    again = tensor_from_wire(blob)
+    assert again.content_digest() == tensor.content_digest()
+    assert again.dims == tensor.dims
+    assert again.to_coo() == tensor.to_coo()
+    again.check()
+
+
+def test_decoded_arrays_are_writable_copies():
+    blob = tensor_to_wire(_tensor())
+    tensor = tensor_from_wire(blob)
+    tensor.vals[0] = 99.0  # np.frombuffer views are read-only; copies aren't
+
+
+def test_schema_mismatch_rejected():
+    blob = tensor_to_wire(_tensor())
+    blob["schema"] = WIRE_SCHEMA + 1
+    with pytest.raises(WireError, match="schema"):
+        tensor_from_wire(blob)
+
+
+def test_unknown_format_rejected():
+    blob = tensor_to_wire(_tensor())
+    blob["format"] = {"name": "NOPE"}
+    with pytest.raises(WireError, match="NOPE"):
+        tensor_from_wire(blob)
+
+
+def test_diverged_structural_key_rejected():
+    blob = tensor_to_wire(_tensor())
+    blob["format"]["structural_key"] = ["something", "else"]
+    with pytest.raises(WireError, match="diverged"):
+        tensor_from_wire(blob)
+
+
+def test_garbage_base64_rejected():
+    blob = tensor_to_wire(_tensor())
+    blob["vals"]["data"] = "!!! not base64 !!!"
+    with pytest.raises(WireError):
+        tensor_from_wire(blob)
+
+
+def test_truncated_bytes_rejected():
+    blob = tensor_to_wire(_tensor())
+    import base64
+
+    raw = base64.b64decode(blob["vals"]["data"])
+    blob["vals"]["data"] = base64.b64encode(raw[:-3]).decode()
+    with pytest.raises(WireError, match="multiple"):
+        tensor_from_wire(blob)
+
+
+@pytest.mark.parametrize("mutate", [
+    lambda b: b.pop("vals"),
+    lambda b: b.__setitem__("dims", "12x12"),
+    lambda b: b["arrays"][0].pop("name"),
+    lambda b: b.__setitem__("arrays", [{"level": 0}]),
+])
+def test_malformed_shapes_rejected(mutate):
+    blob = tensor_to_wire(_tensor())
+    mutate(blob)
+    with pytest.raises(WireError):
+        tensor_from_wire(blob)
+
+
+def test_non_object_rejected():
+    with pytest.raises(WireError):
+        tensor_from_wire([1, 2, 3])
+
+
+def test_big_endian_arrays_normalize():
+    tensor = _tensor()
+    tensor.vals = tensor.vals.astype(">f8")
+    blob = tensor_to_wire(tensor)
+    assert np.dtype(blob["vals"]["dtype"]).byteorder != ">"
+    again = tensor_from_wire(blob)
+    assert list(again.vals) == list(tensor.vals)

@@ -140,3 +140,56 @@ def test_to_scipy_rejects_higher_order_tensors():
     tensor = reference_build(COO3, (2, 2, 2), [(0, 1, 1)], [1.0])
     with pytest.raises(FormatError):
         tensor.to_scipy()
+
+
+def test_content_digest_stable_across_equal_content():
+    a = reference_build(CSR, (4, 4), CELLS, VALS)
+    b = reference_build(CSR, (4, 4), CELLS, VALS)
+    assert a.content_digest() == b.content_digest()
+    assert len(a.content_digest()) == 64  # sha256 hex
+
+
+def test_content_digest_changes_with_any_byte():
+    base = reference_build(CSR, (4, 4), CELLS, VALS)
+    other_vals = reference_build(CSR, (4, 4), CELLS, [1.0, 2.0, 3.0, 5.0])
+    other_cells = reference_build(
+        CSR, (4, 4), [(0, 0), (1, 2), (2, 1), (3, 2)], VALS
+    )
+    other_dims = reference_build(CSR, (4, 5), CELLS, VALS)
+    digests = {
+        t.content_digest()
+        for t in (base, other_vals, other_cells, other_dims)
+    }
+    assert len(digests) == 4
+
+
+def test_content_digest_distinguishes_metadata():
+    a = reference_build(ELL, (4, 4), CELLS, VALS)
+    b = reference_build(ELL, (4, 4), CELLS, VALS)
+    b.metadata[(0, "K")] = b.meta(0, "K") + 1
+    assert a.content_digest() != b.content_digest()
+
+
+def test_content_digest_memo_invalidates_on_rebind():
+    tensor = reference_build(CSR, (4, 4), CELLS, VALS)
+    first = tensor.content_digest()
+    assert tensor.content_digest() is first  # memoized (same str object)
+    tensor.vals = tensor.vals.copy()
+    tensor.vals[0] = 42.0
+    assert tensor.content_digest() != first  # rebind invalidates the memo
+
+
+def test_content_digest_ignores_array_layout():
+    tensor = reference_build(CSR, (4, 4), CELLS, VALS)
+    digest = tensor.content_digest()
+    strided = reference_build(CSR, (4, 4), CELLS, VALS)
+    # a non-contiguous view with the same elements hashes the same
+    padded = np.zeros(len(strided.vals) * 2)
+    padded[::2] = strided.vals
+    strided.vals = padded[::2]
+    assert not strided.vals.flags["C_CONTIGUOUS"]
+    assert strided.content_digest() == digest
+    # big-endian storage of the same values hashes the same too
+    swapped = reference_build(CSR, (4, 4), CELLS, VALS)
+    swapped.vals = swapped.vals.astype(">f8")
+    assert swapped.content_digest() == digest
