@@ -47,6 +47,7 @@ from .formats import (
 from .query import QuerySpec, evaluate_query, parse_queries
 from .remap import Remap, parse_remap
 from .storage import Tensor, from_dense, reference_build
+from .stream import StreamResult, convert_file, load_result
 
 __version__ = "1.0.0"
 

@@ -12,6 +12,7 @@ Usage::
     python -m repro convert in.mtx --to DIA     # convert a Matrix Market file
     python -m repro convert in.mtx --to CSR --parallel 8   # chunked executor
     python -m repro convert in.mtx --to CSR --cache-dir .kernels  # warm starts
+    python -m repro convert-file big.mtx --to CSR --out big_csr/  # out-of-core
     python -m repro route HASH CSR --explain    # show the conversion route
     python -m repro stats in.mtx                # attribute-query statistics
     python -m repro verify COO CSR --trials 50  # differential verification
@@ -215,6 +216,42 @@ def _cmd_convert(args) -> None:
             print("\n" + engine.make_converter(
                 src_fmt, dst_fmt, backend=args.backend
             ).source)
+
+
+def _cmd_convert_file(args) -> None:
+    from .io.stream import DEFAULT_CHUNK_NNZ, StreamError
+    from .stream import convert_file
+
+    try:
+        result = convert_file(
+            args.input,
+            args.to,
+            args.out,
+            chunk_nnz=args.chunk_nnz or DEFAULT_CHUNK_NNZ,
+            engine=default_engine(),
+            overwrite=args.overwrite,
+        )
+    except (StreamError, UnknownFormatError) as exc:
+        raise SystemExit(str(exc)) from exc
+    dims = "x".join(str(d) for d in result.dims)
+    print(f"{args.input}: {dims}, {result.nnz} nonzeros (streamed)")
+    print(
+        f"COO -> {result.dst_format} in {result.elapsed_seconds * 1e3:.2f} ms "
+        f"({result.passes} pass(es), {result.chunks} chunk(s) of "
+        f"<= {result.chunk_nnz} nnz)"
+    )
+    print(f"  wrote {result.out_dir} (memmap level arrays + manifest.json)")
+    print(
+        f"  peak RSS {result.peak_rss_bytes / 1e6:.1f} MB vs "
+        f"{result.source_bytes / 1e6:.1f} MB materialized source"
+    )
+    if args.show:
+        tensor = result.load()
+        for (k, name), array in sorted(tensor.arrays.items()):
+            print(f"  B{k + 1}_{name}: {len(array)} entries")
+        for (k, name), value in sorted(tensor.metadata.items()):
+            print(f"  B{k + 1}_{name} = {value}")
+        print(f"  B_vals: {len(tensor.vals)} entries")
 
 
 def _cmd_route(args) -> None:
@@ -454,6 +491,24 @@ def main(argv=None) -> None:
                               "written here and loaded on the next run, so "
                               "warm starts compile nothing")
 
+    convert_file = sub.add_parser(
+        "convert-file",
+        help="out-of-core conversion: stream a file into memmap arrays",
+    )
+    convert_file.add_argument("input", help="Matrix Market (.mtx/.mtx.gz) or "
+                                            "binary coordinate stream")
+    convert_file.add_argument("--to", required=True)
+    convert_file.add_argument("--out", required=True, metavar="DIR",
+                              help="destination directory for the level "
+                                   "arrays and manifest")
+    convert_file.add_argument("--chunk-nnz", type=int, default=None,
+                              help="entries per streamed chunk "
+                                   "(default: 1Mi)")
+    convert_file.add_argument("--overwrite", action="store_true",
+                              help="replace an existing output directory")
+    convert_file.add_argument("--show", action="store_true",
+                              help="also print the per-level array sizes")
+
     route = sub.add_parser("route", help="show the conversion route for a pair")
     route.add_argument("src")
     route.add_argument("dst")
@@ -505,6 +560,7 @@ def main(argv=None) -> None:
         "codegen": _cmd_codegen,
         "plan": _cmd_plan,
         "convert": _cmd_convert,
+        "convert-file": _cmd_convert_file,
         "route": _cmd_route,
         "stats": _cmd_stats,
         "verify": _cmd_verify,

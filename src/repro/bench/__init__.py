@@ -3,6 +3,16 @@
 from .ablations import run_ablations, render_ablations
 from .cache import cache_json, check_warm, render_cache, run_cache
 from .serve import render_serve, run_serve, serve_json
+from .stream import (
+    STREAM_CHECK_PAIRS,
+    STREAM_GENERATOR_VERSION,
+    STREAM_PAIRS,
+    check_stream,
+    ensure_fixture,
+    render_stream,
+    run_stream,
+    stream_json,
+)
 from .table2 import render_table2, run_table2
 from .table3 import (
     BACKEND_COLUMNS,
@@ -20,10 +30,13 @@ from .table3 import (
 from .timing import format_table, geomean, time_call
 
 __all__ = [
-    "BACKEND_COLUMNS", "COLUMNS", "applicable", "backends_json",
-    "cache_json", "check_auto", "check_warm", "compare_backend_reports",
+    "BACKEND_COLUMNS", "COLUMNS", "STREAM_CHECK_PAIRS",
+    "STREAM_GENERATOR_VERSION", "STREAM_PAIRS", "applicable",
+    "backends_json", "cache_json", "check_auto", "check_stream",
+    "check_warm", "compare_backend_reports", "ensure_fixture",
     "format_table", "geomean", "render_ablations", "render_backends",
-    "render_cache", "render_serve", "render_table2", "render_table3",
-    "run_ablations", "run_backends", "run_cache", "run_column", "run_serve",
-    "run_table2", "run_table3", "serve_json", "time_call",
+    "render_cache", "render_serve", "render_stream", "render_table2",
+    "render_table3", "run_ablations", "run_backends", "run_cache",
+    "run_column", "run_serve", "run_stream", "run_table2", "run_table3",
+    "serve_json", "stream_json", "time_call",
 ]

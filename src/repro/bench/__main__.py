@@ -12,6 +12,8 @@ Usage::
                                 [--check-warm] [--json PATH]
     python -m repro.bench serve [--scale S] [--repeats R] [--pairs p1,p2]
                                 [--matrices m1,m2] [--json PATH]
+    python -m repro.bench stream [--nnz N] [--chunk-nnz C] [--pairs p1,p2]
+                                 [--fixture-dir DIR] [--json PATH] [--check]
     python -m repro.bench compare BASELINE.json CURRENT.json [--threshold X]
 
 ``backends`` compares the scalar (loop) and vector (bulk numpy) lowering
@@ -36,7 +38,15 @@ engine still compiled anything — the CI cold-vs-warm smoke step).
 (data-cache hit) request latency per pair; its JSON shares the backends
 cell layout, so ``compare`` gates the warm latency between two serve
 reports (the committed ``BENCH_serve.json`` is the ~1M-nnz reference
-run).
+run).  ``stream`` measures the out-of-core ``convert_file`` path against
+a deterministic synthetic fixture (default 20M nonzeros): each streamed
+conversion runs in a fresh subprocess so its peak RSS is its own, and
+the output is verified bit-identical to the in-memory vector backend;
+``--check`` exits nonzero when any pair's peak RSS reaches 25% of the
+source's in-memory size or identity fails (the committed
+``BENCH_stream.json`` is the 20M-nnz reference run, and its
+``streamed_seconds`` are gated by ``compare`` like the other fast
+paths).
 """
 
 import argparse
@@ -47,24 +57,30 @@ from ..matrices.suite import suite
 from . import (
     BACKEND_COLUMNS,
     COLUMNS,
+    STREAM_CHECK_PAIRS,
+    STREAM_PAIRS,
     backends_json,
     cache_json,
     check_auto,
+    check_stream,
     check_warm,
     compare_backend_reports,
     render_ablations,
     render_backends,
     render_cache,
     render_serve,
+    render_stream,
     render_table2,
     render_table3,
     run_ablations,
     run_backends,
     run_cache,
     run_serve,
+    run_stream,
     run_table2,
     run_table3,
     serve_json,
+    stream_json,
 )
 
 
@@ -73,7 +89,7 @@ def main() -> None:
     parser.add_argument(
         "report",
         choices=["table2", "table3", "backends", "ablations", "cache",
-                 "serve", "compare"],
+                 "serve", "stream", "compare"],
     )
     parser.add_argument("paths", nargs="*", metavar="JSON",
                         help="for 'compare': baseline and current report files")
@@ -110,6 +126,21 @@ def main() -> None:
     parser.add_argument("--auto-tolerance", type=float, default=1.1,
                         help="'backends': allowed auto/best slowdown for "
                              "--check-auto (default 1.1)")
+    parser.add_argument("--nnz", type=int, default=None,
+                        help="'stream': synthetic fixture size in nonzeros "
+                             "(default 20,000,000)")
+    parser.add_argument("--chunk-nnz", type=int, default=None,
+                        help="'stream': entries per streamed chunk "
+                             "(default 262,144)")
+    parser.add_argument("--fixture-dir", type=str, default=None,
+                        metavar="DIR",
+                        help="'stream': directory holding the generated "
+                             "fixture (default: a per-user temp directory; "
+                             "CI points this at its actions/cache path)")
+    parser.add_argument("--check", action="store_true",
+                        help="'stream': exit nonzero when any pair's peak "
+                             "RSS reaches 25%% of the source's in-memory "
+                             "size or its output is not bit-identical")
     parser.add_argument("--threshold", type=float, default=2.0,
                         help="'compare': fail on vector times above "
                              "threshold x baseline (default 2.0)")
@@ -117,12 +148,18 @@ def main() -> None:
                         help="'compare': ignore cells whose baseline vector "
                              "time is below this (noise floor, default 1e-3)")
     args = parser.parse_args()
-    if args.json and args.report not in ("backends", "cache", "serve"):
-        parser.error("--json is only produced by 'backends', 'cache' and "
-                     "'serve'")
-    if args.pairs and args.report not in ("backends", "cache", "serve"):
-        parser.error("--pairs only filters the 'backends', 'cache' and "
-                     "'serve' reports")
+    if args.json and args.report not in ("backends", "cache", "serve",
+                                         "stream"):
+        parser.error("--json is only produced by 'backends', 'cache', "
+                     "'serve' and 'stream'")
+    if args.pairs and args.report not in ("backends", "cache", "serve",
+                                          "stream"):
+        parser.error("--pairs only filters the 'backends', 'cache', "
+                     "'serve' and 'stream' reports")
+    if (args.nnz is not None or args.chunk_nnz is not None
+            or args.fixture_dir or args.check) and args.report != "stream":
+        parser.error("--nnz/--chunk-nnz/--fixture-dir/--check only apply "
+                     "to the 'stream' report")
     if args.workers and args.report != "backends":
         parser.error("--workers only applies to the 'backends' report")
     if args.native and args.report not in ("backends", "cache"):
@@ -157,6 +194,40 @@ def main() -> None:
                     print(f"  {line}")
                 sys.exit(1)
             print("\nwarm start clean: every warm engine compiled nothing")
+        return
+
+    if args.report == "stream":
+        if args.pairs:
+            pairs = args.pairs.split(",")
+            unknown = [p for p in pairs if p not in STREAM_PAIRS]
+            if unknown:
+                parser.error(
+                    f"unknown stream pair(s) {', '.join(unknown)}; choose "
+                    f"from {', '.join(STREAM_PAIRS)}"
+                )
+        else:
+            pairs = list(STREAM_CHECK_PAIRS if args.check else STREAM_PAIRS)
+        kwargs = {}
+        if args.nnz is not None:
+            kwargs["nnz"] = args.nnz
+        if args.chunk_nnz is not None:
+            kwargs["chunk_nnz"] = args.chunk_nnz
+        results = run_stream(pairs=pairs, fixture_dir=args.fixture_dir,
+                             **kwargs)
+        print(render_stream(results))
+        if args.json:
+            with open(args.json, "w") as handle:
+                json.dump(stream_json(results), handle, indent=2)
+            print(f"\nwrote {args.json}")
+        if args.check:
+            problems = check_stream(results)
+            if problems:
+                print(f"\n{len(problems)} out-of-core violation(s):")
+                for line in problems:
+                    print(f"  {line}")
+                sys.exit(1)
+            print("\nout-of-core contract clean: every pair bit-identical "
+                  "under the RSS budget")
         return
 
     if args.report == "compare":

@@ -587,6 +587,22 @@ def backends_json(results: Dict[str, List[BackendCellResult]]) -> Dict:
     return report
 
 
+def _comparable_cells(report_entry) -> Optional[List[Dict]]:
+    """The gateable cells of one report column, or ``None``.
+
+    Reports carry more than benchmark columns (metadata keys, and newer
+    column shapes older builds don't know) — anything without a
+    ``cells`` list of ``{"matrix": ...}`` dicts is not comparable and
+    must be skipped, not crash ``compare`` with a ``KeyError``.
+    """
+    if not isinstance(report_entry, dict):
+        return None
+    cells = report_entry.get("cells")
+    if not isinstance(cells, list):
+        return None
+    return [c for c in cells if isinstance(c, dict) and "matrix" in c]
+
+
 def compare_backend_reports(
     baseline: Dict, current: Dict, threshold: float = 2.0,
     min_seconds: float = 1e-3,
@@ -607,11 +623,17 @@ def compare_backend_reports(
     """
     regressions: List[str] = []
     for column, current_report in current.items():
+        current_cells = _comparable_cells(current_report)
+        if current_cells is None:
+            continue  # metadata or a differently-shaped report entry
         baseline_report = baseline.get(column)
         if not baseline_report:
-            continue
-        baseline_cells = {c["matrix"]: c for c in baseline_report["cells"]}
-        for cell in current_report["cells"]:
+            continue  # column new in this run: nothing to gate against
+        base_cells = _comparable_cells(baseline_report)
+        if base_cells is None:
+            continue  # baseline predates this column's cell layout
+        baseline_cells = {c["matrix"]: c for c in base_cells}
+        for cell in current_cells:
             base = baseline_cells.get(cell["matrix"])
             if not base:
                 continue
@@ -621,6 +643,7 @@ def compare_backend_reports(
                 ("native_seconds", "native"),
                 ("auto_seconds", "auto"),
                 ("warm_seconds", "serve-warm"),
+                ("streamed_seconds", "streamed"),
             ):
                 base_s, cur_s = base.get(field), cell.get(field)
                 if not base_s or not cur_s or base_s < min_seconds:

@@ -37,6 +37,12 @@ from .router import (
     register_bridge,
     route_checkpoints,
 )
+from .streamed import (
+    StreamedConversion,
+    StreamPlanError,
+    plan_streamed,
+    streamable,
+)
 from .verify import VerificationError, verify_all_pairs, verify_conversion
 
 __all__ = [
@@ -59,6 +65,8 @@ __all__ = [
     "PlanError",
     "PlanOptions",
     "QueryResultHandle",
+    "StreamPlanError",
+    "StreamedConversion",
     "StructuralFeatures",
     "VerificationError",
     "bridge_for",
@@ -76,11 +84,13 @@ __all__ = [
     "plan",
     "plan_chunked",
     "plan_conversion",
+    "plan_streamed",
     "rebind_endpoints",
     "register_bridge",
     "register_converter",
     "resolve_backend",
     "route_checkpoints",
+    "streamable",
     "run_converter",
     "sample_features",
     "scipy_available",

@@ -1,4 +1,4 @@
-"""Tensor file IO (Matrix Market)."""
+"""Tensor file IO (Matrix Market, streaming coordinate readers)."""
 
 from .matrixmarket import (
     MatrixMarketError,
@@ -6,10 +6,26 @@ from .matrixmarket import (
     read_tensor,
     write_matrix_market,
 )
+from .stream import (
+    BinaryStream,
+    BinaryStreamWriter,
+    CoordinateStream,
+    MatrixMarketStream,
+    StreamError,
+    open_stream,
+    write_stream,
+)
 
 __all__ = [
+    "BinaryStream",
+    "BinaryStreamWriter",
+    "CoordinateStream",
     "MatrixMarketError",
+    "MatrixMarketStream",
+    "StreamError",
+    "open_stream",
     "read_matrix_market",
     "read_tensor",
     "write_matrix_market",
+    "write_stream",
 ]

@@ -541,3 +541,108 @@ def compile_source(
     func = namespace[func_name]
     func.__source__ = source  # type: ignore[attr-defined]
     return func
+
+
+# ----------------------------------------------------------------------
+# stream runtime (repro.convert.streamed)
+#
+# The chunked executor above merges *concurrent* chunk partials inside
+# one in-memory call.  The streaming executor replays the same chunk
+# decomposition *sequentially* over a file that is never materialized,
+# so its helpers carry their merge state across chunks instead: a
+# per-key count table stands in for "ranks of earlier chunks", a seen
+# table for "first chunk wins".  Each helper is the exact sequential
+# unrolling of its chunked_* mirror, so a streamed kernel stays
+# bit-identical to the serial vector backend.  Carried tables are dense
+# over the key space actually seen (attribute-query keys are dimension
+# products), so state stays O(dimensions), never O(nnz).
+
+
+class _GrowableTable:
+    """A dense int64 table over non-negative keys, grown on demand."""
+
+    def __init__(self, fill_value: int = 0) -> None:
+        self._fill = fill_value
+        self._table = np.full(0, fill_value, dtype=np.int64)
+
+    def reserve(self, upper: int) -> np.ndarray:
+        if upper > self._table.shape[0]:
+            grown = np.full(max(upper, 2 * self._table.shape[0], 1024),
+                            self._fill, dtype=np.int64)
+            grown[: self._table.shape[0]] = self._table
+            self._table = grown
+        return self._table
+
+
+class StreamState:
+    """Carried per-site state of one streaming pass over a source.
+
+    The streaming executor rewrites stateful kernel sites (``group_ranks``,
+    ``unique_first``, stream-positional ``np.arange`` and attribute-query
+    folds) into calls on one ``StreamState`` per pass; a site id keys the
+    state so a pass may replay several independent sites.  A fresh state
+    per pass is what makes replayed remap statements deterministic.
+    """
+
+    def __init__(self) -> None:
+        self._sites: Dict[int, object] = {}
+
+    # -- stateful mirrors of the bulk helpers ---------------------------
+    def group_ranks(self, site: int, keys: np.ndarray) -> np.ndarray:
+        """``group_ranks`` over the whole stream: chunk-local ranks plus
+        the carried per-key count of earlier chunks."""
+        counts = self._sites.setdefault(site, _GrowableTable())
+        if keys.shape[0] == 0:
+            return np.zeros(0, dtype=np.int64)
+        upper = int(keys.max()) + 1
+        table = counts.reserve(upper)
+        ranks = group_ranks(keys) + table[keys]
+        table[:upper] += np.bincount(keys, minlength=upper)[:upper]
+        return ranks
+
+    def unique_first(self, site: int, keys: np.ndarray) -> np.ndarray:
+        """``unique_first`` over the whole stream, as chunk-local indices:
+        the ascending in-chunk indices of keys no earlier chunk saw.
+        Chunk concatenation of ``x[first]`` gathers therefore equals the
+        global gather, because global first occurrences are ascending."""
+        seen = self._sites.setdefault(site, _GrowableTable())
+        if keys.shape[0] == 0:
+            return np.zeros(0, dtype=np.int64)
+        table = seen.reserve(int(keys.max()) + 1)
+        local = unique_first(keys)
+        fresh = local[table[keys[local]] == 0]
+        table[keys[fresh]] = 1
+        return fresh
+
+    def arange_like(self, site: int, stream: np.ndarray,
+                    dtype=np.int64) -> np.ndarray:
+        """``np.arange(stream.shape[0])`` with global stream positions."""
+        base = self._sites.get(site, 0)
+        self._sites[site] = base + stream.shape[0]
+        return np.arange(base, base + stream.shape[0], dtype=dtype)
+
+    def arange_span(self, site: int, length: int,
+                    dtype=np.int64) -> np.ndarray:
+        """``np.arange(lo, hi)`` over the gathered stream positions."""
+        base = self._sites.get(site, 0)
+        self._sites[site] = base + int(length)
+        return np.arange(base, base + int(length), dtype=dtype)
+
+    # -- attribute-query folds ------------------------------------------
+    def fold_sum(self, site: int, partial: np.ndarray) -> np.ndarray:
+        """Fold an additive per-chunk histogram (``np.bincount``)."""
+        total = self._sites.get(site)
+        if total is None:
+            total = np.zeros(0, dtype=partial.dtype)
+        if partial.shape[0] > total.shape[0]:
+            grown = np.zeros(partial.shape[0], dtype=partial.dtype)
+            grown[: total.shape[0]] = total
+            total = grown
+        total[: partial.shape[0]] += partial
+        self._sites[site] = total
+        return total
+
+    def fold_result(self, site: int) -> np.ndarray:
+        """The accumulated fold of ``site`` (zeros-length if never fed)."""
+        total = self._sites.get(site)
+        return total if total is not None else np.zeros(0, dtype=np.int64)

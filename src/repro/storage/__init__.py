@@ -2,6 +2,8 @@
 
 from .build import reference_build
 from .dense import from_dense
+from .memmap import MemmapStore, load_arrays
 from .tensor import Tensor
 
-__all__ = ["Tensor", "from_dense", "reference_build"]
+__all__ = ["MemmapStore", "Tensor", "from_dense", "load_arrays",
+           "reference_build"]

@@ -1,0 +1,161 @@
+"""Memmap-backed destination storage for out-of-core conversions.
+
+A :class:`MemmapStore` owns one directory of level arrays, one flat
+``<name>.bin`` file per generated output array (``B2_pos.bin``,
+``B2_crd.bin``, ``B_vals.bin``...), plus a ``manifest.json`` describing
+dtype, shape, level and role of every entry.  Arrays are
+:class:`numpy.memmap` instances — an ``ndarray`` subclass — so existing
+kernels, :class:`~repro.storage.tensor.Tensor` and the test oracles
+accept them transparently; fresh mappings are zero-filled, which the
+zero-initialized destination formats (DIA/ELL/SKY padding) rely on.
+
+The store is written into a temporary directory and atomically renamed
+into place by the caller (:func:`repro.stream.convert_file`), mirroring
+the kernel-cache and native-``.so`` write pattern: a failed conversion
+never leaves partial level arrays behind.  :meth:`release` bounds the
+writer's resident set: it flushes dirty pages and advises the kernel to
+drop them from the mapping, so scattering into a destination much bigger
+than RAM keeps only the current chunk's window resident.
+"""
+
+from __future__ import annotations
+
+import json
+import mmap
+import os
+from typing import Dict, Tuple
+
+import numpy as np
+
+__all__ = ["MANIFEST_NAME", "MemmapStore", "load_arrays"]
+
+#: File name of the store manifest inside the directory.
+MANIFEST_NAME = "manifest.json"
+
+
+def _release_map(array: np.ndarray) -> None:
+    """Flush ``array``'s dirty pages and drop them from the mapping."""
+    mapping = getattr(array, "_mmap", None)
+    if mapping is None:
+        return
+    array.flush()
+    if hasattr(mapping, "madvise") and hasattr(mmap, "MADV_DONTNEED"):
+        try:
+            mapping.madvise(mmap.MADV_DONTNEED)
+        except OSError:  # pragma: no cover - advisory only
+            pass
+
+
+class MemmapStore:
+    """A directory of named memmap-backed arrays plus scalar metadata."""
+
+    def __init__(self, directory) -> None:
+        self.directory = os.fspath(directory)
+        os.makedirs(self.directory, exist_ok=True)
+        self.arrays: Dict[str, np.ndarray] = {}
+        self.scalars: Dict[str, int] = {}
+        self._roles: Dict[str, Tuple[str, int, str]] = {}
+
+    # ------------------------------------------------------------------
+    def _path(self, name: str) -> str:
+        return os.path.join(self.directory, f"{name}.bin")
+
+    def empty(self, name: str, shape, dtype) -> np.ndarray:
+        """Allocate a zero-filled array file (``np.empty``/``np.zeros``
+        of the generated kernels; fresh mappings are always zeroed)."""
+        dtype = np.dtype(dtype)
+        if isinstance(shape, tuple):
+            shape = tuple(int(s) for s in shape)
+        else:
+            shape = (int(shape),)
+        size = int(np.prod(shape, dtype=np.int64)) if shape else 1
+        if size == 0:
+            # mmap cannot map empty files; keep the (empty) file for the
+            # manifest and hand back a plain zero-length array.
+            open(self._path(name), "wb").close()
+            array = np.empty(shape, dtype=dtype)
+        else:
+            array = np.memmap(self._path(name), dtype=dtype, mode="w+",
+                              shape=shape)
+        self.arrays[name] = array
+        return array
+
+    def adopt(self, name: str, value):
+        """Adopt a computed output: arrays are copied into a memmap,
+        integer scalars recorded as metadata and returned unchanged."""
+        if isinstance(value, np.ndarray):
+            array = self.empty(name, value.shape, value.dtype)
+            if value.size:
+                array[...] = value
+            return array
+        self.scalars[name] = int(value)
+        return value
+
+    def set_role(self, name: str, side: str, level: int, part: str) -> None:
+        """Record the output triple driving :class:`Tensor` assembly."""
+        self._roles[name] = (side, int(level), part)
+
+    def release(self) -> None:
+        """Flush every mapping and drop its resident pages."""
+        for array in self.arrays.values():
+            _release_map(array)
+
+    def flush(self) -> None:
+        for array in self.arrays.values():
+            if hasattr(array, "flush"):
+                array.flush()
+
+    # ------------------------------------------------------------------
+    def finalize(self, **meta) -> str:
+        """Flush arrays and write the manifest; returns its path."""
+        self.flush()
+        entries = {}
+        for name, array in self.arrays.items():
+            side, level, part = self._roles.get(name, ("dst_array", -2, name))
+            entries[name] = {
+                "kind": "array",
+                "file": f"{name}.bin",
+                "dtype": np.dtype(array.dtype).str,
+                "shape": list(array.shape),
+                "level": level,
+                "part": part,
+            }
+        for name, value in self.scalars.items():
+            side, level, part = self._roles.get(name, ("dst_meta", -2, name))
+            entries[name] = {
+                "kind": "scalar",
+                "value": value,
+                "level": level,
+                "part": part,
+            }
+        manifest = {"entries": entries, **meta}
+        path = os.path.join(self.directory, MANIFEST_NAME)
+        tmp = f"{path}.tmp.{os.getpid()}"
+        with open(tmp, "w") as handle:
+            json.dump(manifest, handle, indent=2, sort_keys=True)
+        os.replace(tmp, path)
+        return path
+
+
+def load_arrays(directory, mode: str = "r") -> Tuple[dict, Dict[str, object]]:
+    """Load a finalized store: ``(manifest, {name: array-or-scalar})``.
+
+    Arrays come back memmap-backed in ``mode`` (default read-only), so
+    opening a conversion result does not materialize it.
+    """
+    directory = os.fspath(directory)
+    with open(os.path.join(directory, MANIFEST_NAME)) as handle:
+        manifest = json.load(handle)
+    values: Dict[str, object] = {}
+    for name, entry in manifest["entries"].items():
+        if entry["kind"] == "scalar":
+            values[name] = int(entry["value"])
+            continue
+        shape = tuple(entry["shape"])
+        dtype = np.dtype(entry["dtype"])
+        if int(np.prod(shape, dtype=np.int64) if shape else 1) == 0:
+            values[name] = np.empty(shape, dtype=dtype)
+        else:
+            values[name] = np.memmap(os.path.join(directory, entry["file"]),
+                                     dtype=dtype, mode=mode, shape=shape)
+    return manifest, values

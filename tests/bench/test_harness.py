@@ -211,6 +211,31 @@ def test_compare_backend_reports_flags_regressions():
                                    min_seconds=0.0001) != []
 
 
+def test_compare_backend_reports_tolerates_new_and_odd_columns():
+    """A current report with columns the baseline lacks — or entries that
+    are not cell tables at all (metadata, the stream report's shape) —
+    must be skipped with no KeyError; only shared columns are gated."""
+    baseline = _report(0.010)
+    current = _report(0.015)
+    # new benchmark column absent from the baseline: tolerated
+    current["stream"] = {"nnz": 20_000_000, "peak_rss_bytes": 1}
+    assert compare_backend_reports(baseline, current, 2.0) == []
+    # metadata entries present in BOTH reports (no "cells" list)
+    baseline2 = dict(baseline, generated_at="2026-08-01", stream={"v": 1})
+    current2 = dict(current, generated_at="2026-08-08")
+    assert compare_backend_reports(baseline2, current2, 2.0) == []
+    # a baseline column predating the cell layout (scalar, not a dict)
+    baseline3 = dict(baseline, stream="unstructured")
+    assert compare_backend_reports(baseline3, current, 2.0) == []
+    # cells missing the "matrix" key are skipped, not crashes
+    broken = _report(0.025)
+    del broken["coo_csr"]["cells"][0]["matrix"]
+    assert compare_backend_reports(baseline, broken, 2.0) == []
+    # ...and shared well-formed columns still gate regressions
+    regressions = compare_backend_reports(baseline, _report(0.025), 2.0)
+    assert len(regressions) == 1
+
+
 def test_compare_backend_reports_gates_parallel_cells():
     baseline = _report(0.010, parallel_seconds=0.005)
     ok = _report(0.010, parallel_seconds=0.006)

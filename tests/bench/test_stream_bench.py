@@ -1,0 +1,109 @@
+"""The out-of-core streaming benchmark: fixture, gating, report JSON."""
+
+import numpy as np
+import pytest
+
+from repro.bench.stream import (
+    StreamCellResult,
+    check_stream,
+    ensure_fixture,
+    fixture_name,
+    run_stream,
+    stream_json,
+)
+from repro.bench.table3 import compare_backend_reports
+from repro.io.stream import open_stream
+
+
+def test_fixture_name_carries_generator_version():
+    assert fixture_name(4096).startswith("stream-fixture-v")
+    assert fixture_name(4096).endswith("-4096.bin")
+
+
+def test_fixture_is_deterministic(tmp_path):
+    """Byte-stable across regenerations — the property the CI cache key
+    (generator version + nnz) relies on."""
+    first = ensure_fixture(tmp_path / "a", nnz=4096)
+    second = ensure_fixture(tmp_path / "b", nnz=4096)
+    payload = first.read_bytes()
+    assert payload == second.read_bytes()
+    # reuse, not regeneration, when the file already exists
+    assert ensure_fixture(tmp_path / "a", nnz=4096) == first
+    assert first.read_bytes() == payload
+
+
+def test_fixture_shape(tmp_path):
+    """Row-sorted entries, distinct in-row columns, even dims (so the
+    2x2 blocked destinations apply), exact nnz — including a trailing
+    partial row when 256 does not divide nnz."""
+    path = ensure_fixture(tmp_path, nnz=1000)  # 3 full rows + 232
+    stream = open_stream(path, chunk_nnz=1 << 20)
+    assert stream.nnz == 1000
+    assert stream.dims[0] % 2 == 0 and stream.dims[1] % 2 == 0
+    (chunk,) = list(stream.chunks())
+    i, j, vals = chunk
+    assert np.all(np.diff(i) >= 0)
+    for row in np.unique(i):
+        cols = j[i == row]
+        assert len(np.unique(cols)) == len(cols)
+    assert np.all((vals >= 0.5) & (vals < 1.5))
+
+
+def test_run_stream_small_end_to_end(tmp_path):
+    """A real (subprocess) streamed run at toy size: bit-identity holds;
+    the RSS budget obviously fails because the interpreter baseline
+    dwarfs a toy source — exactly what check_stream must report."""
+    results = run_stream(nnz=4096, pairs=("coo_csr",), chunk_nnz=512,
+                         fixture_dir=tmp_path)
+    (cell,) = results
+    assert cell.pair == "coo_csr"
+    assert cell.passes == 2
+    assert cell.chunks == 16
+    assert cell.bit_identical is True
+    assert cell.streamed_seconds > 0
+    assert cell.memory_seconds > 0
+    assert cell.source_bytes == 4096 * 24
+    assert cell.rss_fraction > 1  # interpreter baseline >> 96 KB source
+    problems = check_stream(results)
+    assert len(problems) == 1 and "peak RSS" in problems[0]
+
+
+def test_run_stream_rejects_unknown_pair(tmp_path):
+    with pytest.raises(ValueError, match="unknown stream pair"):
+        run_stream(nnz=1024, pairs=("coo_hash",), fixture_dir=tmp_path)
+
+
+def _cell(**overrides):
+    base = dict(pair="coo_csr", matrix="synthetic-20M", nnz=20_000_000,
+                chunk_nnz=1 << 18, passes=2, chunks=154,
+                streamed_seconds=4.0, peak_rss_bytes=80 * 2**20,
+                source_bytes=480 * 2**20, memory_seconds=8.0,
+                bit_identical=True)
+    base.update(overrides)
+    return StreamCellResult(**base)
+
+
+def test_check_stream_gates_budget_and_identity():
+    assert check_stream([_cell()]) == []
+    over = _cell(peak_rss_bytes=200 * 2**20)
+    assert any("budget" in p for p in check_stream([over]))
+    broken = _cell(bit_identical=False, mismatch="B2_crd: first mismatch")
+    assert any("differs" in p for p in check_stream([broken]))
+    unverified = _cell(bit_identical=None)
+    assert any("verify" in p for p in check_stream([unverified]))
+
+
+def test_stream_json_layout_and_compare_gating():
+    """The JSON shares the backends cell layout, so ``compare`` gates
+    ``streamed_seconds`` between two stream reports."""
+    baseline = stream_json([_cell()])
+    assert baseline["stream_meta"]["rss_budget_fraction"] == 0.25
+    cell = baseline["coo_csr"]["cells"][0]
+    assert cell["matrix"] == "synthetic-20M"
+    assert cell["bit_identical"] is True
+    current = stream_json([_cell(streamed_seconds=12.0)])
+    regressions = compare_backend_reports(baseline, current, threshold=2.0)
+    assert len(regressions) == 1
+    assert "streamed" in regressions[0]
+    # within threshold: clean
+    assert compare_backend_reports(baseline, baseline, threshold=2.0) == []

@@ -1,6 +1,5 @@
 """Structural feature sampling: exactness, degenerate streams, memoing."""
 
-import random
 
 import numpy as np
 

@@ -44,6 +44,7 @@ from repro.ir.native import _clear_toolchain_cache, detect_toolchain
 from repro.matrices.suite import get_matrix
 from repro.storage.build import reference_build
 
+from ..support.tensorgen import random_problem as _random_problem
 from .test_backends import VECTOR_FORMATS, assert_tensors_bit_identical
 
 EXTENDED = [BCSR(2, 2), DCSR, HICOO(2), HASH]
@@ -67,15 +68,6 @@ def no_compiler(monkeypatch):
     yield
     monkeypatch.delenv("CC", raising=False)
     _clear_toolchain_cache()
-
-
-def _random_problem(seed, m, n, style):
-    rng = random.Random(seed)
-    capacity = m * n
-    count = {"empty": 0, "dense": capacity, "sparse": rng.randint(1, capacity)}[style]
-    cells = rng.sample([(i, j) for i in range(m) for j in range(n)], count)
-    vals = [round(rng.uniform(0.5, 9.5), 4) for _ in cells]
-    return cells, vals
 
 
 # ----------------------------------------------------------------------

@@ -6,24 +6,19 @@ import threading
 import pytest
 
 from repro.convert import ConversionEngine, PlanOptions
-from repro.formats import COO, CSR, DIA, HASH
+from repro.formats import COO, CSR, HASH
 from repro.serve.datacache import (
     DataCache,
     origin_digest,
     stamp_origin,
     tensor_nbytes,
 )
-from repro.storage.build import reference_build
+
+from ..support.tensorgen import serve_tensor
 
 
 def _tensor(fmt=COO, count=40, dims=(12, 12), seed=0):
-    rng = random.Random(seed)
-    cells = sorted({
-        (rng.randrange(dims[0]), rng.randrange(dims[1])) for _ in range(count)
-    })
-    return reference_build(
-        fmt, dims, cells, [1.0 + i for i in range(len(cells))]
-    )
+    return serve_tensor(fmt, count=count, dims=dims, seed=seed)
 
 
 def test_put_get_roundtrip():

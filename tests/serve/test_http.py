@@ -1,7 +1,6 @@
 """End-to-end HTTP front end: endpoints, status codes, bit-identity."""
 
 import json
-import random
 import urllib.error
 import urllib.request
 
@@ -11,17 +10,12 @@ from repro.convert import ConversionEngine, ConversionPlan
 from repro.formats import COO, HASH
 from repro.serve import ServiceServer
 from repro.serve.wire import tensor_from_wire, tensor_to_wire
-from repro.storage.build import reference_build
+
+from ..support.tensorgen import serve_tensor
 
 
 def _tensor(fmt=COO, count=50, dims=(14, 14), seed=0):
-    rng = random.Random(seed)
-    cells = sorted({
-        (rng.randrange(dims[0]), rng.randrange(dims[1])) for _ in range(count)
-    })
-    return reference_build(
-        fmt, dims, cells, [1.0 + i for i in range(len(cells))]
-    )
+    return serve_tensor(fmt, count=count, dims=dims, seed=seed)
 
 
 @pytest.fixture(scope="module")

@@ -5,7 +5,6 @@ builds its own engine so counters prove exactly what ran.
 """
 
 import asyncio
-import random
 
 import pytest
 
@@ -13,17 +12,12 @@ from repro.convert import ConversionEngine, PlanOptions
 from repro.formats import COO, CSR, DIA, ELL, HASH, get_format
 from repro.serve import ConversionService, QuotaError, TenantPolicy
 from repro.serve.datacache import tensor_nbytes
-from repro.storage.build import reference_build
+
+from ..support.tensorgen import serve_tensor
 
 
 def _tensor(fmt=COO, count=50, dims=(14, 14), seed=0):
-    rng = random.Random(seed)
-    cells = sorted({
-        (rng.randrange(dims[0]), rng.randrange(dims[1])) for _ in range(count)
-    })
-    return reference_build(
-        fmt, dims, cells, [1.0 + i for i in range(len(cells))]
-    )
+    return serve_tensor(fmt, count=count, dims=dims, seed=seed)
 
 
 def _run(coro):

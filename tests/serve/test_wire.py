@@ -1,7 +1,6 @@
 """Wire encoding: exact roundtrips, registry verification, malformed input."""
 
 import json
-import random
 
 import numpy as np
 import pytest
@@ -13,17 +12,12 @@ from repro.serve.wire import (
     tensor_from_wire,
     tensor_to_wire,
 )
-from repro.storage.build import reference_build
+
+from ..support.tensorgen import serve_tensor
 
 
 def _tensor(fmt=COO, count=40, dims=(12, 12), seed=0):
-    rng = random.Random(seed)
-    cells = sorted({
-        (rng.randrange(dims[0]), rng.randrange(dims[1])) for _ in range(count)
-    })
-    return reference_build(
-        fmt, dims, cells, [1.0 + i for i in range(len(cells))]
-    )
+    return serve_tensor(fmt, count=count, dims=dims, seed=seed)
 
 
 @pytest.mark.parametrize("fmt", [COO, CSR, DIA, ELL, HASH, BCSR(2, 2)],

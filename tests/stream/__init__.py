@@ -1,0 +1,1 @@
+"""Streaming (out-of-core) conversion suite."""

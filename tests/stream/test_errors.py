@@ -1,0 +1,261 @@
+"""Corrupt/truncated stream inputs: clean errors, no partial output.
+
+Every malformed source must surface as a :class:`StreamError` (never a
+numpy shape/index error), and a failed ``convert_file`` must leave the
+filesystem as it found it — no output directory, no ``.tmp`` residue
+(the atomic tmp-dir + rename pattern, mirroring the native ``.so``
+cache).
+"""
+
+import os
+import struct
+
+import numpy as np
+import pytest
+
+from repro.io.stream import (
+    BINARY_MAGIC,
+    BinaryStream,
+    BinaryStreamWriter,
+    StreamError,
+    open_stream,
+    write_stream,
+)
+from repro.stream import convert_file
+
+from ..support.tensorgen import random_tensor_case
+
+
+def _binary_fixture(tmp_path, seed=41):
+    case = random_tensor_case(seed, order=2, ordering="sorted")
+    columns = case.columns()
+    path = tmp_path / "m.bin"
+    write_stream(path, case.dims, list(columns[:-1]), columns[-1])
+    return case, path
+
+
+def _assert_pristine(tmp_path, out_dir):
+    assert not os.path.exists(out_dir)
+    leftovers = [n for n in os.listdir(tmp_path) if ".tmp" in n]
+    assert leftovers == [], f"partial files left behind: {leftovers}"
+
+
+# ----------------------------------------------------------------------
+# malformed matrix market
+
+
+def test_malformed_mtx_header_is_clean(tmp_path):
+    path = tmp_path / "bad.mtx"
+    path.write_text("%%NotMatrixMarket nonsense\n1 1 1\n1 1 2.0\n")
+    with pytest.raises(StreamError, match="not a Matrix Market"):
+        open_stream(path)
+
+
+def test_mtx_dense_layout_rejected(tmp_path):
+    path = tmp_path / "dense.mtx"
+    path.write_text("%%MatrixMarket matrix array real general\n2 2\n1.0\n")
+    with pytest.raises(StreamError, match="coordinate layout"):
+        open_stream(path)
+
+
+def test_mtx_bad_size_line(tmp_path):
+    path = tmp_path / "bad.mtx"
+    path.write_text("%%MatrixMarket matrix coordinate real general\nx y z\n")
+    with pytest.raises(StreamError, match="bad size line"):
+        open_stream(path)
+
+
+def test_mtx_truncated_entry_list(tmp_path):
+    """Header declares more entries than the file holds: the error names
+    both counts and arrives as StreamError, not a numpy failure."""
+    path = tmp_path / "short.mtx"
+    path.write_text(
+        "%%MatrixMarket matrix coordinate real general\n"
+        "4 4 5\n"
+        "1 1 1.0\n"
+        "2 2 2.0\n"
+    )
+    stream = open_stream(path, chunk_nnz=2)
+    with pytest.raises(StreamError, match="declares 5 entries, found 2"):
+        for _ in stream.chunks():
+            pass
+
+
+def test_mtx_extra_entries(tmp_path):
+    path = tmp_path / "long.mtx"
+    path.write_text(
+        "%%MatrixMarket matrix coordinate real general\n"
+        "4 4 1\n"
+        "1 1 1.0\n"
+        "2 2 2.0\n"
+    )
+    stream = open_stream(path)
+    with pytest.raises(StreamError, match="entry count disagrees"):
+        for _ in stream.chunks():
+            pass
+
+
+def test_mtx_garbage_entry_line(tmp_path):
+    path = tmp_path / "garbage.mtx"
+    path.write_text(
+        "%%MatrixMarket matrix coordinate real general\n"
+        "2 2 2\n"
+        "1 1 1.0\n"
+        "1 two 2.0\n"
+    )
+    with pytest.raises(StreamError, match="bad entry line"):
+        for _ in open_stream(path).chunks():
+            pass
+
+
+def test_mtx_out_of_bounds_coordinate(tmp_path):
+    path = tmp_path / "oob.mtx"
+    path.write_text(
+        "%%MatrixMarket matrix coordinate real general\n"
+        "2 2 1\n"
+        "3 1 1.0\n"
+    )
+    with pytest.raises(StreamError, match="out of bounds"):
+        for _ in open_stream(path).chunks():
+            pass
+
+
+# ----------------------------------------------------------------------
+# malformed binary streams
+
+
+def test_binary_mid_chunk_eof(tmp_path):
+    _, path = _binary_fixture(tmp_path)
+    data = path.read_bytes()
+    (tmp_path / "cut.bin").write_bytes(data[: len(data) - 16])
+    with pytest.raises(StreamError, match="mid-chunk EOF"):
+        open_stream(tmp_path / "cut.bin")
+
+
+def test_binary_trailing_data(tmp_path):
+    _, path = _binary_fixture(tmp_path)
+    (tmp_path / "fat.bin").write_bytes(path.read_bytes() + b"\0" * 24)
+    with pytest.raises(StreamError, match="trailing data"):
+        open_stream(tmp_path / "fat.bin")
+
+
+def test_binary_truncated_header(tmp_path):
+    path = tmp_path / "stub.bin"
+    path.write_bytes(BINARY_MAGIC + b"\x01")
+    with pytest.raises(StreamError, match="truncated stream header"):
+        BinaryStream(path)
+
+
+def test_binary_wrong_version(tmp_path):
+    _, path = _binary_fixture(tmp_path)
+    data = bytearray(path.read_bytes())
+    struct.pack_into("<q", data, 8, 99)
+    (tmp_path / "v99.bin").write_bytes(bytes(data))
+    with pytest.raises(StreamError, match="unsupported stream version 99"):
+        open_stream(tmp_path / "v99.bin")
+
+
+def test_binary_nnz_disagrees_with_payload(tmp_path):
+    """Header nnz edited up: size validation catches the lie up front."""
+    case, path = _binary_fixture(tmp_path)
+    data = bytearray(path.read_bytes())
+    # nnz lives after magic(8)+version(8)+order(8) and the two dims
+    struct.pack_into("<q", data, 24 + 16, case.nnz + 3)
+    (tmp_path / "lie.bin").write_bytes(bytes(data))
+    with pytest.raises(StreamError, match="disagrees with header"):
+        open_stream(tmp_path / "lie.bin")
+
+
+def test_missing_file(tmp_path):
+    with pytest.raises(StreamError, match="no such file"):
+        open_stream(tmp_path / "nope.bin")
+
+
+# ----------------------------------------------------------------------
+# convert_file atomicity: failures leave nothing behind
+
+
+def test_convert_file_truncated_source_leaves_no_partial_output(tmp_path):
+    """Mid-conversion failure (entry list shorter than the header) must
+    remove the tmp dir and never create the output directory."""
+    path = tmp_path / "short.mtx"
+    path.write_text(
+        "%%MatrixMarket matrix coordinate real general\n"
+        "6 6 9\n"
+        "1 1 1.0\n"
+        "2 3 2.0\n"
+        "5 5 3.0\n"
+    )
+    out_dir = tmp_path / "out_csr"
+    with pytest.raises(StreamError, match="header declares 9"):
+        convert_file(path, "CSR", out_dir, chunk_nnz=2)
+    _assert_pristine(tmp_path, out_dir)
+
+
+def test_convert_file_unstreamable_pair_is_clean(tmp_path):
+    _, path = _binary_fixture(tmp_path)
+    out_dir = tmp_path / "out_hash"
+    with pytest.raises(StreamError, match="not streamable"):
+        convert_file(path, "HASH", out_dir)
+    _assert_pristine(tmp_path, out_dir)
+
+
+def test_convert_file_refuses_to_overwrite(tmp_path):
+    case, path = _binary_fixture(tmp_path)
+    out_dir = tmp_path / "out"
+    first = convert_file(path, "CSR", out_dir, chunk_nnz=8)
+    with pytest.raises(StreamError, match="exists"):
+        convert_file(path, "CSR", out_dir, chunk_nnz=8)
+    # overwrite=True replaces the old result atomically
+    second = convert_file(path, "CSC", out_dir, chunk_nnz=8, overwrite=True)
+    assert second.dst_format == "CSC"
+    assert first.out_dir == second.out_dir
+    assert second.load().format.name == "CSC"
+    leftovers = [n for n in os.listdir(tmp_path) if ".tmp" in n]
+    assert leftovers == []
+
+
+def test_convert_file_out_of_bounds_coordinate_is_clean(tmp_path):
+    """A coordinate past the declared dims fails bounds validation during
+    the pass, not as a numpy scatter error, and cleans up."""
+    case, path = _binary_fixture(tmp_path)
+    data = bytearray(path.read_bytes())
+    header = 8 + 8 + 8 + 16 + 8  # magic, version, order, dims, nnz
+    struct.pack_into("<q", data, header, case.dims[0] + 7)  # first row coord
+    bad = tmp_path / "oob.bin"
+    bad.write_bytes(bytes(data))
+    out_dir = tmp_path / "out_oob"
+    with pytest.raises(StreamError, match="out of bounds"):
+        convert_file(bad, "CSR", out_dir, chunk_nnz=4)
+    _assert_pristine(tmp_path, out_dir)
+
+
+# ----------------------------------------------------------------------
+# writer discipline
+
+
+def test_writer_underflow_raises_and_removes_tmp(tmp_path):
+    path = tmp_path / "w.bin"
+    writer = BinaryStreamWriter(path, (4, 4), nnz=10)
+    writer.append(np.zeros(3, dtype=np.int64), np.zeros(3, dtype=np.int64),
+                  np.zeros(3))
+    with pytest.raises(ValueError, match="underflow"):
+        writer.close()
+    assert not path.exists()
+    assert [n for n in os.listdir(tmp_path) if ".tmp" in n] == []
+
+
+def test_writer_overflow_rejected(tmp_path):
+    writer = BinaryStreamWriter(tmp_path / "w.bin", (4, 4), nnz=2)
+    with pytest.raises(ValueError, match="overflow"):
+        writer.append(np.zeros(3, dtype=np.int64),
+                      np.zeros(3, dtype=np.int64), np.zeros(3))
+    writer.abort()
+    assert os.listdir(tmp_path) == []
+
+
+def test_writer_abort_on_exception_leaves_nothing(tmp_path):
+    with pytest.raises(RuntimeError):
+        with BinaryStreamWriter(tmp_path / "w.bin", (4, 4), nnz=4):
+            raise RuntimeError("boom")
+    assert os.listdir(tmp_path) == []

@@ -1,0 +1,175 @@
+"""Streaming reader/writer round trips and chunking mechanics."""
+
+import numpy as np
+import pytest
+
+from repro.io.matrixmarket import read_matrix_market, write_matrix_market
+from repro.io.stream import (
+    BinaryStream,
+    BinaryStreamWriter,
+    MatrixMarketStream,
+    open_stream,
+    write_stream,
+)
+
+from ..support.tensorgen import random_tensor_case
+
+
+def _concat(stream):
+    parts = list(stream.chunks())
+    return tuple(
+        np.concatenate([chunk[col] for chunk in parts])
+        for col in range(stream.order + 1)
+    ), parts
+
+
+def test_binary_roundtrip_chunked(tmp_path):
+    case = random_tensor_case(13, order=2, ordering="random")
+    columns = case.columns()
+    path = tmp_path / "m.bin"
+    write_stream(path, case.dims, list(columns[:-1]), columns[-1])
+    stream = open_stream(path, chunk_nnz=7)
+    assert isinstance(stream, BinaryStream)
+    assert stream.dims == case.dims
+    assert stream.nnz == case.nnz
+    got, parts = _concat(stream)
+    assert all(len(chunk[0]) <= 7 for chunk in parts)
+    for col in range(3):
+        assert np.array_equal(got[col], columns[col])
+    assert got[0].dtype == np.int64
+    assert got[2].dtype == np.float64
+
+
+def test_binary_roundtrip_third_order(tmp_path):
+    case = random_tensor_case(8, order=3, max_dim=9)
+    columns = case.columns()
+    path = tmp_path / "t.bin"
+    write_stream(path, case.dims, list(columns[:-1]), columns[-1])
+    stream = open_stream(path, chunk_nnz=11)
+    assert stream.order == 3
+    got, _ = _concat(stream)
+    for col in range(4):
+        assert np.array_equal(got[col], columns[col])
+
+
+def test_streams_are_reiterable(tmp_path):
+    """The executor makes one pass per phase: two iterations must see
+    identical chunks."""
+    case = random_tensor_case(21, order=2)
+    columns = case.columns()
+    path = tmp_path / "m.bin"
+    write_stream(path, case.dims, list(columns[:-1]), columns[-1])
+    stream = open_stream(path, chunk_nnz=9)
+    first, _ = _concat(stream)
+    second, _ = _concat(stream)
+    for a, b in zip(first, second):
+        assert np.array_equal(a, b)
+
+
+def test_empty_stream_yields_one_empty_chunk(tmp_path):
+    path = tmp_path / "empty.bin"
+    write_stream(path, (5, 7), [np.zeros(0, dtype=np.int64),
+                                np.zeros(0, dtype=np.int64)], np.zeros(0))
+    stream = open_stream(path)
+    parts = list(stream.chunks())
+    assert len(parts) == 1
+    assert all(part.size == 0 for part in parts[0])
+    # matrix market too
+    mpath = tmp_path / "empty.mtx"
+    write_matrix_market(mpath, (5, 7), [], [])
+    parts = list(open_stream(mpath).chunks())
+    assert len(parts) == 1
+    assert all(part.size == 0 for part in parts[0])
+
+
+def test_incremental_writer_many_chunks(tmp_path):
+    case = random_tensor_case(34, order=2, ordering="sorted")
+    columns = case.columns()
+    path = tmp_path / "inc.bin"
+    with BinaryStreamWriter(path, case.dims, case.nnz) as writer:
+        for start in range(0, case.nnz, 5):
+            stop = min(start + 5, case.nnz)
+            writer.append(*(col[start:stop] for col in columns))
+    got, _ = _concat(open_stream(path, chunk_nnz=1000))
+    for col in range(3):
+        assert np.array_equal(got[col], columns[col])
+
+
+def test_mtx_stream_matches_in_memory_reader(tmp_path):
+    case = random_tensor_case(55, order=2)
+    path = tmp_path / "m.mtx"
+    write_matrix_market(path, case.dims, case.cells, case.vals)
+    dims, coords, vals = read_matrix_market(path)
+    stream = open_stream(path, chunk_nnz=4)
+    assert isinstance(stream, MatrixMarketStream)
+    assert stream.dims == tuple(dims)
+    assert stream.nnz == len(coords)
+    got, _ = _concat(stream)
+    assert [tuple(c) for c in zip(got[0], got[1])] == coords
+    assert np.array_equal(got[2], np.asarray(vals))
+
+
+@pytest.mark.parametrize("symmetry,sign", [("symmetric", 1.0),
+                                           ("skew-symmetric", -1.0)])
+def test_mtx_symmetric_expansion_order_matches_reader(tmp_path, symmetry,
+                                                      sign):
+    """Mirrors interleave directly after their stored entry — the exact
+    order the in-memory reader produces, which bit-identity relies on."""
+    path = tmp_path / "sym.mtx"
+    path.write_text(
+        f"%%MatrixMarket matrix coordinate real {symmetry}\n"
+        "3 3 3\n"
+        "2 1 5.0\n"
+        + ("2 2 6.0\n" if symmetry == "symmetric" else "3 1 6.5\n")
+        + "3 2 7.0\n"
+    )
+    dims, coords, vals = read_matrix_market(path)
+    stream = open_stream(path, chunk_nnz=2)
+    assert stream.nnz == len(coords)
+    got, _ = _concat(stream)
+    assert [tuple(c) for c in zip(got[0], got[1])] == coords
+    assert np.array_equal(got[2], np.asarray(vals))
+    off_diag = [v for (i, j), v in zip(coords, vals) if i > j]
+    mirrored = [v for (i, j), v in zip(coords, vals) if i < j]
+    assert mirrored == [sign * v for v in off_diag]
+
+
+def test_gzip_mtx_stream(tmp_path):
+    case = random_tensor_case(60, order=2)
+    path = tmp_path / "m.mtx.gz"
+    write_matrix_market(path, case.dims, case.cells, case.vals)
+    got, parts = _concat(open_stream(path, chunk_nnz=3))
+    assert all(len(chunk[0]) <= 3 for chunk in parts)
+    dims, coords, vals = read_matrix_market(path)
+    assert [tuple(c) for c in zip(got[0], got[1])] == coords
+
+
+def test_pattern_mtx_values_are_ones(tmp_path):
+    path = tmp_path / "p.mtx"
+    path.write_text(
+        "%%MatrixMarket matrix coordinate pattern general\n"
+        "3 3 2\n"
+        "1 2\n"
+        "3 3\n"
+    )
+    got, _ = _concat(open_stream(path))
+    assert np.array_equal(got[2], np.ones(2))
+
+
+def test_writer_rejects_bad_shapes(tmp_path):
+    writer = BinaryStreamWriter(tmp_path / "w.bin", (3, 3), nnz=4)
+    with pytest.raises(ValueError, match="coordinate arrays plus values"):
+        writer.append(np.zeros(2, dtype=np.int64), np.zeros(2))
+    with pytest.raises(ValueError, match="disagree in length"):
+        writer.append(np.zeros(2, dtype=np.int64),
+                      np.zeros(3, dtype=np.int64), np.zeros(2))
+    writer.abort()
+
+
+def test_chunk_nnz_must_be_positive(tmp_path):
+    path = tmp_path / "m.bin"
+    write_stream(path, (2, 2), [np.array([0], dtype=np.int64),
+                                np.array([1], dtype=np.int64)],
+                 np.array([1.0]))
+    with pytest.raises(ValueError, match="chunk_nnz"):
+        open_stream(path, chunk_nnz=0)

@@ -1,0 +1,1 @@
+"""Shared test support: generators and helpers reused across suites."""

@@ -1,0 +1,59 @@
+"""One random-tensor generator, every suite.
+
+Historically each suite grew its own ad-hoc generator (``test_chunked``
+and ``test_native`` sampled dense/sparse/empty grids, ``tests/serve``
+rolled duplicate-then-dedupe cell sets).  They now live here, next to
+the rich property-based generator that also powers the differential
+fuzzer (:mod:`repro.verify`) and the streaming harness
+(``tests/stream``) — the library module is the single source of truth
+so ``python -m repro.verify fuzz`` reproducer lines generate exactly
+what the tests generated.
+
+Everything is deterministic in ``seed`` and the explicit parameters.
+"""
+
+import random
+
+from repro.storage.build import reference_build
+from repro.verify import (  # noqa: F401  (re-exports)
+    ORDERINGS,
+    TensorCase,
+    constrain_case,
+    random_tensor_case,
+)
+
+__all__ = [
+    "ORDERINGS",
+    "TensorCase",
+    "constrain_case",
+    "random_problem",
+    "random_tensor_case",
+    "serve_tensor",
+]
+
+
+def random_problem(seed, m, n, style):
+    """The classic backend-suite grid sampler.
+
+    ``style`` picks the density regime: ``"empty"`` (no entries),
+    ``"dense"`` (every cell) or ``"sparse"`` (a uniform random count).
+    Returns ``(cells, vals)`` for :func:`reference_build`.
+    """
+    rng = random.Random(seed)
+    capacity = m * n
+    count = {"empty": 0, "dense": capacity, "sparse": rng.randint(1, capacity)}[style]
+    cells = rng.sample([(i, j) for i in range(m) for j in range(n)], count)
+    vals = [round(rng.uniform(0.5, 9.5), 4) for _ in cells]
+    return cells, vals
+
+
+def serve_tensor(fmt, count=40, dims=(12, 12), seed=0):
+    """The serve-suite payload builder: ``count`` draws with replacement,
+    deduplicated and sorted, values ``1.0, 2.0, ...`` in cell order."""
+    rng = random.Random(seed)
+    cells = sorted({
+        tuple(rng.randrange(d) for d in dims) for _ in range(count)
+    })
+    return reference_build(
+        fmt, dims, cells, [1.0 + i for i in range(len(cells))]
+    )
