@@ -16,6 +16,8 @@ Usage::
     python -m repro route HASH CSR --explain    # show the conversion route
     python -m repro stats in.mtx                # attribute-query statistics
     python -m repro verify COO CSR --trials 50  # differential verification
+    python -m repro compute spmv COO --to CSR   # fused-pipeline decision
+    python -m repro compute spmv COO --to CSR --input in.mtx  # and run it
     python -m repro serve-bench --requests 48   # drive the HTTP service
 
 Formats are given as registry spec strings — any registered name
@@ -305,6 +307,76 @@ def _cmd_verify(args) -> None:
     print(f"{src_fmt.name} -> {dst_fmt.name}: OK on {checked} randomized inputs")
 
 
+def _cmd_compute(args) -> None:
+    import numpy as np
+
+    from .compute.plan import ComputePlan
+
+    engine = (
+        ConversionEngine(cache_dir=args.cache_dir)
+        if args.cache_dir
+        else default_engine()
+    )
+    if args.load:
+        if args.op or args.src or args.to or args.nnz is not None:
+            raise SystemExit(
+                "--load replays the stored pipeline as-is; it cannot be "
+                "combined with OP/SRC, --to or --nnz"
+            )
+        try:
+            with open(args.load) as handle:
+                plan = ComputePlan.from_json(handle.read(), engine=engine)
+        except (OSError, PlanError) as exc:
+            raise SystemExit(f"cannot load compute plan: {exc}") from exc
+    else:
+        if not (args.op and args.src):
+            raise SystemExit("compute needs OP and SRC (or --load FILE)")
+        try:
+            plan = engine.plan_compute(
+                _format_arg(args.src),
+                args.op,
+                _format_arg(args.to) if args.to else None,
+                fuse=args.fuse,
+                backend=args.backend,
+                nnz=args.nnz,
+            )
+        except (ValueError, PlanError) as exc:
+            raise SystemExit(str(exc)) from exc
+    if args.save:
+        with open(args.save, "w") as handle:
+            handle.write(plan.to_json(indent=2) + "\n")
+        print(f"wrote {args.save}")
+    if args.json:
+        print(plan.to_json(indent=2))
+    else:
+        print(plan.explain(engine.cost_model))
+    if args.show_code:
+        for label, source in plan.sources().items():
+            print(f"\n# {label}")
+            print(source)
+    if args.input:
+        tensor = read_tensor(args.input, plan.src)
+        x = None
+        if plan.op.name == "spmv":
+            rng = np.random.default_rng(args.seed)
+            x = rng.uniform(0.5, 1.5, tensor.dims[1])
+        start = time.perf_counter()
+        result = engine.run_compute_plan(
+            plan, tensor, x=x, alpha=args.alpha
+        )
+        elapsed = (time.perf_counter() - start) * 1e3
+        print(
+            f"\n{args.input}: {plan.op.name} over {plan.src.name} "
+            f"[{plan.fuse}] in {elapsed:.2f} ms"
+        )
+        if isinstance(result, np.ndarray):
+            print(f"  result: {len(result)} entries, "
+                  f"|y|_1 = {np.abs(result).sum():.6g}")
+        else:
+            print(f"  result: {result.format.name} tensor, "
+                  f"{result.nnz} nonzeros")
+
+
 def _cmd_serve_bench(args) -> None:
     """Drive a :mod:`repro.serve` HTTP server with concurrent mixed-pair
     load, reporting data-cache hit rate and p50/p99 request latency.
@@ -531,6 +603,48 @@ def main(argv=None) -> None:
                         choices=["auto", "scalar", "vector", "native"],
                         default="auto", help="lowering backend under test")
 
+    compute = sub.add_parser(
+        "compute",
+        help="show, save, replay or run a fused convert-and-compute "
+             "pipeline",
+    )
+    compute.add_argument("op", nargs="?", default=None,
+                         help="compute op: spmv, row_reduce or scale")
+    compute.add_argument("src", nargs="?", default=None,
+                         help="source format spec")
+    compute.add_argument("--to", default=None, metavar="DST",
+                         help="destination format the op would consume "
+                              "(omit: the op reads the source directly)")
+    compute.add_argument("--fuse", choices=["auto", "fused", "materialize"],
+                         default="auto",
+                         help="fusion policy (default: auto — fuse only "
+                              "when the measured cost model says it wins)")
+    compute.add_argument("--backend",
+                         choices=["auto", "scalar", "vector", "native"],
+                         default=None, help="compute-kernel lowering backend")
+    compute.add_argument("--nnz", type=int, default=None,
+                         help="stored-component count the pipeline is "
+                              "costed at (default: bulk sizes)")
+    compute.add_argument("--json", action="store_true",
+                         help="print the plan as JSON instead of the "
+                              "transcript")
+    compute.add_argument("--save", metavar="FILE", default=None,
+                         help="write the compute-plan JSON to FILE")
+    compute.add_argument("--load", metavar="FILE", default=None,
+                         help="load a compute plan from FILE instead of "
+                              "planning OP SRC")
+    compute.add_argument("--input", metavar="MTX", default=None,
+                         help="also run the pipeline on a Matrix Market "
+                              "file (spmv uses a seeded random operand)")
+    compute.add_argument("--alpha", type=float, default=None,
+                         help="scalar for the 'scale' op")
+    compute.add_argument("--seed", type=int, default=0,
+                         help="seed for the spmv operand vector")
+    compute.add_argument("--show-code", action="store_true",
+                         help="also print the generated source of every hop")
+    compute.add_argument("--cache-dir", default=None, metavar="DIR",
+                         help="persistent kernel cache directory")
+
     serve_bench = sub.add_parser(
         "serve-bench",
         help="drive the HTTP conversion service with concurrent load",
@@ -564,6 +678,7 @@ def main(argv=None) -> None:
         "route": _cmd_route,
         "stats": _cmd_stats,
         "verify": _cmd_verify,
+        "compute": _cmd_compute,
         "serve-bench": _cmd_serve_bench,
     }[args.command](args)
 

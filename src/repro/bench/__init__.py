@@ -2,6 +2,14 @@
 
 from .ablations import run_ablations, render_ablations
 from .cache import cache_json, check_warm, render_cache, run_cache
+from .fuse import (
+    FUSE_CHECK_PAIRS,
+    FUSE_PAIRS,
+    check_fuse,
+    fuse_json,
+    render_fuse,
+    run_fuse,
+)
 from .serve import render_serve, run_serve, serve_json
 from .stream import (
     STREAM_CHECK_PAIRS,
@@ -30,13 +38,18 @@ from .table3 import (
 from .timing import format_table, geomean, time_call
 
 __all__ = [
-    "BACKEND_COLUMNS", "COLUMNS", "STREAM_CHECK_PAIRS",
+    "BACKEND_COLUMNS", "COLUMNS", "FUSE_CHECK_PAIRS", "FUSE_PAIRS",
+    "STREAM_CHECK_PAIRS",
     "STREAM_GENERATOR_VERSION", "STREAM_PAIRS", "applicable",
-    "backends_json", "cache_json", "check_auto", "check_stream",
+    "backends_json", "cache_json", "check_auto", "check_fuse",
+    "check_stream",
     "check_warm", "compare_backend_reports", "ensure_fixture",
-    "format_table", "geomean", "render_ablations", "render_backends",
-    "render_cache", "render_serve", "render_stream", "render_table2",
+    "format_table", "fuse_json", "geomean", "render_ablations",
+    "render_backends",
+    "render_cache", "render_fuse", "render_serve", "render_stream",
+    "render_table2",
     "render_table3", "run_ablations", "run_backends", "run_cache",
-    "run_column", "run_serve", "run_stream", "run_table2", "run_table3",
+    "run_column", "run_fuse", "run_serve", "run_stream", "run_table2",
+    "run_table3",
     "serve_json", "stream_json", "time_call",
 ]

@@ -14,6 +14,8 @@ Usage::
                                 [--matrices m1,m2] [--json PATH]
     python -m repro.bench stream [--nnz N] [--chunk-nnz C] [--pairs p1,p2]
                                  [--fixture-dir DIR] [--json PATH] [--check]
+    python -m repro.bench fuse [--scale S] [--repeats R] [--pairs p1,p2]
+                               [--matrices m1,m2] [--json PATH] [--check]
     python -m repro.bench compare BASELINE.json CURRENT.json [--threshold X]
 
 ``backends`` compares the scalar (loop) and vector (bulk numpy) lowering
@@ -46,7 +48,14 @@ the output is verified bit-identical to the in-memory vector backend;
 source's in-memory size or identity fails (the committed
 ``BENCH_stream.json`` is the 20M-nnz reference run, and its
 ``streamed_seconds`` are gated by ``compare`` like the other fast
-paths).
+paths).  ``fuse`` times the fusion planner's convert-and-compute
+pipelines — fused (the destination format is never materialized) vs
+materialize-then-compute vs scipy's own conversion + ``A @ x`` — and
+its ``--check`` exits nonzero when a fused result diverges, a fused
+pipeline is more than 1.1x slower than materializing, or a fused kernel
+materializes the intermediate (source scan + allocation tracing); the
+committed ``BENCH_fuse.json`` is the ~1M-nnz reference run and its
+``fused_seconds`` are gated by ``compare`` like the other fast paths.
 """
 
 import argparse
@@ -57,17 +66,22 @@ from ..matrices.suite import suite
 from . import (
     BACKEND_COLUMNS,
     COLUMNS,
+    FUSE_CHECK_PAIRS,
+    FUSE_PAIRS,
     STREAM_CHECK_PAIRS,
     STREAM_PAIRS,
     backends_json,
     cache_json,
     check_auto,
+    check_fuse,
     check_stream,
     check_warm,
     compare_backend_reports,
+    fuse_json,
     render_ablations,
     render_backends,
     render_cache,
+    render_fuse,
     render_serve,
     render_stream,
     render_table2,
@@ -75,6 +89,7 @@ from . import (
     run_ablations,
     run_backends,
     run_cache,
+    run_fuse,
     run_serve,
     run_stream,
     run_table2,
@@ -89,7 +104,7 @@ def main() -> None:
     parser.add_argument(
         "report",
         choices=["table2", "table3", "backends", "ablations", "cache",
-                 "serve", "stream", "compare"],
+                 "serve", "stream", "fuse", "compare"],
     )
     parser.add_argument("paths", nargs="*", metavar="JSON",
                         help="for 'compare': baseline and current report files")
@@ -140,7 +155,11 @@ def main() -> None:
     parser.add_argument("--check", action="store_true",
                         help="'stream': exit nonzero when any pair's peak "
                              "RSS reaches 25%% of the source's in-memory "
-                             "size or its output is not bit-identical")
+                             "size or its output is not bit-identical; "
+                             "'fuse': exit nonzero when a fused pipeline "
+                             "diverges, runs > 1.1x slower than "
+                             "materializing, or materializes the "
+                             "intermediate format")
     parser.add_argument("--threshold", type=float, default=2.0,
                         help="'compare': fail on vector times above "
                              "threshold x baseline (default 2.0)")
@@ -149,21 +168,24 @@ def main() -> None:
                              "time is below this (noise floor, default 1e-3)")
     args = parser.parse_args()
     if args.json and args.report not in ("backends", "cache", "serve",
-                                         "stream"):
+                                         "stream", "fuse"):
         parser.error("--json is only produced by 'backends', 'cache', "
-                     "'serve' and 'stream'")
+                     "'serve', 'stream' and 'fuse'")
     if args.pairs and args.report not in ("backends", "cache", "serve",
-                                          "stream"):
+                                          "stream", "fuse"):
         parser.error("--pairs only filters the 'backends', 'cache', "
-                     "'serve' and 'stream' reports")
+                     "'serve', 'stream' and 'fuse' reports")
     if (args.nnz is not None or args.chunk_nnz is not None
-            or args.fixture_dir or args.check) and args.report != "stream":
-        parser.error("--nnz/--chunk-nnz/--fixture-dir/--check only apply "
+            or args.fixture_dir) and args.report != "stream":
+        parser.error("--nnz/--chunk-nnz/--fixture-dir only apply "
                      "to the 'stream' report")
+    if args.check and args.report not in ("stream", "fuse"):
+        parser.error("--check only applies to 'stream' and 'fuse'")
     if args.workers and args.report != "backends":
         parser.error("--workers only applies to the 'backends' report")
-    if args.native and args.report not in ("backends", "cache"):
-        parser.error("--native only applies to 'backends' and 'cache'")
+    if args.native and args.report not in ("backends", "cache", "fuse"):
+        parser.error("--native only applies to 'backends', 'cache' and "
+                     "'fuse'")
     if args.workers < 0:
         parser.error("--workers must be >= 0")
     if (args.cache_dir or args.check_warm) and args.report != "cache":
@@ -261,6 +283,8 @@ def main() -> None:
         valid, requested = BACKEND_COLUMNS, args.pairs or args.columns
     elif args.report == "serve":
         valid, requested = BACKEND_COLUMNS, args.pairs
+    elif args.report == "fuse":
+        valid, requested = FUSE_PAIRS, args.pairs
     else:
         valid, requested = COLUMNS, args.columns
     columns = requested.split(",") if requested else valid
@@ -277,6 +301,27 @@ def main() -> None:
             with open(args.json, "w") as handle:
                 json.dump(serve_json(results), handle, indent=2)
             print(f"\nwrote {args.json}")
+        return
+
+    if args.report == "fuse":
+        if args.check and not args.pairs:
+            columns = list(FUSE_CHECK_PAIRS)
+        results = run_fuse(matrices, columns, args.repeats,
+                           backend="native" if args.native else None)
+        print(render_fuse(results))
+        if args.json:
+            with open(args.json, "w") as handle:
+                json.dump(fuse_json(results), handle, indent=2)
+            print(f"\nwrote {args.json}")
+        if args.check:
+            problems = check_fuse(results)
+            if problems:
+                print(f"\n{len(problems)} fused-pipeline violation(s):")
+                for line in problems:
+                    print(f"  {line}")
+                sys.exit(1)
+            print("\nfused pipelines clean: results identical, no "
+                  "intermediate materialized, within 1.1x of materializing")
         return
 
     if args.report == "table2":

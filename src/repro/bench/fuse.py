@@ -1,0 +1,285 @@
+"""Fused-pipeline benchmark: fused vs materialize-then-compute vs scipy.
+
+``python -m repro.bench fuse`` times, per (pair, matrix) cell, the
+``convert + SpMV`` pipeline three ways:
+
+* ``fused`` — the fusion planner's fused terminal hop: the op consumes
+  the source directly; the destination format is never materialized
+  (:meth:`ConversionEngine.plan_compute
+  <repro.convert.engine.ConversionEngine.plan_compute>` with
+  ``fuse=True``);
+* ``materialized`` — the same pipeline with ``fuse=False``: convert,
+  then run the compute op over the destination;
+* ``scipy`` — scipy's own conversion plus ``A @ x``, the external
+  reference (skipped where scipy has no path).
+
+The JSON report (``fuse_json``) uses the backends-report cell layout, so
+``python -m repro.bench compare`` diffs two fuse reports directly: the
+``fused_seconds`` field is gated exactly like the other fast paths (the
+committed ``BENCH_fuse.json`` is the reference run at the ~1M-nnz
+chem_master1 shape).
+
+``--check`` is the CI smoke contract on a bounded pair: the fused and
+materialized results must agree within 1e-9 rtol, the fused pipeline
+must not be slower than ``tolerance`` (1.1x) times the materialized one,
+and the fused kernel must allocate **no intermediate-format arrays** —
+asserted two ways: the fused kernel source (Python or C) references no
+destination ``B*`` pos/crd/vals array, and allocation tracing
+(:mod:`tracemalloc`) shows the fused run's peak Python-heap traffic
+strictly below the materialized run's.
+"""
+
+from __future__ import annotations
+
+import re
+import statistics
+import time
+import tracemalloc
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..convert.engine import ConversionEngine
+from ..convert.features import sample_features
+from ..matrices.suite import SuiteMatrix
+from .table3 import _FORMATS
+from .timing import format_table
+
+__all__ = [
+    "FUSE_CHECK_PAIRS",
+    "FUSE_PAIRS",
+    "FuseCellResult",
+    "check_fuse",
+    "fuse_json",
+    "render_fuse",
+    "run_fuse",
+]
+
+#: Pairs the ``fuse`` report accepts: SpMV pipelines whose pivot format
+#: the compute layer can consume directly (fusable for ``spmv``).
+FUSE_PAIRS = ["coo_csr", "coo_dia", "coo_csc"]
+
+#: The bounded pair the CI ``--check`` smoke runs.
+FUSE_CHECK_PAIRS = ["coo_csr"]
+
+#: Destination-side array tokens of a conversion kernel — a fused
+#: kernel referencing any of these has materialized the intermediate.
+_INTERMEDIATE_ARRAY = re.compile(r"\bB\d*_(?:pos|crd|vals)\b|\bB_vals\b")
+
+
+@dataclass
+class FuseCellResult:
+    """Fused/materialized/scipy pipeline times for one (pair, matrix)."""
+
+    pair: str
+    matrix: str
+    nnz: int
+    backend: str
+    fused_seconds: float
+    materialized_seconds: float
+    scipy_seconds: Optional[float]
+    fused_peak_bytes: int
+    materialized_peak_bytes: int
+    identical: bool
+    max_abs_delta: float
+    intermediate_refs: int
+
+    @property
+    def speedup(self) -> Optional[float]:
+        """Materialized over fused: > 1 means fusion won."""
+        if self.fused_seconds <= 0:
+            return None
+        return self.materialized_seconds / self.fused_seconds
+
+
+#: scipy conversion per destination format name (for the reference
+#: column: scipy's own conversion + matvec).
+_SCIPY_CONVERT = {"CSR": "tocsr", "CSC": "tocsc", "DIA": "todia"}
+
+
+def _measure(matrix: SuiteMatrix, pair: str, repeats: int,
+             backend: Optional[str] = None) -> FuseCellResult:
+    src_name, dst_name = pair.split("_", 1)
+    src, dst = _FORMATS[src_name], _FORMATS[dst_name]
+    tensor = matrix.tensor(src)
+    rng = np.random.default_rng(7)
+    x = rng.uniform(0.5, 1.5, tensor.dims[1])
+
+    engine = ConversionEngine()
+    features = sample_features(tensor)
+    plan_fused = engine.plan_compute(
+        tensor.format, "spmv", dst, fuse=True, backend=backend,
+        nnz=tensor.nnz_stored, features=features,
+    )
+    plan_mat = engine.plan_compute(
+        tensor.format, "spmv", dst, fuse=False, backend=backend,
+        nnz=tensor.nnz_stored, features=features,
+    )
+    # compile both pipelines' kernels outside the timed region
+    y_fused = engine.run_compute_plan(plan_fused, tensor, x=x)
+    y_mat = engine.run_compute_plan(plan_mat, tensor, x=x)
+    identical = bool(np.allclose(y_fused, y_mat, rtol=1e-9, atol=1e-12))
+    max_abs_delta = float(np.max(np.abs(y_fused - y_mat), initial=0.0))
+
+    fused_times: List[float] = []
+    for _ in range(repeats):
+        started = time.perf_counter()
+        engine.run_compute_plan(plan_fused, tensor, x=x)
+        fused_times.append(time.perf_counter() - started)
+    mat_times: List[float] = []
+    for _ in range(repeats):
+        started = time.perf_counter()
+        engine.run_compute_plan(plan_mat, tensor, x=x)
+        mat_times.append(time.perf_counter() - started)
+
+    scipy_seconds: Optional[float] = None
+    convert = _SCIPY_CONVERT.get(dst.name)
+    if convert is not None:
+        try:
+            sp = tensor.to_scipy("coo")
+        except Exception:
+            sp = None
+        if sp is not None:
+            getattr(sp, convert)() @ x  # warm scipy's own caches
+            scipy_times: List[float] = []
+            for _ in range(repeats):
+                started = time.perf_counter()
+                getattr(sp, convert)() @ x
+                scipy_times.append(time.perf_counter() - started)
+            scipy_seconds = statistics.median(scipy_times)
+
+    # Allocation tracing: the fused pipeline never materializes the
+    # destination's pos/crd/vals, so its Python-heap peak sits strictly
+    # below the materialized pipeline's.  (For the native backend the C
+    # heap is invisible here; the source scan below is the assertion.)
+    tracemalloc.start()
+    engine.run_compute_plan(plan_fused, tensor, x=x)
+    _, fused_peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    tracemalloc.start()
+    engine.run_compute_plan(plan_mat, tensor, x=x)
+    _, mat_peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+
+    intermediate_refs = sum(
+        len(_INTERMEDIATE_ARRAY.findall(source))
+        for source in plan_fused.sources().values()
+    )
+    return FuseCellResult(
+        pair=pair,
+        matrix=matrix.name,
+        nnz=tensor.nnz_stored,
+        backend=plan_fused.backend,
+        fused_seconds=statistics.median(fused_times),
+        materialized_seconds=statistics.median(mat_times),
+        scipy_seconds=scipy_seconds,
+        fused_peak_bytes=int(fused_peak),
+        materialized_peak_bytes=int(mat_peak),
+        identical=identical,
+        max_abs_delta=max_abs_delta,
+        intermediate_refs=intermediate_refs,
+    )
+
+
+def run_fuse(
+    matrices: List[SuiteMatrix],
+    pairs: Optional[List[str]] = None,
+    repeats: int = 3,
+    backend: Optional[str] = None,
+) -> Dict[str, List[FuseCellResult]]:
+    """Fused vs materialized vs scipy SpMV per (pair, matrix) cell."""
+    pairs = pairs or FUSE_PAIRS
+    return {
+        pair: [_measure(m, pair, repeats, backend=backend) for m in matrices]
+        for pair in pairs
+    }
+
+
+def render_fuse(results: Dict[str, List[FuseCellResult]]) -> str:
+    """Text table: one row per (pair, matrix) cell."""
+    headers = ["pair", "matrix", "nnz", "backend", "fused (ms)",
+               "materialized (ms)", "scipy (ms)", "speedup", "identical"]
+    rows = []
+    for pair, cells in results.items():
+        for cell in cells:
+            speedup = cell.speedup
+            rows.append([
+                pair,
+                cell.matrix,
+                str(cell.nnz),
+                cell.backend,
+                f"{cell.fused_seconds * 1e3:.3f}",
+                f"{cell.materialized_seconds * 1e3:.3f}",
+                (f"{cell.scipy_seconds * 1e3:.3f}"
+                 if cell.scipy_seconds is not None else "-"),
+                f"{speedup:.2f}x" if speedup is not None else "-",
+                "yes" if cell.identical else "NO",
+            ])
+    return format_table(headers, rows)
+
+
+def fuse_json(results: Dict[str, List[FuseCellResult]]) -> Dict:
+    """The report in the backends-JSON cell layout, so ``bench compare``
+    gates ``fused_seconds`` between two fuse reports."""
+    return {
+        pair: {
+            "cells": [
+                {
+                    "matrix": cell.matrix,
+                    "nnz": cell.nnz,
+                    "backend": cell.backend,
+                    "fused_seconds": cell.fused_seconds,
+                    "materialized_seconds": cell.materialized_seconds,
+                    "scipy_seconds": cell.scipy_seconds,
+                    "speedup": cell.speedup,
+                    "fused_peak_bytes": cell.fused_peak_bytes,
+                    "materialized_peak_bytes": cell.materialized_peak_bytes,
+                    "identical": cell.identical,
+                    "intermediate_refs": cell.intermediate_refs,
+                }
+                for cell in cells
+            ]
+        }
+        for pair, cells in results.items()
+    }
+
+
+def check_fuse(results: Dict[str, List[FuseCellResult]],
+               tolerance: float = 1.1) -> List[str]:
+    """The ``--check`` contract; returns violation descriptions.
+
+    A cell violates when its fused and materialized results disagree
+    (beyond 1e-9 rtol), the fused pipeline runs slower than ``tolerance``
+    times the materialized one, the fused kernel source references a
+    destination array, or (Python backends) the fused run's traced
+    allocation peak is not below the materialized run's.
+    """
+    problems: List[str] = []
+    for pair, cells in results.items():
+        for cell in cells:
+            where = f"{pair}/{cell.matrix} [{cell.backend}]"
+            if not cell.identical:
+                problems.append(
+                    f"{where}: fused result diverges from materialized "
+                    f"(max |delta| {cell.max_abs_delta:.3e})"
+                )
+            if cell.fused_seconds > tolerance * cell.materialized_seconds:
+                problems.append(
+                    f"{where}: fused {cell.fused_seconds * 1e3:.3f} ms vs "
+                    f"materialized {cell.materialized_seconds * 1e3:.3f} ms "
+                    f"(> {tolerance:g}x)"
+                )
+            if cell.intermediate_refs:
+                problems.append(
+                    f"{where}: fused kernel source references "
+                    f"{cell.intermediate_refs} intermediate-format array(s)"
+                )
+            if (cell.backend != "native"
+                    and cell.fused_peak_bytes >= cell.materialized_peak_bytes):
+                problems.append(
+                    f"{where}: fused allocation peak {cell.fused_peak_bytes} "
+                    f"B not below materialized "
+                    f"{cell.materialized_peak_bytes} B"
+                )
+    return problems

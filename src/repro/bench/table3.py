@@ -619,7 +619,9 @@ def compare_backend_reports(
     reference measurements.  Serve reports (``serve_json``) share the
     cell layout, so their ``warm_seconds`` (the data-cache-hit latency)
     is gated here too; cold serve times include one full conversion and
-    are reference-only.
+    are reference-only.  Fuse reports (``fuse_json``) likewise share the
+    layout and have their ``fused_seconds`` gated; materialized and
+    scipy pipeline times are reference measurements.
     """
     regressions: List[str] = []
     for column, current_report in current.items():
@@ -644,6 +646,7 @@ def compare_backend_reports(
                 ("auto_seconds", "auto"),
                 ("warm_seconds", "serve-warm"),
                 ("streamed_seconds", "streamed"),
+                ("fused_seconds", "fused"),
             ):
                 base_s, cur_s = base.get(field), cell.get(field)
                 if not base_s or not cur_s or base_s < min_seconds:

@@ -1,0 +1,67 @@
+"""Fused convert-and-compute pipelines.
+
+The compute subsystem expresses a small set of compute kernels — SpMV,
+row-reduce, scale — over the *same per-level iteration protocol* the
+conversion planner walks (:mod:`repro.ir.levels`), so a compute op can be
+lowered two ways from one description:
+
+* **materialize-then-compute**: run the conversion plan, then a
+  generated compute kernel over the destination format;
+* **fused**: interleave the conversion's attribute-query / coordinate
+  -remap passes with the consuming op so the intermediate format's
+  ``pos``/``crd``/``vals`` arrays are never allocated.
+
+``engine.plan_compute(src, op, dst)`` returns a :class:`ComputePlan`
+choosing between them with the engine's measured :class:`CostModel
+<repro.convert.router.CostModel>`; ``Tensor.spmv(x, via="CSR")`` is the
+one-line entry point.  See ``docs/fusion.md``.
+"""
+
+from .kernels import (
+    COMPUTE_BACKENDS,
+    CompiledCompute,
+    ComputeLoweringError,
+    compute_native_capable,
+    compute_vector_capable,
+    fusable,
+    plan_compute_kernel,
+    resolve_compute_backend,
+)
+from .ops import (
+    COMPUTE_OPS,
+    ROW_REDUCE,
+    SCALE,
+    SPMV,
+    ComputeOp,
+    ComputeOpError,
+    get_op,
+)
+from .plan import COMPUTE_PLAN_SCHEMA, ComputePlan
+from .reference import (
+    row_reduce_reference,
+    scale_reference,
+    spmv_reference,
+)
+
+__all__ = [
+    "COMPUTE_BACKENDS",
+    "COMPUTE_OPS",
+    "COMPUTE_PLAN_SCHEMA",
+    "CompiledCompute",
+    "ComputeLoweringError",
+    "ComputeOp",
+    "ComputeOpError",
+    "ComputePlan",
+    "ROW_REDUCE",
+    "SCALE",
+    "SPMV",
+    "compute_native_capable",
+    "compute_vector_capable",
+    "fusable",
+    "get_op",
+    "plan_compute_kernel",
+    "resolve_compute_backend",
+    "row_reduce_reference",
+    "scale_reference",
+    "spmv_reference",
+]

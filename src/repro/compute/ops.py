@@ -1,0 +1,97 @@
+"""Compute-op descriptors for the fusion subsystem.
+
+Each :class:`ComputeOp` describes one operation the compute-kernel IR
+layer can express over the per-level iteration protocol the conversion
+planner walks (Chou et al., Section 2): the generated kernel visits every
+stored component of a tensor in scalar iteration order, recovers the
+canonical coordinates through the format's inverse mapping, and applies
+the op's update — no format-specific code anywhere.
+
+Three ops ship with the subsystem:
+
+``spmv``
+    ``y[i] += A(i, j) * x[j]`` — the paper's motivating consumer (matrices
+    are converted to CSR/DIA/ELL *in order to* run SpMV).  Requires a
+    second-order tensor and a dense operand vector ``x`` of length
+    ``dims[1]``; produces a dense float64 vector of length ``dims[0]``.
+
+``row_reduce``
+    ``r[i] += A(i, j, ...)`` — reduce every trailing mode into mode 0.
+    Works for any order >= 1 (third-order tensors reduce modes 1..r-1),
+    no operand; produces a dense float64 vector of length ``dims[0]``.
+
+``scale``
+    ``B = alpha * A`` materialized in the destination format — a full
+    conversion whose value stream is scaled in flight.  Takes a scalar
+    operand ``alpha``; produces a :class:`~repro.storage.tensor.Tensor`.
+    Unlike the reductions, ``scale`` *assembles* the destination, so its
+    fused kernel really is the conversion kernel with the value store
+    rewritten; it exercises fusion on the assembly side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+
+class ComputeOpError(ValueError):
+    """Raised for unknown ops or op/format mismatches."""
+
+
+@dataclass(frozen=True)
+class ComputeOp:
+    """Descriptor of one fusable compute operation.
+
+    ``operand`` names what the op consumes besides the tensor:
+    ``"vector"`` (a dense float64 array), ``"scalar"`` (a float), or
+    ``"none"``.  ``produces`` is ``"dense"`` (a float64 result vector) or
+    ``"tensor"`` (a materialized tensor in the destination format).
+    ``min_order``/``max_order`` bound the tensor orders the op accepts
+    (``max_order == 0`` means unbounded).
+    """
+
+    name: str
+    operand: str
+    produces: str
+    min_order: int
+    max_order: int
+
+    def validate_order(self, order: int) -> None:
+        if order < self.min_order or (self.max_order and order > self.max_order):
+            bound = (
+                f"order {self.min_order}"
+                if self.min_order == self.max_order
+                else f"order >= {self.min_order}"
+            )
+            raise ComputeOpError(
+                f"op {self.name!r} requires a tensor of {bound}, got order {order}"
+            )
+
+    @property
+    def needs_destination(self) -> bool:
+        """True when the op assembles the destination format (scale)."""
+        return self.produces == "tensor"
+
+
+SPMV = ComputeOp("spmv", operand="vector", produces="dense", min_order=2, max_order=2)
+ROW_REDUCE = ComputeOp(
+    "row_reduce", operand="none", produces="dense", min_order=1, max_order=0
+)
+SCALE = ComputeOp("scale", operand="scalar", produces="tensor", min_order=1, max_order=0)
+
+#: All registered compute ops, by name.
+COMPUTE_OPS: Tuple[ComputeOp, ...] = (SPMV, ROW_REDUCE, SCALE)
+
+_BY_NAME = {op.name: op for op in COMPUTE_OPS}
+
+
+def get_op(op) -> ComputeOp:
+    """Resolve an op descriptor from a name (or pass one through)."""
+    if isinstance(op, ComputeOp):
+        return op
+    try:
+        return _BY_NAME[op]
+    except KeyError:
+        known = ", ".join(sorted(_BY_NAME))
+        raise ComputeOpError(f"unknown compute op {op!r} (known: {known})") from None

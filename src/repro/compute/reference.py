@@ -1,0 +1,44 @@
+"""Format-independent oracle implementations of the compute ops.
+
+These run on any tensor through :meth:`Tensor.to_coo` — slow,
+obviously-correct Python used by the differential tests and the fuzz
+harness to validate both the fused and the materialize-then-compute
+paths.  They are *not* the unfused execution path (that is a generated
+compute kernel over the destination format); they are the ground truth
+both paths are compared against.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..storage.tensor import Tensor
+
+
+def spmv_reference(tensor: Tensor, x) -> np.ndarray:
+    """``y[i] = sum_j A(i, j) * x[j]`` via the canonical-content oracle."""
+    x = np.asarray(x, dtype=np.float64)
+    y = np.zeros(tensor.dims[0], dtype=np.float64)
+    for (i, j), value in tensor.to_coo(skip_zeros=True).items():
+        y[i] += value * x[j]
+    return y
+
+
+def row_reduce_reference(tensor: Tensor) -> np.ndarray:
+    """``r[i] = sum A(i, ...)`` — every trailing mode reduced into mode 0."""
+    r = np.zeros(tensor.dims[0], dtype=np.float64)
+    for coords, value in tensor.to_coo(skip_zeros=True).items():
+        r[coords[0]] += value
+    return r
+
+
+def scale_reference(tensor: Tensor, alpha: float, dst_format=None) -> Tensor:
+    """``B = alpha * A`` materialized in ``dst_format`` (default: in place
+    structurally — convert first, then scale the value stream)."""
+    out = tensor if dst_format is None else tensor.to(dst_format)
+    return Tensor(
+        out.format, out.dims, dict(out.arrays), dict(out.metadata),
+        np.asarray(out.vals, dtype=np.float64) * float(alpha),
+    )

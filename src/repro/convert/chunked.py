@@ -67,15 +67,22 @@ def chunkable(src_format: Format, dst_format: Format,
               options: Optional[PlanOptions] = None) -> bool:
     """True if the pair lowers through the chunked executor.
 
-    Exactly the vector backend's capability: the chunked kernel is a
-    rewrite of the vector kernel, so every vectorizable pair has one (a
-    kernel with no rewritable site still runs correctly — it just has no
-    parallel section).  Scalar-only pairs (hashed levels, non-default
-    plan options) have no chunked form and fall back to the standard
-    conversion paths.
+    The vector backend's capability, minus hashed levels: the chunked
+    kernel is a rewrite of the vector kernel, so every other vectorizable
+    pair has one (a kernel with no rewritable site still runs correctly —
+    it just has no parallel section).  Hashed pairs are excluded even
+    though they vectorize: ``hashed_bulk_insert`` placement depends on
+    the *global* nonzero order, which chunk-local replays cannot
+    reproduce.  Excluded pairs (and non-default plan options) fall back
+    to the standard conversion paths.
     """
     from ..ir.vector import vectorizable
 
+    if any(
+        level.name == "hashed"
+        for level in (*src_format.levels, *dst_format.levels)
+    ):
+        return False
     return vectorizable(src_format, dst_format, options)
 
 
@@ -254,10 +261,12 @@ def plan_chunked(src_format: Format, dst_format: Format,
     Plans the vector kernel and rewrites it (see :func:`rewrite_chunked`);
     returns a :class:`~repro.convert.planner.GeneratedConversion` with
     ``backend == "chunked"``, or ``None`` when the pair is not
-    vectorizable (callers then fall back to the standard paths).
+    :func:`chunkable` (callers then fall back to the standard paths).
     """
     from ..ir.vector import plan_vector
 
+    if not chunkable(src_format, dst_format, options):
+        return None
     generated = plan_vector(src_format, dst_format, options)
     if generated is None:
         return None

@@ -330,6 +330,15 @@ class ConversionPlanner:
             groups[-1].append(k)
         return groups
 
+    def _value_expr(self, src_vals: Var, leaf_pos: Expr) -> Expr:
+        """The value stored for each nonzero during coordinate insertion.
+
+        Fused compute kernels (:mod:`repro.compute`) override this to
+        rewrite the value stream in flight — e.g. ``scale`` stores
+        ``alpha * val`` — without duplicating the assembly emitters.
+        """
+        return Load(src_vals, leaf_pos)
+
     # ------------------------------------------------------------------
     def plan(self) -> GeneratedConversion:
         ctx = self.ctx
@@ -565,7 +574,9 @@ class ConversionPlanner:
                     inner.extend(level.emit_insert_coord(ctx.dst, k, pos, coords))
                 parent_pos = pos
             if vals_out is not None:
-                inner.append(Store(vals_out, parent_pos, Load(src_vals, leaf_pos)))
+                inner.append(
+                    Store(vals_out, parent_pos, self._value_expr(src_vals, leaf_pos))
+                )
             if memo_out is not None:
                 inner.append(Store(memo_out, src_index, parent_pos))
             if src_index is not None:

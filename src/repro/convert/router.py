@@ -114,6 +114,16 @@ class CostModel:
     #: the generated kernels.
     external_per_nnz: float = 2.2e-8
     external_overhead: float = 2.0e-4
+    #: Fused convert-and-compute hops (:mod:`repro.compute`): one pass
+    #: that gathers the source and folds the consuming op, skipping the
+    #: intermediate's assembly.  Seeded slightly above the vector
+    #: conversion rate (the gather plus the op's reduction); the
+    #: ``compute`` kind prices the op alone over an already-materialized
+    #: tensor.  Seeds never *select* fusion: the fusion planner requires
+    #: ``min_observations`` measured ``fused`` timings before it will
+    #: prefer a fused hop (see ``ConversionEngine.plan_compute``).
+    fused_per_nnz: float = 5.0e-8
+    compute_per_nnz: float = 2.5e-8
     #: Observations of a kind required before measured rates take over.
     min_observations: int = 3
     #: Smallest hop size (stored components) worth recording: below this,
@@ -262,6 +272,8 @@ class CostModel:
                 "bridge": self.bridge_per_nnz,
                 "chunked": self.chunked_per_nnz,
                 "native": self.native_per_nnz,
+                "fused": self.fused_per_nnz,
+                "compute": self.compute_per_nnz,
             }[key]
         if key == "chunked" and features is not None:
             sortedness = min(max(features.sortedness, 0.0), 1.0)
@@ -287,6 +299,8 @@ class CostModel:
                 "hop_overhead": self.hop_overhead,
                 "external_per_nnz": self.external_per_nnz,
                 "external_overhead": self.external_overhead,
+                "fused_per_nnz": self.fused_per_nnz,
+                "compute_per_nnz": self.compute_per_nnz,
             },
             "min_observations": self.min_observations,
             "min_nnz": self.min_nnz,
@@ -342,6 +356,7 @@ class CostModel:
                         "scalar_per_nnz", "vector_per_nnz", "bridge_per_nnz",
                         "chunked_per_nnz", "native_per_nnz", "hop_overhead",
                         "external_per_nnz", "external_overhead",
+                        "fused_per_nnz", "compute_per_nnz",
                     )
                     if name in seeds
                 },

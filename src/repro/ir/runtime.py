@@ -125,6 +125,98 @@ def unique_first(keys: np.ndarray) -> np.ndarray:
     return np.sort(order[boundary])
 
 
+def hashed_bulk_insert(table, base, home, coord, width) -> np.ndarray:
+    """Bulk open-addressing insertion, replaying sequential probe order.
+
+    The bulk form of the hashed level's ``get_pos`` probe loop.  ``table``
+    is a freshly initialized ``crd`` array (every slot ``-1``); ``base``,
+    ``home`` and ``coord`` are aligned per-nonzero streams — the parent's
+    table offset (``parent_pos * width``; a scalar ``0`` at the root), the
+    starting slot ``(coord - lo) % width``, and the coordinate to insert.
+    Fills ``table`` and returns each nonzero's position, **bit-identically
+    to the scalar loop** inserting one nonzero at a time in stream order.
+
+    Rounds of priority claiming: every unplaced nonzero probes its
+    current slot simultaneously; a contested slot goes to the earliest
+    nonzero in stream order, which may *steal* the slot from an
+    already-placed later nonzero (the evictee re-enters probing at that
+    same slot, exactly where the sequential loop would have found it
+    occupied).  A nonzero finding its own coordinate owned by an earlier
+    nonzero takes that position — the idempotent duplicate insert of the
+    scalar probe.  Losers advance one slot only when blocked by an
+    earlier-priority owner with a different coordinate.  Because
+    priorities are total and a settled earlier nonzero is never evicted
+    by a later one, the fixpoint is the sequential first-come-first-
+    served placement; a safety cap (pathological probe chains) replays
+    the scalar loop directly.
+    """
+    width = int(width)
+    coord = np.asarray(coord, dtype=np.int64)
+    n = int(coord.shape[0])
+    out = np.empty(n, dtype=np.int64)
+    if n == 0:
+        return out
+    base = np.broadcast_to(np.asarray(base, dtype=np.int64), (n,))
+    home = np.asarray(home, dtype=np.int64)
+    slot = home.copy()
+    owner = np.full(table.shape[0], -1, dtype=np.int64)
+    # 0 = probing, 1 = placed (may be evicted), 2 = done (duplicate)
+    state = np.zeros(n, dtype=np.int8)
+    items = np.arange(n, dtype=np.int64)
+    for _ in range(2 * width + 64):
+        active = items[state == 0]
+        if active.size == 0:
+            break
+        pos = base[active] + slot[active]
+        occ = owner[pos]
+        dup = (table[pos] == coord[active]) & (occ >= 0) & (occ < active)
+        done = active[dup]
+        out[done] = pos[dup]
+        state[done] = 2
+        rest = active[~dup]
+        if rest.size:
+            rpos = pos[~dup]
+            claim = np.full(table.shape[0], n, dtype=np.int64)
+            np.minimum.at(claim, rpos, rest)
+            occ_r = owner[rpos]
+            take = (claim[rpos] == rest) & ((occ_r < 0) | (occ_r > rest))
+            tpos = rpos[take]
+            titem = rest[take]
+            evicted = owner[tpos]
+            owner[tpos] = titem
+            table[tpos] = coord[titem]
+            out[titem] = tpos
+            state[titem] = 1
+            state[evicted[evicted >= 0]] = 0
+            # a stolen slot also invalidates duplicates that settled on
+            # its previous owner: they re-probe from that same slot
+            if tpos.size:
+                undone = (state == 2) & np.isin(out, tpos)
+                state[undone] = 0
+            lose = rest[~take]
+            if lose.size:
+                lpos = base[lose] + slot[lose]
+                blocker = owner[lpos]
+                step = (
+                    (blocker >= 0)
+                    & (blocker < lose)
+                    & (table[lpos] != coord[lose])
+                )
+                stepped = lose[step]
+                slot[stepped] = (slot[stepped] + 1) % width
+    else:
+        table[:] = -1
+        for i in range(n):
+            s = int(home[i])
+            p = int(base[i]) + s
+            while table[p] >= 0 and table[p] != coord[i]:
+                s = (s + 1) % width
+                p = int(base[i]) + s
+            table[p] = coord[i]
+            out[i] = p
+    return out
+
+
 # ----------------------------------------------------------------------
 # chunk runtime (repro.convert.chunked)
 
@@ -520,6 +612,7 @@ def compile_source(
         "stable_order": stable_order,
         "group_ranks": group_ranks,
         "unique_first": unique_first,
+        "hashed_bulk_insert": hashed_bulk_insert,
         "chunked_bincount": chunked_bincount,
         "chunked_group_ranks": chunked_group_ranks,
         "chunked_unique_first": chunked_unique_first,

@@ -37,7 +37,9 @@ effect exactly, both backends produce **bit-identical output arrays** for
 every vectorizable pair — including BCSR, DCSR, CSF/COO3, HiCOO and
 skyline, none of which the old format-recognition backend handled;
 ``tests/convert/test_backends.py`` asserts this.  Formats containing a
-level without the vector facet (hashed) and non-default
+level without the vector facet, hashed *sources* (slot gathers stay
+scalar; hashed destinations assemble in bulk via
+:func:`repro.ir.runtime.hashed_bulk_insert`), and non-default
 :class:`~repro.convert.planner.PlanOptions` report as not vectorizable,
 and the planner falls back to the scalar backend.
 
@@ -87,9 +89,9 @@ def vectorizable(src_format, dst_format, options=None) -> bool:
         return False
     if src_format.inverse is None:
         return False
-    return all(level.vector_capable for level in src_format.levels) and all(
-        level.vector_capable for level in dst_format.levels
-    )
+    return all(
+        level.vector_gather_capable for level in src_format.levels
+    ) and all(level.vector_capable for level in dst_format.levels)
 
 
 # ----------------------------------------------------------------------

@@ -10,40 +10,68 @@ import-convert-compute pipeline end to end.
 
 from __future__ import annotations
 
+from typing import Callable, Dict, Tuple
+
 import numpy as np
 
 from ..formats.format import FormatError
 from ..storage.tensor import Tensor
 
+_DISPATCH: Dict[Tuple, Callable] = {}
+
+
+def _dispatch_table() -> Dict[Tuple, Callable]:
+    """Structural-key → kernel map, built on first use.
+
+    Keyed by :func:`~repro.convert.planner.structural_key` rather than
+    the format's display name, so registered structural twins (say a
+    ``"MyCSR"`` with CSR's exact level layout) hit the fast CSR kernel
+    instead of falling through to the oracle traversal — the same
+    identity the engine's kernel cache dispatches on.
+    """
+    if not _DISPATCH:
+        from ..convert.planner import structural_key
+        from ..formats import library
+
+        for fmt, impl in (
+            (library.COO, _coo_spmv),
+            (library.CSR, _csr_spmv),
+            (library.CSC, _csc_spmv),
+            (library.DIA, _dia_spmv),
+            (library.ELL, _ell_spmv),
+            (library.SKY, _sky_spmv),
+            (library.DCSR, _dcsr_spmv),
+        ):
+            _DISPATCH[structural_key(fmt)] = impl
+    return _DISPATCH
+
 
 def spmv(tensor: Tensor, x: np.ndarray) -> np.ndarray:
     """``y = A @ x`` for a matrix in any supported format.
 
-    Dispatches on the format name; unknown formats fall back to the
-    (slow) oracle traversal.
+    Dispatches on the format's *structural key* (not its name, so
+    renamed registered twins take the specialized path too); unknown
+    structures fall back to the (slow) oracle traversal.
     """
     if tensor.format.order != 2:
         raise FormatError("spmv requires a matrix")
     x = np.asarray(x, dtype=np.float64)
     if x.shape != (tensor.dims[1],):
         raise ValueError(f"x has shape {x.shape}, expected ({tensor.dims[1]},)")
-    name = tensor.format.name
-    if name == "COO":
-        return _coo_spmv(tensor, x)
-    if name == "CSR":
-        return _csr_spmv(tensor, x)
-    if name == "CSC":
-        return _csc_spmv(tensor, x)
-    if name == "DIA":
-        return _dia_spmv(tensor, x)
-    if name == "ELL":
-        return _ell_spmv(tensor, x)
-    if name == "SKY":
-        return _sky_spmv(tensor, x)
-    if name == "DCSR":
-        return _dcsr_spmv(tensor, x)
-    if name.startswith("BCSR"):
-        return _bcsr_spmv(tensor, x)
+    from ..convert.planner import structural_key
+
+    key = structural_key(tensor.format)
+    impl = _dispatch_table().get(key)
+    if impl is not None:
+        return impl(tensor, x)
+    # BCSR is parameterized (one structure per block shape): rebuild the
+    # canonical format at this tensor's block parameters and compare keys.
+    params = tensor.format.params
+    if "M" in params and "N" in params:
+        from ..formats.library import BCSR
+
+        if key == structural_key(BCSR(params["M"], params["N"])):
+            return _bcsr_spmv(tensor, x)
     return _generic_spmv(tensor, x)
 
 

@@ -181,6 +181,17 @@ class Level:
     #: the vector backend, so unsupported levels fall back to scalar.
     vector_capable: bool = False
 
+    @property
+    def vector_gather_capable(self) -> bool:
+        """True if the level's *source iteration* lowers through the
+        vector backend.  Defaults to :attr:`vector_capable`; kept
+        separate because a level can assemble in bulk as a destination
+        yet gather poorly as a source (hashed: slot enumeration carries
+        every empty slot through the stream and its probe order cannot
+        compose prefix widths, so hashed sources stay on the scalar and
+        bridge paths the router already plans around)."""
+        return self.vector_capable
+
     def vector_iterate(self, em, view, k: int, frontier) -> None:
         """Expand ``frontier`` (one entry per enumerated path through
         levels ``0..k-1``) by this level's children, in the exact order of

@@ -38,9 +38,15 @@ class HashedLevel(Level):
     has_edges = False
     pos_kind = "get"
     explicit_coords = True
-    #: probe chains are inherently sequential; conversions touching a
-    #: hashed level fall back to the scalar backend (the resolver asks).
-    vector_capable = False
+    #: as a *destination*, probe chains vectorize through
+    #: :func:`repro.ir.runtime.hashed_bulk_insert` — priority-claiming
+    #: rounds that replay the sequential probe loop's placement bit for
+    #: bit.  As a *source* the level stays scalar
+    #: (``vector_gather_capable`` below): slot enumeration drags every
+    #: empty slot through the gathered streams and cannot compose the
+    #: prefix widths the attribute-query passes need.
+    vector_capable = True
+    vector_gather_capable = False
     #: empty slots are materialized (values there stay zero)
     introduces_padding = True
 
@@ -73,6 +79,52 @@ class HashedLevel(Level):
 
     def size(self, view, k, parent_size):
         return parent_size * view.meta(k, "W")
+
+    # -- vector emission ------------------------------------------------------
+    def vector_iterate(self, em, view, k, frontier):
+        # Every slot in parent-major order, exactly the scalar loop's
+        # order.  Empty slots ride along as coordinate -1 with value 0
+        # and are dropped by the central padded-source filter (the bulk
+        # mirror of the scalar coordinate guard + nonzero guard).
+        width = view.meta(k, "W")
+        frontier.expand_fixed(width, f"s{k + 1}")
+        coord = em.assign(
+            view.coord_name(k), frontier.slice(view.array(k, "crd").name)
+        )
+        frontier.coords.append(coord)
+
+    def vector_init_coords(self, em, ctx, k, parent_size):
+        width = ctx.meta_var(k, "W")
+        crd_arr = ctx.array(k, "crd")
+        handle = ctx.query(k, "nir")
+        if handle.is_scalar:
+            peak = em.bind("peak", handle.at(()))
+        else:
+            # max over the count query's table (scalar path: a fold loop)
+            peak = em.assign("peak", f"{handle.var.name}.max(initial=0)")
+        em.emit(f"{width.name} = next_pow2({peak.name} * 2)")
+        em.emit(
+            f"{crd_arr.name} = np.full({em.atom(parent_size)} * {width.name},"
+            f" -1, dtype=np.int64)"
+        )
+
+    def vector_pos(self, em, ctx, k, parent, coords):
+        """Bulk ``get_pos``: open-addressing insertion of every nonzero
+        through :func:`repro.ir.runtime.hashed_bulk_insert`, which fills
+        the table and returns positions in sequential probe order."""
+        width = ctx.meta_var(k, "W")
+        crd_arr = ctx.array(k, "crd")
+        shifted = simplify_expr(b.sub(coords[k], ctx.dim_lo(k)))
+        home = em.assign("home", f"{em.atom(shifted)} % {width.name}")
+        if parent is None:
+            base = "0"
+        else:
+            base = em.assign("baseB", f"{parent.name} * {width.name}").name
+        return em.assign(
+            f"pB{k + 1}",
+            f"hashed_bulk_insert({crd_arr.name}, {base}, {home.name}, "
+            f"{em.atom(coords[k])}, {width.name})",
+        )
 
     # -- assembly -------------------------------------------------------------
     def queries(self, k, ndims):

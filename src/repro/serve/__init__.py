@@ -22,10 +22,24 @@ See ``docs/serve.md`` for the lifecycle walk-through.
 from .datacache import DataCache, origin_digest, tensor_nbytes
 from .http import ServiceServer
 from .metrics import Histogram, Metrics, render_prometheus
-from .service import ConversionService, QuotaError, ServeResult, TenantPolicy
-from .wire import WIRE_SCHEMA, WireError, tensor_from_wire, tensor_to_wire
+from .service import (
+    ComputeResult,
+    ConversionService,
+    QuotaError,
+    ServeResult,
+    TenantPolicy,
+)
+from .wire import (
+    WIRE_SCHEMA,
+    WireError,
+    array_from_wire,
+    array_to_wire,
+    tensor_from_wire,
+    tensor_to_wire,
+)
 
 __all__ = [
+    "ComputeResult",
     "ConversionService",
     "DataCache",
     "Histogram",
@@ -36,6 +50,8 @@ __all__ = [
     "TenantPolicy",
     "WIRE_SCHEMA",
     "WireError",
+    "array_from_wire",
+    "array_to_wire",
     "origin_digest",
     "render_prometheus",
     "tensor_from_wire",

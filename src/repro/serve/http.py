@@ -9,6 +9,12 @@ hosting the :class:`~repro.serve.service.ConversionService`, and a
     ``{"to": "CSR", "tensor": {...wire...}, "tenant": "default"}`` —
     the tensor travels in the wire encoding of :mod:`repro.serve.wire`;
     the response carries the converted tensor plus how it was served.
+``POST /compute``
+    ``{"op": "spmv", "tensor": {...wire...}, "to": "CSR", "x": {...},
+    "fuse": "auto"}`` — a convert-and-compute pipeline through the
+    fusion planner (:mod:`repro.compute`); dense operands and results
+    travel as wire array records.  The response's ``fuse`` field says
+    whether the destination format was ever materialized.
 ``POST /plan`` (or ``GET /plan?src=COO&dst=CSR``)
     The PR 5 plan JSON (:meth:`ConversionPlan.to_dict
     <repro.convert.plan.ConversionPlan.to_dict>`) the pair would
@@ -32,8 +38,15 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Dict, List, Optional
 from urllib.parse import parse_qs, urlparse
 
+from ..storage.tensor import Tensor
 from .service import ConversionService, QuotaError
-from .wire import WireError, tensor_from_wire, tensor_to_wire
+from .wire import (
+    WireError,
+    array_from_wire,
+    array_to_wire,
+    tensor_from_wire,
+    tensor_to_wire,
+)
 
 __all__ = ["ServiceServer"]
 
@@ -221,6 +234,8 @@ class _ServiceHandler(BaseHTTPRequestHandler):
         url = urlparse(self.path)
         if url.path == "/convert":
             self._dispatch(self._convert)
+        elif url.path == "/compute":
+            self._dispatch(self._compute)
         elif url.path == "/plan":
             self._dispatch(lambda: self._plan(self._read_json()))
         else:
@@ -277,3 +292,45 @@ class _ServiceHandler(BaseHTTPRequestHandler):
             "hops_executed": result.hops_executed,
             "hops_skipped": result.hops_skipped,
         })
+
+    def _compute(self) -> None:
+        payload = self._read_json()
+        op = payload.get("op")
+        if not isinstance(op, str) or not op:
+            raise _BadRequest("compute needs 'op': spmv, row_reduce or scale")
+        blob = payload.get("tensor")
+        if blob is None:
+            raise _BadRequest("compute needs 'tensor': a wire-encoded tensor")
+        tensor = tensor_from_wire(blob)
+        dst = payload.get("to")
+        if dst is not None and (not isinstance(dst, str) or not dst):
+            raise _BadRequest("'to' must be a destination format spec")
+        x = None
+        if payload.get("x") is not None:
+            x = array_from_wire(payload["x"], "x")
+        alpha = payload.get("alpha")
+        if alpha is not None:
+            alpha = float(alpha)
+        fuse = payload.get("fuse", "auto")
+        if not isinstance(fuse, (str, bool)):
+            raise _BadRequest("'fuse' must be auto, fused, materialize or a bool")
+        tenant = str(payload.get("tenant") or "default")
+        result = self.owner.call(self.owner.service.submit_compute(
+            tensor, op, dst, tenant=tenant, x=x, alpha=alpha, fuse=fuse,
+        ))
+        body = {
+            "status": result.status,
+            "op": result.op,
+            "fuse": result.fuse,
+            "pair": list(result.pair),
+            "tenant": result.tenant,
+            "digest": result.digest,
+            "seconds": result.seconds,
+            "hops_executed": result.hops_executed,
+            "hops_skipped": result.hops_skipped,
+        }
+        if isinstance(result.result, Tensor):
+            body["tensor"] = tensor_to_wire(result.result)
+        else:
+            body["result"] = array_to_wire(result.result)
+        self._send_json(200, body)

@@ -25,10 +25,13 @@ from __future__ import annotations
 
 import asyncio
 import dataclasses
+import hashlib
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple, Union
+
+import numpy as np
 
 from ..convert.engine import ConversionEngine, default_engine
 from ..convert.features import sample_features
@@ -41,6 +44,7 @@ from .datacache import DataCache, origin_digest, tensor_nbytes
 from .metrics import Metrics
 
 __all__ = [
+    "ComputeResult",
     "ConversionService",
     "QuotaError",
     "ServeResult",
@@ -94,6 +98,45 @@ class ServeResult:
     seconds: float = 0.0
     hops_executed: int = 0
     hops_skipped: int = 0
+
+
+@dataclass(frozen=True)
+class ComputeResult:
+    """One served compute pipeline (the ``/compute`` endpoint).
+
+    ``result`` is a dense float64 vector for reductions (``spmv``,
+    ``row_reduce``) or a :class:`Tensor` for materializing ops
+    (``scale``).  ``status`` says how the pipeline was satisfied:
+    ``coalesced`` (shared an identical in-flight pipeline), ``prefix``
+    (conversion hops resumed from a cached intermediate) or ``computed``
+    (full pipeline executed).  ``fuse`` records the planner's terminal
+    decision — ``fused`` means the destination format was never
+    materialized.
+    """
+
+    result: object
+    status: str
+    op: str
+    fuse: str
+    pair: Tuple[str, str]
+    tenant: str
+    digest: str
+    seconds: float = 0.0
+    hops_executed: int = 0
+    hops_skipped: int = 0
+
+
+def _operand_digest(x=None, alpha=None) -> str:
+    """Content digest of the dense compute operands (single-flight key)."""
+    h = hashlib.sha256()
+    if x is not None:
+        arr = np.ascontiguousarray(np.asarray(x, dtype=np.float64))
+        h.update(b"x")
+        h.update(arr.tobytes())
+    if alpha is not None:
+        h.update(b"a")
+        h.update(repr(float(alpha)).encode())
+    return h.hexdigest()
 
 
 @dataclass
@@ -388,6 +431,154 @@ class ConversionService:
         return ServeResult(
             result, "converted", pair, job.tenant, job.digest,
             hops_executed=len(plan.hops),
+        )
+
+    # -- fused convert-and-compute (the /compute endpoint) ---------------
+    async def submit_compute(
+        self,
+        tensor: Tensor,
+        op: str,
+        dst_format: Optional[FormatSpec] = None,
+        tenant: str = "default",
+        x=None,
+        alpha: Optional[float] = None,
+        fuse: Union[str, bool] = "auto",
+    ) -> ComputeResult:
+        """Serve one convert-and-compute pipeline (service loop only).
+
+        Reuses the conversion machinery end to end: admission runs the
+        same tenant quotas, the payload seeds the data cache, identical
+        in-flight pipelines coalesce on one execution, and conversion
+        hops resume from cached intermediates.  Hop outputs land in the
+        cache through the engine's hop observer exactly like ``/convert``
+        traffic, so a ``/compute`` request warms the cache for a later
+        ``/convert`` and vice versa.  The fusion decision itself is the
+        engine's (:meth:`ConversionEngine.plan_compute
+        <repro.convert.engine.ConversionEngine.plan_compute>`).
+        """
+        if self._closed:
+            raise RuntimeError("service is closed")
+        started = time.perf_counter()
+        dst = get_format(dst_format) if dst_format is not None else None
+        record = self._tenant(tenant)
+        policy = record.policy
+        nbytes = tensor_nbytes(tensor)
+        try:
+            self._admit(record, nbytes)
+        except QuotaError:
+            self.metrics.incr("quota_rejections")
+            raise
+        self.metrics.incr("requests")
+        self.metrics.incr("compute_requests")
+        self.metrics.incr_tenant(tenant)
+        record.inflight += 1
+        record.inflight_bytes += nbytes
+        try:
+            result = await self._serve_compute(
+                tensor, op, dst, policy, tenant, x, alpha, fuse
+            )
+        except Exception:
+            self.metrics.incr("errors")
+            raise
+        finally:
+            record.inflight -= 1
+            record.inflight_bytes -= nbytes
+        elapsed = time.perf_counter() - started
+        result = dataclasses.replace(result, seconds=elapsed)
+        self.metrics.incr("responses")
+        self.metrics.observe_latency(f"compute_{result.status}", elapsed)
+        return result
+
+    async def _serve_compute(self, tensor: Tensor, op: str, dst,
+                             policy: TenantPolicy, tenant: str,
+                             x, alpha, fuse) -> ComputeResult:
+        digest = origin_digest(tensor)
+        options = policy.options
+        # Seed the cache with the payload: later /convert or /compute
+        # requests for the same bytes anchor their prefix probes here.
+        self.cache.put(digest, tensor.format, tensor, options)
+        flight_key = (
+            "compute", digest, str(op),
+            structural_key(dst) if dst is not None else None,
+            _operand_digest(x, alpha), str(fuse),
+            options.key() if options is not None else None,
+            policy.backend,
+        )
+        inflight = self._inflight.get(flight_key)
+        if inflight is not None:
+            self.metrics.incr("coalesced")
+            result = await asyncio.shield(inflight)
+            return dataclasses.replace(
+                result, status="coalesced", tenant=tenant
+            )
+        future: "asyncio.Future[ComputeResult]" = self._loop.create_future()
+        self._inflight[flight_key] = future
+        self._loop.create_task(self._run_compute(
+            future, tensor, op, dst, digest, policy, tenant, x, alpha, fuse
+        ))
+        try:
+            return await asyncio.shield(future)
+        finally:
+            if self._inflight.get(flight_key) is future:
+                del self._inflight[flight_key]
+
+    async def _run_compute(self, future, tensor, op, dst, digest,
+                           policy, tenant, x, alpha, fuse) -> None:
+        try:
+            result = await self._loop.run_in_executor(
+                self._executor,
+                lambda: self._execute_compute(
+                    tensor, op, dst, digest, policy, tenant, x, alpha, fuse
+                ),
+            )
+        except Exception as exc:
+            if not future.cancelled():
+                future.set_exception(exc)
+        else:
+            if not future.cancelled():
+                future.set_result(result)
+
+    def _execute_compute(self, tensor, op, dst, digest,
+                         policy: TenantPolicy, tenant: str,
+                         x, alpha, fuse) -> ComputeResult:
+        # Worker thread: plan the pipeline under the tenant's knobs,
+        # resume its conversion prefix from the data cache when an
+        # intermediate is already there, run the rest.
+        pair = (
+            tensor.format.name,
+            dst.name if dst is not None else tensor.format.name,
+        )
+        plan = self.engine.plan_compute(
+            tensor.format, op, dst, fuse=fuse,
+            options=policy.options, backend=policy.backend,
+            nnz=tensor.nnz_stored, features=sample_features(tensor),
+        )
+        status = "computed"
+        current = tensor
+        skipped = 0
+        conversion_hops = plan.conversion_hops
+        if conversion_hops:
+            prefix = longest_cached_prefix(
+                conversion_hops,
+                lambda fmt: self.cache.contains(digest, fmt, policy.options),
+            )
+            if prefix > 0:
+                checkpoint = self.cache.get(
+                    digest, conversion_hops[prefix - 1].dst, policy.options
+                )
+                if checkpoint is not None:  # may have been evicted since
+                    plan = dataclasses.replace(plan, hops=plan.hops[prefix:])
+                    current = checkpoint
+                    skipped = prefix
+                    status = "prefix"
+                    self.metrics.incr("prefix_hits")
+        value = self.engine.run_compute_plan(plan, current, x=x, alpha=alpha)
+        if plan.fused:
+            self.metrics.incr("fused_serves")
+        self.metrics.incr("computations")
+        return ComputeResult(
+            value, status, plan.op.name, plan.fuse, pair, tenant, digest,
+            hops_executed=len(plan.hops), hops_skipped=skipped,
         )
 
     # -- plan / health / teardown ---------------------------------------

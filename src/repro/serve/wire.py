@@ -27,7 +27,14 @@ import numpy as np
 from ..convert.plan import PlanError, format_record, resolve_format_record
 from ..storage.tensor import Tensor
 
-__all__ = ["WIRE_SCHEMA", "WireError", "tensor_from_wire", "tensor_to_wire"]
+__all__ = [
+    "WIRE_SCHEMA",
+    "WireError",
+    "array_from_wire",
+    "array_to_wire",
+    "tensor_from_wire",
+    "tensor_to_wire",
+]
 
 WIRE_SCHEMA = 1
 
@@ -59,6 +66,16 @@ def _decode_array(record, where: str) -> np.ndarray:
             f"array bytes for {where} are not a multiple of {dtype} items"
         )
     return np.frombuffer(raw, dtype=dtype).copy()  # writable, owned
+
+
+def array_to_wire(arr) -> Dict:
+    """Serialize one numpy array — dense ``/compute`` operands/results."""
+    return _encode_array(np.asarray(arr))
+
+
+def array_from_wire(record, where: str = "array") -> np.ndarray:
+    """Rebuild one numpy array; raises :class:`WireError` when malformed."""
+    return _decode_array(record, where)
 
 
 def tensor_to_wire(tensor: Tensor) -> Dict:

@@ -205,6 +205,26 @@ class Tensor:
         return engine.convert(self, dst_format, options, backend, route,
                               parallel)
 
+    def spmv(self, x, via="CSR", fuse="auto", backend=None, engine=None):
+        """``y = A @ x`` through the fusion planner (:mod:`repro.compute`).
+
+        ``via`` names the compute format the pipeline would convert to;
+        with ``fuse="auto"`` the engine's measured cost model decides
+        whether to actually materialize it or run the **fused** kernel
+        that consumes this tensor's format directly (the intermediate's
+        arrays are then never allocated).  ``via=None`` computes in this
+        tensor's own format; ``fuse=True`` / ``fuse=False`` pin the
+        decision::
+
+            y = tensor.spmv(x)                    # cost model decides
+            y = tensor.spmv(x, via="DIA", fuse=True)
+        """
+        if engine is None:
+            from ..convert.engine import default_engine
+
+            engine = default_engine()
+        return engine.spmv(self, x, via=via, fuse=fuse, backend=backend)
+
     # -- scipy interop ---------------------------------------------------------
     @classmethod
     def from_scipy(cls, matrix, format=None, engine=None) -> "Tensor":

@@ -6,7 +6,10 @@ that claim.  ``python -m repro.verify fuzz`` generates random tensors —
 varying dimensions, density, value dtype and coordinate *ordering*
 (sorted, reversed, shuffled, duplicate-heavy rows, empty slices) — runs
 every applicable backend on every requested pair, and compares the
-results array-for-array.  On a mismatch it prints a single
+results array-for-array.  The ``fused`` column additionally checks the
+fused convert-and-compute pipeline (:mod:`repro.compute`): SpMV through
+the destination, computed with and without materializing it, within
+float tolerance.  On a mismatch it prints a single
 ``REPRO:`` line that reproduces the failure deterministically:
 
 .. code-block:: text
@@ -288,10 +291,55 @@ def _run_case(engine, src, dst, case: TensorCase, backends: Sequence[str],
         if problems:
             failures["streamed"] = problems
         os.unlink(path)
+    if "fused" in backends:
+        problems = _check_fused(engine, src, dst, case, tensor)
+        if problems:
+            failures["fused"] = problems
     return failures
 
 
-DEFAULT_BACKENDS = ("vector", "native", "chunked", "streamed")
+def _check_fused(engine, src, dst, case: TensorCase, tensor) -> List[str]:
+    """Fused-vs-materialized SpMV over the pair (:mod:`repro.compute`).
+
+    Where the pair fuses, ``y = (convert A to dst) @ x`` is computed both
+    ways — the fused pipeline that never materializes ``dst``, and the
+    materialize-then-compute pipeline — and compared within float
+    tolerance (the fused kernel reassociates row sums).  Both are also
+    checked against the oracle traversal.
+    """
+    from .compute.kernels import fusable
+    from .compute.reference import spmv_reference
+    from .convert.planner import structural_key
+
+    if src.order != 2 or dst.order != 2:
+        return []
+    if structural_key(src) == structural_key(dst):
+        return []  # nothing to fuse: the op runs directly on the source
+    if not fusable(src, "spmv", dst):
+        return []
+    x = np.random.default_rng(case.seed + 1).uniform(0.5, 1.5, case.dims[1])
+    fused = engine.plan_compute(src, "spmv", dst, fuse=True, nnz=case.nnz)
+    mat = engine.plan_compute(src, "spmv", dst, fuse=False, nnz=case.nnz)
+    yf = engine.run_compute_plan(fused, tensor, x=x)
+    ym = engine.run_compute_plan(mat, tensor, x=x)
+    oracle = spmv_reference(tensor, x)
+    problems = []
+    if not np.allclose(yf, ym, rtol=1e-9, atol=1e-12):
+        where = int(np.argmax(np.abs(yf - ym)))
+        problems.append(
+            f"spmv fused vs materialized: y[{where}] = {yf[where]!r} vs "
+            f"{ym[where]!r}"
+        )
+    if not np.allclose(yf, oracle, rtol=1e-9, atol=1e-12):
+        where = int(np.argmax(np.abs(yf - oracle)))
+        problems.append(
+            f"spmv fused vs oracle: y[{where}] = {yf[where]!r} vs "
+            f"{oracle[where]!r}"
+        )
+    return problems
+
+
+DEFAULT_BACKENDS = ("vector", "native", "chunked", "streamed", "fused")
 
 
 def fuzz(pairs: str = "all", cases: int = 25, seed: int = 0,

@@ -1,0 +1,98 @@
+"""The fused-pipeline benchmark: harness, gating, report JSON."""
+
+import dataclasses
+
+import pytest
+
+from repro.bench.fuse import (
+    FUSE_CHECK_PAIRS,
+    FUSE_PAIRS,
+    check_fuse,
+    fuse_json,
+    render_fuse,
+    run_fuse,
+)
+from repro.bench.table3 import compare_backend_reports
+from repro.matrices.suite import get_matrix
+
+pytest.importorskip("scipy")
+
+
+@pytest.fixture(scope="module")
+def results():
+    return run_fuse([get_matrix("jnlbrng1", scale=0.1)], repeats=1)
+
+
+def test_check_pairs_are_a_subset():
+    assert set(FUSE_CHECK_PAIRS) <= set(FUSE_PAIRS)
+
+
+def test_run_fuse_small_end_to_end(results):
+    assert set(results) == set(FUSE_PAIRS)
+    for pair, cells in results.items():
+        (cell,) = cells
+        assert cell.pair == pair
+        assert cell.nnz > 0
+        assert cell.fused_seconds > 0
+        assert cell.materialized_seconds > 0
+        assert cell.identical is True
+        assert cell.intermediate_refs == 0
+        assert cell.fused_peak_bytes > 0
+
+
+def test_fused_never_references_destination_arrays(results):
+    """The load-bearing acceptance property at any size: the fused
+    kernel's source names no intermediate-format array, and its traced
+    allocation peak sits below the materialized pipeline's."""
+    for cells in results.values():
+        for cell in cells:
+            assert cell.intermediate_refs == 0
+            if cell.backend != "native":
+                assert cell.fused_peak_bytes < cell.materialized_peak_bytes
+
+
+def test_render_and_json_layout(results):
+    text = render_fuse(results)
+    assert "fused (ms)" in text and "coo_csr" in text
+    doc = fuse_json(results)
+    for pair in FUSE_PAIRS:
+        (cell,) = doc[pair]["cells"]
+        # the shared backends-report cell layout bench compare reads
+        assert {"matrix", "nnz", "fused_seconds", "materialized_seconds",
+                "identical", "intermediate_refs"} <= set(cell)
+
+
+def test_check_fuse_clean_and_dirty(results):
+    assert check_fuse(results, tolerance=10.0) == []
+    # a synthetic regression in every gated dimension
+    (cell,) = results["coo_csr"]
+    bad = dataclasses.replace(
+        cell,
+        identical=False,
+        max_abs_delta=1.0,
+        fused_seconds=cell.materialized_seconds * 50,
+        intermediate_refs=3,
+        fused_peak_bytes=cell.materialized_peak_bytes + 1,
+    )
+    problems = check_fuse({"coo_csr": [bad]})
+    text = "\n".join(problems)
+    assert len(problems) == 4
+    assert "diverges" in text
+    assert "intermediate-format array" in text
+    assert "allocation peak" in text
+
+
+def test_compare_gates_fused_seconds(results):
+    """bench compare reads fuse reports like any backends report and
+    flags a fused_seconds regression."""
+    doc = fuse_json(results)
+    slower = fuse_json(results)
+    cell = slower["coo_csr"]["cells"][0]
+    cell["fused_seconds"] = doc["coo_csr"]["cells"][0]["fused_seconds"] * 10
+    # min_seconds=0: the smoke run's cells are sub-millisecond, which
+    # the default noise floor would (correctly) skip
+    problems = compare_backend_reports(doc, slower, threshold=1.5,
+                                       min_seconds=0.0)
+    assert any("fused" in p for p in problems)
+    assert compare_backend_reports(doc, doc, threshold=1.5,
+                                   min_seconds=0.0) == []

@@ -1,0 +1,149 @@
+"""Property-based fused-vs-unfused differential harness.
+
+For every fusable (source, destination) pipeline, every compute-kernel
+backend, and several tensor shapes (including empty rows, the empty
+tensor and third-order reductions): the fused pipeline and the
+materialize-then-compute pipeline must agree to 1e-9 rtol (the fused
+vector lowering reassociates the additions, so bit-identity is not the
+contract here — the oracle is), and both must match the slow reference.
+"""
+
+import numpy as np
+import pytest
+
+from repro.compute import fusable, row_reduce_reference, spmv_reference
+from repro.convert import ConversionEngine
+from repro.formats.library import COO, COO3, CSC, CSF, CSR, DIA, ELL
+from repro.ir.native import detect_toolchain
+from repro.storage.build import reference_build
+
+HAVE_CC = detect_toolchain() is not None
+
+#: Second-order pipelines whose pivot the compute layer can consume
+#: directly.  The planner may route; fusion folds the *last* hop.
+SPMV_PAIRS = [
+    (COO, CSR), (COO, DIA), (COO, CSC), (COO, ELL),
+    (CSR, CSC), (CSR, DIA), (CSC, DIA), (ELL, CSR),
+]
+
+BACKENDS = ["scalar", "vector", "native"]
+
+
+def _shapes():
+    """Named shape builders: (name, dims, cells, vals)."""
+    rng = np.random.default_rng(42)
+    dims = (9, 7)
+    dense_cells = [(i, j) for i in range(dims[0]) for j in range(dims[1])]
+    sparse_cells = [c for k, c in enumerate(dense_cells) if k % 3 == 0]
+    # empty rows: nothing stored in rows 0, 4 and the last row
+    holey_cells = [(i, j) for (i, j) in sparse_cells if i not in (0, 4, 8)]
+    shapes = {
+        "sparse": sparse_cells,
+        "empty_rows": holey_cells,
+        "empty": [],
+    }
+    out = []
+    for name, cells in shapes.items():
+        vals = rng.uniform(0.5, 1.5, len(cells))
+        out.append((name, dims, cells, list(vals)))
+    return out
+
+
+SHAPES = _shapes()
+
+
+def _backends():
+    for backend in BACKENDS:
+        if backend == "native" and not HAVE_CC:
+            yield pytest.param(backend,
+                               marks=pytest.mark.skip(reason="no C toolchain"))
+        else:
+            yield backend
+
+
+@pytest.fixture(scope="module")
+def engine():
+    eng = ConversionEngine()
+    yield eng
+    eng.shutdown()
+
+
+@pytest.mark.parametrize("backend", list(_backends()))
+@pytest.mark.parametrize("shape", [s[0] for s in SHAPES])
+@pytest.mark.parametrize(
+    "src,dst", SPMV_PAIRS, ids=[f"{s.name}_{d.name}" for s, d in SPMV_PAIRS]
+)
+def test_fused_spmv_matches_materialized_and_oracle(
+    engine, src, dst, shape, backend
+):
+    name, dims, cells, vals = next(s for s in SHAPES if s[0] == shape)
+    tensor = reference_build(src, dims, cells, vals)
+    rng = np.random.default_rng(7)
+    x = rng.uniform(0.5, 1.5, dims[1])
+
+    fused_plan = engine.plan_compute(
+        src, "spmv", dst, fuse=True, backend=backend, nnz=tensor.nnz_stored
+    )
+    mat_plan = engine.plan_compute(
+        src, "spmv", dst, fuse=False, backend=backend, nnz=tensor.nnz_stored
+    )
+    assert fused_plan.fused and not mat_plan.fused
+    y_fused = engine.run_compute_plan(fused_plan, tensor, x=x)
+    y_mat = engine.run_compute_plan(mat_plan, tensor, x=x)
+    want = spmv_reference(tensor, x)
+    np.testing.assert_allclose(y_fused, y_mat, rtol=1e-9, atol=1e-12)
+    np.testing.assert_allclose(y_fused, want, rtol=1e-9, atol=1e-12)
+
+
+@pytest.mark.parametrize("backend", list(_backends()))
+@pytest.mark.parametrize("shape", ["sparse", "empty_rows", "empty"])
+def test_fused_third_order_row_reduce(engine, shape, backend):
+    """Third-order pipeline: COO3 -> CSF with the reduction fused over
+    the COO3 source (CSF is never materialized)."""
+    rng = np.random.default_rng(3)
+    dims = (5, 4, 3)
+    all_cells = [(i, j, k) for i in range(5) for j in range(4)
+                 for k in range(3)]
+    cells = {
+        "sparse": all_cells[::4],
+        "empty_rows": [c for c in all_cells[::4] if c[0] not in (0, 2)],
+        "empty": [],
+    }[shape]
+    vals = list(rng.uniform(0.5, 1.5, len(cells)))
+    tensor = reference_build(COO3, dims, cells, vals)
+
+    fused_plan = engine.plan_compute(
+        COO3, "row_reduce", CSF, fuse=True, backend=backend,
+        nnz=tensor.nnz_stored,
+    )
+    mat_plan = engine.plan_compute(
+        COO3, "row_reduce", CSF, fuse=False, backend=backend,
+        nnz=tensor.nnz_stored,
+    )
+    r_fused = engine.run_compute_plan(fused_plan, tensor)
+    r_mat = engine.run_compute_plan(mat_plan, tensor)
+    want = row_reduce_reference(tensor)
+    np.testing.assert_allclose(r_fused, r_mat, rtol=1e-9, atol=1e-12)
+    np.testing.assert_allclose(r_fused, want, rtol=1e-9, atol=1e-12)
+
+
+@pytest.mark.parametrize("backend", ["scalar", "vector"])
+def test_fused_scale_assembles_scaled_destination(engine, backend):
+    """Scale's fused kernel IS the conversion kernel with a scaled value
+    stream: the fused result equals convert-then-scale exactly."""
+    name, dims, cells, vals = SHAPES[0]
+    tensor = reference_build(COO, dims, cells, vals)
+    plan = engine.plan_compute(
+        COO, "scale", CSR, fuse=True, backend=backend, nnz=tensor.nnz_stored
+    )
+    out = engine.run_compute_plan(plan, tensor, alpha=2.5)
+    want = tensor.to(CSR)
+    assert out.format.name == "CSR"
+    np.testing.assert_allclose(out.vals, np.asarray(want.vals) * 2.5)
+    for key in want.arrays:
+        np.testing.assert_array_equal(out.arrays[key], want.arrays[key])
+
+
+def test_every_spmv_pair_is_fusable():
+    for src, dst in SPMV_PAIRS:
+        assert fusable(src, "spmv", dst), (src.name, dst.name)

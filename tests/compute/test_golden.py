@@ -1,0 +1,45 @@
+"""Golden-file pins for the fused compute kernels.
+
+The COO→CSR+SpMV pipeline is the paper's motivating consumer, so its
+fused kernel — SpMV consuming COO directly, CSR never materialized —
+is pinned verbatim for the scalar (Python) and native (C) lowerings.
+Any change to the emitted passes shows up as a readable diff.  If a
+change is *intended*, regenerate the pin with
+``plan_compute_kernel(COO, "spmv", backend=...).source``.
+"""
+
+import pathlib
+
+import pytest
+
+from repro.compute import plan_compute_kernel
+from repro.formats.library import COO
+
+GOLDEN = pathlib.Path(__file__).parent / "golden"
+
+#: backend -> pinned file extension
+PINS = {
+    "scalar": "fused_coo_spmv.py.txt",
+    "native": "fused_coo_spmv.c.txt",
+}
+
+
+@pytest.mark.parametrize("backend", sorted(PINS))
+def test_fused_spmv_source_matches_golden(backend):
+    want = (GOLDEN / PINS[backend]).read_text()
+    got = plan_compute_kernel(COO, "spmv", backend=backend).source + "\n"
+    assert got == want, (
+        f"fused {backend} SpMV kernel changed; diff against "
+        f"tests/compute/golden/{PINS[backend]} and regenerate if intended"
+    )
+
+
+def test_pinned_sources_reference_no_destination_arrays():
+    """The fused kernel provably materializes nothing: the pinned
+    sources never name a destination (B-prefixed) array."""
+    import re
+
+    pattern = re.compile(r"\bB\d*_(?:pos|crd|vals)\b|\bB_vals\b")
+    for name in PINS.values():
+        text = (GOLDEN / name).read_text()
+        assert not pattern.search(text), name

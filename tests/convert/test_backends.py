@@ -45,7 +45,9 @@ VECTOR_FORMATS = [COO, CSR, CSC, DIA, ELL]
 #: formerly scalar-only pairs that the per-level lowering newly vectorizes
 EXTENDED_FORMATS = [BCSR(2, 2), DCSR, HICOO(2)]
 #: the only library format without the vector-emission protocol
-FALLBACK_FORMATS = [HASH]
+#: formats that fall back to scalar as a *source* (hashed gathers stay
+#: scalar; as destinations they assemble in bulk via hashed_bulk_insert)
+FALLBACK_SOURCES = [HASH]
 
 
 def assert_tensors_bit_identical(a, b):
@@ -174,8 +176,9 @@ def test_resolve_backend_selection():
     assert resolve_backend(CSR, BCSR(2, 2), backend="vector") == "vector"
     assert resolve_backend(DCSR, CSR) == "vector"
     assert resolve_backend(COO3, CSF) == "vector"
-    # a level without the vector-emission protocol falls back
-    assert resolve_backend(CSR, HASH) == "scalar"
+    # hashed assembles in bulk as a destination (hashed_bulk_insert)...
+    assert resolve_backend(CSR, HASH) == "vector"
+    # ...but its slot gathers stay scalar as a source
     with warnings.catch_warnings():
         warnings.simplefilter("ignore", RuntimeWarning)
         assert resolve_backend(HASH, CSR, backend="vector") == "scalar"
@@ -224,13 +227,13 @@ def test_renamed_format_shares_kernel_cache_entry():
     assert out.to_coo() == dict(zip(cells, vals))
 
 
-@pytest.mark.parametrize("dst", FALLBACK_FORMATS, ids=lambda f: f.name)
-def test_vector_request_falls_back_to_scalar(dst):
+@pytest.mark.parametrize("src", FALLBACK_SOURCES, ids=lambda f: f.name)
+def test_vector_request_falls_back_to_scalar(src):
     cells, vals = _random_problem(1, 6, 6, "sparse")
-    tensor = reference_build(CSR, (6, 6), cells, vals)
+    tensor = reference_build(src, (6, 6), cells, vals)
     with warnings.catch_warnings():
         warnings.simplefilter("ignore", RuntimeWarning)
-        converter = make_converter(CSR, dst, backend="vector")
+        converter = make_converter(src, CSR, backend="vector")
     assert converter.backend == "scalar"  # fell back
     out = converter(tensor)
     out.check()
